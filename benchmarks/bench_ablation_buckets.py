@@ -1,0 +1,82 @@
+"""Ablation — bucketized iUB maintenance vs no iUB filtering.
+
+DESIGN.md §5: the bucket structure exists so that a stream tuple only
+touches the candidates that contain the token, while everyone else is
+still pruned by a per-bucket threshold scan. This bench quantifies what
+the filter buys: verification work and end-to-end time with the
+iUB-Filter on vs off (results are identical either way).
+"""
+
+import pytest
+
+from benchmarks.conftest import DEFAULT_ALPHA, DEFAULT_K, QUERY_SEED
+from repro.core import FilterConfig
+from repro.datasets import QueryBenchmark
+from repro.experiments import (
+    format_table,
+    koios_search_fn,
+    mean,
+    run_benchmark,
+)
+
+DATASET = "opendata"
+NUM_QUERIES = 5
+
+
+def test_ablation_iub_buckets(benchmark, stacks, report):
+    stack = stacks[DATASET]
+    bench = QueryBenchmark.uniform(
+        stack.collection, NUM_QUERIES, seed=QUERY_SEED
+    )
+    with_iub = stack.engine(alpha=DEFAULT_ALPHA)
+    without_iub = stack.engine(
+        alpha=DEFAULT_ALPHA,
+        config=FilterConfig.koios().without(
+            use_iub_buckets=False, use_first_sight_ub=False
+        ),
+    )
+
+    records_on = run_benchmark(
+        koios_search_fn(with_iub), bench, DEFAULT_K,
+        method="iub-on", dataset_name=DATASET,
+    )
+    records_off = run_benchmark(
+        koios_search_fn(without_iub), bench, DEFAULT_K,
+        method="iub-off", dataset_name=DATASET,
+    )
+
+    # Identical answers.
+    for on, off in zip(records_on, records_off):
+        assert on.result_scores == pytest.approx(
+            off.result_scores, abs=1e-6
+        )
+
+    query = stack.collection[bench.all_query_ids()[0]]
+    benchmark(with_iub.search, query, DEFAULT_K)
+
+    rows = []
+    for name, records in (("iub-on", records_on), ("iub-off", records_off)):
+        rows.append(
+            [
+                name,
+                mean(r.seconds for r in records),
+                mean(r.stats.refinement_pruned for r in records),
+                mean(r.stats.postprocessed for r in records),
+                mean(r.stats.em_full + r.stats.em_early_terminated
+                     for r in records),
+            ]
+        )
+    report()
+    report(format_table(
+        ["config", "avg s", "pruned in refinement", "reach postproc",
+         "matchings started"],
+        rows,
+        title="Ablation: iUB bucket filter on/off",
+    ))
+
+    pruned_on = rows[0][2]
+    pruned_off = rows[1][2]
+    assert pruned_on > 0
+    assert pruned_off == 0
+    # Fewer sets reach post-processing with the filter on.
+    assert rows[0][3] < rows[1][3]

@@ -1,0 +1,79 @@
+"""Ablation — EM early termination (Lemma 8) on vs off.
+
+With the label-sum bound active, a hopeless candidate's Hungarian run
+aborts as soon as its certified upper bound drops under theta_lb; without
+it every started matching runs to completion. Results are identical; the
+bench measures the saved completed matchings and labeling work.
+"""
+
+import pytest
+
+from benchmarks.conftest import DEFAULT_ALPHA, DEFAULT_K, QUERY_SEED
+from repro.core import FilterConfig
+from repro.datasets import QueryBenchmark
+from repro.experiments import (
+    format_table,
+    koios_search_fn,
+    mean,
+    run_benchmark,
+)
+
+DATASET = "opendata"
+NUM_QUERIES = 5
+
+
+def test_ablation_em_early_termination(benchmark, stacks, report):
+    stack = stacks[DATASET]
+    bench = QueryBenchmark.uniform(
+        stack.collection, NUM_QUERIES, seed=QUERY_SEED
+    )
+    # Disable No-EM in both arms so the ablation isolates Lemma 8.
+    base = FilterConfig.koios().without(use_no_em=False)
+    engine_on = stack.engine(alpha=DEFAULT_ALPHA, config=base)
+    engine_off = stack.engine(
+        alpha=DEFAULT_ALPHA,
+        config=base.without(use_em_early_termination=False),
+    )
+
+    records_on = run_benchmark(
+        koios_search_fn(engine_on), bench, DEFAULT_K,
+        method="early-term-on", dataset_name=DATASET,
+    )
+    records_off = run_benchmark(
+        koios_search_fn(engine_off), bench, DEFAULT_K,
+        method="early-term-off", dataset_name=DATASET,
+    )
+
+    for on, off in zip(records_on, records_off):
+        assert on.result_scores == pytest.approx(
+            off.result_scores, abs=1e-6
+        )
+
+    query = stack.collection[bench.all_query_ids()[0]]
+    benchmark(engine_on.search, query, DEFAULT_K)
+
+    rows = []
+    for name, records in (
+        ("early-term-on", records_on),
+        ("early-term-off", records_off),
+    ):
+        rows.append(
+            [
+                name,
+                mean(r.seconds for r in records),
+                mean(r.stats.em_full for r in records),
+                mean(r.stats.em_early_terminated for r in records),
+                mean(r.stats.em_label_updates for r in records),
+            ]
+        )
+    report()
+    report(format_table(
+        ["config", "avg s", "full matchings", "early-terminated",
+         "label updates"],
+        rows,
+        title="Ablation: EM early termination on/off",
+    ))
+
+    assert rows[0][3] > 0         # terminations happen with the filter on
+    assert rows[1][3] == 0        # and never without it
+    assert rows[0][2] < rows[1][2]  # fewer completed matchings

@@ -1,0 +1,86 @@
+"""Fig. 5 — OpenData: (a) response time vs query cardinality for Koios
+and the Baseline (with timeout counts), (b)+(c) phase breakdown, and
+(d) memory footprint.
+
+Paper shape: response time grows with query cardinality; Koios's
+advantage over the Baseline widens for medium-to-large queries; memory
+grows roughly linearly with query cardinality and stays comparable
+between the two systems.
+"""
+
+from benchmarks.conftest import (
+    BASELINE_TIME_BUDGET,
+    DEFAULT_ALPHA,
+    DEFAULT_K,
+)
+from repro.baselines import ExhaustiveBaseline
+from repro.experiments import (
+    format_series,
+    koios_search_fn,
+    response_time_panels,
+    run_benchmark,
+)
+
+DATASET = "opendata"
+
+
+def run_panels(stack, bench):
+    koios_records = run_benchmark(
+        koios_search_fn(stack.engine(alpha=DEFAULT_ALPHA)),
+        bench, DEFAULT_K, method="koios", dataset_name=DATASET,
+    )
+    baseline = ExhaustiveBaseline(
+        stack.collection, stack.index, stack.sim, alpha=DEFAULT_ALPHA
+    )
+    baseline_records = run_benchmark(
+        koios_search_fn(baseline, time_budget=BASELINE_TIME_BUDGET),
+        bench, DEFAULT_K, method="baseline", dataset_name=DATASET,
+    )
+    records = {"koios": koios_records, "baseline": baseline_records}
+    return records, response_time_panels(records)
+
+
+def test_fig5_opendata_panels(benchmark, stacks, interval_benchmarks, report):
+    stack = stacks[DATASET]
+    bench = interval_benchmarks[DATASET]
+    records, panels = run_panels(stack, bench)
+
+    engine = stack.engine(alpha=DEFAULT_ALPHA)
+    query = stack.collection[bench.groups[0].query_ids[0]]
+    benchmark(engine.search, query, DEFAULT_K)
+
+    report()
+    report("Fig 5a: mean response time (s) per cardinality interval")
+    for method, series in panels.response.items():
+        report("  " + format_series(method, series))
+    report("Fig 5a annotations: timeouts per interval")
+    for method, series in panels.timeouts.items():
+        report("  " + format_series(method, series, float_digits=0))
+    report("Fig 5b/5c: Koios phase share per interval")
+    report("  " + format_series("refinement", panels.refinement_share))
+    report("  " + format_series("postprocessing", panels.postproc_share))
+    report("Fig 5d: mean memory footprint (MB) per interval")
+    for method, series in panels.memory.items():
+        report("  " + format_series(method, series))
+
+    koios_resp = dict(panels.response["koios"])
+    baseline_resp = dict(panels.response["baseline"])
+    koios_timeouts = dict(panels.timeouts["koios"])
+    baseline_timeouts = dict(panels.timeouts["baseline"])
+    # Koios wins every interval: either it is faster on the queries the
+    # baseline completed, or the baseline timed out wholesale (its mean
+    # is over *successful* queries only — the paper's convention).
+    shared = [g for g in koios_resp if g in baseline_resp]
+    assert shared
+    for group in shared:
+        if baseline_resp[group] == 0.0 and baseline_timeouts[group] > 0:
+            assert koios_timeouts[group] <= baseline_timeouts[group]
+            continue
+        assert koios_resp[group] <= baseline_resp[group] * 1.05
+    # Koios never times out more often than the baseline.
+    assert sum(koios_timeouts.values()) <= sum(baseline_timeouts.values())
+    # Memory of the two systems stays within an order of magnitude.
+    for group, value in panels.memory["koios"]:
+        base_value = dict(panels.memory["baseline"]).get(group)
+        if base_value:
+            assert value < 10 * base_value + 1.0

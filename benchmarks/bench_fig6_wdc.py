@@ -1,0 +1,104 @@
+"""Fig. 6 — WDC: the four panels of Fig. 5 on the WDC-like profile.
+
+Additional paper shape specific to WDC: the share of time spent in
+*refinement* is higher than OpenData's, because the heavy element
+frequency skew creates long posting lists and many candidate updates.
+"""
+
+from benchmarks.conftest import (
+    BASELINE_TIME_BUDGET,
+    DEFAULT_ALPHA,
+    DEFAULT_K,
+)
+from repro.baselines import ExhaustiveBaseline
+from repro.experiments import (
+    format_series,
+    koios_search_fn,
+    mean,
+    response_time_panels,
+    run_benchmark,
+    successful,
+)
+
+DATASET = "wdc"
+
+
+def test_fig6_wdc_panels(benchmark, stacks, interval_benchmarks, report):
+    stack = stacks[DATASET]
+    bench = interval_benchmarks[DATASET]
+    koios_records = run_benchmark(
+        koios_search_fn(stack.engine(alpha=DEFAULT_ALPHA)),
+        bench, DEFAULT_K, method="koios", dataset_name=DATASET,
+    )
+    baseline = ExhaustiveBaseline(
+        stack.collection, stack.index, stack.sim, alpha=DEFAULT_ALPHA
+    )
+    baseline_records = run_benchmark(
+        koios_search_fn(baseline, time_budget=BASELINE_TIME_BUDGET),
+        bench, DEFAULT_K, method="baseline", dataset_name=DATASET,
+    )
+    panels = response_time_panels(
+        {"koios": koios_records, "baseline": baseline_records}
+    )
+
+    engine = stack.engine(alpha=DEFAULT_ALPHA)
+    query = stack.collection[bench.groups[0].query_ids[0]]
+    benchmark(engine.search, query, DEFAULT_K)
+
+    report()
+    report("Fig 6a: mean response time (s) per cardinality interval")
+    for method, series in panels.response.items():
+        report("  " + format_series(method, series))
+    report("Fig 6a annotations: timeouts per interval")
+    for method, series in panels.timeouts.items():
+        report("  " + format_series(method, series, float_digits=0))
+    report("Fig 6b/6c: Koios phase share per interval")
+    report("  " + format_series("refinement", panels.refinement_share))
+    report("  " + format_series("postprocessing", panels.postproc_share))
+    report("Fig 6d: mean memory footprint (MB) per interval")
+    for method, series in panels.memory.items():
+        report("  " + format_series(method, series))
+
+    koios_resp = dict(panels.response["koios"])
+    baseline_resp = dict(panels.response["baseline"])
+    koios_timeouts = dict(panels.timeouts["koios"])
+    baseline_timeouts = dict(panels.timeouts["baseline"])
+    for group in koios_resp:
+        if group not in baseline_resp:
+            continue
+        if baseline_resp[group] == 0.0 and baseline_timeouts[group] > 0:
+            # The baseline timed out on the whole interval (the paper's
+            # "not enough data" cells) — Koios wins by finishing.
+            assert koios_timeouts[group] <= baseline_timeouts[group]
+            continue
+        assert koios_resp[group] <= baseline_resp[group] * 1.05
+
+
+def test_fig6_wdc_refinement_share_exceeds_opendata(
+    benchmark, stacks, interval_benchmarks, report
+):
+    """§VIII-B: 'the share of work of WDC in the refinement is higher
+    than OpenData, because of its sheer number of sets and the high
+    frequency of elements.'"""
+    shares = {}
+    for name in ("opendata", "wdc"):
+        stack = stacks[name]
+        records = run_benchmark(
+            koios_search_fn(stack.engine(alpha=DEFAULT_ALPHA)),
+            interval_benchmarks[name],
+            DEFAULT_K,
+            method="koios",
+            dataset_name=name,
+        )
+        done = successful(records)
+        refinement = mean(r.refinement_seconds for r in done)
+        total = refinement + mean(r.postproc_seconds for r in done)
+        shares[name] = refinement / total if total else 0.0
+
+    benchmark(lambda: None)
+    report()
+    report(
+        f"refinement share of response time: "
+        f"opendata={shares['opendata']:.2f} wdc={shares['wdc']:.2f}"
+    )
+    assert shares["wdc"] > shares["opendata"]

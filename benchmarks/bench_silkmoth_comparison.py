@@ -1,0 +1,111 @@
+"""§VIII-B — Koios vs SilkMoth under Jaccard on 3-grams.
+
+Both systems answer the same top-k problem with the same element
+similarity (q-gram Jaccard, alpha = 0.8): Koios through its generic
+ordered-stream framework, SilkMoth through prefix signatures (syntactic
+variant) or the filter-free generic framework (semantic variant), with
+the true theta_k* handed to SilkMoth as §VIII-B prescribes.
+
+Paper shape: Koios fastest, SilkMoth-syntactic slower, SilkMoth-semantic
+slowest (72 s / 141 s / 400 s at paper scale).
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import QUERY_SEED
+from repro.baselines import SEMANTIC, SYNTACTIC, SilkMothSearch
+from repro.core import KoiosSearchEngine
+from repro.datasets import QueryBenchmark
+from repro.experiments import format_table
+from repro.index import PrefixJaccardIndex
+from repro.sim import QGramJaccardSimilarity
+
+DATASET = "opendata"
+ALPHA = 0.8
+K = 10
+
+
+@pytest.fixture(scope="module")
+def jaccard_setup(stacks):
+    from benchmarks.conftest import EXPLICIT_INTERVALS
+    from repro.datasets import CardinalityInterval
+
+    collection = stacks[DATASET].collection
+    sim = QGramJaccardSimilarity(q=3)
+    index = PrefixJaccardIndex(
+        collection.vocabulary, alpha=ALPHA, similarity=sim
+    )
+    koios = KoiosSearchEngine(collection, index, sim, alpha=ALPHA)
+    silk_syn = SilkMothSearch(collection, alpha=ALPHA, variant=SYNTACTIC)
+    silk_sem = SilkMothSearch(collection, alpha=ALPHA, variant=SEMANTIC)
+    # The paper evaluates on queries spanning small, medium, and large
+    # sets; SilkMoth's signature count grows with set size, so the
+    # stratified benchmark is where the comparison is meaningful.
+    intervals = [
+        CardinalityInterval(lo, hi)
+        for lo, hi in EXPLICIT_INTERVALS[DATASET]
+    ]
+    bench = QueryBenchmark.by_intervals(
+        collection, intervals, 1, seed=QUERY_SEED
+    )
+    return collection, koios, silk_syn, silk_sem, bench
+
+
+def test_silkmoth_comparison(benchmark, jaccard_setup, report):
+    collection, koios, silk_syn, silk_sem, bench = jaccard_setup
+
+    num_queries = len(bench)
+    timings = {"koios": 0.0, "silkmoth-syntactic": 0.0,
+               "silkmoth-semantic": 0.0}
+    verified = {"silkmoth-syntactic": 0, "silkmoth-semantic": 0}
+    for _, _, tokens in bench:
+        start = time.perf_counter()
+        koios_result = koios.search(tokens, k=K)
+        timings["koios"] += time.perf_counter() - start
+        theta_star = koios_result.theta_k  # the advantage SilkMoth gets
+
+        for name, searcher in (
+            ("silkmoth-syntactic", silk_syn),
+            ("silkmoth-semantic", silk_sem),
+        ):
+            start = time.perf_counter()
+            silk_result = searcher.search_topk(tokens, K, theta_star)
+            timings[name] += time.perf_counter() - start
+            verified[name] += silk_result.stats.em_full
+            # Same problem, same answer: score lists must agree on the
+            # entries above theta_star (ties at theta_star are arbitrary).
+            koios_above = [s for s in koios_result.scores()
+                           if s > theta_star + 1e-9]
+            silk_above = [s for s in silk_result.scores()
+                          if s > theta_star + 1e-9]
+            assert silk_above == pytest.approx(koios_above, abs=1e-6)
+
+    query = collection[bench.all_query_ids()[0]]
+    benchmark(koios.search, query, K)
+
+    rows = [
+        [name, seconds / num_queries] for name, seconds in timings.items()
+    ]
+    report()
+    report(format_table(
+        ["method", "avg response (s)"], rows,
+        title="SilkMoth comparison (paper: 72s / 141s / 400s)",
+    ))
+    report(
+        f"verifications/query: syntactic="
+        f"{verified['silkmoth-syntactic'] / num_queries:.0f} "
+        f"semantic={verified['silkmoth-semantic'] / num_queries:.0f}"
+    )
+
+    # Paper shape: the generic (semantic) SilkMoth — the only variant
+    # that could even in principle host a semantic similarity — is by
+    # far the slowest, because it has no similarity-specific filters.
+    assert timings["koios"] < timings["silkmoth-semantic"]
+    assert timings["silkmoth-syntactic"] < timings["silkmoth-semantic"]
+    assert verified["silkmoth-semantic"] > 3 * verified["silkmoth-syntactic"]
+    # SilkMoth-syntactic gets theta_k* for free and our scaled sets never
+    # reach its signature explosion (see EXPERIMENTS.md), so we only
+    # require Koios to stay competitive with it at this scale.
+    assert timings["koios"] < 3 * timings["silkmoth-syntactic"]

@@ -1,0 +1,31 @@
+"""Table I — characteristics of datasets.
+
+Regenerates the dataset-shape table for the four synthetic profiles and
+prints the paper's values side by side. The generated corpora are scaled
+down (see DESIGN.md), so the *relative* shape must hold: WDC has the most
+sets, DBLP the largest average sets, OpenData/WDC the extreme maxima.
+"""
+
+from repro.experiments import TABLE1_HEADERS, format_table, table1_rows
+
+
+def test_table1_dataset_characteristics(benchmark, stacks, report):
+    datasets = [stacks[name].dataset for name in
+                ("dblp", "opendata", "twitter", "wdc")]
+
+    rows = benchmark(table1_rows, datasets)
+
+    report()
+    report(format_table(
+        TABLE1_HEADERS, rows,
+        title="Table I: characteristics of datasets (generated | paper)",
+        float_digits=1,
+    ))
+
+    by_name = {row[0]: row for row in rows}
+    # Relative shape assertions mirroring the paper's Table I.
+    assert by_name["wdc"][1] == max(row[1] for row in rows)      # most sets
+    assert by_name["dblp"][3] == max(row[3] for row in rows)     # largest avg
+    assert by_name["opendata"][2] >= 5 * by_name["opendata"][3]  # heavy skew
+    for row in rows:
+        assert row[1] > 0 and row[4] > 0

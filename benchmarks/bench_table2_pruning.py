@@ -1,0 +1,70 @@
+"""Table II — average percentage of sets pruned by each filter.
+
+Runs the full Koios configuration over a uniform query benchmark on each
+dataset and attributes every candidate to the filter that resolved it:
+the iUB-Filter (refinement), EM-Early-Terminated, or No-EM (resolved in
+post-processing without a completed matching). Shape expectation from
+the paper: the iUB filter does the bulk of the pruning everywhere except
+on Twitter-like data (small sets, cheap matchings, weak bounds).
+"""
+
+from benchmarks.conftest import DEFAULT_ALPHA, DEFAULT_K
+from repro.experiments import (
+    TABLE2_HEADERS,
+    TABLE2_PAPER,
+    format_table,
+    koios_search_fn,
+    run_benchmark,
+    table2_row,
+)
+
+DATASETS = ["dblp", "opendata", "twitter", "wdc"]
+
+
+def run_one(stack, bench):
+    engine = stack.engine(alpha=DEFAULT_ALPHA)
+    return run_benchmark(
+        koios_search_fn(engine), bench, DEFAULT_K,
+        method="koios", dataset_name=stack.dataset.name,
+    )
+
+
+def test_table2_filter_pruning(benchmark, stacks, uniform_benchmarks, report):
+    rows = []
+    records_by_dataset = {}
+    for name in DATASETS:
+        records = run_one(stacks[name], uniform_benchmarks[name])
+        records_by_dataset[name] = records
+        rows.append(table2_row(name, records))
+
+    # Benchmark one representative query search end to end.
+    stack = stacks["opendata"]
+    engine = stack.engine(alpha=DEFAULT_ALPHA)
+    query = stack.collection[uniform_benchmarks["opendata"].all_query_ids()[0]]
+    benchmark(engine.search, query, DEFAULT_K)
+
+    paper_rows = [
+        [name, *TABLE2_PAPER[name]] for name in DATASETS
+    ]
+    report()
+    report(format_table(
+        TABLE2_HEADERS, rows,
+        title="Table II (measured): avg % of sets pruned per filter",
+        float_digits=1,
+    ))
+    report()
+    report(format_table(
+        TABLE2_HEADERS, paper_rows,
+        title="Table II (paper)",
+        float_digits=1,
+    ))
+
+    by_name = {row[0]: row for row in rows}
+    for name in DATASETS:
+        iub_pct, em_early_pct, no_em_pct = by_name[name][1:]
+        assert 0.0 <= iub_pct <= 100.0
+        assert 0.0 <= em_early_pct <= 100.0
+        assert 0.0 <= no_em_pct <= 100.0
+    # Consistency of attribution on every query.
+    for records in records_by_dataset.values():
+        assert all(r.stats.consistency_ok() for r in records)

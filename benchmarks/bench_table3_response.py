@@ -1,0 +1,75 @@
+"""Table III — average response time and memory, Koios vs Baseline.
+
+The headline claim: Koios is at least several times faster than the
+Baseline on every dataset, with a comparable memory footprint. Absolute
+numbers differ from the paper (pure-Python simulator vs the authors' C++
+on a 64-core box); the speedup column is the reproduced shape.
+"""
+
+from benchmarks.conftest import (
+    BASELINE_TIME_BUDGET,
+    DEFAULT_ALPHA,
+    DEFAULT_K,
+)
+from repro.baselines import ExhaustiveBaseline
+from repro.experiments import (
+    TABLE3_HEADERS,
+    TABLE3_PAPER,
+    format_table,
+    koios_search_fn,
+    run_benchmark,
+    table3_row,
+)
+
+DATASETS = ["dblp", "opendata", "twitter", "wdc"]
+
+
+def test_table3_response_time_and_memory(
+    benchmark, stacks, uniform_benchmarks, report
+):
+    rows = []
+    speedups = {}
+    for name in DATASETS:
+        stack = stacks[name]
+        bench = uniform_benchmarks[name]
+        koios_records = run_benchmark(
+            koios_search_fn(stack.engine(alpha=DEFAULT_ALPHA)),
+            bench, DEFAULT_K, method="koios", dataset_name=name,
+        )
+        baseline = ExhaustiveBaseline(
+            stack.collection, stack.index, stack.sim, alpha=DEFAULT_ALPHA
+        )
+        baseline_records = run_benchmark(
+            koios_search_fn(baseline, time_budget=BASELINE_TIME_BUDGET),
+            bench, DEFAULT_K, method="baseline", dataset_name=name,
+        )
+        row = table3_row(name, koios_records, baseline_records)
+        rows.append(row)
+        speedups[name] = row[-1]
+
+    # Benchmark a representative Koios query (the timed artifact).
+    stack = stacks["dblp"]
+    engine = stack.engine(alpha=DEFAULT_ALPHA)
+    query = stack.collection[uniform_benchmarks["dblp"].all_query_ids()[0]]
+    benchmark(engine.search, query, DEFAULT_K)
+
+    paper_rows = [
+        [name, *TABLE3_PAPER[name], TABLE3_PAPER[name][4] / TABLE3_PAPER[name][2]]
+        for name in DATASETS
+    ]
+    report()
+    report(format_table(
+        TABLE3_HEADERS, rows,
+        title="Table III (measured): avg response time and memory",
+    ))
+    report()
+    report(format_table(
+        TABLE3_HEADERS, paper_rows,
+        title="Table III (paper; speedup derived)",
+    ))
+
+    # Shape: Koios beats the baseline on every dataset.
+    for name in DATASETS:
+        assert speedups[name] > 1.0, (name, speedups[name])
+    # Paper: "at least 5x speedup over the baseline across all datasets".
+    assert max(speedups.values()) >= 5.0

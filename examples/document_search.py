@@ -1,0 +1,68 @@
+"""Document search over a DBLP-like corpus of word sets.
+
+Reproduces the paper's DBLP scenario at example scale: each "document"
+is the set of words in a title+abstract; a query document should retrieve
+semantically related documents even when they share few exact words.
+Compares the semantic top-k with vanilla-overlap search to show what
+exact matching alone misses (the paper's Fig. 8 phenomenon).
+
+Run:  python examples/document_search.py
+"""
+
+from repro import KoiosSearchEngine, SetCollection, vanilla_overlap
+from repro.baselines import VanillaOverlapSearch
+from repro.datasets import DBLP_TINY, generate_dataset
+from repro.experiments import build_stack
+
+
+def main() -> None:
+    dataset = generate_dataset(DBLP_TINY, seed=42)
+    stack = build_stack(dataset)
+    engine = stack.engine(alpha=0.8)
+    vanilla = VanillaOverlapSearch(dataset.collection)
+
+    # Pick the first query whose semantic and vanilla top-5 differ —
+    # i.e. one whose words have planted synonym/typo siblings elsewhere.
+    query_id = next(
+        qid
+        for qid in dataset.collection.ids()
+        if set(engine.search(dataset.collection[qid], k=5).ids())
+        != set(vanilla.search(dataset.collection[qid], k=5).ids())
+    )
+    query = dataset.collection[query_id]
+    print(
+        f"corpus: {len(dataset.collection)} documents, "
+        f"query = document {query_id} ({len(query)} words)\n"
+    )
+
+    semantic_result = engine.search(query, k=5)
+    vanilla_result = vanilla.search(query, k=5)
+
+    print("semantic top-5:")
+    for entry in semantic_result.entries:
+        exact_words = vanilla_overlap(query, dataset.collection[entry.set_id])
+        print(
+            f"  doc {entry.set_id:>4}  SO = {entry.score:6.2f}"
+            f"  exact-word overlap = {exact_words}"
+        )
+
+    print("\nvanilla top-5:")
+    for entry in vanilla_result.entries:
+        print(f"  doc {entry.set_id:>4}  |Q ∩ C| = {entry.score:.0f}")
+
+    semantic_ids = set(semantic_result.ids())
+    vanilla_ids = set(vanilla_result.ids())
+    only_semantic = semantic_ids - vanilla_ids
+    print(
+        f"\nresult overlap: {len(semantic_ids & vanilla_ids)}/5; "
+        f"documents only semantic search finds: {sorted(only_semantic)}"
+    )
+    if only_semantic:
+        print(
+            "those documents share planted synonym/typo tokens with the "
+            "query that exact matching cannot see."
+        )
+
+
+if __name__ == "__main__":
+    main()

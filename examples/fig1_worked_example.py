@@ -1,0 +1,81 @@
+"""The paper's Fig. 1 worked example, reproduced number by number.
+
+Prints vanilla, fuzzy (Jaccard of 3-grams), and semantic overlaps of the
+query against C1 and C2, plus the greedy-matching scores, and shows that
+only exact semantic overlap ranks C2 first.
+
+Run:  python examples/fig1_worked_example.py
+"""
+
+from repro import (
+    CallableSimilarity,
+    PinnedSimilarityModel,
+    QGramJaccardSimilarity,
+    greedy_semantic_overlap,
+    semantic_overlap,
+    vanilla_overlap,
+)
+
+QUERY = {"LA", "Seattle", "Columbia", "Blaine", "BigApple", "Charleston"}
+C1 = {"LA", "Blain", "Appleton", "MtPleasant", "Lexington", "WestCoast"}
+C2 = {"LA", "Sacramento", "Southern", "Blain", "SC", "Minnesota", "NewYorkCity"}
+
+# Semantic element similarities consistent with every number in Fig. 1.
+SEMANTIC_SIMS = {
+    ("Blaine", "Blain"): 0.99,
+    ("Seattle", "WestCoast"): 0.70,
+    ("Columbia", "Lexington"): 0.70,
+    ("Charleston", "MtPleasant"): 0.70,
+    ("BigApple", "Appleton"): 0.33,
+    ("BigApple", "NewYorkCity"): 0.90,
+    ("Charleston", "SC"): 0.85,
+    ("Columbia", "SC"): 0.80,
+    ("Charleston", "Southern"): 0.80,
+    ("LA", "Sacramento"): 0.75,
+    ("Blaine", "Minnesota"): 0.70,
+    ("Columbia", "Minnesota"): 0.50,
+}
+ALPHA = 0.7
+
+
+def main() -> None:
+    fuzzy = QGramJaccardSimilarity(q=3)
+    semantic = CallableSimilarity(PinnedSimilarityModel(SEMANTIC_SIMS))
+
+    print("Q  =", sorted(QUERY))
+    print("C1 =", sorted(C1))
+    print("C2 =", sorted(C2))
+    print()
+
+    rows = []
+    for name, candidate in (("C1", C1), ("C2", C2)):
+        rows.append(
+            (
+                name,
+                vanilla_overlap(QUERY, candidate),
+                semantic_overlap(QUERY, candidate, fuzzy, alpha=0.3),
+                semantic_overlap(QUERY, candidate, semantic, alpha=ALPHA),
+                greedy_semantic_overlap(QUERY, candidate, semantic, ALPHA),
+            )
+        )
+
+    header = f"{'set':<4} {'vanilla':>8} {'fuzzy':>8} {'semantic':>9} {'greedy':>8}"
+    print(header)
+    print("-" * len(header))
+    for name, vanilla, fuzz, sem, greedy in rows:
+        print(f"{name:<4} {vanilla:>8} {fuzz:>8.2f} {sem:>9.2f} {greedy:>8.2f}")
+
+    def top1(scores):
+        return max(scores, key=scores.get)
+
+    print()
+    print("top-1 by fuzzy overlap   :", top1({n: r for n, _, r, _, _ in rows}))
+    print("top-1 by greedy matching :", top1({n: r for n, _, _, _, r in rows}))
+    print("top-1 by semantic overlap:", top1({n: r for n, _, _, r, _ in rows}))
+    print()
+    print("Only exact semantic overlap ranks C2 (the truly closer set) first,")
+    print("matching the paper's Example 2.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+"""Koios: top-k semantic overlap set search — ICDE 2023 reproduction.
+
+The public API mirrors how a downstream user consumes the system:
+
+>>> from repro import (
+...     HashingEmbeddingProvider, VectorStore, ExactCosineIndex,
+...     CosineSimilarity, SetCollection, KoiosSearchEngine,
+... )
+>>> collection = SetCollection([{"LA", "NYC"}, {"LA", "Boston"}])
+>>> provider = HashingEmbeddingProvider(dim=32)
+>>> store = VectorStore(provider, collection.vocabulary)
+>>> index = ExactCosineIndex(store, provider)
+>>> engine = KoiosSearchEngine(
+...     collection, index, CosineSimilarity(provider), alpha=0.8)
+>>> result = engine.search({"LA", "NYC"}, k=1)
+>>> result.entries[0].set_id
+0
+"""
+
+from repro.core import (
+    FilterConfig,
+    KoiosSearchEngine,
+    ManyToOneSearchEngine,
+    ResultEntry,
+    SearchResult,
+    SearchStats,
+    greedy_semantic_overlap,
+    matching_pairs,
+    semantic_overlap,
+    semantic_overlap_many_to_one,
+    vanilla_overlap,
+)
+from repro.datasets.collection import CollectionStats, SetCollection
+from repro.embedding import (
+    HashingEmbeddingProvider,
+    PinnedSimilarityModel,
+    SyntheticEmbeddingModel,
+    VectorStore,
+)
+from repro.errors import (
+    EmptyQueryError,
+    InvalidParameterError,
+    MatchingError,
+    ReproError,
+    SearchTimeout,
+    VocabularyError,
+)
+from repro.index import (
+    ExactCosineIndex,
+    ExactJaccardIndex,
+    InvertedIndex,
+    IVFCosineIndex,
+    MinHashLSHIndex,
+    PrefixJaccardIndex,
+    ScanTokenIndex,
+    TokenIndex,
+    TokenStream,
+)
+from repro.sim import (
+    CallableSimilarity,
+    CosineSimilarity,
+    EditSimilarity,
+    QGramJaccardSimilarity,
+    SimilarityFunction,
+    WordJaccardSimilarity,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CallableSimilarity",
+    "CollectionStats",
+    "CosineSimilarity",
+    "EditSimilarity",
+    "EmptyQueryError",
+    "ExactCosineIndex",
+    "ExactJaccardIndex",
+    "FilterConfig",
+    "HashingEmbeddingProvider",
+    "IVFCosineIndex",
+    "InvalidParameterError",
+    "InvertedIndex",
+    "KoiosSearchEngine",
+    "ManyToOneSearchEngine",
+    "MatchingError",
+    "MinHashLSHIndex",
+    "PinnedSimilarityModel",
+    "PrefixJaccardIndex",
+    "QGramJaccardSimilarity",
+    "ReproError",
+    "ResultEntry",
+    "SearchResult",
+    "ScanTokenIndex",
+    "SearchStats",
+    "SearchTimeout",
+    "SetCollection",
+    "SimilarityFunction",
+    "SyntheticEmbeddingModel",
+    "TokenIndex",
+    "TokenStream",
+    "VectorStore",
+    "VocabularyError",
+    "WordJaccardSimilarity",
+    "greedy_semantic_overlap",
+    "matching_pairs",
+    "semantic_overlap",
+    "semantic_overlap_many_to_one",
+    "vanilla_overlap",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Comparators: the paper's Baseline/Baseline+, a brute-force oracle,
+vanilla-overlap search, greedy-matching search, and SilkMoth."""
+
+from repro.baselines.exhaustive import BruteForceSearcher, ExhaustiveBaseline
+from repro.baselines.greedy_topk import GreedyTopKSearch
+from repro.baselines.silkmoth import (
+    SEMANTIC,
+    SYNTACTIC,
+    SilkMothSearch,
+    SilkMothStats,
+)
+from repro.baselines.vanilla import VanillaOverlapSearch
+
+__all__ = [
+    "BruteForceSearcher",
+    "ExhaustiveBaseline",
+    "GreedyTopKSearch",
+    "SEMANTIC",
+    "SYNTACTIC",
+    "SilkMothSearch",
+    "SilkMothStats",
+    "VanillaOverlapSearch",
+]

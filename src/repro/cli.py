@@ -1,0 +1,173 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands cover the downstream workflow end to end:
+
+* ``generate`` — synthesize a Table-I-shaped corpus to a JSON collection;
+* ``search`` — top-k semantic overlap search over a JSON/CSV collection
+  (hashing embeddings + exact cosine index by default, q-gram Jaccard
+  with ``--jaccard``);
+* ``stats`` — shape statistics of a collection (the Table I columns).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.core.config import FilterConfig
+from repro.core.koios import KoiosSearchEngine
+from repro.datasets.collection import SetCollection
+from repro.datasets.io import (
+    load_collection_csv,
+    load_collection_json,
+    save_collection_json,
+)
+from repro.datasets.profiles import profile_by_name
+from repro.datasets.synthetic import generate_dataset
+from repro.embedding.hashing import HashingEmbeddingProvider
+from repro.embedding.provider import VectorStore
+from repro.index.lsh import PrefixJaccardIndex
+from repro.index.vector_index import ExactCosineIndex
+from repro.sim.cosine import CosineSimilarity
+from repro.sim.jaccard import QGramJaccardSimilarity
+
+
+def _load_collection(path: str) -> SetCollection:
+    if Path(path).suffix.lower() == ".csv":
+        return load_collection_csv(path)
+    return load_collection_json(path)
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    """``repro generate``: synthesize a profile-shaped corpus to JSON."""
+    profile = profile_by_name(args.profile, scale=args.scale)
+    dataset = generate_dataset(profile, seed=args.seed)
+    save_collection_json(dataset.collection, args.output)
+    stats = dataset.collection.stats()
+    print(
+        f"wrote {stats.num_sets} sets "
+        f"(max {stats.max_size}, avg {stats.avg_size:.1f}, "
+        f"{stats.num_unique_elements} unique tokens) to {args.output}"
+    )
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """``repro stats``: print Table-I shape statistics as JSON."""
+    stats = _load_collection(args.collection).stats()
+    print(json.dumps(
+        {
+            "num_sets": stats.num_sets,
+            "max_size": stats.max_size,
+            "avg_size": round(stats.avg_size, 2),
+            "num_unique_elements": stats.num_unique_elements,
+        },
+        indent=1,
+    ))
+    return 0
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    """``repro search``: top-k semantic overlap search over a collection."""
+    collection = _load_collection(args.collection)
+    query = frozenset(args.token)
+    if args.jaccard:
+        sim = QGramJaccardSimilarity(q=3)
+        index = PrefixJaccardIndex(
+            collection.vocabulary, alpha=args.alpha, similarity=sim
+        )
+    else:
+        provider = HashingEmbeddingProvider(dim=args.dim)
+        store = VectorStore(provider, collection.vocabulary)
+        index = ExactCosineIndex(store, provider)
+        sim = CosineSimilarity(provider)
+    engine = KoiosSearchEngine(
+        collection,
+        index,
+        sim,
+        alpha=args.alpha,
+        num_partitions=args.partitions,
+        config=FilterConfig.koios(iub_mode=args.iub_mode),
+    )
+    result = engine.search(query, k=args.k)
+    for entry in result.entries:
+        print(f"{entry.score:10.4f}  {entry.name}")
+    if args.verbose:
+        stats = result.stats
+        print(
+            f"# candidates={stats.candidates} "
+            f"refinement_pruned={stats.refinement_pruned} "
+            f"no_em={stats.no_em} "
+            f"em_early_terminated={stats.em_early_terminated} "
+            f"em_full={stats.em_full} "
+            f"time={stats.response_seconds:.3f}s",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro`` argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Koios: top-k semantic overlap set search",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="synthesize a Table-I-shaped corpus"
+    )
+    generate.add_argument(
+        "--profile", default="opendata",
+        choices=["dblp", "opendata", "twitter", "wdc"],
+    )
+    generate.add_argument(
+        "--scale", default="small", choices=["tiny", "small", "full"]
+    )
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--output", required=True)
+    generate.set_defaults(func=cmd_generate)
+
+    stats = commands.add_parser(
+        "stats", help="shape statistics of a collection"
+    )
+    stats.add_argument("collection")
+    stats.set_defaults(func=cmd_stats)
+
+    search = commands.add_parser(
+        "search", help="top-k semantic overlap search"
+    )
+    search.add_argument("collection", help="JSON or long-CSV collection")
+    search.add_argument(
+        "token", nargs="+", help="query set elements"
+    )
+    search.add_argument("-k", type=int, default=10)
+    search.add_argument("--alpha", type=float, default=0.8)
+    search.add_argument(
+        "--jaccard", action="store_true",
+        help="q-gram Jaccard similarity instead of hashing embeddings",
+    )
+    search.add_argument(
+        "--dim", type=int, default=64,
+        help="hashing-embedding dimensionality",
+    )
+    search.add_argument("--partitions", type=int, default=1)
+    search.add_argument(
+        "--iub-mode", default="paper", choices=["paper", "safe"]
+    )
+    search.add_argument("--verbose", action="store_true")
+    search.set_defaults(func=cmd_search)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,49 @@
+"""The paper's primary contribution: semantic overlap and the Koios
+filter-verification search framework (refinement, post-processing,
+partitioned facade, filter configuration, and search statistics)."""
+
+from repro.core.bounds import PAPER, SAFE, CandidateState
+from repro.core.buckets import BucketStore
+from repro.core.config import FilterConfig
+from repro.core.koios import KoiosSearchEngine, ResultEntry, SearchResult
+from repro.core.many_to_one import ManyToOneSearchEngine
+from repro.core.postprocessing import VerifiedEntry, postprocess
+from repro.core.refinement import RefinementOutput, refine
+from repro.core.semantic_overlap import (
+    greedy_semantic_overlap,
+    matching_pairs,
+    semantic_overlap,
+    semantic_overlap_many_to_one,
+    semantic_overlap_matching,
+    vanilla_overlap,
+)
+from repro.core.stats import POSTPROCESSING, REFINEMENT, SearchStats
+from repro.core.topk import GlobalThreshold, ThetaLB, TopKList
+
+__all__ = [
+    "PAPER",
+    "SAFE",
+    "BucketStore",
+    "CandidateState",
+    "FilterConfig",
+    "GlobalThreshold",
+    "KoiosSearchEngine",
+    "ManyToOneSearchEngine",
+    "POSTPROCESSING",
+    "REFINEMENT",
+    "RefinementOutput",
+    "ResultEntry",
+    "SearchResult",
+    "SearchStats",
+    "ThetaLB",
+    "TopKList",
+    "VerifiedEntry",
+    "greedy_semantic_overlap",
+    "matching_pairs",
+    "postprocess",
+    "refine",
+    "semantic_overlap",
+    "semantic_overlap_many_to_one",
+    "semantic_overlap_matching",
+    "vanilla_overlap",
+]

@@ -1,0 +1,98 @@
+"""The iUB bucket structure (§V).
+
+Naively, every stream tuple would update the upper bound of every
+candidate. Koios instead groups candidates into buckets keyed by their
+number of unfilled matching slots ``m``; within a bucket, candidates are
+ordered by ascending matched score ``S_i``. When a tuple with similarity
+``s`` arrives, a candidate in bucket ``m`` is prunable iff
+``S_i + m * s < theta_lb``  ⇔  ``S_i < theta_lb - m * s`` — a single
+threshold per bucket, so each bucket is swept from its front and the scan
+stops at the first survivor. Only candidates that actually contain the
+streamed token move buckets (``m`` drops by one).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Callable
+
+from repro.errors import InvalidParameterError
+
+
+class BucketStore:
+    """Candidates bucketed by remaining slots, sorted by matched score."""
+
+    def __init__(self) -> None:
+        # m -> ascending list of (S_i, set_id)
+        self._buckets: dict[int, list[tuple[float, int]]] = {}
+        # set_id -> (m, S_i) locator for O(log) removal
+        self._locator: dict[int, tuple[int, float]] = {}
+
+    def __len__(self) -> int:
+        return len(self._locator)
+
+    def __contains__(self, set_id: int) -> bool:
+        return set_id in self._locator
+
+    def bucket_keys(self) -> list[int]:
+        return sorted(self._buckets)
+
+    def insert(self, set_id: int, m_remaining: int, matched_score: float) -> None:
+        if set_id in self._locator:
+            raise InvalidParameterError(f"set {set_id} already bucketed")
+        entry = (matched_score, set_id)
+        bucket = self._buckets.setdefault(m_remaining, [])
+        bisect.insort(bucket, entry)
+        self._locator[set_id] = (m_remaining, matched_score)
+
+    def remove(self, set_id: int) -> None:
+        m_remaining, matched_score = self._locator.pop(set_id)
+        bucket = self._buckets[m_remaining]
+        index = bisect.bisect_left(bucket, (matched_score, set_id))
+        # bisect lands on the exact entry because (score, id) is unique.
+        del bucket[index]
+        if not bucket:
+            del self._buckets[m_remaining]
+
+    def move(self, set_id: int, m_remaining: int, matched_score: float) -> None:
+        """Relocate a candidate after its matching was extended."""
+        self.remove(set_id)
+        self.insert(set_id, m_remaining, matched_score)
+
+    def sweep(
+        self,
+        stream_similarity: float,
+        theta_lb: float,
+        *,
+        keep: Callable[[int], bool] | None = None,
+    ) -> list[int]:
+        """Prune every candidate with ``S_i + m * s < theta_lb``.
+
+        Scans each bucket from its ascending front and stops at the first
+        survivor, exactly as in the paper. ``keep`` is a veto hook used by
+        safe mode: a candidate whose paper bound is prunable but whose
+        sound bound is not stays in the bucket (re-examined on later
+        sweeps). Returns the pruned set ids, already removed.
+        """
+        if theta_lb <= 0.0:
+            return []
+        pruned: list[int] = []
+        for m_remaining in list(self._buckets):
+            threshold = theta_lb - m_remaining * stream_similarity
+            bucket = self._buckets.get(m_remaining)
+            if bucket is None:
+                continue
+            index = 0
+            while index < len(bucket):
+                matched_score, set_id = bucket[index]
+                if matched_score >= threshold:
+                    break  # ascending order: the rest survive too
+                if keep is not None and keep(set_id):
+                    index += 1  # vetoed; leave in place, keep scanning
+                    continue
+                del bucket[index]
+                del self._locator[set_id]
+                pruned.append(set_id)
+            if not bucket:
+                del self._buckets[m_remaining]
+        return pruned

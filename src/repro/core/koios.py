@@ -1,0 +1,337 @@
+"""The Koios search facade.
+
+:class:`KoiosSearchEngine` ties the pieces together exactly as Fig. 2 of
+the paper sketches: the token stream ``Ie`` (backed by a pluggable vector
+or Jaccard index), the inverted index ``Is``, the refinement phase
+(Algorithm 1), the post-processing phase (Algorithm 2), and the optional
+random partitioning with a shared global ``theta_lb`` (§VI).
+
+A search drains the token stream once, replays it per partition, runs
+refinement + post-processing per partition, resolves the exact semantic
+overlap of any set accepted without matching, and merge-sorts the
+per-partition top-k lists into the final result.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.config import FilterConfig
+from repro.core.postprocessing import VerifiedEntry, postprocess
+from repro.core.refinement import refine
+from repro.core.semantic_overlap import semantic_overlap
+from repro.core.stats import POSTPROCESSING, REFINEMENT, SearchStats
+from repro.core.topk import GlobalThreshold, ThetaLB, TopKList
+from repro.datasets.collection import SetCollection
+from repro.errors import (
+    EmptyQueryError,
+    InvalidParameterError,
+    SearchTimeout,
+)
+from repro.index.base import TokenIndex
+from repro.index.inverted import InvertedIndex
+from repro.index.token_stream import MaterializedTokenStream
+from repro.sim.base import SimilarityFunction
+from repro.utils.memory import deep_sizeof
+
+
+@dataclass(frozen=True)
+class ResultEntry:
+    """One set in a top-k result."""
+
+    set_id: int
+    name: str
+    score: float
+    exact: bool
+    lower_bound: float
+    upper_bound: float
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one top-k search.
+
+    ``entries`` are in descending score order (set id breaks ties). When
+    ``timed_out`` is True the search exceeded its time budget and
+    ``entries`` holds whatever had been verified by then — the way the
+    paper reports timed-out queries separately rather than crashing.
+    """
+
+    entries: list[ResultEntry]
+    stats: SearchStats
+    k: int
+    timed_out: bool = False
+    partition_stats: list[SearchStats] = field(default_factory=list)
+
+    def ids(self) -> list[int]:
+        return [entry.set_id for entry in self.entries]
+
+    def scores(self) -> list[float]:
+        return [entry.score for entry in self.entries]
+
+    @property
+    def theta_k(self) -> float:
+        """The k-th (smallest returned) semantic overlap, 0.0 if empty."""
+        if not self.entries:
+            return 0.0
+        return self.entries[-1].score
+
+
+class KoiosSearchEngine:
+    """Top-k semantic overlap search over a :class:`SetCollection`.
+
+    Parameters
+    ----------
+    collection:
+        The repository ``L``.
+    token_index:
+        Any :class:`~repro.index.base.TokenIndex` streaming vocabulary
+        tokens by descending similarity to a probe (exact cosine index,
+        MinHash LSH, ...). Koios is generic over this choice (§IV).
+    sim:
+        The element similarity ``sim`` of Definition 1. It must agree
+        with ``token_index`` (the index streams *this* similarity).
+    alpha:
+        Element similarity threshold in (0, 1].
+    num_partitions:
+        Random partitions processed with a shared ``theta_lb`` (§VI).
+    config:
+        Filter switches; defaults to full Koios.
+    em_workers:
+        Thread-pool width for parallel verification (0/1 = sequential).
+    parallel_partitions:
+        Process partitions concurrently on a thread pool, as the paper
+        does on its 64-core testbed. Results are identical either way;
+        only wall-clock time and the work-saving effect of the shared
+        ``theta_lb`` (fast partitions pruning slow ones early) change.
+    """
+
+    def __init__(
+        self,
+        collection: SetCollection,
+        token_index: TokenIndex,
+        sim: SimilarityFunction,
+        *,
+        alpha: float = 0.8,
+        num_partitions: int = 1,
+        partition_seed: int = 0,
+        config: FilterConfig | None = None,
+        em_workers: int = 0,
+        parallel_partitions: bool = False,
+    ) -> None:
+        if not (0.0 < alpha <= 1.0):
+            raise InvalidParameterError("alpha must be in (0, 1]")
+        if len(collection) == 0:
+            raise InvalidParameterError("cannot search an empty collection")
+        self._collection = collection
+        self._token_index = token_index
+        self._sim = sim
+        self._alpha = alpha
+        self._config = config or FilterConfig.koios()
+        self._em_workers = em_workers
+        self._parallel_partitions = parallel_partitions
+        partitions = collection.partition(num_partitions, seed=partition_seed)
+        self._partitions = [ids for ids in partitions if ids]
+        self._inverted = [
+            InvertedIndex(collection, ids) for ids in self._partitions
+        ]
+        self._index_bytes = deep_sizeof(self._inverted)
+
+    @property
+    def collection(self) -> SetCollection:
+        return self._collection
+
+    @property
+    def alpha(self) -> float:
+        return self._alpha
+
+    @property
+    def config(self) -> FilterConfig:
+        return self._config
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self._partitions)
+
+    def search(
+        self,
+        query: Iterable[str],
+        k: int = 10,
+        *,
+        resolve_scores: bool = True,
+        time_budget: float | None = None,
+    ) -> SearchResult:
+        """Find the top-k sets by semantic overlap with ``query``.
+
+        Parameters
+        ----------
+        query:
+            The query set ``Q`` (duplicates collapse).
+        k:
+            Result size.
+        resolve_scores:
+            Sets accepted by the No-EM filter carry only score bounds;
+            when True (default) their exact overlap is computed at the
+            end so the merged ranking is by true score. False keeps the
+            paper's lazy behaviour and reports certified lower bounds.
+        time_budget:
+            Wall-clock budget in seconds; on expiry a partial result
+            flagged ``timed_out`` is returned.
+        """
+        query_set = frozenset(query)
+        if not query_set:
+            raise EmptyQueryError("query set is empty")
+        if k < 1:
+            raise InvalidParameterError("k must be >= 1")
+
+        stats = SearchStats()
+        deadline = (
+            time.perf_counter() + time_budget
+            if time_budget is not None
+            else None
+        )
+        with stats.timer.phase(REFINEMENT):
+            stream = MaterializedTokenStream.drain(
+                query_set,
+                self._token_index,
+                self._alpha,
+                collection_vocabulary=self._collection.vocabulary,
+            )
+        stats.memory.record("inverted_index", self._index_bytes)
+        stats.memory.measure("token_stream", stream)
+
+        shared = GlobalThreshold()
+        sim_cache: dict[tuple[str, str], float] = {}
+        verified: list[VerifiedEntry] = []
+        timed_out = False
+        partition_stats = [SearchStats() for _ in self._inverted]
+
+        def run_partition(position: int) -> list[VerifiedEntry]:
+            return self._search_partition(
+                query_set,
+                k,
+                stream,
+                self._inverted[position],
+                shared,
+                sim_cache,
+                partition_stats[position],
+                deadline,
+            )
+
+        try:
+            if self._parallel_partitions and len(self._inverted) > 1:
+                with ThreadPoolExecutor(
+                    max_workers=len(self._inverted)
+                ) as pool:
+                    for entries in pool.map(
+                        run_partition, range(len(self._inverted))
+                    ):
+                        verified.extend(entries)
+            else:
+                for position in range(len(self._inverted)):
+                    verified.extend(run_partition(position))
+        except SearchTimeout:
+            timed_out = True
+        for part_stats in partition_stats:
+            stats.merge(part_stats)
+
+        entries = self._rank(
+            query_set, verified, k, resolve_scores and not timed_out, stats
+        )
+        return SearchResult(
+            entries=entries,
+            stats=stats,
+            k=k,
+            timed_out=timed_out,
+            partition_stats=partition_stats,
+        )
+
+    # -- internals --------------------------------------------------------
+
+    def _search_partition(
+        self,
+        query: frozenset[str],
+        k: int,
+        stream: MaterializedTokenStream,
+        inverted: InvertedIndex,
+        shared: GlobalThreshold,
+        sim_cache: dict[tuple[str, str], float],
+        stats: SearchStats,
+        deadline: float | None,
+    ) -> list[VerifiedEntry]:
+        """Refinement + post-processing of one partition."""
+        llb = TopKList(k)
+        theta = ThetaLB(llb, shared)
+        with stats.timer.phase(REFINEMENT):
+            output = refine(
+                query,
+                stream,
+                inverted,
+                self._collection,
+                theta,
+                stats,
+                self._config,
+                sim_cache=sim_cache,
+                deadline=deadline,
+            )
+        stats.memory.measure("topk_lb_list", llb)
+        with stats.timer.phase(POSTPROCESSING):
+            entries = postprocess(
+                query,
+                self._collection,
+                output.survivors,
+                self._sim,
+                self._alpha,
+                k,
+                theta,
+                stats,
+                self._config,
+                sim_cache=output.sim_cache,
+                em_workers=self._em_workers,
+                deadline=deadline,
+            )
+        return entries
+
+    def _rank(
+        self,
+        query: frozenset[str],
+        verified: list[VerifiedEntry],
+        k: int,
+        resolve: bool,
+        stats: SearchStats,
+    ) -> list[ResultEntry]:
+        """Merge per-partition lists, optionally resolving inexact scores."""
+        resolved: list[VerifiedEntry] = []
+        with stats.timer.phase(POSTPROCESSING):
+            for entry in verified:
+                if resolve and not entry.exact:
+                    score = semantic_overlap(
+                        query,
+                        self._collection[entry.set_id],
+                        self._sim,
+                        self._alpha,
+                    )
+                    stats.resolution_em += 1
+                    entry = VerifiedEntry(
+                        set_id=entry.set_id,
+                        score=score,
+                        exact=True,
+                        lower_bound=score,
+                        upper_bound=score,
+                    )
+                resolved.append(entry)
+        resolved.sort(key=lambda e: (-e.score, e.set_id))
+        return [
+            ResultEntry(
+                set_id=e.set_id,
+                name=self._collection.name_of(e.set_id),
+                score=e.score,
+                exact=e.exact,
+                lower_bound=e.lower_bound,
+                upper_bound=e.upper_bound,
+            )
+            for e in resolved[:k]
+        ]

@@ -1,0 +1,99 @@
+"""Instrumentation for a single Koios search.
+
+Every counter here backs a column of the paper's evaluation: candidate
+counts and filter attribution (Tables II, IV, V), phase timings
+(Fig. 5b/5c, 6b/6c), and memory footprints (Table III, Fig. 5d/6d).
+The four resolution counters partition the candidate sets exactly the way
+the paper's per-interval tables do:
+
+``candidates == refinement_pruned + no_em + em_early_terminated + em_full``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.memory import MemoryLedger
+from repro.utils.timer import PhaseTimer
+
+REFINEMENT = "refinement"
+POSTPROCESSING = "postprocessing"
+
+
+@dataclass
+class SearchStats:
+    """Counters, timings, and memory for one query (or one partition)."""
+
+    # -- stream --
+    stream_tuples: int = 0
+    final_stream_similarity: float = 0.0
+
+    # -- refinement --
+    candidates: int = 0
+    pruned_first_sight: int = 0          # UB-Filter at discovery (Lemma 2)
+    pruned_bucket: int = 0               # iUB-Filter bucket sweeps (Lemma 6)
+    bucket_moves: int = 0
+    observed_edges: int = 0
+    discarded_edges: int = 0             # edges to already-matched nodes
+
+    # -- post-processing --
+    no_em_accepted: int = 0              # Lemma 7 acceptances
+    no_em_discarded: int = 0             # UB < theta_lb discards without EM
+    em_early_terminated: int = 0         # Lemma 8 aborts
+    em_full: int = 0                     # completed Hungarian runs
+    em_label_updates: int = 0            # total labeling improvements
+    resolution_em: int = 0               # post-hoc exact scoring of results
+
+    timer: PhaseTimer = field(default_factory=PhaseTimer)
+    memory: MemoryLedger = field(default_factory=MemoryLedger)
+
+    # -- derived ------------------------------------------------------------
+
+    @property
+    def refinement_pruned(self) -> int:
+        """Sets eliminated during refinement (the tables' iUB column)."""
+        return self.pruned_first_sight + self.pruned_bucket
+
+    @property
+    def no_em(self) -> int:
+        """Sets resolved in post-processing without starting a matching."""
+        return self.no_em_accepted + self.no_em_discarded
+
+    @property
+    def postprocessed(self) -> int:
+        """Sets that reached the post-processing phase."""
+        return self.candidates - self.refinement_pruned
+
+    @property
+    def response_seconds(self) -> float:
+        return self.timer.total
+
+    def merge(self, other: "SearchStats") -> None:
+        """Accumulate another partition's stats into this one."""
+        self.stream_tuples += other.stream_tuples
+        self.final_stream_similarity = max(
+            self.final_stream_similarity, other.final_stream_similarity
+        )
+        self.candidates += other.candidates
+        self.pruned_first_sight += other.pruned_first_sight
+        self.pruned_bucket += other.pruned_bucket
+        self.bucket_moves += other.bucket_moves
+        self.observed_edges += other.observed_edges
+        self.discarded_edges += other.discarded_edges
+        self.no_em_accepted += other.no_em_accepted
+        self.no_em_discarded += other.no_em_discarded
+        self.em_early_terminated += other.em_early_terminated
+        self.em_full += other.em_full
+        self.em_label_updates += other.em_label_updates
+        self.resolution_em += other.resolution_em
+        self.timer.merge(other.timer)
+        self.memory.merge(other.memory)
+
+    def consistency_ok(self) -> bool:
+        """The resolution counters must partition the candidates."""
+        return self.candidates == (
+            self.refinement_pruned
+            + self.no_em
+            + self.em_early_terminated
+            + self.em_full
+        )

@@ -1,0 +1,141 @@
+"""Bounded top-k lists and the shared pruning threshold.
+
+``TopKList`` implements the running lists of the paper: ``L_lb`` (top-k
+lower bounds, whose minimum is ``theta_lb``) and ``L_ub`` (top-k upper
+bounds, whose minimum is ``theta_ub``). ``GlobalThreshold`` is the
+max-merged ``theta_lb`` shared by all partitions during scale-out (§VI).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator
+
+from repro.errors import InvalidParameterError
+
+
+class TopKList:
+    """Keeps the k largest ``(set_id, value)`` entries under updates.
+
+    Values only move upward for a given id (bounds tighten monotonically
+    in Koios); offering a smaller value than currently stored is a no-op.
+    ``bottom()`` is 0.0 until the list holds k entries — pruning against
+    an unfilled list must be disabled, and a zero threshold does exactly
+    that (semantic overlaps are non-negative).
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise InvalidParameterError("k must be >= 1")
+        self._k = k
+        self._values: dict[int, float] = {}
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, set_id: int) -> bool:
+        return set_id in self._values
+
+    def value_of(self, set_id: int) -> float:
+        return self._values[set_id]
+
+    def offer(self, set_id: int, value: float) -> bool:
+        """Insert or raise ``set_id``'s value; evict the minimum if the
+        list overflows. Returns True when the list changed."""
+        current = self._values.get(set_id)
+        if current is not None:
+            if value <= current:
+                return False
+            self._values[set_id] = value
+            return True
+        if len(self._values) < self._k:
+            self._values[set_id] = value
+            return True
+        bottom_id, bottom_value = min(
+            self._values.items(), key=lambda item: (item[1], -item[0])
+        )
+        if value <= bottom_value:
+            return False
+        del self._values[bottom_id]
+        self._values[set_id] = value
+        return True
+
+    def remove(self, set_id: int) -> None:
+        """Drop an entry (used when a set in ``L_ub`` is discarded)."""
+        self._values.pop(set_id, None)
+
+    def bottom(self) -> float:
+        """The k-th largest value, or 0.0 while the list is unfilled."""
+        if len(self._values) < self._k:
+            return 0.0
+        return min(self._values.values())
+
+    def items(self) -> Iterator[tuple[int, float]]:
+        """Entries in descending value order (id ascending on ties)."""
+        return iter(
+            sorted(self._values.items(), key=lambda item: (-item[1], item[0]))
+        )
+
+    def ids(self) -> set[int]:
+        return set(self._values)
+
+
+class GlobalThreshold:
+    """A monotonically increasing threshold shared across partitions.
+
+    Each partition pushes its local ``theta_lb``; every reader sees the
+    maximum over all partitions, which the paper uses to let fast
+    partitions prune slow ones. Thread-safe: post-processing verifies
+    matchings from a thread pool.
+    """
+
+    def __init__(self, initial: float = 0.0) -> None:
+        self._value = initial
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def raise_to(self, candidate: float) -> float:
+        """Monotone max-update; returns the post-update value."""
+        with self._lock:
+            if candidate > self._value:
+                self._value = candidate
+            return self._value
+
+
+class ThetaLB:
+    """The effective pruning threshold of one partition run.
+
+    Combines the partition-local ``L_lb`` bottom with the global shared
+    threshold; both only increase, so ``value`` is monotone — the property
+    all pruning lemmas rely on.
+    """
+
+    def __init__(self, llb: TopKList, shared: GlobalThreshold | None = None) -> None:
+        self._llb = llb
+        self._shared = shared
+
+    @property
+    def value(self) -> float:
+        local = self._llb.bottom()
+        if self._shared is None:
+            return local
+        return max(local, self._shared.value)
+
+    def publish(self) -> None:
+        """Push the local bottom into the shared threshold."""
+        if self._shared is not None:
+            self._shared.raise_to(self._llb.bottom())
+
+    def offer(self, set_id: int, lower_bound: float) -> bool:
+        """Offer a lower bound to ``L_lb``; publishes on change."""
+        changed = self._llb.offer(set_id, lower_bound)
+        if changed:
+            self.publish()
+        return changed

@@ -1,0 +1,256 @@
+"""Dataset profiles mirroring Table I of the paper.
+
+A :class:`DatasetProfile` captures the *shape* statistics that drive
+every evaluation phenomenon: number of sets, cardinality distribution
+(average, maximum, skew), vocabulary size, and element-frequency skew
+(which controls posting-list lengths — the paper repeatedly attributes
+WDC's behaviour to its "excessively large posting lists").
+
+``FULL_PROFILES`` records the paper-scale parameters of Table I;
+generating those sizes in pure Python is possible but slow, so the
+benchmark harness uses ``SMALL_PROFILES`` — the same four shapes scaled
+down by roughly an order of magnitude in both set count and cardinality,
+preserving skews and relative orderings. ``scaled`` interpolates any
+other size.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.errors import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class PaperTableRow:
+    """The dataset's row of the paper's Table I (for side-by-side report)."""
+
+    num_sets: int
+    max_size: int
+    avg_size: float
+    num_unique_elements: int
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Generator parameters for one synthetic corpus shape.
+
+    Attributes
+    ----------
+    size_sigma:
+        Shape of the lognormal set-cardinality distribution; OpenData and
+        WDC are highly skewed (the paper benchmarks them by cardinality
+        interval), DBLP and Twitter are not.
+    zipf_exponent:
+        Element-frequency skew; higher values produce the few very
+        frequent elements / huge posting lists characteristic of WDC.
+    cluster_fraction / cluster_size / typo_fraction / oov_fraction:
+        Planted semantic structure (see :mod:`repro.datasets.text`).
+    cluster_similarity:
+        Target expected cosine between planted cluster members.
+    family_fraction / family_keep:
+        Fraction of sets generated as *variants* of an earlier set, and
+        the fraction of a variant's tokens kept from its parent. Real
+        repositories are full of such families (columns shared across
+        tables, related paper abstracts); they are what pushes the top-k
+        scores — and with them ``theta_lb`` and the iUB pruning power —
+        far above the capacity of unrelated candidate sets.
+    common_fraction / common_pool_size:
+        Every set draws ``common_fraction`` of its tokens from a small
+        shared pool — the function words that dominate natural-language
+        sets (DBLP abstracts, tweets) and the repeated categorical
+        values of table columns. The pool gives *every* pair of sets a
+        baseline vanilla overlap proportional to set size, which is what
+        lifts ``theta_lb`` for large queries in the paper's corpora.
+    dim:
+        Embedding dimensionality of the synthetic model.
+    """
+
+    name: str
+    num_sets: int
+    avg_size: float
+    max_size: int
+    min_size: int
+    vocab_size: int
+    size_sigma: float
+    zipf_exponent: float
+    cluster_fraction: float = 0.2
+    cluster_size: int = 4
+    typo_fraction: float = 0.06
+    oov_fraction: float = 0.02
+    cluster_similarity: float = 0.88
+    family_fraction: float = 0.4
+    family_keep: float = 0.65
+    common_fraction: float = 0.3
+    common_pool_size: int = 200
+    dim: int = 32
+    paper_row: PaperTableRow | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_sets < 1:
+            raise InvalidParameterError("num_sets must be >= 1")
+        if not (self.min_size <= self.avg_size <= self.max_size):
+            raise InvalidParameterError(
+                "need min_size <= avg_size <= max_size"
+            )
+        if self.vocab_size < self.max_size:
+            raise InvalidParameterError(
+                "vocab_size must be >= max_size (sets draw without "
+                "replacement)"
+            )
+
+    def scaled(
+        self, sets_scale: float = 1.0, size_scale: float = 1.0
+    ) -> "DatasetProfile":
+        """A copy scaled in set count and/or set cardinality.
+
+        Vocabulary scales with the geometric mean of both factors so
+        posting-list lengths (which grow with ``sets * avg_size / vocab``)
+        keep their relative shape across scales.
+        """
+        if sets_scale <= 0 or size_scale <= 0:
+            raise InvalidParameterError("scales must be positive")
+        vocab_scale = math.sqrt(sets_scale * size_scale)
+        new_avg = max(float(self.min_size), self.avg_size * size_scale)
+        new_max = max(int(math.ceil(new_avg)), int(self.max_size * size_scale))
+        return replace(
+            self,
+            num_sets=max(1, int(self.num_sets * sets_scale)),
+            avg_size=new_avg,
+            max_size=new_max,
+            vocab_size=max(new_max, int(self.vocab_size * vocab_scale)),
+        )
+
+
+#: Paper-scale shapes (Table I). Common-pool settings model the textual
+#: character of each corpus: DBLP abstracts and tweets are dominated by
+#: shared function words (high common fraction), table-derived OpenData
+#: and WDC columns less so, but WDC's few very frequent cell values give
+#: it the longest posting lists (highest zipf exponent).
+DBLP_FULL = DatasetProfile(
+    name="dblp",
+    num_sets=4_246,
+    avg_size=178.7,
+    max_size=514,
+    min_size=20,
+    vocab_size=25_159,
+    size_sigma=0.35,
+    zipf_exponent=0.9,
+    common_fraction=0.5,
+    common_pool_size=150,
+    paper_row=PaperTableRow(4_246, 514, 178.7, 25_159),
+)
+
+OPENDATA_FULL = DatasetProfile(
+    name="opendata",
+    num_sets=15_636,
+    avg_size=86.4,
+    max_size=31_901,
+    min_size=5,
+    vocab_size=179_830,
+    size_sigma=1.15,
+    zipf_exponent=1.05,
+    common_fraction=0.3,
+    common_pool_size=300,
+    paper_row=PaperTableRow(15_636, 31_901, 86.4, 179_830),
+)
+
+TWITTER_FULL = DatasetProfile(
+    name="twitter",
+    num_sets=27_204,
+    avg_size=22.6,
+    max_size=151,
+    min_size=3,
+    vocab_size=72_910,
+    size_sigma=0.45,
+    zipf_exponent=1.0,
+    common_fraction=0.35,
+    common_pool_size=150,
+    paper_row=PaperTableRow(27_204, 151, 22.6, 72_910),
+)
+
+WDC_FULL = DatasetProfile(
+    name="wdc",
+    num_sets=1_014_369,
+    avg_size=30.6,
+    max_size=10_240,
+    min_size=3,
+    vocab_size=328_357,
+    size_sigma=1.0,
+    zipf_exponent=1.35,
+    common_fraction=0.3,
+    common_pool_size=300,
+    paper_row=PaperTableRow(1_014_369, 10_240, 30.6, 328_357),
+)
+
+FULL_PROFILES: dict[str, DatasetProfile] = {
+    profile.name: profile
+    for profile in (DBLP_FULL, OPENDATA_FULL, TWITTER_FULL, WDC_FULL)
+}
+
+#: Laptop-scale shapes used by the test suite and benchmark harness.
+#: Set counts and cardinalities are roughly an order of magnitude below
+#: Table I; skew parameters are untouched, and the maximum cardinalities
+#: are capped so a single Hungarian run stays sub-second in pure Python
+#: while the inter-dataset orderings (DBLP largest sets, WDC most sets
+#: and heaviest posting lists, OpenData/WDC highly size-skewed) survive.
+DBLP_SMALL = replace(
+    DBLP_FULL, num_sets=420, avg_size=40.0, max_size=110, min_size=8,
+    vocab_size=3_700,
+)
+OPENDATA_SMALL = replace(
+    OPENDATA_FULL, num_sets=950, avg_size=13.0, max_size=400, min_size=3,
+    vocab_size=8_000,
+)
+TWITTER_SMALL = replace(
+    TWITTER_FULL, num_sets=1_500, avg_size=11.0, max_size=75, min_size=3,
+    vocab_size=6_000,
+)
+WDC_SMALL = replace(
+    WDC_FULL, num_sets=4_000, avg_size=12.0, max_size=450, min_size=3,
+    vocab_size=7_000,
+)
+
+SMALL_PROFILES: dict[str, DatasetProfile] = {
+    profile.name: profile
+    for profile in (DBLP_SMALL, OPENDATA_SMALL, TWITTER_SMALL, WDC_SMALL)
+}
+
+#: Tiny shapes for fast unit tests.
+DBLP_TINY = replace(
+    DBLP_FULL, num_sets=60, avg_size=14.0, max_size=30, min_size=5,
+    vocab_size=400,
+)
+OPENDATA_TINY = replace(
+    OPENDATA_FULL, num_sets=120, avg_size=8.0, max_size=60, min_size=3,
+    vocab_size=700,
+)
+TWITTER_TINY = replace(
+    TWITTER_FULL, num_sets=150, avg_size=6.0, max_size=20, min_size=3,
+    vocab_size=600,
+)
+WDC_TINY = replace(
+    WDC_FULL, num_sets=200, avg_size=7.0, max_size=60, min_size=3,
+    vocab_size=650,
+)
+
+TINY_PROFILES: dict[str, DatasetProfile] = {
+    profile.name: profile
+    for profile in (DBLP_TINY, OPENDATA_TINY, TWITTER_TINY, WDC_TINY)
+}
+
+
+def profile_by_name(name: str, *, scale: str = "small") -> DatasetProfile:
+    """Look up a profile: ``scale`` is ``full``, ``small``, or ``tiny``."""
+    registry = {
+        "full": FULL_PROFILES,
+        "small": SMALL_PROFILES,
+        "tiny": TINY_PROFILES,
+    }.get(scale)
+    if registry is None:
+        raise InvalidParameterError(f"unknown scale: {scale!r}")
+    try:
+        return registry[name]
+    except KeyError:
+        raise InvalidParameterError(f"unknown profile: {name!r}") from None

@@ -1,0 +1,185 @@
+"""Synthetic token corpus construction.
+
+The paper's corpora are strings from paper titles, tweets, and table
+columns; their three phenomena that matter to Koios are reproduced here
+with known ground truth:
+
+* **synonym clusters** — groups of character-unrelated tokens that are
+  semantically similar (``BigApple`` / ``NewYorkCity``); realized as
+  independently generated random tokens tied together by the planted
+  embedding clusters of :class:`repro.embedding.SyntheticEmbeddingModel`;
+* **typo pairs** — a base token and a one-edit variant (``Blaine`` /
+  ``Blain``); FastText's subword embeddings place such pairs close, so
+  each pair forms its own tight planted cluster;
+* **out-of-vocabulary tokens** — tokens without embeddings, which only
+  ever contribute to overlaps via exact matches (§V).
+"""
+
+from __future__ import annotations
+
+import string
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.utils.rng import make_rng
+
+_ALPHABET = string.ascii_lowercase
+
+
+def random_token(
+    rng: np.random.Generator, *, min_len: int = 4, max_len: int = 10
+) -> str:
+    """A random lowercase token with length in ``[min_len, max_len]``."""
+    length = int(rng.integers(min_len, max_len + 1))
+    letters = rng.integers(0, len(_ALPHABET), size=length)
+    return "".join(_ALPHABET[i] for i in letters)
+
+
+def distinct_tokens(
+    count: int,
+    rng: np.random.Generator,
+    *,
+    min_len: int = 4,
+    max_len: int = 10,
+    taken: set[str] | None = None,
+) -> list[str]:
+    """``count`` unique random tokens, avoiding any in ``taken``."""
+    if count < 0:
+        raise InvalidParameterError("count must be >= 0")
+    seen = set(taken) if taken else set()
+    out: list[str] = []
+    while len(out) < count:
+        token = random_token(rng, min_len=min_len, max_len=max_len)
+        if token in seen:
+            continue
+        seen.add(token)
+        out.append(token)
+    return out
+
+
+def typo_variant(token: str, rng: np.random.Generator) -> str:
+    """One random single-character edit of ``token``.
+
+    Substitution, deletion, or insertion with equal probability; the
+    result always differs from the input.
+    """
+    if not token:
+        raise InvalidParameterError("cannot mutate the empty token")
+    while True:
+        kind = int(rng.integers(0, 3))
+        pos = int(rng.integers(0, len(token)))
+        letter = _ALPHABET[int(rng.integers(0, len(_ALPHABET)))]
+        if kind == 0:  # substitution
+            variant = token[:pos] + letter + token[pos + 1:]
+        elif kind == 1 and len(token) > 1:  # deletion
+            variant = token[:pos] + token[pos + 1:]
+        else:  # insertion
+            variant = token[:pos] + letter + token[pos:]
+        if variant != token:
+            return variant
+
+
+@dataclass
+class VocabularySpec:
+    """A synthesized vocabulary with its planted semantic structure.
+
+    Attributes
+    ----------
+    tokens:
+        Every token, in a deterministic order (cluster members first,
+        then typo pairs, then plain tokens).
+    clusters:
+        ``cluster_name -> member tokens`` — both synonym clusters and
+        typo-pair clusters; feeds directly into
+        :class:`~repro.embedding.SyntheticEmbeddingModel`.
+    oov_tokens:
+        Tokens excluded from the embedding vocabulary.
+    typo_pairs:
+        The ``(base, variant)`` pairs, for quality-experiment ground
+        truth.
+    """
+
+    tokens: list[str] = field(default_factory=list)
+    clusters: dict[str, list[str]] = field(default_factory=dict)
+    oov_tokens: set[str] = field(default_factory=set)
+    typo_pairs: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def clustered_tokens(self) -> set[str]:
+        return {t for members in self.clusters.values() for t in members}
+
+    def related_tokens(self, token: str) -> set[str]:
+        """Tokens planted as semantically related to ``token``."""
+        for members in self.clusters.values():
+            if token in members:
+                return set(members) - {token}
+        return set()
+
+
+def build_vocabulary(
+    *,
+    num_tokens: int,
+    cluster_fraction: float = 0.2,
+    cluster_size: int = 4,
+    typo_fraction: float = 0.05,
+    oov_fraction: float = 0.02,
+    seed: int | np.random.Generator = 0,
+) -> VocabularySpec:
+    """Synthesize a vocabulary of ``num_tokens`` with planted structure.
+
+    ``cluster_fraction`` of tokens land in synonym clusters of
+    ``cluster_size`` members; ``typo_fraction`` of tokens are one-edit
+    variants of other tokens (each pair its own tight cluster);
+    ``oov_fraction`` of the *plain* tokens are marked out-of-vocabulary.
+    """
+    if num_tokens < 1:
+        raise InvalidParameterError("num_tokens must be >= 1")
+    if cluster_size < 2:
+        raise InvalidParameterError("cluster_size must be >= 2")
+    for name, value in (
+        ("cluster_fraction", cluster_fraction),
+        ("typo_fraction", typo_fraction),
+        ("oov_fraction", oov_fraction),
+    ):
+        if not (0.0 <= value <= 1.0):
+            raise InvalidParameterError(f"{name} must be in [0, 1]")
+    if cluster_fraction + typo_fraction > 1.0:
+        raise InvalidParameterError(
+            "cluster_fraction + typo_fraction must not exceed 1"
+        )
+
+    rng = make_rng(seed)
+    spec = VocabularySpec()
+    taken: set[str] = set()
+
+    num_clustered = int(num_tokens * cluster_fraction)
+    num_clusters = num_clustered // cluster_size
+    for index in range(num_clusters):
+        members = distinct_tokens(cluster_size, rng, taken=taken)
+        taken.update(members)
+        spec.clusters[f"syn_{index}"] = members
+        spec.tokens.extend(members)
+
+    num_typo_pairs = int(num_tokens * typo_fraction) // 2
+    for index in range(num_typo_pairs):
+        (base,) = distinct_tokens(1, rng, taken=taken)
+        taken.add(base)
+        variant = typo_variant(base, rng)
+        while variant in taken:
+            variant = typo_variant(base, rng)
+        taken.add(variant)
+        spec.typo_pairs.append((base, variant))
+        spec.clusters[f"typo_{index}"] = [base, variant]
+        spec.tokens.extend((base, variant))
+
+    remaining = num_tokens - len(spec.tokens)
+    plain = distinct_tokens(max(0, remaining), rng, taken=taken)
+    spec.tokens.extend(plain)
+
+    num_oov = int(len(plain) * oov_fraction)
+    if num_oov:
+        picks = rng.choice(len(plain), size=num_oov, replace=False)
+        spec.oov_tokens = {plain[int(i)] for i in picks}
+    return spec

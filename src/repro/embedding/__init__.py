@@ -1,0 +1,16 @@
+"""Embedding substrate: FastText-style hashing embeddings, planted-cluster
+synthetic embeddings, and the vector store consumed by the index."""
+
+from repro.embedding.hashing import HashingEmbeddingProvider, char_ngrams
+from repro.embedding.provider import EmbeddingProvider, VectorStore, normalize
+from repro.embedding.synthetic import PinnedSimilarityModel, SyntheticEmbeddingModel
+
+__all__ = [
+    "EmbeddingProvider",
+    "HashingEmbeddingProvider",
+    "PinnedSimilarityModel",
+    "SyntheticEmbeddingModel",
+    "VectorStore",
+    "char_ngrams",
+    "normalize",
+]

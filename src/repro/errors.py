@@ -1,0 +1,27 @@
+"""Exception hierarchy for the Koios reproduction library."""
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class EmptyQueryError(ReproError):
+    """Raised when a search is issued with an empty query set."""
+
+
+class InvalidParameterError(ReproError):
+    """Raised when a search or index parameter is out of its valid range."""
+
+
+class VocabularyError(ReproError):
+    """Raised when an embedding or index is probed with an unknown token
+    in a context that requires vocabulary membership."""
+
+
+class MatchingError(ReproError):
+    """Raised when bipartite matching receives an ill-formed input."""
+
+
+class SearchTimeout(ReproError):
+    """Raised internally when a search exceeds its time budget; callers
+    receive a partial result flagged ``timed_out`` instead."""

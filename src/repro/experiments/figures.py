@@ -1,0 +1,198 @@
+"""Series builders for the paper's Figures 5-8.
+
+A figure series is a list of ``(x, y)`` points; the bench files print
+them with :mod:`repro.experiments.report`. Figures 5 and 6 share one
+builder (same panels, different dataset); Figure 7 sweeps the three
+search parameters; Figure 8 compares semantic and vanilla result quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.baselines.vanilla import VanillaOverlapSearch
+from repro.core.koios import SearchResult
+from repro.core.semantic_overlap import vanilla_overlap
+from repro.datasets.benchmarks import QueryBenchmark
+from repro.experiments.harness import (
+    QueryRecord,
+    SearchFn,
+    by_group,
+    groups_in_order,
+    mean,
+    successful,
+    summarize,
+)
+
+Series = list[tuple[Any, float]]
+
+
+@dataclass
+class ResponseTimePanels:
+    """Fig. 5a-d / 6a-d: response time, phase shares, memory, timeouts."""
+
+    response: dict[str, Series]
+    refinement_share: Series
+    postproc_share: Series
+    memory: dict[str, Series]
+    timeouts: dict[str, Series]
+
+
+def response_time_panels(
+    records_by_method: dict[str, Sequence[QueryRecord]],
+    *,
+    phase_method: str = "koios",
+) -> ResponseTimePanels:
+    """Build the four panels from per-method harness records."""
+    response: dict[str, Series] = {}
+    memory: dict[str, Series] = {}
+    timeouts: dict[str, Series] = {}
+    for method, records in records_by_method.items():
+        summaries = summarize(records)
+        response[method] = [(s.group, s.mean_seconds) for s in summaries]
+        memory[method] = [(s.group, s.mean_memory_mb) for s in summaries]
+        timeouts[method] = [(s.group, float(s.timeouts)) for s in summaries]
+    phase_summaries = summarize(records_by_method[phase_method])
+    refinement_share = [
+        (s.group, s.refinement_share) for s in phase_summaries
+    ]
+    postproc_share = [
+        (s.group, 1.0 - s.refinement_share) for s in phase_summaries
+    ]
+    return ResponseTimePanels(
+        response=response,
+        refinement_share=refinement_share,
+        postproc_share=postproc_share,
+        memory=memory,
+        timeouts=timeouts,
+    )
+
+
+@dataclass
+class ParameterSweep:
+    """One panel of Fig. 7: metric vs a parameter value."""
+
+    parameter: str
+    response: Series
+    refinement_share: Series
+    memory: Series
+
+
+def parameter_sweep(
+    parameter: str,
+    values: Sequence[Any],
+    make_search_fn: Callable[[Any], SearchFn],
+    benchmark: QueryBenchmark,
+    k_for: Callable[[Any], int],
+) -> ParameterSweep:
+    """Fig. 7: run the benchmark once per parameter value.
+
+    ``make_search_fn`` builds the searcher for a value (e.g. an engine
+    with that partition count); ``k_for`` supplies k (itself the swept
+    parameter in Fig. 7c).
+    """
+    from repro.experiments.harness import run_benchmark
+
+    response: Series = []
+    refinement_share: Series = []
+    memory: Series = []
+    for value in values:
+        records = run_benchmark(
+            make_search_fn(value),
+            benchmark,
+            k_for(value),
+            method=f"{parameter}={value}",
+            dataset_name="sweep",
+        )
+        done = successful(records)
+        total_ref = mean(r.refinement_seconds for r in done)
+        total_post = mean(r.postproc_seconds for r in done)
+        share = (
+            total_ref / (total_ref + total_post)
+            if (total_ref + total_post) > 0
+            else 0.0
+        )
+        response.append((value, mean(r.seconds for r in done)))
+        refinement_share.append((value, share))
+        memory.append((value, mean(r.memory_mb for r in done)))
+    return ParameterSweep(
+        parameter=parameter,
+        response=response,
+        refinement_share=refinement_share,
+        memory=memory,
+    )
+
+
+@dataclass
+class QualityComparison:
+    """Fig. 8: vanilla vs semantic top-k quality, per query group.
+
+    For the k-th set of each list we record both its syntactic (vanilla
+    overlap) and semantic score, plus the normalized intersection of the
+    two result-id lists — the fraction of semantic results that vanilla
+    search also finds.
+    """
+
+    kth_vanilla_of_vanilla: Series
+    kth_vanilla_of_semantic: Series
+    kth_semantic_of_semantic: Series
+    kth_semantic_of_vanilla: Series
+    intersection_fraction: Series
+
+
+def quality_comparison(
+    semantic_search: SearchFn,
+    semantic_score: Callable[[frozenset, int], float],
+    vanilla: VanillaOverlapSearch,
+    benchmark: QueryBenchmark,
+    k: int,
+) -> QualityComparison:
+    """Run both searches over the benchmark and compare k-th entries."""
+    collection = vanilla.collection
+    rows: dict[str, dict[str, list[float]]] = {}
+    for group_label, _, tokens in benchmark:
+        semantic_result: SearchResult = semantic_search(tokens, k)
+        vanilla_result = vanilla.search(tokens, k)
+        if not semantic_result.entries or not vanilla_result.entries:
+            continue
+        sem_kth = semantic_result.entries[-1]
+        van_kth = vanilla_result.entries[-1]
+        bucket = rows.setdefault(
+            group_label,
+            {
+                "vv": [],
+                "vs": [],
+                "ss": [],
+                "sv": [],
+                "inter": [],
+            },
+        )
+        bucket["vv"].append(float(van_kth.score))
+        bucket["vs"].append(
+            float(vanilla_overlap(tokens, collection[sem_kth.set_id]))
+        )
+        bucket["ss"].append(float(sem_kth.score))
+        bucket["sv"].append(semantic_score(tokens, van_kth.set_id))
+        shared = set(semantic_result.ids()) & set(vanilla_result.ids())
+        bucket["inter"].append(len(shared) / max(1, len(semantic_result.ids())))
+
+    ordered = list(rows)
+    return QualityComparison(
+        kth_vanilla_of_vanilla=[(g, mean(rows[g]["vv"])) for g in ordered],
+        kth_vanilla_of_semantic=[(g, mean(rows[g]["vs"])) for g in ordered],
+        kth_semantic_of_semantic=[(g, mean(rows[g]["ss"])) for g in ordered],
+        kth_semantic_of_vanilla=[(g, mean(rows[g]["sv"])) for g in ordered],
+        intersection_fraction=[(g, mean(rows[g]["inter"])) for g in ordered],
+    )
+
+
+def timeouts_per_group(
+    records: Sequence[QueryRecord],
+) -> Series:
+    """Timeout counts per group (annotations of Fig. 5a / 6a)."""
+    grouped = by_group(records)
+    return [
+        (group, float(sum(1 for r in grouped[group] if r.timed_out)))
+        for group in groups_in_order(records)
+    ]

@@ -1,0 +1,80 @@
+"""ASCII reporting of tables and series.
+
+The benchmark harness prints the same rows the paper's tables report and
+the same series its figures plot; this module renders them readably in a
+terminal and in the captured pytest output stored in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def _format_cell(value: Any, float_digits: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.{float_digits}f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: str | None = None,
+    float_digits: int = 3,
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[_format_cell(v, float_digits) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(
+            " | ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: str | None = None,
+    float_digits: int = 3,
+) -> None:
+    """Print :func:`format_table` output preceded by a blank line."""
+    print()
+    print(format_table(headers, rows, title=title, float_digits=float_digits))
+
+
+def format_series(
+    name: str, points: Sequence[tuple[Any, Any]], *, float_digits: int = 3
+) -> str:
+    """Render one figure series as ``name: x=y, x=y, ...``."""
+    rendered = ", ".join(
+        f"{_format_cell(x, float_digits)}={_format_cell(y, float_digits)}"
+        for x, y in points
+    )
+    return f"{name}: {rendered}"
+
+
+def print_series(
+    name: str, points: Sequence[tuple[Any, Any]], *, float_digits: int = 3
+) -> None:
+    """Print one :func:`format_series` line."""
+    print(format_series(name, points, float_digits=float_digits))

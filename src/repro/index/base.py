@@ -1,0 +1,28 @@
+"""Protocol for the pluggable per-token similarity index.
+
+Koios is agnostic to the element similarity: any index that can stream
+the vocabulary in descending similarity to a probe token can back the
+token stream ``Ie`` (§IV — "for a given sim, any index that enables
+efficient threshold-based similarity search is suitable", e.g. Faiss for
+cosine or MinHash LSH for Jaccard). This protocol captures that contract.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class TokenIndex(Protocol):
+    """Streams vocabulary tokens by descending similarity to a probe."""
+
+    def stream(self, token: str) -> Iterator[tuple[str, float]]:
+        """Yield ``(vocabulary_token, similarity)`` pairs in non-increasing
+        similarity order. The stream may be infinite in principle; callers
+        stop consuming once similarities drop below their ``alpha``.
+
+        Probing with an out-of-vocabulary token yields an empty stream —
+        the token-stream wrapper layers the paper's "a query token always
+        matches itself" rule on top.
+        """
+        ...

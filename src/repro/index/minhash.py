@@ -1,0 +1,57 @@
+"""MinHash signatures for Jaccard similarity estimation.
+
+The paper notes that when ``sim`` is Jaccard, a MinHash LSH index can
+back the token stream (§IV). Signatures here use k independent universal
+hash functions over stable 64-bit token-feature hashes, so signatures are
+deterministic across processes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.utils.rng import make_rng, stable_hash
+
+_MERSENNE_PRIME = (1 << 61) - 1
+_MAX_HASH = (1 << 32) - 1
+
+
+class MinHasher:
+    """Generates MinHash signatures with ``num_perm`` permutations."""
+
+    def __init__(self, num_perm: int = 128, *, seed: int = 1) -> None:
+        if num_perm < 1:
+            raise InvalidParameterError("num_perm must be >= 1")
+        rng = make_rng(seed)
+        self._a = rng.integers(1, _MERSENNE_PRIME, size=num_perm, dtype=np.uint64)
+        self._b = rng.integers(0, _MERSENNE_PRIME, size=num_perm, dtype=np.uint64)
+        self._num_perm = num_perm
+
+    @property
+    def num_perm(self) -> int:
+        return self._num_perm
+
+    def signature(self, features: Iterable[str]) -> np.ndarray:
+        """MinHash signature of a feature set, shape ``(num_perm,)``.
+
+        Empty feature sets get the all-max signature (similar to nothing).
+        """
+        values = [stable_hash(f, salt="minhash") & _MAX_HASH for f in features]
+        if not values:
+            return np.full(self._num_perm, _MAX_HASH, dtype=np.uint64)
+        hashes = np.asarray(values, dtype=np.uint64)
+        # (a * x + b) mod p, then truncate; vectorized over permutations.
+        products = (
+            np.outer(self._a, hashes) + self._b[:, None]
+        ) % _MERSENNE_PRIME
+        return (products & _MAX_HASH).min(axis=1).astype(np.uint64)
+
+    @staticmethod
+    def estimate_jaccard(sig_a: np.ndarray, sig_b: np.ndarray) -> float:
+        """Unbiased Jaccard estimate: fraction of agreeing components."""
+        if sig_a.shape != sig_b.shape:
+            raise InvalidParameterError("signatures must have equal length")
+        return float(np.mean(sig_a == sig_b))

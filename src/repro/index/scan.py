@@ -1,0 +1,42 @@
+"""A brute-force token index over any similarity function.
+
+Scores the entire vocabulary per probe and yields it in descending
+order — O(|D|) per probe, no preprocessing, works with *any*
+:class:`~repro.sim.base.SimilarityFunction`. The right choice for small
+vocabularies, pinned-similarity experiments, and as a correctness
+reference for the accelerated indexes (exact cosine, prefix-filter
+Jaccard, MinHash LSH), which must produce the same stream above their
+respective thresholds.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.sim.base import SimilarityFunction
+
+
+class ScanTokenIndex:
+    """Exact descending-similarity stream via a full vocabulary scan."""
+
+    def __init__(
+        self, vocabulary: Iterable[str], sim: SimilarityFunction
+    ) -> None:
+        self._tokens = sorted(set(vocabulary))
+        self._sim = sim
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def stream(self, token: str) -> Iterator[tuple[str, float]]:
+        """Yield ``(vocabulary token, similarity)`` in non-increasing
+        order; zero-similarity tokens are suppressed."""
+        scored = [
+            (vocab_token, self._sim.score(token, vocab_token))
+            for vocab_token in self._tokens
+        ]
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        for vocab_token, score in scored:
+            if score <= 0.0:
+                return
+            yield vocab_token, score

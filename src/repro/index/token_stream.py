@@ -1,0 +1,146 @@
+"""The token stream ``Ie`` (§IV).
+
+``Ie`` merges, for every query element ``q``, the index's descending
+similarity stream over the vocabulary ``D`` into one global stream of
+``(q, token, sim)`` tuples in non-increasing ``sim`` order. It is
+realized exactly as in the paper: one shared token index ``I`` plus a
+priority queue ``P`` of size ``|Q|`` holding the next most similar unseen
+token per query element; popping the top refills only the popped query
+element's stream.
+
+Two paper-mandated details:
+
+* the stream stops per query element as soon as similarity falls below
+  ``alpha``;
+* on the very first probe, a query element yields *itself* with
+  similarity 1.0 when it occurs in the collection vocabulary — this is
+  how Koios initializes bounds with the vanilla overlap and how
+  out-of-vocabulary tokens still contribute exact matches (§V).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import AbstractSet, Iterable, Iterator
+
+from repro.errors import EmptyQueryError, InvalidParameterError
+from repro.index.base import TokenIndex
+
+#: One stream element: (query_token, vocabulary_token, similarity).
+StreamTuple = tuple[str, str, float]
+
+
+class TokenStream:
+    """Merged descending-similarity stream over all query elements."""
+
+    def __init__(
+        self,
+        query_tokens: Iterable[str],
+        index: TokenIndex,
+        alpha: float,
+        *,
+        collection_vocabulary: AbstractSet[str] | None = None,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        query_tokens:
+            The query set ``Q`` (duplicates collapse).
+        index:
+            The shared per-token similarity index ``I``.
+        alpha:
+            Element similarity threshold; tuples below it are never
+            emitted.
+        collection_vocabulary:
+            The vocabulary ``D`` of the searched collection. Used for the
+            self-match rule and to drop index results that are not in the
+            collection (relevant when one index serves many partitions).
+        """
+        if not (0.0 < alpha <= 1.0):
+            raise InvalidParameterError("alpha must be in (0, 1]")
+        query = sorted(set(query_tokens))
+        if not query:
+            raise EmptyQueryError("query set is empty")
+        self._alpha = alpha
+        self._vocab = collection_vocabulary
+        self._index = index
+        self._tiebreak = itertools.count()
+        # heap of (-sim, tiebreak, q_token, vocab_token, source_iterator)
+        self._heap: list[tuple[float, int, str, str, Iterator[tuple[str, float]]]] = []
+        self.tuples_emitted = 0
+        for q_token in query:
+            self._refill(q_token, self._per_query_stream(q_token))
+
+    def _per_query_stream(self, q_token: str) -> Iterator[tuple[str, float]]:
+        """Descending stream for one query element, with the self-match
+        rule applied and restricted to the collection vocabulary."""
+        if self._vocab is None or q_token in self._vocab:
+            yield q_token, 1.0
+        for token, sim in self._index.stream(q_token):
+            if token == q_token:
+                continue  # self-match already emitted above
+            if self._vocab is not None and token not in self._vocab:
+                continue
+            yield token, sim
+
+    def _refill(
+        self, q_token: str, source: Iterator[tuple[str, float]]
+    ) -> None:
+        """Buffer the next tuple of one query element's stream, unless the
+        stream is exhausted or dropped below alpha."""
+        entry = next(source, None)
+        if entry is None:
+            return
+        token, sim = entry
+        if sim < self._alpha:
+            return  # descending stream: nothing below alpha matters
+        heapq.heappush(
+            self._heap, (-sim, next(self._tiebreak), q_token, token, source)
+        )
+
+    def __iter__(self) -> Iterator[StreamTuple]:
+        return self
+
+    def __next__(self) -> StreamTuple:
+        if not self._heap:
+            raise StopIteration
+        neg_sim, _, q_token, token, source = heapq.heappop(self._heap)
+        self._refill(q_token, source)
+        self.tuples_emitted += 1
+        return q_token, token, -neg_sim
+
+
+class MaterializedTokenStream:
+    """A fully drained token stream, replayable any number of times.
+
+    Partitioned search (§VI) runs one Koios instance per partition; all
+    instances consume the *same* tuple sequence, so the stream is drained
+    once and replayed per partition instead of re-probing the index.
+    """
+
+    def __init__(self, tuples: list[StreamTuple]) -> None:
+        self._tuples = tuples
+
+    @classmethod
+    def drain(
+        cls,
+        query_tokens: Iterable[str],
+        index: TokenIndex,
+        alpha: float,
+        *,
+        collection_vocabulary: AbstractSet[str] | None = None,
+    ) -> "MaterializedTokenStream":
+        stream = TokenStream(
+            query_tokens,
+            index,
+            alpha,
+            collection_vocabulary=collection_vocabulary,
+        )
+        return cls(list(stream))
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[StreamTuple]:
+        return iter(self._tuples)

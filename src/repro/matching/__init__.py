@@ -1,0 +1,15 @@
+"""Bipartite matching substrate: graph construction, greedy 1/2-approx
+matching, and the Hungarian algorithm with label-sum early termination."""
+
+from repro.matching.graph import BipartiteGraph, build_graph
+from repro.matching.greedy import GreedyMatching, greedy_matching
+from repro.matching.hungarian import MatchingResult, hungarian_matching
+
+__all__ = [
+    "BipartiteGraph",
+    "GreedyMatching",
+    "MatchingResult",
+    "build_graph",
+    "greedy_matching",
+    "hungarian_matching",
+]

@@ -1,0 +1,71 @@
+"""Bipartite similarity graph construction.
+
+The semantic overlap of ``Q`` and ``C`` is the maximum matching score of
+the weighted bipartite graph whose edge ``(q_i, c_j)`` carries
+``sim_alpha(q_i, c_j)``. We materialize that graph as a dense weight
+matrix (queries on rows, candidate elements on columns); zero entries are
+non-edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.sim.base import SimilarityFunction
+
+
+@dataclass
+class BipartiteGraph:
+    """A dense weighted bipartite graph between two token lists."""
+
+    query_tokens: list[str]
+    candidate_tokens: list[str]
+    weights: np.ndarray  # shape (len(query_tokens), len(candidate_tokens))
+
+    @property
+    def num_edges(self) -> int:
+        """Number of non-zero-weight edges."""
+        return int(np.count_nonzero(self.weights))
+
+    def edge_weight(self, qi: int, cj: int) -> float:
+        return float(self.weights[qi, cj])
+
+
+def build_graph(
+    query_tokens: Sequence[str],
+    candidate_tokens: Sequence[str],
+    sim: SimilarityFunction,
+    alpha: float,
+    *,
+    cached_scores: Mapping[tuple[str, str], float] | None = None,
+) -> BipartiteGraph:
+    """Build the ``sim_alpha`` weight matrix between two token lists.
+
+    ``cached_scores`` maps ``(query_token, candidate_token)`` to scores
+    already retrieved from the token stream during refinement; the paper
+    reuses those cached similarities when initializing the matrix for
+    graph matching (§VIII-A3), and so do we — cached entries overwrite
+    recomputed ones (they are equal for exact indexes, and the cache wins
+    for approximate ones, keeping refinement and verification consistent).
+    """
+    rows = list(query_tokens)
+    cols = list(candidate_tokens)
+    weights = sim.matrix(rows, cols)
+    weights = np.asarray(weights, dtype=np.float64)
+    weights[weights < alpha] = 0.0
+    if cached_scores:
+        col_index: dict[str, list[int]] = {}
+        for j, token in enumerate(cols):
+            col_index.setdefault(token, []).append(j)
+        row_index: dict[str, list[int]] = {}
+        for i, token in enumerate(rows):
+            row_index.setdefault(token, []).append(i)
+        for (q_token, c_token), score in cached_scores.items():
+            value = score if score >= alpha else 0.0
+            for i in row_index.get(q_token, ()):
+                for j in col_index.get(c_token, ()):
+                    weights[i, j] = value
+    return BipartiteGraph(rows, cols, weights)

@@ -1,0 +1,51 @@
+"""Greedy bipartite matching.
+
+The greedy algorithm repeatedly picks the heaviest edge between two
+unmatched nodes. Its score is a 1/2-approximation of the optimal matching
+(Lemma 3 cites [18]) and is the cheap lower bound Koios uses; it is also
+the ``GreedyMatching`` comparator of Fig. 1 that demonstrably mis-ranks
+results, motivating exact verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class GreedyMatching:
+    """Result of a greedy matching: total score and matched index pairs."""
+
+    score: float
+    pairs: list[tuple[int, int]] = field(default_factory=list)
+
+
+def greedy_matching(weights: np.ndarray) -> GreedyMatching:
+    """Greedy maximum matching on a dense weight matrix.
+
+    Edges with zero weight are never matched (the matching is optional).
+    Ties are broken by (row, col) order for determinism. Runs in
+    O(E log E) for E non-zero edges.
+    """
+    rows, cols = np.nonzero(weights)
+    if rows.size == 0:
+        return GreedyMatching(score=0.0)
+    values = weights[rows, cols]
+    # Sort by descending weight, then ascending (row, col) for determinism.
+    order = np.lexsort((cols, rows, -values))
+    row_used = np.zeros(weights.shape[0], dtype=bool)
+    col_used = np.zeros(weights.shape[1], dtype=bool)
+    score = 0.0
+    pairs: list[tuple[int, int]] = []
+    for idx in order:
+        i = int(rows[idx])
+        j = int(cols[idx])
+        if row_used[i] or col_used[j]:
+            continue
+        row_used[i] = True
+        col_used[j] = True
+        score += float(values[idx])
+        pairs.append((i, j))
+    return GreedyMatching(score=score, pairs=pairs)

@@ -1,0 +1,192 @@
+"""Kuhn–Munkres (Hungarian) maximum-weight bipartite matching with the
+label-sum early-termination filter of the paper's Lemma 8.
+
+The algorithm maintains a feasible labeling ``l`` with
+``l(q) + l(c) >= w(q, c)`` and grows alternating trees in the equality
+subgraph. Two properties drive Koios:
+
+* for any feasible labeling, ``sum_v l(v)`` upper-bounds the weight of
+  every matching, hence upper-bounds ``SO(Q, C)``;
+* every labeling update decreases the label sum (the alternating tree has
+  one more left vertex than right vertices), so the bound tightens
+  monotonically and converges to the optimal score.
+
+Therefore the matching of a candidate can be aborted as soon as the label
+sum drops below the current pruning threshold ``theta_lb`` — that is the
+EM-Early-Terminated filter. The threshold is read through a callable so a
+global, concurrently-improving ``theta_lb`` (shared across partitions and
+verification threads) is supported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import MatchingError
+
+_EPS = 1e-9
+
+
+@dataclass
+class MatchingResult:
+    """Outcome of a (possibly early-terminated) Hungarian run.
+
+    Attributes
+    ----------
+    score:
+        The maximum matching score; only meaningful when ``pruned`` is
+        False.
+    pairs:
+        Matched ``(row, col)`` index pairs with non-zero weight.
+    pruned:
+        True when the run was aborted by the early-termination bound;
+        ``label_sum`` is then a certified upper bound on the true score.
+    label_sum:
+        Final value of ``sum_v l(v)``; equals ``score`` for completed
+        runs.
+    label_updates:
+        Number of labeling improvements performed (used to measure how
+        early terminations save work).
+    """
+
+    score: float
+    pairs: list[tuple[int, int]] = field(default_factory=list)
+    pruned: bool = False
+    label_sum: float = 0.0
+    label_updates: int = 0
+
+
+def hungarian_matching(
+    weights: np.ndarray,
+    *,
+    bound: float | Callable[[], float] | None = None,
+) -> MatchingResult:
+    """Maximum-weight (optional) bipartite matching of a dense matrix.
+
+    Parameters
+    ----------
+    weights:
+        Non-negative dense weight matrix; zero entries are non-edges.
+        Because all weights are >= 0, a maximum-weight perfect matching
+        on the zero-padded square matrix restricted to positive-weight
+        edges is a maximum-weight optional matching.
+    bound:
+        The EM-early-termination threshold ``theta_lb`` — a float or a
+        zero-argument callable re-read after every labeling update. When
+        the label sum falls below the bound, the run aborts with
+        ``pruned=True`` (the candidate's true score is certainly below
+        ``theta_lb``; Lemma 8).
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 2:
+        raise MatchingError("weights must be a 2-d matrix")
+    if weights.size and float(weights.min()) < 0.0:
+        raise MatchingError("weights must be non-negative")
+
+    num_rows, num_cols = weights.shape
+    if num_rows == 0 or num_cols == 0:
+        return MatchingResult(score=0.0, label_sum=0.0)
+
+    read_bound = _as_callable(bound)
+
+    size = max(num_rows, num_cols)
+    padded = np.zeros((size, size), dtype=np.float64)
+    padded[:num_rows, :num_cols] = weights
+
+    labels_row = padded.max(axis=1).copy()
+    labels_col = np.zeros(size, dtype=np.float64)
+    label_sum = float(labels_row.sum())
+    label_updates = 0
+
+    # Lemma 8 applies to any feasible labeling, including the initial
+    # one: if the sum of row maxima is already below the threshold, the
+    # candidate's score certainly is too — abort before any work.
+    threshold = read_bound()
+    if threshold is not None and label_sum < threshold - _EPS:
+        return MatchingResult(
+            score=0.0, pruned=True, label_sum=label_sum, label_updates=0
+        )
+
+    match_of_row = np.full(size, -1, dtype=np.int64)
+    match_of_col = np.full(size, -1, dtype=np.int64)
+
+    for root in range(size):
+        if match_of_row[root] != -1:
+            continue
+        # Grow an alternating tree from `root` in the equality subgraph.
+        in_tree_row = np.zeros(size, dtype=bool)
+        in_tree_col = np.zeros(size, dtype=bool)
+        in_tree_row[root] = True
+        slack = labels_row[root] + labels_col - padded[root]
+        slack_row = np.full(size, root, dtype=np.int64)
+        parent_col = np.full(size, -1, dtype=np.int64)
+
+        while True:
+            # Find a tight column outside the tree.
+            candidates = np.where(~in_tree_col & (slack <= _EPS))[0]
+            if candidates.size == 0:
+                outside = np.where(~in_tree_col)[0]
+                delta = float(slack[outside].min())
+                labels_row[in_tree_row] -= delta
+                labels_col[in_tree_col] += delta
+                slack[outside] -= delta
+                # |tree rows| = |tree cols| + 1, so the sum drops by delta.
+                label_sum -= delta
+                label_updates += 1
+                threshold = read_bound()
+                if threshold is not None and label_sum < threshold - _EPS:
+                    return MatchingResult(
+                        score=0.0,
+                        pruned=True,
+                        label_sum=label_sum,
+                        label_updates=label_updates,
+                    )
+                candidates = np.where(~in_tree_col & (slack <= _EPS))[0]
+            col = int(candidates[0])
+            parent_col[col] = slack_row[col]
+            if match_of_col[col] == -1:
+                # Augment along the alternating path ending at `col`.
+                while col != -1:
+                    row = int(parent_col[col])
+                    previous_col = int(match_of_row[row])
+                    match_of_col[col] = row
+                    match_of_row[row] = col
+                    col = previous_col
+                break
+            in_tree_col[col] = True
+            next_row = int(match_of_col[col])
+            in_tree_row[next_row] = True
+            # The new tree row may tighten slacks of outside columns.
+            new_slack = labels_row[next_row] + labels_col - padded[next_row]
+            tighter = new_slack < slack
+            slack[tighter] = new_slack[tighter]
+            slack_row[tighter] = next_row
+
+    pairs = [
+        (row, int(match_of_row[row]))
+        for row in range(num_rows)
+        if 0 <= match_of_row[row] < num_cols
+        and weights[row, match_of_row[row]] > 0.0
+    ]
+    score = float(sum(weights[i, j] for i, j in pairs))
+    return MatchingResult(
+        score=score,
+        pairs=pairs,
+        pruned=False,
+        label_sum=label_sum,
+        label_updates=label_updates,
+    )
+
+
+def _as_callable(
+    bound: float | Callable[[], float] | None,
+) -> Callable[[], float | None]:
+    if bound is None:
+        return lambda: None
+    if callable(bound):
+        return bound
+    value = float(bound)
+    return lambda: value

@@ -1,0 +1,29 @@
+"""Element similarity functions: cosine over embeddings, Jaccard on
+q-grams/words, normalized edit distance, and the ``sim_alpha`` wrapper."""
+
+from repro.sim.base import (
+    CallableSimilarity,
+    SimilarityFunction,
+    ThresholdedSimilarity,
+)
+from repro.sim.cosine import CosineSimilarity
+from repro.sim.edit import EditSimilarity, levenshtein
+from repro.sim.jaccard import (
+    QGramJaccardSimilarity,
+    WordJaccardSimilarity,
+    jaccard,
+    qgrams,
+)
+
+__all__ = [
+    "CallableSimilarity",
+    "CosineSimilarity",
+    "EditSimilarity",
+    "QGramJaccardSimilarity",
+    "SimilarityFunction",
+    "ThresholdedSimilarity",
+    "WordJaccardSimilarity",
+    "jaccard",
+    "levenshtein",
+    "qgrams",
+]

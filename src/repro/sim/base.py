@@ -1,0 +1,88 @@
+"""Element similarity functions.
+
+Definition 1 of the paper only demands that ``sim`` be symmetric, return
+values in [0, 1], and return 1 for identical elements; the thresholded
+variant ``sim_alpha`` zeroes scores below ``alpha``. Everything in Koios
+is generic over this interface — that genericity (vs. SilkMoth's
+similarity-specific filters) is one of the paper's selling points, so the
+abstraction is first-class here.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+
+class SimilarityFunction(ABC):
+    """A symmetric element similarity with range [0, 1]."""
+
+    @abstractmethod
+    def score(self, a: str, b: str) -> float:
+        """Similarity of two tokens; 1.0 for identical tokens."""
+
+    def matrix(self, rows: Sequence[str], cols: Sequence[str]) -> np.ndarray:
+        """Dense ``(len(rows), len(cols))`` similarity matrix.
+
+        The default implementation loops over pairs; vector-based
+        similarities override this with a BLAS product.
+        """
+        out = np.zeros((len(rows), len(cols)), dtype=np.float64)
+        for i, a in enumerate(rows):
+            for j, b in enumerate(cols):
+                out[i, j] = self.score(a, b)
+        return out
+
+    def thresholded(self, alpha: float) -> "ThresholdedSimilarity":
+        """The paper's ``sim_alpha``: scores below ``alpha`` become 0."""
+        return ThresholdedSimilarity(self, alpha)
+
+
+class ThresholdedSimilarity(SimilarityFunction):
+    """Wraps a similarity with the alpha threshold of Definition 1."""
+
+    def __init__(self, base: SimilarityFunction, alpha: float) -> None:
+        if not (0.0 < alpha <= 1.0):
+            raise InvalidParameterError("alpha must be in (0, 1]")
+        self._base = base
+        self._alpha = alpha
+
+    @property
+    def alpha(self) -> float:
+        return self._alpha
+
+    @property
+    def base(self) -> SimilarityFunction:
+        return self._base
+
+    def score(self, a: str, b: str) -> float:
+        raw = self._base.score(a, b)
+        return raw if raw >= self._alpha else 0.0
+
+    def matrix(self, rows: Sequence[str], cols: Sequence[str]) -> np.ndarray:
+        raw = self._base.matrix(rows, cols)
+        raw[raw < self._alpha] = 0.0
+        return raw
+
+
+class CallableSimilarity(SimilarityFunction):
+    """Adapts a plain ``f(a, b) -> float`` (e.g.
+    :class:`repro.embedding.synthetic.PinnedSimilarityModel`) to the
+    :class:`SimilarityFunction` interface."""
+
+    def __init__(self, func) -> None:
+        self._func = func
+
+    def score(self, a: str, b: str) -> float:
+        if a == b:
+            return 1.0
+        value = float(self._func(a, b))
+        if not (0.0 <= value <= 1.0):
+            raise InvalidParameterError(
+                f"similarity function returned {value} outside [0, 1]"
+            )
+        return value

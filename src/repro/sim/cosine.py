@@ -1,0 +1,68 @@
+"""Cosine similarity over an embedding provider.
+
+This is the ``sim`` used in all of the paper's experiments (cosine of
+FastText vectors). Identical tokens score 1.0 even when they are
+out-of-vocabulary — that is exactly the paper's OOV rule ("if the query
+contains the same tokens", §V) — and any pair involving an uncovered
+token otherwise scores 0. Negative cosines are clamped to 0 to satisfy
+the [0, 1] range of Definition 1.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.embedding.provider import EmbeddingProvider, normalize
+from repro.sim.base import SimilarityFunction
+
+
+class CosineSimilarity(SimilarityFunction):
+    """Cosine of (unit-normalized) embedding vectors."""
+
+    def __init__(self, provider: EmbeddingProvider) -> None:
+        self._provider = provider
+        self._unit_cache: dict[str, np.ndarray] = {}
+
+    @property
+    def provider(self) -> EmbeddingProvider:
+        return self._provider
+
+    def _unit_vector(self, token: str) -> np.ndarray | None:
+        """Unit vector for ``token`` or None if out-of-vocabulary."""
+        if token in self._unit_cache:
+            return self._unit_cache[token]
+        if not self._provider.covers(token):
+            self._unit_cache[token] = None
+            return None
+        vec = normalize(self._provider.vector(token))
+        self._unit_cache[token] = vec
+        return vec
+
+    def score(self, a: str, b: str) -> float:
+        if a == b:
+            return 1.0
+        vec_a = self._unit_vector(a)
+        vec_b = self._unit_vector(b)
+        if vec_a is None or vec_b is None:
+            return 0.0
+        return float(max(0.0, np.dot(vec_a, vec_b)))
+
+    def matrix(self, rows: Sequence[str], cols: Sequence[str]) -> np.ndarray:
+        """Vectorized similarity matrix with the identical-token and OOV
+        rules applied."""
+        dim = self._provider.dim
+        zero = np.zeros(dim, dtype=np.float32)
+        row_units = [self._unit_vector(t) for t in rows]
+        col_units = [self._unit_vector(t) for t in cols]
+        row_matrix = np.stack([zero if v is None else v for v in row_units])
+        col_matrix = np.stack([zero if v is None else v for v in col_units])
+        out = np.clip(row_matrix @ col_matrix.T, 0.0, 1.0).astype(np.float64)
+        col_index = {}
+        for j, token in enumerate(cols):
+            col_index.setdefault(token, []).append(j)
+        for i, token in enumerate(rows):
+            for j in col_index.get(token, ()):
+                out[i, j] = 1.0
+        return out

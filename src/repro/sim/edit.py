@@ -1,0 +1,61 @@
+"""Normalized edit-distance similarity.
+
+The fuzzy-search literature the paper builds on (SilkMoth, Fast-Join)
+supports edit distance as an element similarity; we provide it for
+completeness: ``1 - levenshtein(a, b) / max(|a|, |b|)``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.sim.base import SimilarityFunction
+
+
+def levenshtein(a: str, b: str) -> int:
+    """Classic dynamic-programming Levenshtein distance, O(|a|*|b|)."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    # Keep the shorter string in the inner loop for the smaller row.
+    if len(b) < len(a):
+        a, b = b, a
+    previous = list(range(len(a) + 1))
+    for j, ch_b in enumerate(b, start=1):
+        current = [j]
+        for i, ch_a in enumerate(a, start=1):
+            cost = 0 if ch_a == ch_b else 1
+            current.append(
+                min(
+                    previous[i] + 1,      # deletion
+                    current[i - 1] + 1,   # insertion
+                    previous[i - 1] + cost,  # substitution
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+class EditSimilarity(SimilarityFunction):
+    """``1 - edit_distance / max(len)`` with an LRU cache on pairs."""
+
+    def __init__(self, cache_size: int = 65536) -> None:
+        self._cached = lru_cache(maxsize=cache_size)(self._raw_score)
+
+    @staticmethod
+    def _raw_score(a: str, b: str) -> float:
+        longest = max(len(a), len(b))
+        if longest == 0:
+            return 1.0
+        return 1.0 - levenshtein(a, b) / longest
+
+    def score(self, a: str, b: str) -> float:
+        if a == b:
+            return 1.0
+        # Normalize argument order so the cache sees each pair once.
+        if b < a:
+            a, b = b, a
+        return self._cached(a, b)

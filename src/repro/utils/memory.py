@@ -1,0 +1,93 @@
+"""Deep memory accounting for search data structures.
+
+The paper reports the memory footprint of Koios as the sum of the
+footprints of its data structures (token stream, inverted index, buckets,
+top-k lists, priority queues — §VIII-D). ``deep_sizeof`` walks Python
+object graphs, and ``MemoryLedger`` aggregates named structure sizes the
+same way the paper's Table III / Fig. 5d / Fig. 6d do.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Iterable
+
+import numpy as np
+
+
+def deep_sizeof(obj: Any, _seen: set[int] | None = None) -> int:
+    """Recursively estimate the memory footprint of ``obj`` in bytes.
+
+    Shared sub-objects are counted once. NumPy arrays report their buffer
+    size (``nbytes``) plus object overhead, which dominates for the vector
+    stores used by the index substrate.
+    """
+    seen = _seen if _seen is not None else set()
+    oid = id(obj)
+    if oid in seen:
+        return 0
+    seen.add(oid)
+
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes) + sys.getsizeof(obj, 0)
+
+    size = sys.getsizeof(obj, 0)
+    if isinstance(obj, dict):
+        size += sum(
+            deep_sizeof(key, seen) + deep_sizeof(value, seen)
+            for key, value in obj.items()
+        )
+    elif isinstance(obj, (list, tuple, set, frozenset)):
+        size += sum(deep_sizeof(item, seen) for item in obj)
+    elif hasattr(obj, "__dict__"):
+        size += deep_sizeof(vars(obj), seen)
+    elif hasattr(obj, "__slots__"):
+        size += sum(
+            deep_sizeof(getattr(obj, slot), seen)
+            for slot in obj.__slots__
+            if hasattr(obj, slot)
+        )
+    return size
+
+
+class MemoryLedger:
+    """Aggregates the peak deep size of named data structures.
+
+    Each structure is measured at most when ``measure`` is called;
+    the ledger keeps the maximum seen per name so that freeing refinement
+    structures before post-processing (as Koios does) still reports the
+    peak footprint, matching the paper's accounting.
+    """
+
+    def __init__(self) -> None:
+        self._peaks: dict[str, int] = {}
+
+    def measure(self, name: str, obj: Any) -> int:
+        """Record the current deep size of ``obj`` under ``name``."""
+        size = deep_sizeof(obj)
+        if size > self._peaks.get(name, 0):
+            self._peaks[name] = size
+        return size
+
+    def record(self, name: str, size_bytes: int) -> None:
+        """Record an externally computed size."""
+        if size_bytes > self._peaks.get(name, 0):
+            self._peaks[name] = size_bytes
+
+    def merge(self, other: "MemoryLedger") -> None:
+        for name, size in other._peaks.items():
+            self.record(name, size)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self._peaks.values())
+
+    @property
+    def total_mb(self) -> float:
+        return self.total_bytes / (1024.0 * 1024.0)
+
+    def breakdown(self) -> dict[str, int]:
+        return dict(self._peaks)
+
+    def names(self) -> Iterable[str]:
+        return self._peaks.keys()

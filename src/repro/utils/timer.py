@@ -1,0 +1,60 @@
+"""Phase timers used to break a search down into refinement and
+post-processing time, mirroring the per-phase reporting of the paper
+(Fig. 5b/5c, 6b/6c, Table III)."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class PhaseTimer:
+    """Accumulates wall-clock seconds per named phase.
+
+    >>> timer = PhaseTimer()
+    >>> with timer.phase("refinement"):
+    ...     pass
+    >>> timer.seconds("refinement") >= 0.0
+    True
+    """
+
+    totals: dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a block of code and add it to the running total for ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.totals[name] = self.totals.get(name, 0.0) + elapsed
+
+    def seconds(self, name: str) -> float:
+        """Total seconds recorded for ``name`` (0.0 if never timed)."""
+        return self.totals.get(name, 0.0)
+
+    @property
+    def total(self) -> float:
+        """Sum over all phases."""
+        return sum(self.totals.values())
+
+    def breakdown(self) -> dict[str, float]:
+        """Fraction of total time per phase; empty if nothing was timed."""
+        if not self.totals:
+            return {}
+        total = self.total
+        if total == 0.0:
+            # All phases were instantaneous; report uniform shares.
+            share = 1.0 / len(self.totals)
+            return {name: share for name in self.totals}
+        return {name: spent / total for name, spent in self.totals.items()}
+
+    def merge(self, other: "PhaseTimer") -> None:
+        """Add another timer's totals into this one (used when merging
+        per-partition timers)."""
+        for name, spent in other.totals.items():
+            self.totals[name] = self.totals.get(name, 0.0) + spent

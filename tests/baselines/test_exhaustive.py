@@ -1,0 +1,101 @@
+"""Tests for the Baseline, Baseline+, and brute-force searchers."""
+
+import pytest
+
+from repro.baselines import BruteForceSearcher, ExhaustiveBaseline
+from repro.datasets import SetCollection
+from repro.embedding import PinnedSimilarityModel
+from repro.errors import EmptyQueryError, InvalidParameterError
+from repro.sim import CallableSimilarity
+from tests.conftest import assert_same_scores
+from tests.helpers import ScanTokenIndex
+
+SETS = [
+    {"apple", "pear", "plum"},
+    {"apple", "kiwi"},
+    {"car", "bus"},
+    {"pear", "plum", "grape"},
+    {"cherry", "plum"},
+]
+SIMS = {("apple", "cherry"): 0.9, ("kiwi", "grape"): 0.85}
+
+
+def make(use_iub=False):
+    collection = SetCollection(SETS)
+    sim = CallableSimilarity(PinnedSimilarityModel(SIMS))
+    index = ScanTokenIndex(collection.vocabulary, sim)
+    baseline = ExhaustiveBaseline(
+        collection, index, sim, alpha=0.7, use_iub=use_iub
+    )
+    oracle = BruteForceSearcher(collection, sim, alpha=0.7)
+    return baseline, oracle
+
+
+class TestBaseline:
+    def test_matches_brute_force(self):
+        baseline, oracle = make()
+        query = {"apple", "pear", "plum"}
+        assert_same_scores(
+            baseline.search(query, k=3).scores(),
+            oracle.search(query, k=3).scores(),
+        )
+
+    def test_verifies_every_candidate(self):
+        baseline, _ = make()
+        result = baseline.search({"apple", "pear"}, k=2)
+        assert result.stats.em_full == result.stats.candidates
+        assert result.stats.refinement_pruned == 0
+
+    def test_baseline_plus_prunes_but_stays_exact(self):
+        plus, oracle = make(use_iub=True)
+        query = {"apple", "pear", "plum"}
+        result = plus.search(query, k=2)
+        assert_same_scores(
+            result.scores(), oracle.search(query, k=2).scores()
+        )
+        # With iUB active, not every candidate needs verification.
+        assert result.stats.em_full <= result.stats.candidates
+
+    def test_no_em_filters_inactive(self):
+        baseline, _ = make()
+        result = baseline.search({"apple"}, k=1)
+        assert result.stats.no_em_accepted == 0
+        assert result.stats.em_early_terminated == 0
+
+
+class TestBruteForce:
+    def test_scores_every_set(self):
+        _, oracle = make()
+        scores = oracle.scores({"apple"})
+        assert set(scores) == set(range(len(SETS)))
+
+    def test_only_nonzero_sets_returned(self):
+        _, oracle = make()
+        result = oracle.search({"car"}, k=10)
+        assert result.ids() == [2]
+
+    def test_alpha_validation(self):
+        collection = SetCollection(SETS)
+        sim = CallableSimilarity(PinnedSimilarityModel(SIMS))
+        with pytest.raises(InvalidParameterError):
+            BruteForceSearcher(collection, sim, alpha=1.5)
+
+    def test_empty_query_rejected(self):
+        _, oracle = make()
+        with pytest.raises(EmptyQueryError):
+            oracle.search(set(), k=1)
+
+    def test_k_validation(self):
+        _, oracle = make()
+        with pytest.raises(InvalidParameterError):
+            oracle.search({"apple"}, k=0)
+
+    def test_deterministic_tie_break_by_id(self):
+        _, oracle = make()
+        result = oracle.search({"plum"}, k=3)
+        scores = result.scores()
+        for earlier, later in zip(result.ids(), result.ids()[1:]):
+            if scores[result.ids().index(earlier)] == scores[
+                result.ids().index(later)
+            ]:
+                assert earlier < later

@@ -1,0 +1,65 @@
+"""Tests for greedy-matching top-k search, including the Fig. 1
+mis-ranking it exists to demonstrate."""
+
+import pytest
+
+from repro.baselines import BruteForceSearcher, GreedyTopKSearch
+from repro.datasets import SetCollection
+from repro.embedding import PinnedSimilarityModel
+from repro.sim import CallableSimilarity
+from tests.conftest import (
+    FIG1_ALPHA,
+    FIG1_C1,
+    FIG1_C2,
+    FIG1_QUERY,
+    FIG1_SIMS,
+)
+from tests.helpers import ScanTokenIndex
+
+
+def make_fig1_searcher():
+    collection = SetCollection([FIG1_C1, FIG1_C2], names=["C1", "C2"])
+    sim = CallableSimilarity(PinnedSimilarityModel(FIG1_SIMS))
+    index = ScanTokenIndex(collection.vocabulary, sim)
+    return GreedyTopKSearch(collection, index, sim, alpha=FIG1_ALPHA), (
+        collection,
+        sim,
+    )
+
+
+class TestFig1MisRanking:
+    def test_greedy_ranks_c1_first(self):
+        searcher, _ = make_fig1_searcher()
+        result = searcher.search(FIG1_QUERY, k=2)
+        assert result.entries[0].name == "C1"
+        assert result.entries[0].score == pytest.approx(4.09)
+        assert result.entries[1].score == pytest.approx(3.74)
+
+    def test_exact_search_ranks_c2_first(self):
+        _, (collection, sim) = make_fig1_searcher()
+        oracle = BruteForceSearcher(collection, sim, alpha=FIG1_ALPHA)
+        result = oracle.search(FIG1_QUERY, k=2)
+        assert collection.name_of(result.ids()[0]) == "C2"
+
+
+class TestGreedyProperties:
+    def test_candidates_match_threshold_rule(self):
+        searcher, (collection, sim) = make_fig1_searcher()
+        candidates = searcher.candidate_ids(FIG1_QUERY)
+        assert candidates == [0, 1]
+
+    def test_scores_never_exceed_exact(self):
+        searcher, (collection, sim) = make_fig1_searcher()
+        oracle = BruteForceSearcher(collection, sim, alpha=FIG1_ALPHA)
+        greedy_scores = {
+            e.set_id: e.score for e in searcher.search(FIG1_QUERY, k=2).entries
+        }
+        exact_scores = oracle.scores(FIG1_QUERY)
+        for set_id, value in greedy_scores.items():
+            assert value <= exact_scores[set_id] + 1e-9
+            assert value >= exact_scores[set_id] / 2.0 - 1e-9
+
+    def test_entries_flagged_inexact(self):
+        searcher, _ = make_fig1_searcher()
+        result = searcher.search(FIG1_QUERY, k=1)
+        assert not result.entries[0].exact

@@ -1,0 +1,129 @@
+"""Tests for the SilkMoth reimplementation (§VIII-B comparator)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import SEMANTIC, SYNTACTIC, SilkMothSearch
+from repro.core import semantic_overlap
+from repro.datasets import SetCollection
+from repro.errors import EmptyQueryError, InvalidParameterError
+from repro.sim import QGramJaccardSimilarity
+from repro.sim.jaccard import jaccard
+
+SETS = [
+    {"charleston", "columbia", "blaine"},
+    {"charlestn", "columbi", "blain"},       # typo variants of set 0
+    {"minnesota", "sacramento"},
+    {"blaine", "sacramento", "lexington"},
+    {"westcoast", "eastcoast"},
+]
+
+words = st.text(
+    alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+    min_size=1,
+    max_size=10,
+)
+
+
+@pytest.fixture(scope="module")
+def collection():
+    return SetCollection(SETS)
+
+
+@pytest.fixture(scope="module")
+def syntactic(collection):
+    return SilkMothSearch(collection, alpha=0.5, variant=SYNTACTIC)
+
+
+@pytest.fixture(scope="module")
+def semantic(collection):
+    return SilkMothSearch(collection, alpha=0.5, variant=SEMANTIC)
+
+
+def brute_threshold(collection, query, theta, alpha=0.5):
+    sim = QGramJaccardSimilarity(q=3)
+    out = []
+    for set_id in collection.ids():
+        score = semantic_overlap(query, collection[set_id], sim, alpha)
+        if score >= theta:
+            out.append((set_id, score))
+    out.sort(key=lambda item: (-item[1], item[0]))
+    return out
+
+
+class TestSignatures:
+    def test_prefix_length_formula(self, syntactic):
+        sig = syntactic.signature("charleston")
+        feats = syntactic.similarity.features("charleston")
+        expected = len(feats) - math.ceil(0.5 * len(feats)) + 1
+        assert len(sig) == max(1, expected)
+
+    def test_signature_is_subset_of_features(self, syntactic):
+        sig = set(syntactic.signature("columbia"))
+        assert sig <= set(syntactic.similarity.features("columbia"))
+
+    @settings(max_examples=80, deadline=None)
+    @given(words, words)
+    def test_prefix_filter_principle(self, a, b):
+        """Pairs with Jaccard >= alpha must share a signature gram."""
+        collection = SetCollection([{a}, {b}])
+        search = SilkMothSearch(collection, alpha=0.5, variant=SYNTACTIC)
+        sim = search.similarity
+        if jaccard(sim.features(a), sim.features(b)) >= 0.5:
+            shared = set(search.signature(a)) & set(sim.features(b))
+            assert shared
+
+
+class TestThresholdSearch:
+    @pytest.mark.parametrize("variant_name", ["syntactic", "semantic"])
+    @pytest.mark.parametrize("theta", [0.5, 1.0, 2.0])
+    def test_matches_brute_force(self, collection, theta, variant_name):
+        search = SilkMothSearch(collection, alpha=0.5, variant=variant_name)
+        got, _ = search.search_threshold(SETS[0], theta)
+        want = brute_threshold(collection, SETS[0], theta)
+        assert [(i, pytest.approx(s)) for i, s in got] == want
+
+    def test_check_filter_only_in_syntactic(self, collection):
+        query = SETS[0]
+        _, syn_stats = SilkMothSearch(
+            collection, alpha=0.5, variant=SYNTACTIC
+        ).search_threshold(query, 2.5)
+        _, sem_stats = SilkMothSearch(
+            collection, alpha=0.5, variant=SEMANTIC
+        ).search_threshold(query, 2.5)
+        assert sem_stats.check_filtered == 0
+        assert syn_stats.verified <= sem_stats.verified
+
+    def test_semantic_variant_probes_more(self, collection, syntactic, semantic):
+        _, syn_stats = syntactic.search_threshold(SETS[0], 0.5)
+        _, sem_stats = semantic.search_threshold(SETS[0], 0.5)
+        assert sem_stats.candidates >= syn_stats.candidates
+
+    def test_empty_query_rejected(self, syntactic):
+        with pytest.raises(EmptyQueryError):
+            syntactic.search_threshold(set(), 1.0)
+
+
+class TestTopK:
+    def test_topk_with_true_theta(self, collection, syntactic):
+        # Feed SilkMoth theta_k* as §VIII-B prescribes and compare with
+        # the brute-force top-k.
+        query = SETS[0]
+        want = brute_threshold(collection, query, 0.0)
+        theta_star = want[1][1]  # the true 2nd score
+        result = syntactic.search_topk(query, k=2, theta_star=theta_star)
+        assert result.scores() == pytest.approx([s for _, s in want[:2]])
+
+    def test_k_validation(self, syntactic):
+        with pytest.raises(InvalidParameterError):
+            syntactic.search_topk({"a"}, k=0, theta_star=1.0)
+
+    def test_variant_validation(self, collection):
+        with pytest.raises(InvalidParameterError):
+            SilkMothSearch(collection, variant="bogus")
+
+    def test_alpha_validation(self, collection):
+        with pytest.raises(InvalidParameterError):
+            SilkMothSearch(collection, alpha=0.0)

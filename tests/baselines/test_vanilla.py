@@ -1,0 +1,60 @@
+"""Tests for vanilla-overlap top-k search."""
+
+import pytest
+
+from repro.baselines import VanillaOverlapSearch
+from repro.datasets import SetCollection
+from repro.errors import EmptyQueryError, InvalidParameterError
+
+
+@pytest.fixture()
+def searcher():
+    return VanillaOverlapSearch(
+        SetCollection(
+            [
+                {"a", "b", "c"},
+                {"a", "b"},
+                {"a"},
+                {"x", "y"},
+                {"b", "c", "d"},
+            ]
+        )
+    )
+
+
+class TestOverlaps:
+    def test_counts_match_naive(self, searcher):
+        counts = searcher.overlaps({"a", "b"})
+        assert counts == {0: 2, 1: 2, 2: 1, 4: 1}
+
+    def test_disjoint_query(self, searcher):
+        assert searcher.overlaps({"zzz"}) == {}
+
+    def test_empty_query_rejected(self, searcher):
+        with pytest.raises(EmptyQueryError):
+            searcher.overlaps(set())
+
+
+class TestSearch:
+    def test_topk_by_overlap(self, searcher):
+        result = searcher.search({"a", "b", "c"}, k=2)
+        assert result.ids() == [0, 1]
+        assert result.scores() == [3.0, 2.0]
+
+    def test_ties_broken_by_id(self, searcher):
+        result = searcher.search({"a", "b"}, k=2)
+        assert result.ids() == [0, 1]
+
+    def test_k_validation(self, searcher):
+        with pytest.raises(InvalidParameterError):
+            searcher.search({"a"}, k=0)
+
+    def test_fewer_matches_than_k(self, searcher):
+        result = searcher.search({"x"}, k=5)
+        assert result.ids() == [3]
+
+    def test_entries_exact(self, searcher):
+        result = searcher.search({"a"}, k=1)
+        entry = result.entries[0]
+        assert entry.exact
+        assert entry.lower_bound == entry.upper_bound == entry.score

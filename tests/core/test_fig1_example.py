@@ -1,0 +1,90 @@
+"""The paper's Fig. 1 worked example, end to end.
+
+Every number printed in the figure is asserted: vanilla overlaps, fuzzy
+overlaps under Jaccard-on-3-grams, semantic overlaps under the pinned
+similarities, the greedy scores, and all three top-1 outcomes (fuzzy and
+greedy pick C1; semantic correctly picks C2).
+"""
+
+import pytest
+
+from repro.core import (
+    greedy_semantic_overlap,
+    semantic_overlap,
+    vanilla_overlap,
+)
+from repro.sim import QGramJaccardSimilarity
+from tests.conftest import (
+    FIG1_ALPHA,
+    FIG1_C1,
+    FIG1_C2,
+    FIG1_QUERY,
+)
+
+
+class TestVanillaOverlap:
+    def test_both_candidates_overlap_one(self):
+        # Only LA matches exactly in both C1 and C2.
+        assert vanilla_overlap(FIG1_QUERY, FIG1_C1) == 1
+        assert vanilla_overlap(FIG1_QUERY, FIG1_C2) == 1
+
+
+class TestFuzzyOverlap:
+    """Fuzzy overlap = matching under Jaccard of 3-grams (small alpha)."""
+
+    @pytest.fixture(scope="class")
+    def fuzzy(self):
+        return QGramJaccardSimilarity(q=3)
+
+    def test_c1_fuzzy_overlap(self, fuzzy):
+        # 1 (LA) + 3/4 (Blaine~Blain) + 1/3 (BigApple~Appleton) = 2.083
+        score = semantic_overlap(FIG1_QUERY, FIG1_C1, fuzzy, alpha=0.3)
+        assert score == pytest.approx(1 + 0.75 + 1 / 3, abs=1e-9)
+
+    def test_c2_fuzzy_overlap(self, fuzzy):
+        # 1 (LA) + 3/4 (Blaine~Blain); BigApple~NewYorkCity shares no gram.
+        score = semantic_overlap(FIG1_QUERY, FIG1_C2, fuzzy, alpha=0.3)
+        assert score == pytest.approx(1.75, abs=1e-9)
+
+    def test_fuzzy_top1_is_c1(self, fuzzy):
+        c1 = semantic_overlap(FIG1_QUERY, FIG1_C1, fuzzy, alpha=0.3)
+        c2 = semantic_overlap(FIG1_QUERY, FIG1_C2, fuzzy, alpha=0.3)
+        assert c1 > c2  # fuzzy search ranks the wrong set first
+
+
+class TestSemanticOverlap:
+    def test_c1_semantic_overlap(self, fig1_sim):
+        score = semantic_overlap(FIG1_QUERY, FIG1_C1, fig1_sim, FIG1_ALPHA)
+        assert score == pytest.approx(4.09, abs=1e-9)
+
+    def test_c2_semantic_overlap(self, fig1_sim):
+        score = semantic_overlap(FIG1_QUERY, FIG1_C2, fig1_sim, FIG1_ALPHA)
+        assert score == pytest.approx(4.49, abs=1e-9)
+
+    def test_semantic_top1_is_c2(self, fig1_sim):
+        c1 = semantic_overlap(FIG1_QUERY, FIG1_C1, fig1_sim, FIG1_ALPHA)
+        c2 = semantic_overlap(FIG1_QUERY, FIG1_C2, fig1_sim, FIG1_ALPHA)
+        assert c2 > c1
+
+    def test_appleton_does_not_contribute(self, fig1_sim):
+        # BigApple~Appleton is 0.33 < alpha: removing Appleton from C1
+        # must not change the semantic overlap.
+        without = semantic_overlap(
+            FIG1_QUERY, FIG1_C1 - {"Appleton"}, fig1_sim, FIG1_ALPHA
+        )
+        assert without == pytest.approx(4.09, abs=1e-9)
+
+
+class TestGreedyComparison:
+    def test_greedy_scores(self, fig1_sim):
+        g1 = greedy_semantic_overlap(FIG1_QUERY, FIG1_C1, fig1_sim, FIG1_ALPHA)
+        g2 = greedy_semantic_overlap(FIG1_QUERY, FIG1_C2, fig1_sim, FIG1_ALPHA)
+        assert g1 == pytest.approx(4.09, abs=1e-9)
+        assert g2 == pytest.approx(3.74, abs=1e-9)
+
+    def test_greedy_top1_is_wrong(self, fig1_sim):
+        # Greedy matching mis-ranks C1 above C2 — the motivation for
+        # exact verification in Koios.
+        g1 = greedy_semantic_overlap(FIG1_QUERY, FIG1_C1, fig1_sim, FIG1_ALPHA)
+        g2 = greedy_semantic_overlap(FIG1_QUERY, FIG1_C2, fig1_sim, FIG1_ALPHA)
+        assert g1 > g2

@@ -1,0 +1,220 @@
+"""End-to-end tests of the Koios engine against the brute-force oracle."""
+
+import pytest
+
+from repro.baselines import BruteForceSearcher
+from repro.core import FilterConfig, KoiosSearchEngine
+from repro.datasets import SetCollection
+from repro.embedding import PinnedSimilarityModel
+from repro.errors import EmptyQueryError, InvalidParameterError
+from repro.sim import CallableSimilarity
+from tests.conftest import assert_same_scores
+from tests.helpers import ScanTokenIndex
+
+
+def make_engine(sets, sims, alpha=0.7, **kwargs):
+    collection = SetCollection(sets)
+    sim = CallableSimilarity(PinnedSimilarityModel(sims))
+    index = ScanTokenIndex(collection.vocabulary, sim)
+    engine = KoiosSearchEngine(
+        collection, index, sim, alpha=alpha, **kwargs
+    )
+    oracle = BruteForceSearcher(collection, sim, alpha=alpha)
+    return engine, oracle
+
+
+FIXTURE_SETS = [
+    {"apple", "pear", "plum"},
+    {"apple", "pear", "kiwi"},
+    {"car", "bus", "train"},
+    {"apple", "grape"},
+    {"plum", "cherry", "car"},
+    {"pear", "plum", "train", "bus"},
+]
+FIXTURE_SIMS = {
+    ("apple", "cherry"): 0.9,
+    ("kiwi", "grape"): 0.85,
+    ("bus", "train"): 0.75,
+    ("car", "train"): 0.3,
+}
+
+
+class TestValidation:
+    def test_empty_query_rejected(self):
+        engine, _ = make_engine(FIXTURE_SETS, FIXTURE_SIMS)
+        with pytest.raises(EmptyQueryError):
+            engine.search(set(), k=1)
+
+    def test_k_validation(self):
+        engine, _ = make_engine(FIXTURE_SETS, FIXTURE_SIMS)
+        with pytest.raises(InvalidParameterError):
+            engine.search({"apple"}, k=0)
+
+    def test_alpha_validation(self):
+        with pytest.raises(InvalidParameterError):
+            make_engine(FIXTURE_SETS, FIXTURE_SIMS, alpha=0.0)
+
+    def test_empty_collection_rejected(self):
+        sim = CallableSimilarity(PinnedSimilarityModel({}))
+        with pytest.raises(InvalidParameterError):
+            KoiosSearchEngine(
+                SetCollection([]), ScanTokenIndex([], sim), sim
+            )
+
+
+class TestExactness:
+    @pytest.mark.parametrize("mode", ["paper", "safe"])
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_matches_brute_force(self, mode, k):
+        engine, oracle = make_engine(
+            FIXTURE_SETS,
+            FIXTURE_SIMS,
+            config=FilterConfig.koios(iub_mode=mode),
+        )
+        for query in (
+            {"apple", "pear"},
+            {"car", "bus", "train"},
+            {"plum"},
+            {"kiwi", "grape", "cherry"},
+        ):
+            got = engine.search(query, k=k)
+            want = oracle.search(query, k=k)
+            assert_same_scores(got.scores(), want.scores())
+
+    @pytest.mark.parametrize("partitions", [1, 2, 4])
+    def test_partitioned_search_is_exact(self, partitions):
+        engine, oracle = make_engine(
+            FIXTURE_SETS, FIXTURE_SIMS, num_partitions=partitions
+        )
+        got = engine.search({"apple", "pear", "plum"}, k=3)
+        want = oracle.search({"apple", "pear", "plum"}, k=3)
+        assert_same_scores(got.scores(), want.scores())
+
+    def test_query_with_unknown_tokens(self):
+        engine, oracle = make_engine(FIXTURE_SETS, FIXTURE_SIMS)
+        query = {"apple", "doesnotexist"}
+        got = engine.search(query, k=2)
+        want = oracle.search(query, k=2)
+        assert_same_scores(got.scores(), want.scores())
+
+    def test_k_exceeding_matches_returns_fewer(self):
+        engine, _ = make_engine(FIXTURE_SETS, FIXTURE_SIMS)
+        result = engine.search({"cherry"}, k=50)
+        assert 0 < len(result.entries) <= 6
+        assert all(e.score > 0 for e in result.entries)
+
+
+class TestResultShape:
+    def test_entries_sorted_descending(self):
+        engine, _ = make_engine(FIXTURE_SETS, FIXTURE_SIMS)
+        result = engine.search({"apple", "pear", "plum"}, k=5)
+        scores = result.scores()
+        assert scores == sorted(scores, reverse=True)
+
+    def test_entries_carry_names(self):
+        collection_names = [f"tbl_{i}" for i in range(len(FIXTURE_SETS))]
+        collection = SetCollection(FIXTURE_SETS, names=collection_names)
+        sim = CallableSimilarity(PinnedSimilarityModel(FIXTURE_SIMS))
+        engine = KoiosSearchEngine(
+            collection,
+            ScanTokenIndex(collection.vocabulary, sim),
+            sim,
+            alpha=0.7,
+        )
+        result = engine.search({"apple", "pear"}, k=2)
+        assert all(e.name.startswith("tbl_") for e in result.entries)
+
+    def test_theta_k(self):
+        engine, _ = make_engine(FIXTURE_SETS, FIXTURE_SIMS)
+        result = engine.search({"apple", "pear"}, k=2)
+        assert result.theta_k == result.entries[-1].score
+
+    def test_unresolved_scores_are_bounds(self):
+        engine, oracle = make_engine(FIXTURE_SETS, FIXTURE_SIMS)
+        query = {"apple", "pear", "plum"}
+        lazy = engine.search(query, k=3, resolve_scores=False)
+        truth = {e.set_id: e.score for e in oracle.search(query, k=6).entries}
+        for entry in lazy.entries:
+            assert entry.lower_bound <= truth[entry.set_id] + 1e-9
+            assert entry.upper_bound >= truth[entry.set_id] - 1e-9
+
+    def test_stats_consistency(self):
+        engine, _ = make_engine(FIXTURE_SETS, FIXTURE_SIMS)
+        result = engine.search({"apple", "pear", "plum"}, k=2)
+        assert result.stats.consistency_ok()
+        assert result.stats.candidates > 0
+
+    def test_partition_stats_reported(self):
+        engine, _ = make_engine(FIXTURE_SETS, FIXTURE_SIMS, num_partitions=3)
+        result = engine.search({"apple"}, k=1)
+        assert len(result.partition_stats) == engine.num_partitions
+
+
+class TestEdgeConfigurations:
+    def test_alpha_one_degenerates_to_vanilla_overlap(self):
+        # With alpha = 1.0 only exact matches (and perfect-similarity
+        # pairs) contribute: SO collapses onto |Q ∩ C|.
+        engine, _ = make_engine(FIXTURE_SETS, FIXTURE_SIMS, alpha=1.0)
+        result = engine.search({"apple", "pear", "plum"}, k=3)
+        from repro.core import vanilla_overlap
+
+        for entry in result.entries:
+            assert entry.score == pytest.approx(
+                vanilla_overlap(
+                    {"apple", "pear", "plum"}, FIXTURE_SETS[entry.set_id]
+                )
+            )
+
+    def test_single_set_collection(self):
+        engine, oracle = make_engine([{"apple", "pear"}], FIXTURE_SIMS)
+        got = engine.search({"apple"}, k=3)
+        assert got.ids() == [0]
+        assert got.entries[0].score == pytest.approx(1.0)
+
+    def test_query_covering_whole_vocabulary(self):
+        engine, oracle = make_engine(FIXTURE_SETS, FIXTURE_SIMS)
+        vocabulary = set().union(*FIXTURE_SETS)
+        got = engine.search(vocabulary, k=4)
+        want = oracle.search(vocabulary, k=4)
+        assert_same_scores(got.scores(), want.scores())
+
+    def test_more_partitions_than_sets(self):
+        engine, oracle = make_engine(
+            FIXTURE_SETS, FIXTURE_SIMS, num_partitions=50
+        )
+        got = engine.search({"apple", "plum"}, k=3)
+        want = oracle.search({"apple", "plum"}, k=3)
+        assert_same_scores(got.scores(), want.scores())
+
+    def test_duplicate_sets_tie_break_deterministic(self):
+        sets = [{"apple", "pear"}, {"apple", "pear"}, {"kiwi"}]
+        engine, _ = make_engine(sets, FIXTURE_SIMS)
+        first = engine.search({"apple", "pear"}, k=2)
+        second = engine.search({"apple", "pear"}, k=2)
+        assert first.ids() == second.ids() == [0, 1]
+
+
+class TestTimeBudget:
+    def test_zero_budget_times_out(self):
+        engine, _ = make_engine(FIXTURE_SETS, FIXTURE_SIMS)
+        result = engine.search({"apple", "pear"}, k=2, time_budget=0.0)
+        assert result.timed_out
+
+    def test_generous_budget_completes(self):
+        engine, oracle = make_engine(FIXTURE_SETS, FIXTURE_SIMS)
+        result = engine.search({"apple", "pear"}, k=2, time_budget=60.0)
+        assert not result.timed_out
+        assert_same_scores(
+            result.scores(), oracle.search({"apple", "pear"}, k=2).scores()
+        )
+
+
+class TestWorkers:
+    def test_parallel_em_matches_sequential(self):
+        seq_engine, oracle = make_engine(FIXTURE_SETS, FIXTURE_SIMS)
+        par_engine, _ = make_engine(FIXTURE_SETS, FIXTURE_SIMS, em_workers=4)
+        query = {"apple", "pear", "plum", "bus"}
+        assert_same_scores(
+            par_engine.search(query, k=4).scores(),
+            seq_engine.search(query, k=4).scores(),
+        )

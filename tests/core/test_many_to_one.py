@@ -1,0 +1,132 @@
+"""Tests for the many-to-one search engine (§X extension)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import semantic_overlap, semantic_overlap_many_to_one
+from repro.core.many_to_one import ManyToOneSearchEngine
+from repro.datasets import SetCollection
+from repro.embedding import PinnedSimilarityModel
+from repro.errors import EmptyQueryError, InvalidParameterError
+from repro.sim import CallableSimilarity
+from tests.helpers import ScanTokenIndex
+
+SETS = [
+    {"usa", "deu"},
+    {"usa", "fra", "esp"},
+    {"jpn", "chn"},
+    {"deu", "fra"},
+]
+SIMS = {
+    ("unitedstates", "usa"): 0.93,
+    ("america", "usa"): 0.88,
+    ("germany", "deu"): 0.9,
+    ("france", "fra"): 0.89,
+}
+
+
+def make_engine(alpha=0.8):
+    collection = SetCollection(SETS)
+    sim = CallableSimilarity(PinnedSimilarityModel(SIMS))
+    index = ScanTokenIndex(collection.vocabulary, sim)
+    return (
+        ManyToOneSearchEngine(collection, index, alpha=alpha),
+        collection,
+        sim,
+    )
+
+
+def brute_mo(collection, sim, query, alpha):
+    return {
+        set_id: semantic_overlap_many_to_one(
+            query, collection[set_id], sim, alpha
+        )
+        for set_id in collection.ids()
+    }
+
+
+class TestScores:
+    def test_many_query_elements_share_one_candidate(self):
+        engine, _, _ = make_engine()
+        scores = engine.scores({"unitedstates", "america", "germany"})
+        # Both US spellings credit set 0's "usa" plus germany->deu.
+        assert scores[0] == pytest.approx(0.93 + 0.88 + 0.9)
+
+    def test_matches_reference_implementation(self):
+        engine, collection, sim = make_engine()
+        query = {"unitedstates", "america", "france", "jpn"}
+        scores = engine.scores(query)
+        want = brute_mo(collection, sim, query, 0.8)
+        for set_id, value in want.items():
+            if value > 0:
+                assert scores[set_id] == pytest.approx(value)
+            else:
+                assert set_id not in scores
+
+    def test_dominates_one_to_one(self):
+        engine, collection, sim = make_engine()
+        query = {"unitedstates", "america", "germany"}
+        scores = engine.scores(query)
+        for set_id, value in scores.items():
+            one = semantic_overlap(query, collection[set_id], sim, 0.8)
+            assert value >= one - 1e-9
+
+    def test_empty_query_rejected(self):
+        engine, _, _ = make_engine()
+        with pytest.raises(EmptyQueryError):
+            engine.scores(set())
+
+
+class TestSearch:
+    def test_topk_order(self):
+        engine, _, _ = make_engine()
+        result = engine.search({"unitedstates", "america", "germany"}, k=2)
+        assert result.ids()[0] == 0
+        assert result.scores() == sorted(result.scores(), reverse=True)
+
+    def test_k_validation(self):
+        engine, _, _ = make_engine()
+        with pytest.raises(InvalidParameterError):
+            engine.search({"usa"}, k=0)
+
+    def test_alpha_validation(self):
+        with pytest.raises(InvalidParameterError):
+            make_engine(alpha=1.5)
+
+    def test_exact_entries(self):
+        engine, _, _ = make_engine()
+        result = engine.search({"usa"}, k=1)
+        assert result.entries[0].exact
+
+
+TOKENS = [f"t{i}" for i in range(10)]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.sets(st.sampled_from(TOKENS), min_size=1, max_size=4),
+        min_size=1,
+        max_size=6,
+    ),
+    st.sets(st.sampled_from(TOKENS), min_size=1, max_size=4),
+    st.dictionaries(
+        st.tuples(st.sampled_from(TOKENS), st.sampled_from(TOKENS)),
+        st.floats(min_value=0.0, max_value=1.0),
+        max_size=8,
+    ),
+)
+def test_engine_matches_reference_on_random_inputs(sets, query, raw_sims):
+    sims = {(a, b): v for (a, b), v in raw_sims.items() if a != b}
+    collection = SetCollection(sets)
+    sim = CallableSimilarity(PinnedSimilarityModel(sims))
+    engine = ManyToOneSearchEngine(
+        collection, ScanTokenIndex(collection.vocabulary, sim), alpha=0.6
+    )
+    scores = engine.scores(query)
+    want = brute_mo(collection, sim, query, 0.6)
+    for set_id in collection.ids():
+        if want[set_id] > 0:
+            assert scores.get(set_id, 0.0) == pytest.approx(
+                want[set_id], abs=1e-9
+            )

@@ -1,0 +1,212 @@
+"""Tests for Algorithm 2 (post-processing) on controlled inputs."""
+
+import time
+
+import pytest
+
+from repro.core import FilterConfig, SearchStats, ThetaLB, TopKList
+from repro.core.bounds import CandidateState
+from repro.core.postprocessing import postprocess
+from repro.datasets import SetCollection
+from repro.embedding import PinnedSimilarityModel
+from repro.errors import SearchTimeout
+from repro.sim import CallableSimilarity
+
+
+def survivor(set_id, members, query, lower, upper):
+    state = CandidateState.first_sight(set_id, frozenset(members), query)
+    state.matched_score = lower
+    state.final_upper = upper
+    return state
+
+
+def run_post(
+    query,
+    sets,
+    sims,
+    bounds,
+    k=2,
+    alpha=0.7,
+    config=None,
+    em_workers=0,
+    deadline=None,
+    seed_theta=(),
+):
+    """``bounds`` maps set_id -> (lower, upper)."""
+    collection = SetCollection(sets)
+    sim = CallableSimilarity(PinnedSimilarityModel(sims))
+    query = frozenset(query)
+    survivors = {
+        set_id: survivor(set_id, collection[set_id], query, lo, up)
+        for set_id, (lo, up) in bounds.items()
+    }
+    llb = TopKList(k)
+    theta = ThetaLB(llb)
+    for set_id, (lo, _) in bounds.items():
+        theta.offer(set_id, lo)
+    for set_id, value in seed_theta:
+        theta.offer(set_id, value)
+    stats = SearchStats()
+    stats.candidates = len(bounds)
+    entries = postprocess(
+        query,
+        collection,
+        survivors,
+        sim,
+        alpha,
+        k,
+        theta,
+        stats,
+        config or FilterConfig.koios(),
+        em_workers=em_workers,
+        deadline=deadline,
+    )
+    return entries, stats
+
+
+class TestBasicVerification:
+    def test_returns_topk_exact(self):
+        sets = [{"a", "b"}, {"a"}, {"c"}]
+        bounds = {0: (1.0, 2.0), 1: (1.0, 1.0), 2: (0.0, 0.5)}
+        entries, stats = run_post(
+            {"a", "b"}, sets, {}, bounds, k=2,
+            config=FilterConfig.koios().without(use_no_em=False),
+        )
+        assert [e.set_id for e in entries] == [0, 1]
+        assert entries[0].score == pytest.approx(2.0)
+        assert entries[0].exact
+        assert stats.consistency_ok()
+
+    def test_empty_survivors(self):
+        entries, _ = run_post({"a"}, [{"a"}], {}, {}, k=1)
+        assert entries == []
+
+    def test_fewer_survivors_than_k(self):
+        sets = [{"a"}]
+        entries, _ = run_post({"a"}, sets, {}, {0: (1.0, 1.0)}, k=5)
+        assert len(entries) == 1
+
+
+class TestNoEMFilter:
+    def test_acceptance_without_matching(self):
+        # Set 0's LB (2.0) >= theta_ub (the k-th largest UB with k=1 is
+        # max UB = 2.0): accepted with zero Hungarian runs.
+        sets = [{"a", "b"}, {"c"}]
+        bounds = {0: (2.0, 2.0), 1: (0.1, 0.4)}
+        entries, stats = run_post({"a", "b"}, sets, {}, bounds, k=1)
+        assert stats.no_em_accepted == 1
+        assert stats.em_full == 0
+        assert entries[0].set_id == 0
+        assert not entries[0].exact
+
+    def test_disabled_no_em_forces_matching(self):
+        sets = [{"a", "b"}, {"c"}]
+        bounds = {0: (2.0, 2.0), 1: (0.1, 0.4)}
+        entries, stats = run_post(
+            {"a", "b"},
+            sets,
+            {},
+            bounds,
+            k=1,
+            config=FilterConfig.koios().without(use_no_em=False),
+        )
+        assert stats.no_em_accepted == 0
+        assert stats.em_full >= 1
+        assert entries[0].exact
+
+    def test_accepted_entry_reports_bounds(self):
+        # Set 0's LB (1.5) beats theta_ub (the 2nd largest UB, 1.2), so
+        # it is accepted carrying its refinement bounds, not a score.
+        sets = [{"a", "b"}, {"a", "c"}]
+        bounds = {0: (1.5, 2.0), 1: (0.5, 1.2)}
+        entries, _ = run_post({"a", "b"}, sets, {}, bounds, k=2)
+        entry = next(e for e in entries if e.set_id == 0)
+        assert entry.lower_bound == pytest.approx(1.5)
+        assert entry.upper_bound == pytest.approx(2.0)
+        assert entry.score == pytest.approx(1.5)  # certified lower bound
+        assert not entry.exact
+
+
+class TestEarlyTermination:
+    def test_hopeless_sets_terminated(self):
+        # theta_lb = 2 (seeded); set 1's true score is 1.0 < 2 and its
+        # loose UB (3.0) forces it into verification, which must abort.
+        sets = [{"a", "b", "x"}, {"c", "y", "z"}]
+        sims = {("a", "c"): 1.0}
+        bounds = {0: (2.0, 2.5), 1: (1.0, 3.0)}
+        entries, stats = run_post(
+            {"a", "b"}, sets, sims, bounds, k=1,
+            config=FilterConfig.koios().without(use_no_em=False),
+        )
+        assert stats.em_early_terminated == 1
+        assert entries[0].set_id == 0
+
+    def test_disabled_early_termination_runs_full(self):
+        sets = [{"a", "b", "x"}, {"c", "y", "z"}]
+        sims = {("a", "c"): 1.0}
+        bounds = {0: (2.0, 2.5), 1: (1.0, 3.0)}
+        entries, stats = run_post(
+            {"a", "b"}, sets, sims, bounds, k=1,
+            config=FilterConfig.koios().without(
+                use_no_em=False, use_em_early_termination=False
+            ),
+        )
+        assert stats.em_early_terminated == 0
+        assert stats.em_full == 2
+
+
+class TestExhaustiveVerification:
+    def test_everything_verified(self):
+        sets = [{"a"}, {"b"}, {"a", "b"}]
+        bounds = {0: (1.0, 1.0), 1: (0.0, 1.0), 2: (2.0, 2.0)}
+        entries, stats = run_post(
+            {"a", "b"}, sets, {}, bounds, k=1,
+            config=FilterConfig.baseline(),
+        )
+        assert stats.em_full == 3
+        assert entries[0].set_id == 2
+
+
+class TestParallelVerification:
+    def test_same_result_with_workers(self):
+        sets = [{"a", "b"}, {"a"}, {"b"}, {"a", "c"}]
+        sims = {("b", "c"): 0.9}
+        bounds = {i: (0.5, 2.5) for i in range(4)}
+        sequential, _ = run_post({"a", "b"}, sets, sims, bounds, k=2)
+        parallel, _ = run_post(
+            {"a", "b"}, sets, sims, bounds, k=2, em_workers=4
+        )
+        assert [e.set_id for e in sequential] == [e.set_id for e in parallel]
+        for s, p in zip(sequential, parallel):
+            assert s.score == pytest.approx(p.score)
+
+
+class TestDeadline:
+    def test_expired_deadline_raises(self):
+        sets = [{"a"}, {"b"}]
+        bounds = {0: (0.5, 1.5), 1: (0.5, 1.5)}
+        with pytest.raises(SearchTimeout):
+            run_post(
+                {"a", "b"}, sets, {}, bounds, k=1,
+                deadline=time.perf_counter() - 1.0,
+            )
+
+
+class TestStatsAttribution:
+    def test_every_survivor_attributed(self):
+        sets = [{"a", "b"}, {"a"}, {"b"}, {"c"}, {"a", "c"}]
+        sims = {("b", "c"): 0.8}
+        bounds = {
+            0: (2.0, 2.0),
+            1: (1.0, 1.3),
+            2: (1.0, 1.8),
+            3: (0.8, 0.9),
+            4: (1.0, 1.9),
+        }
+        _, stats = run_post({"a", "b"}, sets, sims, bounds, k=2)
+        accounted = (
+            stats.no_em
+            + stats.em_early_terminated
+            + stats.em_full
+        )
+        assert accounted == len(bounds)

@@ -1,0 +1,134 @@
+"""Tests for the reference overlap measures (Definitions 1-2, Lemma 1)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    greedy_semantic_overlap,
+    matching_pairs,
+    semantic_overlap,
+    semantic_overlap_many_to_one,
+    vanilla_overlap,
+)
+from repro.errors import InvalidParameterError
+from repro.sim import CallableSimilarity, QGramJaccardSimilarity
+from repro.embedding import PinnedSimilarityModel
+
+token_sets = st.sets(
+    st.text(
+        alphabet=st.characters(min_codepoint=97, max_codepoint=107),
+        min_size=1,
+        max_size=5,
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+@pytest.fixture(scope="module")
+def qgram_sim():
+    return QGramJaccardSimilarity(q=2)
+
+
+class TestSemanticOverlap:
+    def test_identical_sets_score_cardinality(self, qgram_sim):
+        tokens = {"alpha", "beta", "gamma"}
+        assert semantic_overlap(tokens, tokens, qgram_sim, 0.8) == 3.0
+
+    def test_disjoint_unrelated_sets_score_zero(self):
+        sim = CallableSimilarity(PinnedSimilarityModel({}))
+        assert semantic_overlap({"a"}, {"b"}, sim, 0.5) == 0.0
+
+    def test_empty_set_rejected(self, qgram_sim):
+        with pytest.raises(InvalidParameterError):
+            semantic_overlap(set(), {"a"}, qgram_sim, 0.5)
+
+    def test_one_to_one_constraint(self):
+        # Two query tokens both similar to one candidate token: only one
+        # can use it.
+        sim = CallableSimilarity(
+            PinnedSimilarityModel({("q1", "c"): 0.9, ("q2", "c"): 0.8})
+        )
+        assert semantic_overlap({"q1", "q2"}, {"c"}, sim, 0.5) == 0.9
+
+    @settings(max_examples=60, deadline=None)
+    @given(token_sets, token_sets)
+    def test_lemma1_vanilla_lower_bounds_semantic(self, q, c):
+        sim = QGramJaccardSimilarity(q=2)
+        assert (
+            semantic_overlap(q, c, sim, 0.4)
+            >= vanilla_overlap(q, c) - 1e-9
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(token_sets, token_sets)
+    def test_symmetric_measure(self, q, c):
+        sim = QGramJaccardSimilarity(q=2)
+        assert semantic_overlap(q, c, sim, 0.4) == pytest.approx(
+            semantic_overlap(c, q, sim, 0.4), abs=1e-9
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(token_sets, token_sets)
+    def test_bounded_by_min_cardinality(self, q, c):
+        sim = QGramJaccardSimilarity(q=2)
+        assert semantic_overlap(q, c, sim, 0.4) <= min(len(q), len(c)) + 1e-9
+
+
+class TestGreedySemanticOverlap:
+    @settings(max_examples=60, deadline=None)
+    @given(token_sets, token_sets)
+    def test_greedy_sandwiched(self, q, c):
+        """Lemma 3: SO/2 <= greedy <= SO."""
+        sim = QGramJaccardSimilarity(q=2)
+        exact = semantic_overlap(q, c, sim, 0.4)
+        greedy = greedy_semantic_overlap(q, c, sim, 0.4)
+        assert exact / 2.0 - 1e-9 <= greedy <= exact + 1e-9
+
+
+class TestManyToOneExtension:
+    def test_many_to_one_dominates_one_to_one(self):
+        sim = CallableSimilarity(
+            PinnedSimilarityModel(
+                {("usa", "unitedstates"): 0.9, ("usa", "america"): 0.8}
+            )
+        )
+        query = {"unitedstates", "america"}
+        candidate = {"usa"}
+        one = semantic_overlap(query, candidate, sim, 0.5)
+        many = semantic_overlap_many_to_one(query, candidate, sim, 0.5)
+        assert one == 0.9
+        assert many == pytest.approx(1.7)
+
+    @settings(max_examples=40, deadline=None)
+    @given(token_sets, token_sets)
+    def test_many_to_one_always_dominates(self, q, c):
+        sim = QGramJaccardSimilarity(q=2)
+        assert (
+            semantic_overlap_many_to_one(q, c, sim, 0.4)
+            >= semantic_overlap(q, c, sim, 0.4) - 1e-9
+        )
+
+
+class TestMatchingPairs:
+    def test_pairs_describe_the_optimal_matching(self):
+        sim = CallableSimilarity(
+            PinnedSimilarityModel(
+                {("ge", "generalelectric"): 0.92, ("ibm", "intlbm"): 0.85}
+            )
+        )
+        pairs = matching_pairs(
+            {"ge", "ibm"}, {"generalelectric", "intlbm"}, sim, 0.5
+        )
+        mapping = {q: (c, w) for q, c, w in pairs}
+        assert mapping["ge"] == ("generalelectric", pytest.approx(0.92))
+        assert mapping["ibm"] == ("intlbm", pytest.approx(0.85))
+
+    def test_pair_weights_sum_to_overlap(self, qgram_sim):
+        q = {"alpha", "beta", "blain"}
+        c = {"alpha", "blaine", "gamma"}
+        pairs = matching_pairs(q, c, qgram_sim, 0.4)
+        total = sum(w for _, _, w in pairs)
+        assert total == pytest.approx(
+            semantic_overlap(q, c, qgram_sim, 0.4), abs=1e-9
+        )

@@ -1,0 +1,67 @@
+"""Tests for search statistics accounting."""
+
+from repro.core import SearchStats
+
+
+def filled_stats() -> SearchStats:
+    stats = SearchStats()
+    stats.stream_tuples = 10
+    stats.candidates = 100
+    stats.pruned_first_sight = 20
+    stats.pruned_bucket = 30
+    stats.no_em_accepted = 5
+    stats.no_em_discarded = 25
+    stats.em_early_terminated = 12
+    stats.em_full = 8
+    return stats
+
+
+class TestDerivedCounters:
+    def test_refinement_pruned(self):
+        assert filled_stats().refinement_pruned == 50
+
+    def test_no_em(self):
+        assert filled_stats().no_em == 30
+
+    def test_postprocessed(self):
+        assert filled_stats().postprocessed == 50
+
+    def test_consistency_holds(self):
+        assert filled_stats().consistency_ok()
+
+    def test_consistency_detects_leak(self):
+        stats = filled_stats()
+        stats.em_full -= 1
+        assert not stats.consistency_ok()
+
+
+class TestMerge:
+    def test_counters_accumulate(self):
+        a, b = filled_stats(), filled_stats()
+        a.merge(b)
+        assert a.candidates == 200
+        assert a.refinement_pruned == 100
+        assert a.consistency_ok()
+
+    def test_final_similarity_takes_max(self):
+        a, b = SearchStats(), SearchStats()
+        a.final_stream_similarity = 0.5
+        b.final_stream_similarity = 0.9
+        a.merge(b)
+        assert a.final_stream_similarity == 0.9
+
+    def test_timers_merge(self):
+        a, b = SearchStats(), SearchStats()
+        with b.timer.phase("refinement"):
+            pass
+        a.merge(b)
+        assert a.timer.seconds("refinement") >= 0.0
+        assert "refinement" in a.timer.totals
+
+    def test_memory_merges_peaks(self):
+        a, b = SearchStats(), SearchStats()
+        a.memory.record("x", 100)
+        b.memory.record("x", 300)
+        b.memory.record("y", 50)
+        a.merge(b)
+        assert a.memory.breakdown() == {"x": 300, "y": 50}

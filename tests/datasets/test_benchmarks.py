@@ -1,0 +1,128 @@
+"""Tests for query benchmark sampling."""
+
+import pytest
+
+from repro.datasets import (
+    CardinalityInterval,
+    OPENDATA_PAPER_INTERVALS,
+    QueryBenchmark,
+    SetCollection,
+    WDC_PAPER_INTERVALS,
+    quantile_intervals,
+)
+from repro.errors import InvalidParameterError
+
+
+def sized_collection():
+    sets = []
+    for size in [2, 2, 3, 4, 5, 6, 8, 10, 15, 20, 30, 50]:
+        sets.append({f"s{size}_{i}" for i in range(size)})
+    return SetCollection(sets)
+
+
+class TestCardinalityInterval:
+    def test_label(self):
+        assert CardinalityInterval(10, 750).label == "10-750"
+        assert CardinalityInterval(5000, None).label == ">=5000"
+
+    def test_contains_half_open(self):
+        interval = CardinalityInterval(10, 20)
+        assert interval.contains(10)
+        assert interval.contains(19)
+        assert not interval.contains(20)
+        assert not interval.contains(9)
+
+    def test_open_interval(self):
+        assert CardinalityInterval(100, None).contains(10_000)
+
+
+class TestUniformBenchmark:
+    def test_sampling(self):
+        bench = QueryBenchmark.uniform(sized_collection(), 5, seed=1)
+        assert len(bench) == 5
+        ids = bench.all_query_ids()
+        assert len(set(ids)) == 5
+
+    def test_capped_at_collection_size(self):
+        bench = QueryBenchmark.uniform(sized_collection(), 1000, seed=1)
+        assert len(bench) == 12
+
+    def test_deterministic(self):
+        a = QueryBenchmark.uniform(sized_collection(), 5, seed=2)
+        b = QueryBenchmark.uniform(sized_collection(), 5, seed=2)
+        assert a.all_query_ids() == b.all_query_ids()
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            QueryBenchmark.uniform(sized_collection(), 0)
+
+
+class TestIntervalBenchmark:
+    def test_queries_respect_intervals(self):
+        collection = sized_collection()
+        intervals = [
+            CardinalityInterval(2, 6),
+            CardinalityInterval(6, 20),
+            CardinalityInterval(20, None),
+        ]
+        bench = QueryBenchmark.by_intervals(collection, intervals, 2, seed=0)
+        for label, query_id, tokens in bench:
+            interval = next(i for i in intervals if i.label == label)
+            assert interval.contains(len(tokens))
+
+    def test_empty_intervals_dropped(self):
+        collection = sized_collection()
+        intervals = [
+            CardinalityInterval(2, 6),
+            CardinalityInterval(1000, 2000),
+        ]
+        bench = QueryBenchmark.by_intervals(collection, intervals, 2)
+        assert [g.label for g in bench.groups] == ["2-6"]
+
+    def test_all_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            QueryBenchmark.by_intervals(
+                sized_collection(), [CardinalityInterval(999, None)], 1
+            )
+
+    def test_per_interval_cap(self):
+        bench = QueryBenchmark.by_intervals(
+            sized_collection(), [CardinalityInterval(2, None)], 4, seed=3
+        )
+        assert len(bench) == 4
+
+
+class TestQuantileBenchmark:
+    def test_groups_cover_size_range(self):
+        collection = sized_collection()
+        bench = QueryBenchmark.by_quantiles(collection, 3, 2, seed=0)
+        assert 1 <= len(bench.groups) <= 3
+        sampled_sizes = [len(tokens) for _, _, tokens in bench]
+        assert min(sampled_sizes) <= 5
+        assert max(sampled_sizes) >= 10
+
+    def test_quantile_intervals_partition_sizes(self):
+        collection = sized_collection()
+        intervals = quantile_intervals(collection, 4)
+        for set_id in collection.ids():
+            size = collection.cardinality(set_id)
+            assert sum(1 for i in intervals if i.contains(size)) == 1
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            quantile_intervals(sized_collection(), 0)
+
+
+class TestPaperIntervals:
+    def test_opendata_intervals_match_paper(self):
+        labels = [i.label for i in OPENDATA_PAPER_INTERVALS]
+        assert labels == [
+            "10-750", "750-1000", "1000-1500", "1500-2500",
+            "2500-5000", ">=5000",
+        ]
+
+    def test_wdc_intervals_match_paper(self):
+        labels = [i.label for i in WDC_PAPER_INTERVALS]
+        assert labels == [
+            "20-250", "250-500", "500-750", "750-1000", ">=1000",
+        ]

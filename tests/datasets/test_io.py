@@ -1,0 +1,188 @@
+"""Tests for collection loading and saving."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets import SetCollection
+from repro.datasets.io import (
+    load_collection_csv,
+    load_collection_json,
+    load_table_columns,
+    save_collection_csv,
+    save_collection_json,
+)
+from repro.errors import InvalidParameterError
+
+
+@pytest.fixture()
+def collection():
+    return SetCollection(
+        [{"seattle", "portland"}, {"boston"}],
+        names=["west", "east"],
+    )
+
+
+class TestJsonRoundTrip:
+    def test_round_trip(self, collection, tmp_path):
+        path = tmp_path / "sets.json"
+        save_collection_json(collection, path)
+        loaded = load_collection_json(path)
+        assert len(loaded) == 2
+        assert loaded[loaded.id_of("west")] == frozenset(
+            {"seattle", "portland"}
+        )
+        assert loaded[loaded.id_of("east")] == frozenset({"boston"})
+
+    def test_deterministic_output(self, collection, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        save_collection_json(collection, a)
+        save_collection_json(collection, b)
+        assert a.read_text() == b.read_text()
+
+    def test_non_object_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(InvalidParameterError):
+            load_collection_json(path)
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self, collection, tmp_path):
+        path = tmp_path / "sets.csv"
+        save_collection_csv(collection, path)
+        loaded = load_collection_csv(path)
+        assert loaded[loaded.id_of("west")] == frozenset(
+            {"seattle", "portland"}
+        )
+
+    def test_headerless_csv(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        path.write_text("colA,tokyo\ncolA,osaka\ncolB,kyoto\n")
+        loaded = load_collection_csv(path)
+        assert len(loaded) == 2
+        assert loaded[loaded.id_of("colA")] == frozenset({"tokyo", "osaka"})
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gaps.csv"
+        path.write_text("set_name,token\nx,a\n\nx,b\n")
+        loaded = load_collection_csv(path)
+        assert loaded[loaded.id_of("x")] == frozenset({"a", "b"})
+
+    def test_short_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("justonecolumn\n")
+        with pytest.raises(InvalidParameterError):
+            load_collection_csv(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(InvalidParameterError):
+            load_collection_csv(path)
+
+
+class TestTableColumns:
+    def test_columns_become_sets(self, tmp_path):
+        path = tmp_path / "cities.csv"
+        path.write_text(
+            "city,state,population\n"
+            "seattle,washington,700000\n"
+            "portland,oregon,650000\n"
+            "spokane,washington,220000\n"
+        )
+        loaded = load_table_columns(path)
+        assert loaded[loaded.id_of("cities.city")] == frozenset(
+            {"seattle", "portland", "spokane"}
+        )
+        assert loaded[loaded.id_of("cities.state")] == frozenset(
+            {"washington", "oregon"}
+        )
+        # Purely numeric column dropped entirely (paper's rule).
+        with pytest.raises(ValueError):
+            loaded.id_of("cities.population")
+
+    def test_keep_numeric_when_asked(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b\n1,x\n2,y\n")
+        loaded = load_table_columns(path, drop_numeric=False)
+        assert loaded[loaded.id_of("t.a")] == frozenset({"1", "2"})
+
+    def test_min_size_filter(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b\nx,p\nx,q\n")
+        loaded = load_table_columns(path, min_size=2)
+        assert len(loaded) == 1  # column a has one distinct value
+
+    def test_table_name_override(self, tmp_path):
+        path = tmp_path / "whatever.csv"
+        path.write_text("col\nvalue\n")
+        loaded = load_table_columns(path, table_name="lake")
+        assert loaded.name_of(0) == "lake.col"
+
+    def test_empty_table_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(InvalidParameterError):
+            load_table_columns(path)
+
+
+_names = st.text(
+    alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+    min_size=1,
+    max_size=8,
+)
+_token_sets = st.sets(_names, min_size=1, max_size=6)
+_mappings = st.dictionaries(_names, _token_sets, min_size=1, max_size=6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(mapping=_mappings)
+def test_json_round_trip_preserves_sets(mapping, tmp_path_factory):
+    path = tmp_path_factory.mktemp("io") / "sets.json"
+    collection = SetCollection.from_mapping(mapping)
+    save_collection_json(collection, path)
+    loaded = load_collection_json(path)
+    assert len(loaded) == len(collection)
+    for name, tokens in mapping.items():
+        assert loaded[loaded.id_of(name)] == frozenset(tokens)
+
+
+@settings(max_examples=40, deadline=None)
+@given(mapping=_mappings)
+def test_csv_round_trip_preserves_sets(mapping, tmp_path_factory):
+    path = tmp_path_factory.mktemp("io") / "sets.csv"
+    collection = SetCollection.from_mapping(mapping)
+    save_collection_csv(collection, path)
+    loaded = load_collection_csv(path)
+    for name, tokens in mapping.items():
+        assert loaded[loaded.id_of(name)] == frozenset(tokens)
+
+
+class TestEndToEndWithLoadedData:
+    def test_search_over_loaded_table(self, tmp_path):
+        from repro import (
+            CosineSimilarity,
+            ExactCosineIndex,
+            HashingEmbeddingProvider,
+            KoiosSearchEngine,
+            VectorStore,
+        )
+
+        path = tmp_path / "lake.csv"
+        path.write_text(
+            "cities,countries\n"
+            "seattle,usa\n"
+            "portland,canada\n"
+            "boston,mexico\n"
+        )
+        collection = load_table_columns(path)
+        provider = HashingEmbeddingProvider(dim=32)
+        store = VectorStore(provider, collection.vocabulary)
+        engine = KoiosSearchEngine(
+            collection,
+            ExactCosineIndex(store, provider),
+            CosineSimilarity(provider),
+            alpha=0.4,
+        )
+        result = engine.search({"seattle", "portland"}, k=1)
+        assert result.entries[0].name == "lake.cities"

@@ -1,0 +1,90 @@
+"""Tests for the Table-I dataset profiles."""
+
+import pytest
+
+from repro.datasets import (
+    FULL_PROFILES,
+    SMALL_PROFILES,
+    TINY_PROFILES,
+    DatasetProfile,
+    profile_by_name,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestRegistry:
+    def test_four_profiles_everywhere(self):
+        for registry in (FULL_PROFILES, SMALL_PROFILES, TINY_PROFILES):
+            assert sorted(registry) == ["dblp", "opendata", "twitter", "wdc"]
+
+    def test_full_profiles_match_table1(self):
+        dblp = FULL_PROFILES["dblp"]
+        assert dblp.num_sets == 4246
+        assert dblp.paper_row.avg_size == 178.7
+        wdc = FULL_PROFILES["wdc"]
+        assert wdc.num_sets == 1_014_369
+        assert wdc.paper_row.num_unique_elements == 328_357
+
+    def test_lookup_by_name(self):
+        assert profile_by_name("dblp", scale="tiny") is TINY_PROFILES["dblp"]
+        assert profile_by_name("wdc", scale="full") is FULL_PROFILES["wdc"]
+
+    def test_lookup_validation(self):
+        with pytest.raises(InvalidParameterError):
+            profile_by_name("nope")
+        with pytest.raises(InvalidParameterError):
+            profile_by_name("dblp", scale="huge")
+
+
+class TestShapeOrderings:
+    """The inter-dataset orderings the paper's analysis relies on must
+    survive scaling."""
+
+    @pytest.mark.parametrize("registry", [SMALL_PROFILES, TINY_PROFILES])
+    def test_wdc_has_most_sets(self, registry):
+        assert registry["wdc"].num_sets == max(
+            p.num_sets for p in registry.values()
+        )
+
+    @pytest.mark.parametrize("registry", [SMALL_PROFILES, TINY_PROFILES])
+    def test_dblp_has_largest_average_sets(self, registry):
+        assert registry["dblp"].avg_size == max(
+            p.avg_size for p in registry.values()
+        )
+
+    def test_wdc_has_heaviest_frequency_skew(self):
+        assert SMALL_PROFILES["wdc"].zipf_exponent == max(
+            p.zipf_exponent for p in SMALL_PROFILES.values()
+        )
+
+    def test_opendata_and_wdc_most_size_skewed(self):
+        sigmas = {n: p.size_sigma for n, p in SMALL_PROFILES.items()}
+        assert sigmas["opendata"] > sigmas["dblp"]
+        assert sigmas["wdc"] > sigmas["twitter"]
+
+
+class TestValidationAndScaling:
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            DatasetProfile(
+                name="bad", num_sets=10, avg_size=50.0, max_size=20,
+                min_size=1, vocab_size=100, size_sigma=0.5,
+                zipf_exponent=1.0,
+            )
+
+    def test_vocab_must_cover_max_size(self):
+        with pytest.raises(InvalidParameterError):
+            DatasetProfile(
+                name="bad", num_sets=10, avg_size=5.0, max_size=50,
+                min_size=1, vocab_size=20, size_sigma=0.5, zipf_exponent=1.0,
+            )
+
+    def test_scaled_counts(self):
+        scaled = FULL_PROFILES["dblp"].scaled(sets_scale=0.1, size_scale=0.1)
+        assert scaled.num_sets == 424
+        assert scaled.max_size == 51
+        assert scaled.vocab_size >= scaled.max_size
+
+    def test_scaled_validation(self):
+        with pytest.raises(InvalidParameterError):
+            FULL_PROFILES["dblp"].scaled(sets_scale=0.0)

@@ -1,0 +1,156 @@
+"""Tests for synthetic corpus generation."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    COVERAGE_FLOOR,
+    TINY_PROFILES,
+    generate_dataset,
+)
+from repro.datasets.profiles import DatasetProfile
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_dataset(TINY_PROFILES["opendata"], seed=5)
+
+
+class TestShape:
+    def test_set_count(self, dataset):
+        assert len(dataset.collection) == dataset.profile.num_sets
+
+    def test_sizes_within_bounds(self, dataset):
+        profile = dataset.profile
+        for set_id in dataset.collection.ids():
+            size = dataset.collection.cardinality(set_id)
+            assert profile.min_size <= size <= profile.max_size
+
+    def test_average_size_near_profile(self, dataset):
+        stats = dataset.collection.stats()
+        assert stats.avg_size == pytest.approx(
+            dataset.profile.avg_size, rel=0.5
+        )
+
+    def test_deterministic(self):
+        profile = TINY_PROFILES["twitter"]
+        a = generate_dataset(profile, seed=3)
+        b = generate_dataset(profile, seed=3)
+        assert list(a.collection) == list(b.collection)
+
+    def test_seed_changes_collection(self):
+        profile = TINY_PROFILES["twitter"]
+        a = generate_dataset(profile, seed=3)
+        b = generate_dataset(profile, seed=4)
+        assert list(a.collection) != list(b.collection)
+
+
+class TestCoverage:
+    def test_embedding_coverage_floor(self, dataset):
+        """Nearly every set meets the paper's 70% coverage filter (a few
+        best-effort draws may fall below; they must be rare)."""
+        provider = dataset.provider
+        below = 0
+        for members in dataset.collection:
+            covered = sum(1 for t in members if provider.covers(t))
+            if covered / len(members) < COVERAGE_FLOOR:
+                below += 1
+        assert below <= len(dataset.collection) * 0.05
+
+    def test_oov_tokens_do_appear(self, dataset):
+        used = dataset.collection.vocabulary
+        assert used & dataset.vocabulary_spec.oov_tokens
+
+
+class TestSemanticStructure:
+    def test_cluster_members_embedded_similarly(self, dataset):
+        provider = dataset.provider
+        spec = dataset.vocabulary_spec
+        name, members = next(
+            (n, m) for n, m in spec.clusters.items() if n.startswith("syn_")
+        )
+        sims = [
+            float(provider.vector(a) @ provider.vector(b))
+            for i, a in enumerate(members)
+            for b in members[i + 1:]
+        ]
+        assert np.mean(sims) > 0.6
+
+    def test_provider_salted_per_dataset(self):
+        a = generate_dataset(TINY_PROFILES["twitter"], seed=1)
+        b = generate_dataset(TINY_PROFILES["twitter"], seed=2)
+        shared = (a.collection.vocabulary & b.collection.vocabulary) - (
+            a.vocabulary_spec.oov_tokens | b.vocabulary_spec.oov_tokens
+        )
+        token = next(iter(shared), None)
+        if token is not None:
+            assert not np.array_equal(
+                a.provider.vector(token), b.provider.vector(token)
+            )
+
+
+class TestFamilies:
+    def test_families_create_high_overlap_pairs(self):
+        profile = TINY_PROFILES["opendata"]
+        dataset = generate_dataset(profile, seed=9)
+        sets = list(dataset.collection)
+        best = 0.0
+        for i, a in enumerate(sets[:60]):
+            for b in sets[i + 1:60]:
+                overlap = len(a & b) / min(len(a), len(b))
+                best = max(best, overlap)
+        assert best >= profile.family_keep * 0.5
+
+    def test_no_families_when_disabled(self):
+        from dataclasses import replace
+
+        profile = replace(TINY_PROFILES["twitter"], family_fraction=0.0)
+        dataset = generate_dataset(profile, seed=9)
+        assert len(dataset.collection) == profile.num_sets
+
+
+class TestCommonPool:
+    def test_common_tokens_create_long_posting_lists(self):
+        from repro.index import InvertedIndex
+
+        dataset = generate_dataset(TINY_PROFILES["dblp"], seed=2)
+        stats = InvertedIndex(dataset.collection).stats()
+        # The shared pool guarantees some tokens appear in a large
+        # fraction of sets.
+        assert stats.max_list_length > len(dataset.collection) * 0.3
+
+    def test_pairwise_overlap_scales_with_size(self):
+        """The common pool gives bigger sets bigger baseline overlaps —
+        the effect that drives theta_lb in the paper's corpora."""
+        dataset = generate_dataset(TINY_PROFILES["opendata"], seed=2)
+        collection = dataset.collection
+        by_size = sorted(collection.ids(), key=collection.cardinality)
+        small = [collection[i] for i in by_size[:20]]
+        large = [collection[i] for i in by_size[-20:]]
+
+        def mean_overlap(sets):
+            pairs = [
+                len(a & b)
+                for i, a in enumerate(sets)
+                for b in sets[i + 1:]
+            ]
+            return sum(pairs) / len(pairs)
+
+        assert mean_overlap(large) > mean_overlap(small)
+
+
+class TestCustomProfile:
+    def test_small_custom_profile(self):
+        profile = DatasetProfile(
+            name="custom",
+            num_sets=20,
+            avg_size=5.0,
+            max_size=10,
+            min_size=2,
+            vocab_size=100,
+            size_sigma=0.4,
+            zipf_exponent=1.0,
+        )
+        dataset = generate_dataset(profile, seed=0)
+        assert len(dataset.collection) == 20
+        assert dataset.name == "custom"

@@ -1,0 +1,114 @@
+"""Tests for the synthetic token corpus builder."""
+
+import pytest
+
+from repro.datasets import build_vocabulary, distinct_tokens, random_token, typo_variant
+from repro.errors import InvalidParameterError
+from repro.sim.edit import levenshtein
+from repro.utils.rng import make_rng
+
+
+class TestTokens:
+    def test_random_token_length_range(self):
+        rng = make_rng(0)
+        for _ in range(50):
+            token = random_token(rng, min_len=4, max_len=7)
+            assert 4 <= len(token) <= 7
+            assert token.islower()
+
+    def test_distinct_tokens_unique(self):
+        tokens = distinct_tokens(200, make_rng(1))
+        assert len(set(tokens)) == 200
+
+    def test_distinct_tokens_avoid_taken(self):
+        rng = make_rng(2)
+        first = distinct_tokens(50, rng)
+        second = distinct_tokens(50, rng, taken=set(first))
+        assert not set(first) & set(second)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            distinct_tokens(-1, make_rng(0))
+
+
+class TestTypoVariant:
+    def test_edit_distance_is_one(self):
+        rng = make_rng(3)
+        for _ in range(100):
+            base = random_token(rng)
+            variant = typo_variant(base, rng)
+            assert levenshtein(base, variant) == 1
+
+    def test_variant_differs(self):
+        rng = make_rng(4)
+        for _ in range(50):
+            base = random_token(rng)
+            assert typo_variant(base, rng) != base
+
+    def test_empty_token_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            typo_variant("", make_rng(0))
+
+
+class TestBuildVocabulary:
+    @pytest.fixture(scope="class")
+    def spec(self):
+        return build_vocabulary(
+            num_tokens=500,
+            cluster_fraction=0.2,
+            cluster_size=4,
+            typo_fraction=0.1,
+            oov_fraction=0.05,
+            seed=7,
+        )
+
+    def test_token_count(self, spec):
+        assert len(spec.tokens) == 500
+        assert len(set(spec.tokens)) == 500
+
+    def test_cluster_population(self, spec):
+        synonyms = [
+            members
+            for name, members in spec.clusters.items()
+            if name.startswith("syn_")
+        ]
+        assert len(synonyms) == 500 * 0.2 // 4
+        assert all(len(members) == 4 for members in synonyms)
+
+    def test_typo_pairs_are_single_edits(self, spec):
+        assert len(spec.typo_pairs) == int(500 * 0.1) // 2
+        for base, variant in spec.typo_pairs:
+            assert levenshtein(base, variant) == 1
+
+    def test_typo_pairs_form_clusters(self, spec):
+        for index, (base, variant) in enumerate(spec.typo_pairs):
+            assert spec.clusters[f"typo_{index}"] == [base, variant]
+
+    def test_oov_tokens_are_plain(self, spec):
+        assert spec.oov_tokens
+        assert not spec.oov_tokens & spec.clustered_tokens
+
+    def test_related_tokens(self, spec):
+        name, members = next(iter(spec.clusters.items()))
+        related = spec.related_tokens(members[0])
+        assert related == set(members) - {members[0]}
+        assert spec.related_tokens("not-a-token") == set()
+
+    def test_deterministic(self):
+        a = build_vocabulary(num_tokens=100, seed=9)
+        b = build_vocabulary(num_tokens=100, seed=9)
+        assert a.tokens == b.tokens
+        assert a.clusters == b.clusters
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_tokens": 0},
+            {"num_tokens": 10, "cluster_size": 1},
+            {"num_tokens": 10, "cluster_fraction": 1.5},
+            {"num_tokens": 10, "cluster_fraction": 0.8, "typo_fraction": 0.4},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(InvalidParameterError):
+            build_vocabulary(**kwargs)

@@ -1,0 +1,87 @@
+"""Tests for the FastText-style hashing embeddings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.embedding import HashingEmbeddingProvider, char_ngrams
+from repro.errors import InvalidParameterError
+
+words = st.text(
+    alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestCharNGrams:
+    def test_includes_boundary_markers(self):
+        grams = char_ngrams("ab", 3, 3)
+        assert "<ab" in grams and "ab>" in grams
+
+    def test_full_wrapped_token_always_included(self):
+        assert "<ab>" in char_ngrams("ab", 5, 6)
+
+    def test_gram_lengths_in_range(self):
+        grams = char_ngrams("token", 3, 4)
+        for gram in grams[:-1]:  # last entry is the wrapped token
+            assert 3 <= len(gram) <= 4
+
+    def test_typo_shares_most_grams(self):
+        a = set(char_ngrams("blaine", 3, 5))
+        b = set(char_ngrams("blain", 3, 5))
+        overlap = len(a & b) / len(a | b)
+        assert overlap > 0.3
+
+
+class TestHashingEmbeddingProvider:
+    def test_deterministic_across_instances(self):
+        one = HashingEmbeddingProvider(dim=32)
+        two = HashingEmbeddingProvider(dim=32)
+        assert np.array_equal(one.vector("hello"), two.vector("hello"))
+
+    def test_salt_changes_space(self):
+        one = HashingEmbeddingProvider(dim=32, salt="a")
+        two = HashingEmbeddingProvider(dim=32, salt="b")
+        assert not np.array_equal(one.vector("hello"), two.vector("hello"))
+
+    def test_vectors_unit_normalized(self):
+        provider = HashingEmbeddingProvider(dim=48)
+        assert np.linalg.norm(provider.vector("hello")) == pytest.approx(
+            1.0, abs=1e-5
+        )
+
+    def test_covers_everything_but_empty(self):
+        provider = HashingEmbeddingProvider(dim=8)
+        assert provider.covers("x")
+        assert not provider.covers("")
+
+    def test_empty_token_raises(self):
+        with pytest.raises(InvalidParameterError):
+            HashingEmbeddingProvider(dim=8).vector("")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"dim": 0}, {"dim": 8, "n_min": 0}, {"dim": 8, "n_min": 5, "n_max": 3}],
+    )
+    def test_parameter_validation(self, kwargs):
+        with pytest.raises(InvalidParameterError):
+            HashingEmbeddingProvider(**kwargs)
+
+    def test_typos_closer_than_unrelated(self):
+        provider = HashingEmbeddingProvider(dim=64)
+        base = provider.vector("charleston")
+        typo = provider.vector("charlestn")
+        other = provider.vector("minnesota")
+        assert float(base @ typo) > float(base @ other)
+
+    @given(words)
+    def test_every_token_embeddable(self, token):
+        provider = HashingEmbeddingProvider(dim=16)
+        vec = provider.vector(token)
+        assert vec.shape == (16,)
+        assert np.isfinite(vec).all()
+
+    def test_cache_returns_same_object(self):
+        provider = HashingEmbeddingProvider(dim=16)
+        assert provider.vector("tok") is provider.vector("tok")

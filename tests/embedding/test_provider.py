@@ -1,0 +1,70 @@
+"""Tests for the embedding provider protocol helpers and VectorStore."""
+
+import numpy as np
+import pytest
+
+from repro.embedding import (
+    HashingEmbeddingProvider,
+    SyntheticEmbeddingModel,
+    VectorStore,
+    normalize,
+)
+from repro.errors import VocabularyError
+
+
+class TestNormalize:
+    def test_unit_norm(self):
+        vec = normalize(np.array([3.0, 4.0], dtype=np.float32))
+        assert np.linalg.norm(vec) == pytest.approx(1.0)
+
+    def test_zero_vector_unchanged(self):
+        vec = normalize(np.zeros(4, dtype=np.float32))
+        assert np.all(vec == 0.0)
+
+    def test_dtype_is_float32(self):
+        assert normalize(np.array([1.0, 1.0])).dtype == np.float32
+
+
+class TestVectorStore:
+    @pytest.fixture()
+    def store(self):
+        provider = SyntheticEmbeddingModel(dim=16, oov_tokens={"ghost"})
+        return VectorStore(provider, ["b", "a", "ghost", "c", "a"])
+
+    def test_oov_tokens_excluded(self, store):
+        assert "ghost" not in store
+        assert len(store) == 3
+
+    def test_tokens_sorted_and_deduplicated(self, store):
+        assert store.tokens == ["a", "b", "c"]
+
+    def test_row_roundtrip(self, store):
+        for token in store.tokens:
+            assert store.token_at(store.row_of(token)) == token
+
+    def test_unknown_token_raises(self, store):
+        with pytest.raises(VocabularyError):
+            store.row_of("nope")
+
+    def test_vectors_unit_normalized(self, store):
+        norms = np.linalg.norm(store.matrix, axis=1)
+        assert np.allclose(norms, 1.0, atol=1e-5)
+
+    def test_matrix_read_only(self, store):
+        with pytest.raises(ValueError):
+            store.matrix[0, 0] = 5.0
+
+    def test_coverage(self, store):
+        assert store.coverage(["a", "ghost"]) == 0.5
+        assert store.coverage([]) == 0.0
+        assert store.coverage(["a", "b", "c"]) == 1.0
+
+    def test_empty_store(self):
+        provider = HashingEmbeddingProvider(dim=8)
+        store = VectorStore(provider, [])
+        assert len(store) == 0
+        assert store.matrix.shape == (0, 8)
+
+    def test_vector_lookup_matches_matrix(self, store):
+        row = store.row_of("b")
+        assert np.array_equal(store.vector("b"), store.matrix[row])

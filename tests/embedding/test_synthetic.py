@@ -1,0 +1,92 @@
+"""Tests for the planted-cluster synthetic embedding model."""
+
+import numpy as np
+import pytest
+
+from repro.embedding import PinnedSimilarityModel, SyntheticEmbeddingModel
+from repro.errors import InvalidParameterError, VocabularyError
+
+
+class TestSyntheticEmbeddingModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return SyntheticEmbeddingModel(
+            dim=96,
+            clusters={
+                "nyc": ["bigapple", "newyorkcity", "gotham", "manhattanish"],
+                "la": ["cityofangels", "losangeles"],
+            },
+            cluster_similarity=0.85,
+            oov_tokens={"ghost"},
+        )
+
+    def test_cluster_cosines_near_target(self, model):
+        members = ["bigapple", "newyorkcity", "gotham", "manhattanish"]
+        sims = [
+            float(model.vector(a) @ model.vector(b))
+            for i, a in enumerate(members)
+            for b in members[i + 1:]
+        ]
+        assert np.mean(sims) == pytest.approx(0.85, abs=0.08)
+
+    def test_cross_cluster_cosines_low(self, model):
+        value = float(model.vector("bigapple") @ model.vector("losangeles"))
+        assert abs(value) < 0.5
+
+    def test_plain_tokens_independent(self, model):
+        value = float(model.vector("zebra") @ model.vector("yacht"))
+        assert abs(value) < 0.5
+
+    def test_oov_raises(self, model):
+        with pytest.raises(VocabularyError):
+            model.vector("ghost")
+        assert not model.covers("ghost")
+
+    def test_cluster_of(self, model):
+        assert model.cluster_of("gotham") == "nyc"
+        assert model.cluster_of("zebra") is None
+
+    def test_deterministic(self):
+        kwargs = dict(dim=32, clusters={"c": ["a", "b"]})
+        one = SyntheticEmbeddingModel(**kwargs)
+        two = SyntheticEmbeddingModel(**kwargs)
+        assert np.array_equal(one.vector("a"), two.vector("a"))
+
+    def test_token_in_two_clusters_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            SyntheticEmbeddingModel(
+                dim=16, clusters={"x": ["tok"], "y": ["tok"]}
+            )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"dim": 1}, {"dim": 16, "cluster_similarity": 0.0},
+         {"dim": 16, "cluster_similarity": 1.2}],
+    )
+    def test_parameter_validation(self, kwargs):
+        with pytest.raises(InvalidParameterError):
+            SyntheticEmbeddingModel(**kwargs)
+
+    def test_vectors_unit_normalized(self, model):
+        assert np.linalg.norm(model.vector("bigapple")) == pytest.approx(
+            1.0, abs=1e-5
+        )
+
+
+class TestPinnedSimilarityModel:
+    def test_pinned_pairs_symmetric(self):
+        model = PinnedSimilarityModel({("a", "b"): 0.8})
+        assert model("a", "b") == 0.8
+        assert model("b", "a") == 0.8
+
+    def test_identical_always_one(self):
+        model = PinnedSimilarityModel({})
+        assert model("x", "x") == 1.0
+
+    def test_default_for_unlisted(self):
+        model = PinnedSimilarityModel({}, default=0.25)
+        assert model("x", "y") == 0.25
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            PinnedSimilarityModel({("a", "b"): 1.5})

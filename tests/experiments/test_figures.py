@@ -1,0 +1,103 @@
+"""Tests for the figure series builders."""
+
+import pytest
+
+from repro.baselines import VanillaOverlapSearch
+from repro.core import SearchStats
+from repro.core.koios import ResultEntry, SearchResult
+from repro.datasets import QueryBenchmark, SetCollection
+from repro.experiments import (
+    parameter_sweep,
+    quality_comparison,
+    response_time_panels,
+    timeouts_per_group,
+)
+from repro.experiments.harness import QueryRecord
+
+
+def record(group, method, seconds, timed_out=False):
+    stats = SearchStats()
+    stats.candidates = 10
+    stats.em_full = 10
+    return QueryRecord(
+        dataset="d", method=method, group=group, query_id=0, cardinality=3,
+        seconds=seconds, refinement_seconds=seconds * 0.75,
+        postproc_seconds=seconds * 0.25, memory_mb=1.0,
+        timed_out=timed_out, stats=stats,
+    )
+
+
+class TestResponseTimePanels:
+    def test_panels_built_per_method(self):
+        records = {
+            "koios": [record("a", "koios", 1.0), record("b", "koios", 2.0)],
+            "baseline": [record("a", "baseline", 8.0)],
+        }
+        panels = response_time_panels(records)
+        assert panels.response["koios"] == [("a", 1.0), ("b", 2.0)]
+        assert panels.response["baseline"] == [("a", 8.0)]
+        assert panels.refinement_share[0] == ("a", pytest.approx(0.75))
+        assert panels.postproc_share[0] == ("a", pytest.approx(0.25))
+        assert panels.memory["koios"][0] == ("a", 1.0)
+
+    def test_timeout_series(self):
+        records = [
+            record("a", "m", 1.0),
+            record("a", "m", 1.0, timed_out=True),
+            record("b", "m", 1.0),
+        ]
+        assert timeouts_per_group(records) == [("a", 1.0), ("b", 0.0)]
+
+
+class TestParameterSweep:
+    def test_sweep_runs_searcher_per_value(self):
+        collection = SetCollection([{"a"}, {"b"}, {"a", "b"}])
+        bench = QueryBenchmark.uniform(collection, 2, seed=0)
+        calls = []
+
+        def make_search_fn(value):
+            def run(tokens, k):
+                calls.append((value, k))
+                stats = SearchStats()
+                return SearchResult(entries=[], stats=stats, k=k)
+
+            return run
+
+        sweep = parameter_sweep(
+            "k", [1, 5], make_search_fn, bench, k_for=lambda v: v
+        )
+        assert [x for x, _ in sweep.response] == [1, 5]
+        assert {k for _, k in calls} == {1, 5}
+        assert len(sweep.memory) == 2
+
+
+class TestQualityComparison:
+    def test_semantic_vs_vanilla_series(self):
+        collection = SetCollection(
+            [{"a", "b"}, {"a", "c"}, {"x", "y"}], names=["s0", "s1", "s2"]
+        )
+        vanilla = VanillaOverlapSearch(collection)
+        bench = QueryBenchmark.uniform(collection, 2, seed=1)
+
+        def semantic_search(tokens, k):
+            # A stub "semantic" searcher: vanilla plus a bonus for set 2.
+            result = vanilla.search(tokens, k)
+            entries = list(result.entries)
+            entries.append(
+                ResultEntry(2, "s2", 0.9, True, 0.9, 0.9)
+            )
+            return SearchResult(
+                entries=entries[:k], stats=SearchStats(), k=k
+            )
+
+        comparison = quality_comparison(
+            semantic_search,
+            semantic_score=lambda tokens, set_id: 1.0,
+            vanilla=vanilla,
+            benchmark=bench,
+            k=2,
+        )
+        assert len(comparison.kth_vanilla_of_vanilla) == 1
+        assert len(comparison.intersection_fraction) == 1
+        fraction = comparison.intersection_fraction[0][1]
+        assert 0.0 <= fraction <= 1.0

@@ -1,0 +1,45 @@
+"""Tests for ASCII report rendering."""
+
+from repro.experiments import format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        text = format_table(
+            ["Name", "Value"], [["alpha", 1.5], ["b", 20]]
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("Name")
+        assert set(lines[1]) <= {"-", "+"}
+        assert len({len(line) for line in lines}) == 1  # aligned
+
+    def test_title(self):
+        text = format_table(["A"], [[1]], title="Table I")
+        assert text.splitlines()[0] == "Table I"
+
+    def test_float_formatting(self):
+        text = format_table(["X"], [[3.14159]], float_digits=2)
+        assert "3.14" in text
+        assert "3.142" not in text
+
+    def test_large_numbers_get_thousands_separator(self):
+        text = format_table(["X"], [[1_014_369]])
+        assert "1,014,369" in text
+
+    def test_booleans(self):
+        text = format_table(["X", "Y"], [[True, False]])
+        assert "yes" in text and "no" in text
+
+    def test_zero_float(self):
+        assert "0" in format_table(["X"], [[0.0]])
+
+
+class TestFormatSeries:
+    def test_points_rendered(self):
+        text = format_series("response", [("10-750", 1.5), (">5000", 2.0)])
+        assert text.startswith("response:")
+        assert "10-750=1.500" in text
+
+    def test_float_digits(self):
+        text = format_series("m", [(1, 0.123456)], float_digits=2)
+        assert "1=0.12" in text

@@ -1,0 +1,96 @@
+"""Tests for the paper-table row builders."""
+
+import pytest
+
+from repro.core import SearchStats
+from repro.datasets import TINY_PROFILES, generate_dataset
+from repro.experiments import (
+    TABLE1_HEADERS,
+    TABLE2_PAPER,
+    TABLE3_PAPER,
+    speedups_by_group,
+    table1_rows,
+    table2_row,
+    table3_row,
+    table45_rows,
+)
+from repro.experiments.harness import QueryRecord
+
+
+def record(group, seconds, *, candidates=100, pruned=60, no_em=10,
+           em_early=5, em=25, memory=4.0, timed_out=False):
+    stats = SearchStats()
+    stats.candidates = candidates
+    stats.pruned_first_sight = pruned
+    stats.no_em_discarded = no_em
+    stats.em_early_terminated = em_early
+    stats.em_full = em
+    return QueryRecord(
+        dataset="d", method="m", group=group, query_id=0, cardinality=10,
+        seconds=seconds, refinement_seconds=seconds / 2,
+        postproc_seconds=seconds / 2, memory_mb=memory,
+        timed_out=timed_out, stats=stats,
+    )
+
+
+class TestTable1:
+    def test_rows_carry_generated_and_paper_stats(self):
+        dataset = generate_dataset(TINY_PROFILES["dblp"], seed=0)
+        rows = table1_rows([dataset])
+        assert len(rows) == 1
+        row = rows[0]
+        assert len(row) == len(TABLE1_HEADERS)
+        assert row[0] == "dblp"
+        assert row[1] == len(dataset.collection)
+        assert row[5] == 4246  # paper #Sets
+
+
+class TestTable2:
+    def test_percentages(self):
+        records = [record("all", 1.0)]
+        row = table2_row("dblp", records)
+        assert row[0] == "dblp"
+        assert row[1] == pytest.approx(60.0)          # pruned/candidates
+        assert row[2] == pytest.approx(100 * 5 / 40)  # em_early/postproc
+        assert row[3] == pytest.approx(100 * 10 / 40)  # no_em/postproc
+
+    def test_paper_reference_values_present(self):
+        assert set(TABLE2_PAPER) == {"dblp", "opendata", "twitter", "wdc"}
+
+
+class TestTable3:
+    def test_speedup(self):
+        koios = [record("all", 1.0)]
+        baseline = [record("all", 5.0)]
+        row = table3_row("dblp", koios, baseline)
+        assert row[-1] == pytest.approx(5.0)
+        assert row[3] == pytest.approx(1.0)
+
+    def test_paper_reference_values_present(self):
+        assert TABLE3_PAPER["wdc"][2] == 147.0
+
+
+class TestTable45:
+    def test_rows_per_interval(self):
+        records = [
+            record("10-750", 1.0, candidates=50, pruned=20),
+            record("10-750", 2.0, candidates=70, pruned=40),
+            record(">=750", 3.0, candidates=200, pruned=190),
+        ]
+        rows = table45_rows(records)
+        assert [row[0] for row in rows] == ["10-750", ">=750"]
+        assert rows[0][1] == pytest.approx(60.0)  # mean candidates
+        assert rows[0][2] == pytest.approx(30.0)  # mean pruned
+
+
+class TestSpeedups:
+    def test_per_group(self):
+        koios = [record("a", 1.0), record("b", 2.0)]
+        baseline = [record("a", 10.0), record("b", 4.0)]
+        speedups = speedups_by_group(koios, baseline)
+        assert speedups["a"] == pytest.approx(10.0)
+        assert speedups["b"] == pytest.approx(2.0)
+
+    def test_missing_group_skipped(self):
+        speedups = speedups_by_group([record("a", 1.0)], [record("x", 2.0)])
+        assert speedups == {}

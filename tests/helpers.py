@@ -1,0 +1,6 @@
+"""Test-only helpers (kept thin: the scan index graduated to the
+library as :class:`repro.index.ScanTokenIndex`)."""
+
+from repro.index import ScanTokenIndex
+
+__all__ = ["ScanTokenIndex"]

@@ -1,0 +1,57 @@
+"""Tests for the inverted index ``Is``."""
+
+from repro.datasets import SetCollection
+from repro.index import InvertedIndex
+
+
+def collection():
+    return SetCollection(
+        [{"a", "b"}, {"b", "c"}, {"a", "c", "d"}, {"d"}]
+    )
+
+
+class TestPostings:
+    def test_sets_containing(self):
+        index = InvertedIndex(collection())
+        assert sorted(index.sets_containing("a")) == [0, 2]
+        assert sorted(index.sets_containing("b")) == [0, 1]
+        assert index.sets_containing("d") == [2, 3]
+
+    def test_absent_token_empty(self):
+        index = InvertedIndex(collection())
+        assert index.sets_containing("zzz") == []
+
+    def test_contains_and_len(self):
+        index = InvertedIndex(collection())
+        assert "a" in index
+        assert "zzz" not in index
+        assert len(index) == 4  # a, b, c, d
+
+    def test_restricted_to_partition(self):
+        index = InvertedIndex(collection(), set_ids=[1, 3])
+        assert index.sets_containing("a") == []
+        assert index.sets_containing("b") == [1]
+        assert index.sets_containing("d") == [3]
+
+    def test_every_set_reachable_via_some_token(self):
+        coll = collection()
+        index = InvertedIndex(coll)
+        reachable = set()
+        for token in coll.vocabulary:
+            reachable.update(index.sets_containing(token))
+        assert reachable == set(coll.ids())
+
+
+class TestStats:
+    def test_posting_stats(self):
+        stats = InvertedIndex(collection()).stats()
+        assert stats.num_tokens == 4
+        assert stats.total_postings == 8
+        assert stats.max_list_length == 2
+        assert stats.avg_list_length == 2.0
+
+    def test_empty_index_stats(self):
+        index = InvertedIndex(collection(), set_ids=[])
+        stats = index.stats()
+        assert stats.num_tokens == 0
+        assert stats.total_postings == 0

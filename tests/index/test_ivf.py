@@ -1,0 +1,69 @@
+"""Tests for the approximate IVF cosine index (the exactness ablation)."""
+
+import pytest
+
+from repro.embedding import SyntheticEmbeddingModel, VectorStore
+from repro.errors import InvalidParameterError
+from repro.index import ExactCosineIndex, IVFCosineIndex
+
+
+@pytest.fixture(scope="module")
+def setup():
+    provider = SyntheticEmbeddingModel(
+        dim=32,
+        clusters={
+            "a": ["a1", "a2", "a3"],
+            "b": ["b1", "b2", "b3"],
+        },
+        cluster_similarity=0.9,
+    )
+    vocab = ["a1", "a2", "a3", "b1", "b2", "b3"] + [f"x{i}" for i in range(20)]
+    store = VectorStore(provider, vocab)
+    return provider, store
+
+
+class TestIVFCosineIndex:
+    def test_parameter_validation(self, setup):
+        provider, store = setup
+        with pytest.raises(InvalidParameterError):
+            IVFCosineIndex(store, provider, nlist=0)
+
+    def test_full_probe_equals_exact_index(self, setup):
+        # Negative cosines clip to 0.0 and tie arbitrarily, so compare
+        # the token set and the positive-similarity prefix order.
+        provider, store = setup
+        exact = list(ExactCosineIndex(store, provider).stream("a1"))
+        ivf = IVFCosineIndex(store, provider, nlist=4, nprobe=4)
+        approx = list(ivf.stream("a1"))
+        assert {t for t, _ in approx} == {t for t, _ in exact}
+        exact_positive = [t for t, s in exact if s > 0.0]
+        approx_positive = [t for t, s in approx if s > 0.0]
+        assert approx_positive == exact_positive
+
+    def test_partial_probe_is_subset_in_order(self, setup):
+        provider, store = setup
+        ivf = IVFCosineIndex(store, provider, nlist=8, nprobe=1)
+        tuples = list(ivf.stream("a1"))
+        values = [v for _, v in tuples]
+        assert values == sorted(values, reverse=True)
+        exact_tokens = {t for t, _ in
+                        ExactCosineIndex(store, provider).stream("a1")}
+        assert {t for t, _ in tuples} <= exact_tokens
+
+    def test_near_neighbours_usually_in_probed_cluster(self, setup):
+        provider, store = setup
+        ivf = IVFCosineIndex(store, provider, nlist=4, nprobe=2)
+        tokens = [t for t, _ in ivf.stream("a1")]
+        # Cluster siblings should survive a 2-probe scan.
+        assert "a2" in tokens and "a3" in tokens
+
+    def test_oov_probe_empty(self, setup):
+        provider, store = setup
+        model = SyntheticEmbeddingModel(dim=32, oov_tokens={"ghost"})
+        ivf = IVFCosineIndex(store, model, nlist=2, nprobe=1)
+        assert list(ivf.stream("ghost")) == []
+
+    def test_nprobe_clamped_to_nlist(self, setup):
+        provider, store = setup
+        ivf = IVFCosineIndex(store, provider, nlist=2, nprobe=99)
+        assert ivf.nprobe == 2

@@ -1,0 +1,128 @@
+"""Tests for the Jaccard token indexes (exact scan, prefix-filter
+accelerated, and MinHash LSH)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.index import ExactJaccardIndex, MinHashLSHIndex, PrefixJaccardIndex
+from repro.sim import QGramJaccardSimilarity
+
+VOCAB = [
+    "charleston",
+    "charlestn",
+    "columbia",
+    "columbi",
+    "minnesota",
+    "sacramento",
+    "blaine",
+    "blain",
+]
+
+
+class TestExactJaccardIndex:
+    def test_descending_order(self):
+        index = ExactJaccardIndex(VOCAB)
+        values = [s for _, s in index.stream("charleston")]
+        assert values == sorted(values, reverse=True)
+
+    def test_self_first_with_similarity_one(self):
+        index = ExactJaccardIndex(VOCAB)
+        token, value = next(iter(index.stream("blaine")))
+        assert token == "blaine"
+        assert value == 1.0
+
+    def test_zero_scores_suppressed(self):
+        index = ExactJaccardIndex(VOCAB)
+        for _, value in index.stream("blaine"):
+            assert value > 0.0
+
+    def test_matches_pairwise_similarity(self):
+        sim = QGramJaccardSimilarity(q=3)
+        index = ExactJaccardIndex(VOCAB, sim)
+        for token, value in index.stream("charleston"):
+            assert value == pytest.approx(sim.score("charleston", token))
+
+
+class TestPrefixJaccardIndex:
+    def test_alpha_validation(self):
+        with pytest.raises(InvalidParameterError):
+            PrefixJaccardIndex(VOCAB, alpha=0.0)
+
+    def test_matches_exact_index_above_alpha(self):
+        """The prefix-filter principle guarantees exactness at >= alpha."""
+        alpha = 0.5
+        exact = ExactJaccardIndex(VOCAB)
+        prefix = PrefixJaccardIndex(VOCAB, alpha=alpha)
+        for probe in VOCAB:
+            want = [
+                (t, s) for t, s in exact.stream(probe) if s >= alpha
+            ]
+            got = list(prefix.stream(probe))
+            assert got == want, probe
+
+    def test_descending_order(self):
+        index = PrefixJaccardIndex(VOCAB, alpha=0.3)
+        values = [s for _, s in index.stream("charleston")]
+        assert values == sorted(values, reverse=True)
+
+    def test_nothing_below_alpha(self):
+        index = PrefixJaccardIndex(VOCAB, alpha=0.7)
+        for _, score in index.stream("columbia"):
+            assert score >= 0.7
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.text(
+                alphabet=st.characters(min_codepoint=97, max_codepoint=110),
+                min_size=1,
+                max_size=8,
+            ),
+            min_size=1,
+            max_size=15,
+        ),
+        st.sampled_from([0.3, 0.5, 0.8]),
+    )
+    def test_exact_above_alpha_property(self, vocab, alpha):
+        exact = ExactJaccardIndex(vocab)
+        prefix = PrefixJaccardIndex(vocab, alpha=alpha)
+        probe = vocab[0]
+        want = {(t, s) for t, s in exact.stream(probe) if s >= alpha}
+        got = set(prefix.stream(probe))
+        assert got == want
+
+
+class TestMinHashLSHIndex:
+    def test_band_configuration_validated(self):
+        with pytest.raises(InvalidParameterError):
+            MinHashLSHIndex(VOCAB, num_perm=128, bands=33)
+
+    def test_high_similarity_pairs_retrieved(self):
+        index = MinHashLSHIndex(VOCAB, num_perm=128, bands=64)
+        candidates = index.candidates("blaine")
+        assert "blain" in candidates  # jaccard 0.75, near-certain recall
+
+    def test_stream_descending_with_exact_scores(self):
+        sim = QGramJaccardSimilarity(q=3)
+        index = MinHashLSHIndex(VOCAB, num_perm=128, bands=64, similarity=sim)
+        tuples = list(index.stream("charleston"))
+        values = [v for _, v in tuples]
+        assert values == sorted(values, reverse=True)
+        for token, value in tuples:
+            assert value == pytest.approx(sim.score("charleston", token))
+
+    def test_stream_is_subset_of_exact_index(self):
+        exact = {t for t, _ in ExactJaccardIndex(VOCAB).stream("columbia")}
+        approx = {
+            t
+            for t, _ in MinHashLSHIndex(
+                VOCAB, num_perm=64, bands=16
+            ).stream("columbia")
+        }
+        assert approx <= exact
+
+    def test_deterministic(self):
+        one = list(MinHashLSHIndex(VOCAB, seed=5).stream("blaine"))
+        two = list(MinHashLSHIndex(VOCAB, seed=5).stream("blaine"))
+        assert one == two

@@ -1,0 +1,56 @@
+"""Tests for MinHash signatures."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.index import MinHasher
+from repro.sim.jaccard import jaccard, qgrams
+
+
+class TestMinHasher:
+    def test_deterministic(self):
+        a = MinHasher(64, seed=1).signature({"x", "y"})
+        b = MinHasher(64, seed=1).signature({"x", "y"})
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_signature(self):
+        a = MinHasher(64, seed=1).signature({"x", "y"})
+        b = MinHasher(64, seed=2).signature({"x", "y"})
+        assert not np.array_equal(a, b)
+
+    def test_identical_sets_estimate_one(self):
+        hasher = MinHasher(64)
+        sig = hasher.signature({"a", "b", "c"})
+        assert MinHasher.estimate_jaccard(sig, sig) == 1.0
+
+    def test_disjoint_sets_estimate_near_zero(self):
+        hasher = MinHasher(256)
+        a = hasher.signature({f"a{i}" for i in range(20)})
+        b = hasher.signature({f"b{i}" for i in range(20)})
+        assert MinHasher.estimate_jaccard(a, b) < 0.15
+
+    def test_estimate_tracks_true_jaccard(self):
+        hasher = MinHasher(512, seed=3)
+        feats_a = qgrams("charlestonsouthcarolina", 3)
+        feats_b = qgrams("charlestonsouthcarolin", 3)
+        truth = jaccard(feats_a, feats_b)
+        estimate = MinHasher.estimate_jaccard(
+            hasher.signature(feats_a), hasher.signature(feats_b)
+        )
+        assert estimate == pytest.approx(truth, abs=0.12)
+
+    def test_empty_features_signature(self):
+        hasher = MinHasher(16)
+        sig = hasher.signature(set())
+        assert np.all(sig == (1 << 32) - 1)
+
+    def test_num_perm_validation(self):
+        with pytest.raises(InvalidParameterError):
+            MinHasher(0)
+
+    def test_signature_length_mismatch_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            MinHasher.estimate_jaccard(
+                MinHasher(16).signature({"a"}), MinHasher(32).signature({"a"})
+            )

@@ -1,0 +1,35 @@
+"""Tests for the brute-force scan token index."""
+
+from repro.embedding import PinnedSimilarityModel
+from repro.index import ScanTokenIndex
+from repro.sim import CallableSimilarity, QGramJaccardSimilarity
+
+
+class TestScanTokenIndex:
+    def test_descending_order_with_pinned_sims(self):
+        sim = CallableSimilarity(
+            PinnedSimilarityModel({("q", "a"): 0.5, ("q", "b"): 0.9})
+        )
+        index = ScanTokenIndex({"a", "b", "c"}, sim)
+        assert list(index.stream("q")) == [("b", 0.9), ("a", 0.5)]
+
+    def test_self_match_ranked_first(self):
+        index = ScanTokenIndex({"q", "x"}, QGramJaccardSimilarity())
+        token, score = next(iter(index.stream("q")))
+        assert (token, score) == ("q", 1.0)
+
+    def test_zero_scores_suppressed(self):
+        sim = CallableSimilarity(PinnedSimilarityModel({}))
+        index = ScanTokenIndex({"a", "b"}, sim)
+        assert list(index.stream("q")) == []
+
+    def test_vocabulary_deduplicated(self):
+        index = ScanTokenIndex(["a", "a", "b"], QGramJaccardSimilarity())
+        assert len(index) == 2
+
+    def test_deterministic_tie_break(self):
+        sim = CallableSimilarity(
+            PinnedSimilarityModel({("q", "a"): 0.5, ("q", "b"): 0.5})
+        )
+        index = ScanTokenIndex({"b", "a"}, sim)
+        assert [t for t, _ in index.stream("q")] == ["a", "b"]

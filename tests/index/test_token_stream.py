@@ -1,0 +1,159 @@
+"""Tests for the token stream ``Ie`` (§IV)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.embedding import PinnedSimilarityModel
+from repro.errors import EmptyQueryError, InvalidParameterError
+from repro.index import MaterializedTokenStream, TokenStream
+from repro.sim import CallableSimilarity
+from tests.helpers import ScanTokenIndex
+
+
+def make_index(vocab, sims):
+    return ScanTokenIndex(
+        vocab, CallableSimilarity(PinnedSimilarityModel(sims))
+    )
+
+
+class TestOrdering:
+    def test_descending_similarity(self):
+        vocab = {"a", "b", "c", "d"}
+        sims = {("q", "a"): 0.9, ("q", "b"): 0.95, ("q", "c"): 0.85}
+        index = make_index(vocab, sims)
+        stream = TokenStream({"q"}, index, alpha=0.5)
+        values = [s for _, _, s in stream]
+        assert values == sorted(values, reverse=True)
+
+    def test_merges_multiple_query_elements(self):
+        vocab = {"a", "b"}
+        sims = {("q1", "a"): 0.8, ("q2", "b"): 0.9, ("q2", "a"): 0.85}
+        index = make_index(vocab, sims)
+        stream = TokenStream({"q1", "q2"}, index, alpha=0.5,
+                             collection_vocabulary=vocab)
+        tuples = list(stream)
+        values = [s for _, _, s in tuples]
+        assert values == sorted(values, reverse=True)
+        assert {(q, t) for q, t, _ in tuples} == {
+            ("q1", "a"),
+            ("q2", "b"),
+            ("q2", "a"),
+        }
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.dictionaries(
+            st.tuples(
+                st.sampled_from(["q1", "q2", "q3"]),
+                st.sampled_from(["a", "b", "c", "d", "e"]),
+            ),
+            st.floats(min_value=0.01, max_value=1.0),
+            max_size=12,
+        ),
+        st.floats(min_value=0.05, max_value=1.0),
+    )
+    def test_order_and_threshold_invariants(self, sims, alpha):
+        vocab = {"a", "b", "c", "d", "e"}
+        index = make_index(vocab, sims)
+        stream = TokenStream({"q1", "q2", "q3"}, index, alpha=alpha,
+                             collection_vocabulary=vocab)
+        values = [s for _, _, s in stream]
+        assert values == sorted(values, reverse=True)
+        assert all(v >= alpha for v in values)
+
+
+class TestSelfMatchRule:
+    def test_query_token_in_vocabulary_yields_itself_first(self):
+        index = make_index({"q", "x"}, {("q", "x"): 0.99})
+        tuples = list(TokenStream({"q"}, index, alpha=0.5,
+                                  collection_vocabulary={"q", "x"}))
+        assert tuples[0] == ("q", "q", 1.0)
+
+    def test_oov_query_token_still_self_matches(self):
+        # "q" has no index entry (out of embedding vocabulary) but occurs
+        # in the collection: the self-match must still be emitted (§V).
+        index = make_index({"x"}, {})
+        tuples = list(TokenStream({"q"}, index, alpha=0.5,
+                                  collection_vocabulary={"q", "x"}))
+        assert tuples == [("q", "q", 1.0)]
+
+    def test_query_token_absent_from_collection_not_emitted(self):
+        index = make_index({"x"}, {})
+        tuples = list(TokenStream({"q"}, index, alpha=0.5,
+                                  collection_vocabulary={"x"}))
+        assert tuples == []
+
+    def test_no_duplicate_self_match(self):
+        # The index would also return q itself; the stream must not emit
+        # the pair twice.
+        index = make_index({"q"}, {})
+        tuples = list(TokenStream({"q"}, index, alpha=0.5,
+                                  collection_vocabulary={"q"}))
+        assert tuples == [("q", "q", 1.0)]
+
+
+class TestVocabularyRestriction:
+    def test_tokens_outside_collection_dropped(self):
+        sims = {("q", "inside"): 0.8, ("q", "outside"): 0.9}
+        index = make_index({"inside", "outside"}, sims)
+        tuples = list(TokenStream({"q"}, index, alpha=0.5,
+                                  collection_vocabulary={"inside"}))
+        assert [(t, s) for _, t, s in tuples] == [("inside", 0.8)]
+
+
+class TestAlphaCutoff:
+    def test_stream_stops_below_alpha(self):
+        sims = {("q", "a"): 0.9, ("q", "b"): 0.7, ("q", "c"): 0.3}
+        index = make_index({"a", "b", "c"}, sims)
+        tuples = list(TokenStream({"q"}, index, alpha=0.6,
+                                  collection_vocabulary={"a", "b", "c"}))
+        assert [t for _, t, _ in tuples] == ["a", "b"]
+
+    def test_self_match_emitted_without_vocabulary_restriction(self):
+        sims = {("q", "a"): 0.9}
+        index = make_index({"a"}, sims)
+        tuples = list(TokenStream({"q"}, index, alpha=0.6))
+        assert tuples[0] == ("q", "q", 1.0)
+
+    @pytest.mark.parametrize("alpha", [0.0, -1.0, 1.01])
+    def test_alpha_validation(self, alpha):
+        index = make_index({"a"}, {})
+        with pytest.raises(InvalidParameterError):
+            TokenStream({"q"}, index, alpha=alpha)
+
+    def test_empty_query_rejected(self):
+        index = make_index({"a"}, {})
+        with pytest.raises(EmptyQueryError):
+            TokenStream(set(), index, alpha=0.5)
+
+
+class TestMaterializedStream:
+    def test_replayable(self):
+        sims = {("q", "a"): 0.9}
+        index = make_index({"a", "q"}, sims)
+        stream = MaterializedTokenStream.drain(
+            {"q"}, index, 0.5, collection_vocabulary={"a", "q"}
+        )
+        first = list(stream)
+        second = list(stream)
+        assert first == second
+        assert len(stream) == len(first) == 2
+
+    def test_matches_live_stream(self):
+        sims = {("q1", "a"): 0.9, ("q2", "b"): 0.8}
+        vocab = {"a", "b", "q1"}
+        index = make_index(vocab, sims)
+        live = list(TokenStream({"q1", "q2"}, index, 0.5,
+                                collection_vocabulary=vocab))
+        materialized = list(
+            MaterializedTokenStream.drain(
+                {"q1", "q2"}, index, 0.5, collection_vocabulary=vocab
+            )
+        )
+        assert live == materialized
+
+    def test_tuples_emitted_counter(self):
+        index = make_index({"q"}, {})
+        stream = TokenStream({"q"}, index, 0.5, collection_vocabulary={"q"})
+        list(stream)
+        assert stream.tuples_emitted == 1

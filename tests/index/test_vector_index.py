@@ -1,0 +1,100 @@
+"""Tests for the exact cosine streaming index (the Faiss substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.embedding import (
+    HashingEmbeddingProvider,
+    SyntheticEmbeddingModel,
+    VectorStore,
+)
+from repro.index import BatchedProbeLog, ExactCosineIndex
+
+
+@pytest.fixture(scope="module")
+def setup():
+    provider = SyntheticEmbeddingModel(
+        dim=48,
+        clusters={"c1": ["alpha", "beta"], "c2": ["gamma", "delta"]},
+        cluster_similarity=0.9,
+        oov_tokens={"ghost"},
+    )
+    vocab = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta", "ghost"]
+    store = VectorStore(provider, vocab)
+    return provider, store
+
+
+class TestExactCosineIndex:
+    def test_descending_order(self, setup):
+        provider, store = setup
+        index = ExactCosineIndex(store, provider)
+        values = [s for _, s in index.stream("alpha")]
+        assert values == sorted(values, reverse=True)
+
+    def test_covers_whole_store(self, setup):
+        provider, store = setup
+        index = ExactCosineIndex(store, provider)
+        tokens = [t for t, _ in index.stream("alpha")]
+        assert sorted(tokens) == sorted(store.tokens)
+
+    def test_cluster_member_ranked_first_after_self(self, setup):
+        provider, store = setup
+        index = ExactCosineIndex(store, provider)
+        tokens = [t for t, _ in index.stream("alpha")]
+        assert tokens[0] == "alpha"
+        assert tokens[1] == "beta"
+
+    def test_matches_brute_force_ranking(self, setup):
+        provider, store = setup
+        index = ExactCosineIndex(store, provider, batch_size=2)
+        probe = store.vector("alpha")
+        sims = np.clip(store.matrix @ probe, 0.0, 1.0)
+        expected = [
+            store.token_at(int(i)) for i in np.argsort(-sims, kind="stable")
+        ]
+        got = [t for t, _ in index.stream("alpha")]
+        assert got == expected
+
+    @pytest.mark.parametrize("batch_size", [1, 2, 3, 100])
+    def test_batch_size_does_not_change_stream(self, setup, batch_size):
+        provider, store = setup
+        reference = list(ExactCosineIndex(store, provider).stream("gamma"))
+        batched = list(
+            ExactCosineIndex(store, provider, batch_size=batch_size).stream(
+                "gamma"
+            )
+        )
+        assert [t for t, _ in batched] == [t for t, _ in reference]
+
+    def test_oov_probe_yields_nothing(self, setup):
+        provider, store = setup
+        index = ExactCosineIndex(store, provider)
+        assert list(index.stream("ghost")) == []
+
+    def test_probe_not_in_store_still_streams(self):
+        provider = HashingEmbeddingProvider(dim=32)
+        store = VectorStore(provider, ["aaa", "bbb"])
+        index = ExactCosineIndex(store, provider)
+        assert len(list(index.stream("ccc"))) == 2
+
+    def test_empty_store(self):
+        provider = HashingEmbeddingProvider(dim=8)
+        store = VectorStore(provider, [])
+        index = ExactCosineIndex(store, provider)
+        assert list(index.stream("x")) == []
+
+    def test_similarities_clamped(self, setup):
+        provider, store = setup
+        index = ExactCosineIndex(store, provider)
+        for _, value in index.stream("epsilon"):
+            assert 0.0 <= value <= 1.0
+
+
+class TestBatchedProbeLog:
+    def test_counts_probes_and_tuples(self, setup):
+        provider, store = setup
+        logged = BatchedProbeLog(ExactCosineIndex(store, provider))
+        list(logged.stream("alpha"))
+        list(logged.stream("beta"))
+        assert logged.probes == 2
+        assert logged.tuples_streamed == 2 * len(store)

@@ -1,0 +1,74 @@
+"""Tests for bipartite similarity graph construction."""
+
+import numpy as np
+import pytest
+
+from repro.embedding import PinnedSimilarityModel
+from repro.matching import build_graph
+from repro.sim import CallableSimilarity
+
+
+@pytest.fixture()
+def sim():
+    return CallableSimilarity(
+        PinnedSimilarityModel(
+            {("q1", "c1"): 0.9, ("q1", "c2"): 0.6, ("q2", "c2"): 0.75}
+        )
+    )
+
+
+class TestBuildGraph:
+    def test_alpha_thresholding(self, sim):
+        graph = build_graph(["q1", "q2"], ["c1", "c2"], sim, alpha=0.7)
+        assert graph.weights[0, 0] == 0.9
+        assert graph.weights[0, 1] == 0.0  # 0.6 < alpha
+        assert graph.weights[1, 1] == 0.75
+
+    def test_identical_tokens_weight_one(self, sim):
+        graph = build_graph(["q1"], ["q1"], sim, alpha=0.9)
+        assert graph.weights[0, 0] == 1.0
+
+    def test_num_edges(self, sim):
+        graph = build_graph(["q1", "q2"], ["c1", "c2"], sim, alpha=0.7)
+        assert graph.num_edges == 2
+
+    def test_edge_weight_accessor(self, sim):
+        graph = build_graph(["q1"], ["c1"], sim, alpha=0.5)
+        assert graph.edge_weight(0, 0) == 0.9
+
+    def test_cached_scores_override(self, sim):
+        graph = build_graph(
+            ["q1"],
+            ["c1"],
+            sim,
+            alpha=0.7,
+            cached_scores={("q1", "c1"): 0.95},
+        )
+        assert graph.weights[0, 0] == 0.95
+
+    def test_cached_scores_below_alpha_zeroed(self, sim):
+        graph = build_graph(
+            ["q1"],
+            ["c1"],
+            sim,
+            alpha=0.7,
+            cached_scores={("q1", "c1"): 0.5},
+        )
+        assert graph.weights[0, 0] == 0.0
+
+    def test_cached_scores_for_absent_tokens_ignored(self, sim):
+        graph = build_graph(
+            ["q1"],
+            ["c1"],
+            sim,
+            alpha=0.7,
+            cached_scores={("zz", "yy"): 1.0},
+        )
+        assert graph.weights[0, 0] == 0.9
+
+    def test_weights_dtype_and_shape(self, sim):
+        graph = build_graph(["q1", "q2"], ["c1"], sim, alpha=0.5)
+        assert graph.weights.dtype == np.float64
+        assert graph.weights.shape == (2, 1)
+        assert graph.query_tokens == ["q1", "q2"]
+        assert graph.candidate_tokens == ["c1"]

@@ -1,0 +1,85 @@
+"""Tests for greedy bipartite matching (the Lemma-3 lower bound)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy.optimize import linear_sum_assignment
+
+from repro.matching import greedy_matching
+
+
+def oracle_score(weights: np.ndarray) -> float:
+    size = max(weights.shape)
+    padded = np.zeros((size, size))
+    padded[: weights.shape[0], : weights.shape[1]] = weights
+    rows, cols = linear_sum_assignment(padded, maximize=True)
+    return float(padded[rows, cols].sum())
+
+
+weight_matrices = st.integers(min_value=1, max_value=6).flatmap(
+    lambda rows: st.integers(min_value=1, max_value=6).flatmap(
+        lambda cols: st.lists(
+            st.lists(
+                st.floats(min_value=0.0, max_value=1.0, width=32),
+                min_size=cols,
+                max_size=cols,
+            ),
+            min_size=rows,
+            max_size=rows,
+        )
+    )
+).map(lambda rows: np.array(rows, dtype=np.float64))
+
+
+class TestGreedyMatching:
+    def test_empty_matrix(self):
+        assert greedy_matching(np.zeros((2, 2))).score == 0.0
+
+    def test_takes_heaviest_edge_first(self):
+        weights = np.array([[0.85, 0.80], [0.80, 0.0]])
+        result = greedy_matching(weights)
+        # Greedy grabs 0.85, blocking the two 0.8 edges: scores 0.85,
+        # although the optimum is 1.6 — the Fig. 1 failure mode.
+        assert result.score == pytest.approx(0.85)
+        assert result.pairs == [(0, 0)]
+
+    def test_zero_edges_never_matched(self):
+        weights = np.array([[0.0, 0.9], [0.0, 0.0]])
+        result = greedy_matching(weights)
+        assert result.pairs == [(0, 1)]
+
+    def test_deterministic_tie_break(self):
+        weights = np.array([[0.5, 0.5], [0.5, 0.5]])
+        first = greedy_matching(weights)
+        second = greedy_matching(weights)
+        assert first.pairs == second.pairs == [(0, 0), (1, 1)]
+
+    def test_pairs_form_valid_matching(self):
+        rng = np.random.default_rng(3)
+        weights = rng.random((7, 5))
+        result = greedy_matching(weights)
+        rows = [i for i, _ in result.pairs]
+        cols = [j for _, j in result.pairs]
+        assert len(rows) == len(set(rows))
+        assert len(cols) == len(set(cols))
+
+    @settings(max_examples=120, deadline=None)
+    @given(weight_matrices)
+    def test_at_least_half_of_optimal(self, weights):
+        """Lemma 3's citation [18]: greedy >= optimal / 2."""
+        greedy = greedy_matching(weights).score
+        optimal = oracle_score(weights)
+        assert greedy >= optimal / 2.0 - 1e-9
+
+    @settings(max_examples=120, deadline=None)
+    @given(weight_matrices)
+    def test_never_exceeds_optimal(self, weights):
+        assert greedy_matching(weights).score <= oracle_score(weights) + 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(weight_matrices)
+    def test_score_is_sum_of_pairs(self, weights):
+        result = greedy_matching(weights)
+        assert result.score == pytest.approx(
+            sum(weights[i, j] for i, j in result.pairs)
+        )

@@ -1,0 +1,95 @@
+"""Tests for the similarity-function protocol and wrappers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.embedding import PinnedSimilarityModel
+from repro.errors import InvalidParameterError
+from repro.sim import (
+    CallableSimilarity,
+    QGramJaccardSimilarity,
+    ThresholdedSimilarity,
+)
+
+
+@pytest.fixture()
+def pinned():
+    return CallableSimilarity(
+        PinnedSimilarityModel({("a", "b"): 0.9, ("a", "c"): 0.4})
+    )
+
+
+class TestThresholdedSimilarity:
+    def test_zeroes_below_alpha(self, pinned):
+        thresholded = pinned.thresholded(0.8)
+        assert thresholded.score("a", "b") == 0.9
+        assert thresholded.score("a", "c") == 0.0
+
+    def test_exactly_alpha_kept(self, pinned):
+        assert pinned.thresholded(0.9).score("a", "b") == 0.9
+
+    def test_identical_tokens_survive_any_alpha(self, pinned):
+        assert pinned.thresholded(1.0).score("a", "a") == 1.0
+
+    @pytest.mark.parametrize("alpha", [0.0, -0.1, 1.5])
+    def test_alpha_validation(self, pinned, alpha):
+        with pytest.raises(InvalidParameterError):
+            ThresholdedSimilarity(pinned, alpha)
+
+    def test_exposes_base_and_alpha(self, pinned):
+        wrapped = pinned.thresholded(0.7)
+        assert wrapped.alpha == 0.7
+        assert wrapped.base is pinned
+
+    def test_matrix_thresholded(self, pinned):
+        matrix = pinned.thresholded(0.8).matrix(["a"], ["b", "c", "a"])
+        assert matrix.tolist() == [[0.9, 0.0, 1.0]]
+
+
+class TestCallableSimilarity:
+    def test_identity_rule_applied(self):
+        sim = CallableSimilarity(lambda a, b: 0.0)
+        assert sim.score("x", "x") == 1.0
+
+    def test_out_of_range_rejected(self):
+        sim = CallableSimilarity(lambda a, b: 1.5)
+        with pytest.raises(InvalidParameterError):
+            sim.score("x", "y")
+
+    def test_negative_rejected(self):
+        sim = CallableSimilarity(lambda a, b: -0.1)
+        with pytest.raises(InvalidParameterError):
+            sim.score("x", "y")
+
+
+class TestDefaultMatrix:
+    def test_matches_pairwise_scores(self):
+        sim = QGramJaccardSimilarity(q=2)
+        rows, cols = ["ab", "bc"], ["ab", "cd", "bcd"]
+        matrix = sim.matrix(rows, cols)
+        assert matrix.shape == (2, 3)
+        for i, a in enumerate(rows):
+            for j, b in enumerate(cols):
+                assert matrix[i, j] == pytest.approx(sim.score(a, b))
+
+    def test_empty_inputs(self):
+        sim = QGramJaccardSimilarity(q=2)
+        assert sim.matrix([], []).shape == (0, 0)
+        assert sim.matrix(["a"], []).shape == (1, 0)
+
+    @given(
+        st.lists(
+            st.text(
+                alphabet=st.characters(min_codepoint=97, max_codepoint=110),
+                min_size=1,
+                max_size=6,
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_matrix_diagonal_of_identical_lists_is_one(self, tokens):
+        sim = QGramJaccardSimilarity(q=3)
+        matrix = sim.matrix(tokens, tokens)
+        assert np.allclose(np.diag(matrix), 1.0)

@@ -1,0 +1,86 @@
+"""Tests for cosine similarity over embedding providers."""
+
+import numpy as np
+import pytest
+
+from repro.embedding import (
+    HashingEmbeddingProvider,
+    SyntheticEmbeddingModel,
+)
+from repro.sim import CosineSimilarity
+
+
+@pytest.fixture(scope="module")
+def clustered_sim():
+    model = SyntheticEmbeddingModel(
+        dim=64,
+        clusters={"city": ["bigapple", "newyorkcity", "gotham"]},
+        cluster_similarity=0.9,
+        oov_tokens={"mystery"},
+    )
+    return CosineSimilarity(model)
+
+
+class TestIdentityAndOOVRules:
+    def test_identical_tokens_score_one(self, clustered_sim):
+        assert clustered_sim.score("anything", "anything") == 1.0
+
+    def test_identical_oov_tokens_score_one(self, clustered_sim):
+        # The paper's OOV rule (§V): identical out-of-vocabulary tokens
+        # still count as exact matches.
+        assert clustered_sim.score("mystery", "mystery") == 1.0
+
+    def test_oov_vs_other_scores_zero(self, clustered_sim):
+        assert clustered_sim.score("mystery", "bigapple") == 0.0
+
+    def test_cluster_members_score_high(self, clustered_sim):
+        assert clustered_sim.score("bigapple", "newyorkcity") > 0.7
+
+    def test_unrelated_tokens_score_low(self, clustered_sim):
+        assert clustered_sim.score("bigapple", "zebra") < 0.5
+
+    def test_scores_clamped_non_negative(self, clustered_sim):
+        for other in ("zebra", "qwerty", "asdfgh", "yuiop"):
+            assert clustered_sim.score("bigapple", other) >= 0.0
+
+    def test_symmetry(self, clustered_sim):
+        a = clustered_sim.score("bigapple", "gotham")
+        b = clustered_sim.score("gotham", "bigapple")
+        assert a == pytest.approx(b)
+
+
+class TestMatrix:
+    def test_matrix_matches_pairwise(self, clustered_sim):
+        rows = ["bigapple", "mystery", "zebra"]
+        cols = ["newyorkcity", "mystery", "zebra", "bigapple"]
+        matrix = clustered_sim.matrix(rows, cols)
+        for i, a in enumerate(rows):
+            for j, b in enumerate(cols):
+                assert matrix[i, j] == pytest.approx(
+                    clustered_sim.score(a, b), rel=1e-5, abs=1e-6
+                )
+
+    def test_identical_rule_in_matrix(self, clustered_sim):
+        matrix = clustered_sim.matrix(["mystery"], ["mystery"])
+        assert matrix[0, 0] == 1.0
+
+    def test_matrix_range(self, clustered_sim):
+        matrix = clustered_sim.matrix(
+            ["bigapple", "gotham"], ["newyorkcity", "zebra"]
+        )
+        assert np.all(matrix >= 0.0)
+        assert np.all(matrix <= 1.0)
+
+
+class TestWithHashingProvider:
+    def test_typo_pairs_score_higher_than_unrelated(self):
+        sim = CosineSimilarity(HashingEmbeddingProvider(dim=64))
+        typo = sim.score("blaine", "blain")
+        unrelated = sim.score("blaine", "xylophone")
+        assert typo > unrelated
+
+    def test_unit_cache_consistency(self):
+        sim = CosineSimilarity(HashingEmbeddingProvider(dim=32))
+        first = sim.score("alpha", "beta")
+        second = sim.score("alpha", "beta")
+        assert first == second

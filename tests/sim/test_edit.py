@@ -1,0 +1,77 @@
+"""Tests for the normalized edit-distance similarity."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.edit import EditSimilarity, levenshtein
+
+tokens = st.text(
+    alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+    max_size=10,
+)
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize(
+        ("a", "b", "expected"),
+        [
+            ("", "", 0),
+            ("abc", "abc", 0),
+            ("abc", "", 3),
+            ("", "xy", 2),
+            ("Blaine", "Blain", 1),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+        ],
+    )
+    def test_known_distances(self, a, b, expected):
+        assert levenshtein(a, b) == expected
+
+    @given(tokens, tokens)
+    def test_symmetric(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(tokens, tokens)
+    def test_bounded_by_longer_string(self, a, b):
+        assert levenshtein(a, b) <= max(len(a), len(b))
+
+    @given(tokens, tokens)
+    def test_at_least_length_difference(self, a, b):
+        assert levenshtein(a, b) >= abs(len(a) - len(b))
+
+    @given(tokens, tokens, tokens)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(tokens, st.integers(min_value=0, max_value=9))
+    def test_single_insert_costs_one(self, token, pos):
+        pos = min(pos, len(token))
+        mutated = token[:pos] + "#" + token[pos:]
+        assert levenshtein(token, mutated) == 1
+
+
+class TestEditSimilarity:
+    def test_identical(self):
+        assert EditSimilarity().score("same", "same") == 1.0
+
+    def test_empty_pair(self):
+        assert EditSimilarity().score("", "") == 1.0
+
+    def test_typo_scores_high(self):
+        sim = EditSimilarity()
+        assert sim.score("Blaine", "Blain") == pytest.approx(1 - 1 / 6)
+
+    def test_disjoint_scores_low(self):
+        sim = EditSimilarity()
+        assert sim.score("aaaa", "zzzz") == 0.0
+
+    @given(tokens, tokens)
+    def test_symmetric_in_range(self, a, b):
+        sim = EditSimilarity()
+        value = sim.score(a, b)
+        assert value == sim.score(b, a)
+        assert 0.0 <= value <= 1.0
+
+    def test_cache_argument_order_does_not_matter(self):
+        sim = EditSimilarity()
+        assert sim.score("abcd", "dcba") == sim.score("dcba", "abcd")

@@ -1,0 +1,120 @@
+"""Tests for Jaccard element similarities (q-grams and words)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.sim.jaccard import (
+    QGramJaccardSimilarity,
+    WordJaccardSimilarity,
+    jaccard,
+    qgrams,
+)
+
+tokens = st.text(
+    alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+    min_size=0,
+    max_size=12,
+)
+
+
+class TestQGrams:
+    def test_basic_trigram_extraction(self):
+        assert qgrams("Blaine", 3) == frozenset(
+            {"Bla", "lai", "ain", "ine"}
+        )
+
+    def test_short_token_is_single_gram(self):
+        assert qgrams("LA", 3) == frozenset({"LA"})
+
+    def test_token_of_exact_length(self):
+        assert qgrams("abc", 3) == frozenset({"abc"})
+
+    def test_q1_grams_are_characters(self):
+        assert qgrams("aba", 1) == frozenset({"a", "b"})
+
+    @given(tokens.filter(bool), st.integers(min_value=1, max_value=5))
+    def test_gram_count_bounded(self, token, q):
+        grams = qgrams(token, q)
+        assert 1 <= len(grams) <= max(1, len(token) - q + 1)
+
+
+class TestJaccard:
+    def test_identical_sets(self):
+        feats = frozenset({"abc", "bcd"})
+        assert jaccard(feats, feats) == 1.0
+
+    def test_disjoint_sets(self):
+        assert jaccard(frozenset({"a"}), frozenset({"b"})) == 0.0
+
+    def test_both_empty_is_zero(self):
+        assert jaccard(frozenset(), frozenset()) == 0.0
+
+    def test_paper_blaine_blain(self):
+        # Fig. 1: Jaccard(Blaine, Blain) = 3/4 on 3-grams.
+        assert jaccard(qgrams("Blaine", 3), qgrams("Blain", 3)) == 0.75
+
+    def test_paper_bigapple_appleton(self):
+        # Fig. 1: Jaccard(BigApple, Appleton) = 1/3.
+        value = jaccard(qgrams("BigApple", 3), qgrams("Appleton", 3))
+        assert value == pytest.approx(1.0 / 3.0)
+
+    def test_paper_bigapple_newyorkcity(self):
+        assert jaccard(qgrams("BigApple", 3), qgrams("NewYorkCity", 3)) == 0.0
+
+    @given(
+        st.frozensets(tokens, max_size=8), st.frozensets(tokens, max_size=8)
+    )
+    def test_symmetric_and_bounded(self, a, b):
+        value = jaccard(a, b)
+        assert value == jaccard(b, a)
+        assert 0.0 <= value <= 1.0
+
+
+class TestQGramJaccardSimilarity:
+    def test_identical_tokens_score_one(self):
+        sim = QGramJaccardSimilarity()
+        assert sim.score("zz", "zz") == 1.0
+
+    def test_q_must_be_positive(self):
+        with pytest.raises(InvalidParameterError):
+            QGramJaccardSimilarity(q=0)
+
+    def test_features_cached_and_correct(self):
+        sim = QGramJaccardSimilarity(q=3)
+        assert sim.features("Blain") == qgrams("Blain", 3)
+        assert sim.features("Blain") is sim.features("Blain")
+
+    @given(tokens.filter(bool), tokens.filter(bool))
+    def test_score_symmetric_in_range(self, a, b):
+        sim = QGramJaccardSimilarity(q=3)
+        value = sim.score(a, b)
+        assert value == sim.score(b, a)
+        assert 0.0 <= value <= 1.0
+
+    def test_matrix_matches_scores(self):
+        sim = QGramJaccardSimilarity(q=3)
+        rows = ["Blaine", "BigApple"]
+        cols = ["Blain", "Appleton", "Blaine"]
+        matrix = sim.matrix(rows, cols)
+        for i, a in enumerate(rows):
+            for j, b in enumerate(cols):
+                assert matrix[i, j] == pytest.approx(sim.score(a, b))
+
+
+class TestWordJaccardSimilarity:
+    def test_multiword_elements(self):
+        sim = WordJaccardSimilarity()
+        assert sim.score("new york city", "york city") == pytest.approx(
+            2.0 / 3.0
+        )
+
+    def test_case_insensitive(self):
+        sim = WordJaccardSimilarity()
+        assert sim.score("New York", "new york") == 1.0
+
+    def test_single_words_all_or_nothing(self):
+        # The reason the paper's SilkMoth comparison switches to 3-grams:
+        # table cells with one word score 0 or 1 under word Jaccard.
+        sim = WordJaccardSimilarity()
+        assert sim.score("Leeds", "Sheffield") == 0.0

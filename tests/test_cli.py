@@ -1,0 +1,107 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def collection_path(tmp_path):
+    path = tmp_path / "sets.json"
+    path.write_text(
+        json.dumps(
+            {
+                "west": ["seattle", "portland", "oakland"],
+                "west_dirty": ["seattle", "portlnd", "oaklnd"],
+                "east": ["boston", "newyork"],
+            }
+        )
+    )
+    return str(path)
+
+
+class TestGenerate:
+    def test_generates_json_collection(self, tmp_path, capsys):
+        out = tmp_path / "corpus.json"
+        code = main([
+            "generate", "--profile", "twitter", "--scale", "tiny",
+            "--seed", "1", "--output", str(out),
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert len(payload) == 150  # twitter-tiny num_sets
+        assert "wrote 150 sets" in capsys.readouterr().out
+
+    def test_deterministic_by_seed(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        for out in (a, b):
+            main([
+                "generate", "--profile", "dblp", "--scale", "tiny",
+                "--seed", "5", "--output", str(out),
+            ])
+        assert a.read_text() == b.read_text()
+
+
+class TestStats:
+    def test_reports_table1_columns(self, collection_path, capsys):
+        assert main(["stats", collection_path]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["num_sets"] == 3
+        assert payload["max_size"] == 3
+        assert payload["num_unique_elements"] == 7
+
+
+class TestSearch:
+    def test_embedding_search(self, collection_path, capsys):
+        code = main([
+            "search", collection_path, "seattle", "portland", "oakland",
+            "-k", "2", "--alpha", "0.4",
+        ])
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        assert lines[0].endswith("west")
+
+    def test_jaccard_search(self, collection_path, capsys):
+        code = main([
+            "search", collection_path, "seattle", "portlnd",
+            "-k", "1", "--alpha", "0.5", "--jaccard",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "west_dirty" in out
+
+    def test_verbose_stats_on_stderr(self, collection_path, capsys):
+        main([
+            "search", collection_path, "seattle",
+            "-k", "1", "--alpha", "0.5", "--verbose",
+        ])
+        err = capsys.readouterr().err
+        assert "candidates=" in err
+
+    def test_csv_collection(self, tmp_path, capsys):
+        path = tmp_path / "sets.csv"
+        path.write_text("set_name,token\nx,alpha\nx,beta\ny,gamma\n")
+        assert main(["search", str(path), "alpha", "-k", "1"]) == 0
+        assert capsys.readouterr().out.strip().endswith("x")
+
+    def test_partitions_and_safe_mode(self, collection_path, capsys):
+        code = main([
+            "search", collection_path, "seattle", "boston",
+            "-k", "3", "--alpha", "0.4", "--partitions", "2",
+            "--iub-mode", "safe",
+        ])
+        assert code == 0
+        assert len(capsys.readouterr().out.strip().splitlines()) == 3
+
+
+class TestParser:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["generate", "--profile", "bogus", "--output", "x.json"])

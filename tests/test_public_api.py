@@ -1,0 +1,57 @@
+"""The public API surface: everything exported must import and resolve."""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.baselines",
+    "repro.core",
+    "repro.datasets",
+    "repro.embedding",
+    "repro.experiments",
+    "repro.index",
+    "repro.matching",
+    "repro.sim",
+    "repro.utils",
+]
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_subpackage_all_resolves(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert getattr(module, name, None) is not None, (
+                module_name,
+                name,
+            )
+
+    def test_docstring_example_runs(self):
+        from repro import (
+            CosineSimilarity,
+            ExactCosineIndex,
+            HashingEmbeddingProvider,
+            KoiosSearchEngine,
+            SetCollection,
+            VectorStore,
+        )
+
+        collection = SetCollection([{"LA", "NYC"}, {"LA", "Boston"}])
+        provider = HashingEmbeddingProvider(dim=32)
+        store = VectorStore(provider, collection.vocabulary)
+        index = ExactCosineIndex(store, provider)
+        engine = KoiosSearchEngine(
+            collection, index, CosineSimilarity(provider), alpha=0.8
+        )
+        result = engine.search({"LA", "NYC"}, k=1)
+        assert result.entries[0].set_id == 0

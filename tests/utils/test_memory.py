@@ -1,0 +1,74 @@
+"""Tests for deep memory accounting."""
+
+import numpy as np
+import pytest
+
+from repro.utils import MemoryLedger, deep_sizeof
+
+
+class Slotted:
+    __slots__ = ("a", "b")
+
+    def __init__(self):
+        self.a = [1, 2, 3]
+        self.b = "text"
+
+
+class TestDeepSizeof:
+    def test_numpy_buffer_dominates(self):
+        arr = np.zeros(10_000, dtype=np.float64)
+        assert deep_sizeof(arr) >= arr.nbytes
+
+    def test_containers_counted_recursively(self):
+        flat = deep_sizeof([1, 2, 3])
+        nested = deep_sizeof([[1, 2, 3], [4, 5, 6]])
+        assert nested > flat
+
+    def test_shared_objects_counted_once(self):
+        shared = list(range(1000))
+        duplicated = deep_sizeof([shared, list(range(1000))])
+        aliased = deep_sizeof([shared, shared])
+        assert aliased < duplicated
+
+    def test_dict_keys_and_values(self):
+        small = deep_sizeof({})
+        big = deep_sizeof({"key" * 10: "value" * 100})
+        assert big > small
+
+    def test_objects_with_dict(self):
+        class Holder:
+            def __init__(self):
+                self.payload = list(range(500))
+
+        assert deep_sizeof(Holder()) > deep_sizeof(list(range(500)))
+
+    def test_objects_with_slots(self):
+        assert deep_sizeof(Slotted()) > 0
+
+
+class TestMemoryLedger:
+    def test_measure_and_total(self):
+        ledger = MemoryLedger()
+        size = ledger.measure("x", [1, 2, 3])
+        assert size > 0
+        assert ledger.total_bytes == size
+
+    def test_keeps_peak(self):
+        ledger = MemoryLedger()
+        ledger.record("x", 100)
+        ledger.record("x", 50)
+        assert ledger.breakdown() == {"x": 100}
+
+    def test_total_mb(self):
+        ledger = MemoryLedger()
+        ledger.record("x", 2 * 1024 * 1024)
+        assert ledger.total_mb == pytest.approx(2.0)
+
+    def test_merge_takes_peaks_per_name(self):
+        a, b = MemoryLedger(), MemoryLedger()
+        a.record("x", 10)
+        b.record("x", 20)
+        b.record("y", 5)
+        a.merge(b)
+        assert a.breakdown() == {"x": 20, "y": 5}
+        assert set(a.names()) == {"x", "y"}

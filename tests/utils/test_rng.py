@@ -1,0 +1,46 @@
+"""Tests for seeded randomness helpers."""
+
+import numpy as np
+
+from repro.utils import make_rng, stable_hash, token_rng
+
+
+class TestMakeRng:
+    def test_int_seed_deterministic(self):
+        assert make_rng(7).integers(0, 1000) == make_rng(7).integers(0, 1000)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(1)
+        assert make_rng(rng) is rng
+
+    def test_none_gives_fresh_entropy(self):
+        values = {int(make_rng(None).integers(0, 2**62)) for _ in range(3)}
+        assert len(values) > 1
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("token") == stable_hash("token")
+
+    def test_salt_changes_hash(self):
+        assert stable_hash("token", salt="a") != stable_hash("token", salt="b")
+
+    def test_distinct_tokens_distinct_hashes(self):
+        hashes = {stable_hash(f"t{i}") for i in range(1000)}
+        assert len(hashes) == 1000
+
+    def test_64_bit_range(self):
+        value = stable_hash("x")
+        assert 0 <= value < 2**64
+
+
+class TestTokenRng:
+    def test_deterministic_per_token(self):
+        a = token_rng("tok").standard_normal(4)
+        b = token_rng("tok").standard_normal(4)
+        assert np.array_equal(a, b)
+
+    def test_different_tokens_differ(self):
+        a = token_rng("tok1").standard_normal(4)
+        b = token_rng("tok2").standard_normal(4)
+        assert not np.array_equal(a, b)

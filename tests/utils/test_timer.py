@@ -1,0 +1,62 @@
+"""Tests for phase timers."""
+
+import time
+
+import pytest
+
+from repro.utils import PhaseTimer
+
+
+class TestPhaseTimer:
+    def test_records_elapsed_time(self):
+        timer = PhaseTimer()
+        with timer.phase("work"):
+            time.sleep(0.01)
+        assert timer.seconds("work") >= 0.009
+
+    def test_accumulates_across_blocks(self):
+        timer = PhaseTimer()
+        for _ in range(3):
+            with timer.phase("work"):
+                pass
+        assert timer.seconds("work") > 0.0
+
+    def test_unknown_phase_is_zero(self):
+        assert PhaseTimer().seconds("nothing") == 0.0
+
+    def test_total_sums_phases(self):
+        timer = PhaseTimer()
+        with timer.phase("a"):
+            pass
+        with timer.phase("b"):
+            pass
+        assert timer.total == pytest.approx(
+            timer.seconds("a") + timer.seconds("b")
+        )
+
+    def test_records_even_on_exception(self):
+        timer = PhaseTimer()
+        with pytest.raises(ValueError):
+            with timer.phase("risky"):
+                raise ValueError
+        assert "risky" in timer.totals
+
+    def test_breakdown_fractions_sum_to_one(self):
+        timer = PhaseTimer()
+        with timer.phase("a"):
+            time.sleep(0.002)
+        with timer.phase("b"):
+            time.sleep(0.002)
+        breakdown = timer.breakdown()
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+
+    def test_breakdown_empty(self):
+        assert PhaseTimer().breakdown() == {}
+
+    def test_merge(self):
+        a, b = PhaseTimer(), PhaseTimer()
+        a.totals["x"] = 1.0
+        b.totals["x"] = 2.0
+        b.totals["y"] = 3.0
+        a.merge(b)
+        assert a.totals == {"x": 3.0, "y": 3.0}
