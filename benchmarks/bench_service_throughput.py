@@ -1,0 +1,154 @@
+"""Service throughput: queries/sec through the serving stack vs the
+sequential one-shot engine.
+
+The workload models what a long-lived deployment actually sees: a
+Zipf-skewed stream of requests (popular queries recur — the "millions of
+users" regime of the ROADMAP) rather than a benchmark of all-distinct
+queries. The serving layer's wins come from exactly the three mechanisms
+it exists for: the result cache absorbs repeats, in-flight dedup
+collapses simultaneous identical queries, and micro-batching amortizes
+token-stream drains. The sequential baseline pays full price for every
+request, which is what the seed repo's one-`search()`-per-call usage
+did.
+
+Acceptance gate: >= 2x queries/sec at 4 workers vs the 1-worker
+sequential path.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.datasets import TINY_PROFILES, generate_dataset
+from repro.experiments import build_stack
+from repro.service import (
+    EnginePool,
+    QueryScheduler,
+    ResultCache,
+    SearchRequest,
+)
+from repro.utils.rng import make_rng
+
+DATASET_SEED = 7
+WORKLOAD_SEED = 13
+DISTINCT_QUERIES = 40
+REQUESTS = 150
+K = 10
+ALPHA = 0.8
+WAVE = 25                  # requests arriving per burst
+WORKER_COUNTS = (1, 4, 8)
+REQUIRED_SPEEDUP = 2.0
+
+
+@pytest.fixture(scope="module")
+def stack():
+    return build_stack(
+        generate_dataset(TINY_PROFILES["opendata"], seed=DATASET_SEED)
+    )
+
+
+@pytest.fixture(scope="module")
+def workload(stack):
+    """A Zipf-skewed request stream over the collection's own sets."""
+    collection = stack.collection
+    rng = make_rng(WORKLOAD_SEED)
+    pool_ids = rng.choice(
+        len(collection), size=DISTINCT_QUERIES, replace=False
+    )
+    ranks = 1.0 / (1.0 + rng.permutation(DISTINCT_QUERIES))
+    probabilities = ranks / ranks.sum()
+    picks = rng.choice(pool_ids, size=REQUESTS, p=probabilities)
+    return [frozenset(collection[int(set_id)]) for set_id in picks]
+
+
+def _sequential_qps(stack, workload):
+    engine = stack.engine(alpha=ALPHA)
+    started = time.perf_counter()
+    results = [engine.search(query, K) for query in workload]
+    elapsed = time.perf_counter() - started
+    return len(workload) / elapsed, elapsed, results
+
+
+def _service_qps(stack, workload, *, workers: int):
+    pool = EnginePool(
+        stack.collection, stack.index, stack.sim, alpha=ALPHA, shards=1
+    )
+    requests = [
+        SearchRequest(query=query, k=K, request_id=str(i))
+        for i, query in enumerate(workload)
+    ]
+    with QueryScheduler(
+        pool, cache=ResultCache(256), max_batch=8, workers=workers
+    ) as scheduler:
+        started = time.perf_counter()
+        responses = []
+        # Arrivals come in waves: repeats inside one wave collapse via
+        # in-flight dedup, repeats across waves hit the result cache.
+        for wave_start in range(0, len(requests), WAVE):
+            responses.extend(
+                scheduler.answer_many(requests[wave_start:wave_start + WAVE])
+            )
+        elapsed = time.perf_counter() - started
+        snapshot = dict(scheduler.metrics.snapshot())
+    return len(workload) / elapsed, elapsed, responses, snapshot
+
+
+def test_service_throughput_vs_sequential(stack, workload, report, benchmark):
+    sequential_qps, sequential_s, sequential_results = _sequential_qps(
+        stack, workload
+    )
+
+    rows = []
+    speedups = {}
+    for workers in WORKER_COUNTS:
+        qps, elapsed, responses, snapshot = _service_qps(
+            stack, workload, workers=workers
+        )
+        # Serving must not change answers: scores are byte-identical to
+        # the sequential engine on every request.
+        for response, expected in zip(responses, sequential_results):
+            assert [h.score for h in response.hits] == expected.scores()
+        speedups[workers] = qps / sequential_qps
+        rows.append(
+            (workers, elapsed, qps, speedups[workers],
+             snapshot["cache_hit_rate"], snapshot["deduplicated"],
+             snapshot["mean_batch_occupancy"])
+        )
+
+    report()
+    report(
+        f"service throughput — {REQUESTS} Zipf requests over "
+        f"{DISTINCT_QUERIES} distinct queries, k={K}, alpha={ALPHA}"
+    )
+    report(
+        f"{'config':<22}{'seconds':>9}{'qps':>8}{'speedup':>9}"
+        f"{'hit_rate':>10}{'dedup':>7}{'occupancy':>11}"
+    )
+    report(
+        f"{'sequential engine':<22}{sequential_s:>9.2f}"
+        f"{sequential_qps:>8.1f}{1.0:>9.2f}{'-':>10}{'-':>7}{'-':>11}"
+    )
+    for workers, elapsed, qps, speedup, hit_rate, dedup, occupancy in rows:
+        report(
+            f"{f'service x{workers} workers':<22}{elapsed:>9.2f}{qps:>8.1f}"
+            f"{speedup:>9.2f}{hit_rate:>10.2f}{dedup:>7d}{occupancy:>11.2f}"
+        )
+
+    # The acceptance gate of the serving subsystem.
+    assert speedups[4] >= REQUIRED_SPEEDUP, (
+        f"service at 4 workers reached only {speedups[4]:.2f}x the "
+        f"sequential baseline (needs >= {REQUIRED_SPEEDUP}x)"
+    )
+
+    # Timed artifact: one warm cache hit through the full serving path.
+    pool = EnginePool(
+        stack.collection, stack.index, stack.sim, alpha=ALPHA, shards=1
+    )
+    with QueryScheduler(pool, cache=ResultCache(16)) as scheduler:
+        request = SearchRequest(query=workload[0], k=K)
+        scheduler.answer(request)
+        benchmark(
+            scheduler.answer, SearchRequest(query=workload[0], k=K)
+        )

@@ -56,6 +56,14 @@ from repro.index import (
     TokenIndex,
     TokenStream,
 )
+from repro.service import (
+    EnginePool,
+    QueryScheduler,
+    ResultCache,
+    SearchRequest,
+    SearchResponse,
+    ServiceMetrics,
+)
 from repro.sim import (
     CallableSimilarity,
     CosineSimilarity,
@@ -73,6 +81,7 @@ __all__ = [
     "CosineSimilarity",
     "EditSimilarity",
     "EmptyQueryError",
+    "EnginePool",
     "ExactCosineIndex",
     "ExactJaccardIndex",
     "FilterConfig",
@@ -87,12 +96,17 @@ __all__ = [
     "PinnedSimilarityModel",
     "PrefixJaccardIndex",
     "QGramJaccardSimilarity",
+    "QueryScheduler",
     "ReproError",
+    "ResultCache",
     "ResultEntry",
+    "SearchRequest",
+    "SearchResponse",
     "SearchResult",
     "ScanTokenIndex",
     "SearchStats",
     "SearchTimeout",
+    "ServiceMetrics",
     "SetCollection",
     "SimilarityFunction",
     "SyntheticEmbeddingModel",

@@ -1,12 +1,16 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands cover the downstream workflow end to end:
+Five commands cover the downstream workflow end to end:
 
 * ``generate`` — synthesize a Table-I-shaped corpus to a JSON collection;
-* ``search`` — top-k semantic overlap search over a JSON/CSV collection
-  (hashing embeddings + exact cosine index by default, q-gram Jaccard
-  with ``--jaccard``);
-* ``stats`` — shape statistics of a collection (the Table I columns).
+* ``search`` — one top-k semantic overlap search over a JSON/CSV
+  collection (hashing embeddings + exact cosine index by default, q-gram
+  Jaccard with ``--jaccard``);
+* ``stats`` — shape statistics of a collection (the Table I columns);
+* ``serve`` — long-lived JSON-lines query server over stdin/stdout,
+  backed by the :mod:`repro.service` scheduler/cache/engine-pool stack;
+* ``batch`` — answer a file of JSON-lines queries to a results file
+  through the same serving stack (maximal batching and dedup).
 """
 
 from __future__ import annotations
@@ -30,6 +34,13 @@ from repro.embedding.hashing import HashingEmbeddingProvider
 from repro.embedding.provider import VectorStore
 from repro.index.lsh import PrefixJaccardIndex
 from repro.index.vector_index import ExactCosineIndex
+from repro.service import (
+    EnginePool,
+    QueryScheduler,
+    ResultCache,
+    run_batch,
+    serve_lines,
+)
 from repro.sim.cosine import CosineSimilarity
 from repro.sim.jaccard import QGramJaccardSimilarity
 
@@ -38,6 +49,45 @@ def _load_collection(path: str) -> SetCollection:
     if Path(path).suffix.lower() == ".csv":
         return load_collection_csv(path)
     return load_collection_json(path)
+
+
+def _build_substrate(collection: SetCollection, args: argparse.Namespace):
+    """The (token_index, sim) pair selected by ``--jaccard``/``--dim``."""
+    if args.jaccard:
+        sim = QGramJaccardSimilarity(q=3)
+        index = PrefixJaccardIndex(
+            collection.vocabulary, alpha=args.alpha, similarity=sim
+        )
+    else:
+        provider = HashingEmbeddingProvider(dim=args.dim)
+        store = VectorStore(provider, collection.vocabulary)
+        index = ExactCosineIndex(store, provider)
+        sim = CosineSimilarity(provider)
+    return index, sim
+
+
+def _build_scheduler(args: argparse.Namespace) -> QueryScheduler:
+    """The serving stack shared by ``repro serve`` and ``repro batch``."""
+    collection = _load_collection(args.collection)
+    index, sim = _build_substrate(collection, args)
+    pool = EnginePool(
+        collection,
+        index,
+        sim,
+        alpha=args.alpha,
+        shards=args.shards,
+        parallel_shards=args.parallel_shards,
+        config=FilterConfig.koios(iub_mode=args.iub_mode),
+    )
+    cache = (
+        ResultCache(capacity=args.cache_size) if args.cache_size > 0 else None
+    )
+    return QueryScheduler(
+        pool,
+        cache=cache,
+        max_batch=args.max_batch,
+        workers=args.workers,
+    )
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -73,16 +123,7 @@ def cmd_search(args: argparse.Namespace) -> int:
     """``repro search``: top-k semantic overlap search over a collection."""
     collection = _load_collection(args.collection)
     query = frozenset(args.token)
-    if args.jaccard:
-        sim = QGramJaccardSimilarity(q=3)
-        index = PrefixJaccardIndex(
-            collection.vocabulary, alpha=args.alpha, similarity=sim
-        )
-    else:
-        provider = HashingEmbeddingProvider(dim=args.dim)
-        store = VectorStore(provider, collection.vocabulary)
-        index = ExactCosineIndex(store, provider)
-        sim = CosineSimilarity(provider)
+    index, sim = _build_substrate(collection, args)
     engine = KoiosSearchEngine(
         collection,
         index,
@@ -106,6 +147,87 @@ def cmd_search(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: JSON-lines request loop on stdin/stdout."""
+    with _build_scheduler(args) as scheduler:
+        served = serve_lines(
+            scheduler, sys.stdin, sys.stdout, linger=args.linger
+        )
+        snapshot = dict(scheduler.metrics.snapshot())
+    print(
+        f"# served {served} requests "
+        f"(qps={snapshot['qps']}, "
+        f"cache_hit_rate={snapshot['cache_hit_rate']}, "
+        f"p95={snapshot['latency_p95']}s)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    """``repro batch``: answer a query file through the serving stack."""
+    with open(args.queries, encoding="utf-8") as handle:
+        lines = handle.readlines()
+    with _build_scheduler(args) as scheduler:
+        responses = run_batch(scheduler, lines)
+        snapshot = dict(scheduler.metrics.snapshot())
+    payload = "".join(response.to_json() + "\n" for response in responses)
+    if args.output is None or args.output == "-":
+        sys.stdout.write(payload)
+    else:
+        Path(args.output).write_text(payload, encoding="utf-8")
+    errors = sum(1 for response in responses if response.error is not None)
+    print(
+        f"# answered {len(responses)} requests ({errors} errors, "
+        f"cache_hit_rate={snapshot['cache_hit_rate']}, "
+        f"mean_batch_occupancy={snapshot['mean_batch_occupancy']})",
+        file=sys.stderr,
+    )
+    return 0 if errors == 0 else 1
+
+
+def _add_substrate_arguments(parser: argparse.ArgumentParser) -> None:
+    """Options shared by every command that builds a search stack."""
+    parser.add_argument("--alpha", type=float, default=0.8)
+    parser.add_argument(
+        "--jaccard", action="store_true",
+        help="q-gram Jaccard similarity instead of hashing embeddings",
+    )
+    parser.add_argument(
+        "--dim", type=int, default=64,
+        help="hashing-embedding dimensionality",
+    )
+    parser.add_argument(
+        "--iub-mode", default="paper", choices=["paper", "safe"]
+    )
+
+
+def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
+    """Options shared by ``serve`` and ``batch``."""
+    parser.add_argument("collection", help="JSON or long-CSV collection")
+    _add_substrate_arguments(parser)
+    parser.add_argument(
+        "--shards", type=int, default=1,
+        help="engine-pool shards over the collection",
+    )
+    parser.add_argument(
+        "--parallel-shards", action="store_true",
+        help="fan one query's shards out on a thread pool",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="scheduler worker threads",
+    )
+    parser.add_argument(
+        "--cache-size", type=int, default=1024,
+        help="result-cache capacity (0 disables caching)",
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=8,
+        help="micro-batch occupancy that triggers dispatch",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -144,21 +266,31 @@ def build_parser() -> argparse.ArgumentParser:
         "token", nargs="+", help="query set elements"
     )
     search.add_argument("-k", type=int, default=10)
-    search.add_argument("--alpha", type=float, default=0.8)
-    search.add_argument(
-        "--jaccard", action="store_true",
-        help="q-gram Jaccard similarity instead of hashing embeddings",
-    )
-    search.add_argument(
-        "--dim", type=int, default=64,
-        help="hashing-embedding dimensionality",
-    )
+    _add_substrate_arguments(search)
     search.add_argument("--partitions", type=int, default=1)
-    search.add_argument(
-        "--iub-mode", default="paper", choices=["paper", "safe"]
-    )
     search.add_argument("--verbose", action="store_true")
     search.set_defaults(func=cmd_search)
+
+    serve = commands.add_parser(
+        "serve", help="JSON-lines query server on stdin/stdout"
+    )
+    _add_service_arguments(serve)
+    serve.add_argument(
+        "--linger", type=int, default=1,
+        help="requests to accumulate before flushing a micro-batch",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    batch = commands.add_parser(
+        "batch", help="answer a JSON-lines query file via the service"
+    )
+    _add_service_arguments(batch)
+    batch.add_argument("queries", help="JSON-lines request file")
+    batch.add_argument(
+        "--output", default="-",
+        help="responses file ('-' = stdout)",
+    )
+    batch.set_defaults(func=cmd_batch)
     return parser
 
 

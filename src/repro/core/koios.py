@@ -20,9 +20,14 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.core.config import FilterConfig
-from repro.core.postprocessing import VerifiedEntry, postprocess
+from repro.core.postprocessing import (
+    VerifiedEntry,
+    cache_view,
+    index_cache_by_token,
+    postprocess,
+)
 from repro.core.refinement import refine
-from repro.core.semantic_overlap import semantic_overlap
+from repro.core.semantic_overlap import semantic_overlap_matching
 from repro.core.stats import POSTPROCESSING, REFINEMENT, SearchStats
 from repro.core.topk import GlobalThreshold, ThetaLB, TopKList
 from repro.datasets.collection import SetCollection
@@ -107,6 +112,11 @@ class KoiosSearchEngine:
         does on its 64-core testbed. Results are identical either way;
         only wall-clock time and the work-saving effect of the shared
         ``theta_lb`` (fast partitions pruning slow ones early) change.
+    set_ids:
+        Restrict the searchable repository to these set ids (the full
+        collection object is still shared, so ids, names, and vocabulary
+        stay global). The engine pool uses this to keep one warm engine
+        per shard of the repository.
     """
 
     def __init__(
@@ -121,6 +131,7 @@ class KoiosSearchEngine:
         config: FilterConfig | None = None,
         em_workers: int = 0,
         parallel_partitions: bool = False,
+        set_ids: Iterable[int] | None = None,
     ) -> None:
         if not (0.0 < alpha <= 1.0):
             raise InvalidParameterError("alpha must be in (0, 1]")
@@ -133,7 +144,12 @@ class KoiosSearchEngine:
         self._config = config or FilterConfig.koios()
         self._em_workers = em_workers
         self._parallel_partitions = parallel_partitions
-        partitions = collection.partition(num_partitions, seed=partition_seed)
+        within = None if set_ids is None else list(set_ids)
+        if within is not None and not within:
+            raise InvalidParameterError("set_ids may not be empty")
+        partitions = collection.partition(
+            num_partitions, seed=partition_seed, within=within
+        )
         self._partitions = [ids for ids in partitions if ids]
         self._inverted = [
             InvertedIndex(collection, ids) for ids in self._partitions
@@ -156,13 +172,43 @@ class KoiosSearchEngine:
     def num_partitions(self) -> int:
         return len(self._partitions)
 
+    def drain(
+        self, query: Iterable[str], *, alpha: float | None = None
+    ) -> MaterializedTokenStream:
+        """Drain the token stream ``Ie`` for ``query`` without searching.
+
+        The serving layer calls this once per micro-batch (on the union
+        of the batch's query sets) and replays :meth:`MaterializedTokenStream.restrict`-ed
+        views through :meth:`search`'s ``stream`` parameter, so one index
+        drain serves many requests.
+        """
+        query_set = frozenset(query)
+        if not query_set:
+            raise EmptyQueryError("query set is empty")
+        return MaterializedTokenStream.drain(
+            query_set,
+            self._token_index,
+            self._check_alpha(alpha),
+            collection_vocabulary=self._collection.vocabulary,
+        )
+
+    def _check_alpha(self, alpha: float | None) -> float:
+        if alpha is None:
+            return self._alpha
+        if not (0.0 < alpha <= 1.0):
+            raise InvalidParameterError("alpha must be in (0, 1]")
+        return alpha
+
     def search(
         self,
         query: Iterable[str],
         k: int = 10,
         *,
+        alpha: float | None = None,
         resolve_scores: bool = True,
         time_budget: float | None = None,
+        stream: MaterializedTokenStream | None = None,
+        shared_threshold: GlobalThreshold | None = None,
     ) -> SearchResult:
         """Find the top-k sets by semantic overlap with ``query``.
 
@@ -172,6 +218,10 @@ class KoiosSearchEngine:
             The query set ``Q`` (duplicates collapse).
         k:
             Result size.
+        alpha:
+            Per-call element similarity threshold; defaults to the
+            engine's constructor ``alpha``. The engine's indexes are
+            alpha-independent, so a warm engine serves any threshold.
         resolve_scores:
             Sets accepted by the No-EM filter carry only score bounds;
             when True (default) their exact overlap is computed at the
@@ -180,12 +230,22 @@ class KoiosSearchEngine:
         time_budget:
             Wall-clock budget in seconds; on expiry a partial result
             flagged ``timed_out`` is returned.
+        stream:
+            A pre-drained token stream to replay instead of draining the
+            index again. It must cover the query at exactly this alpha
+            (see :meth:`MaterializedTokenStream.covers`); a wider stream
+            (e.g. a micro-batch union drain) is restricted automatically.
+        shared_threshold:
+            A cross-engine ``theta_lb`` (§VI). Shard engines of one pool
+            searching the same query share one instance so any shard's
+            verified scores prune work in the others.
         """
         query_set = frozenset(query)
         if not query_set:
             raise EmptyQueryError("query set is empty")
         if k < 1:
             raise InvalidParameterError("k must be >= 1")
+        alpha = self._check_alpha(alpha)
 
         stats = SearchStats()
         deadline = (
@@ -193,17 +253,27 @@ class KoiosSearchEngine:
             if time_budget is not None
             else None
         )
-        with stats.timer.phase(REFINEMENT):
-            stream = MaterializedTokenStream.drain(
-                query_set,
-                self._token_index,
-                self._alpha,
-                collection_vocabulary=self._collection.vocabulary,
-            )
+        if stream is None:
+            with stats.timer.phase(REFINEMENT):
+                stream = MaterializedTokenStream.drain(
+                    query_set,
+                    self._token_index,
+                    alpha,
+                    collection_vocabulary=self._collection.vocabulary,
+                )
+        else:
+            if not stream.covers(query_set, alpha):
+                raise InvalidParameterError(
+                    "provided stream does not cover this query/alpha"
+                )
+            stream = stream.restrict(query_set)
         stats.memory.record("inverted_index", self._index_bytes)
         stats.memory.measure("token_stream", stream)
 
-        shared = GlobalThreshold()
+        shared = (
+            shared_threshold if shared_threshold is not None
+            else GlobalThreshold()
+        )
         sim_cache: dict[tuple[str, str], float] = {}
         verified: list[VerifiedEntry] = []
         timed_out = False
@@ -213,6 +283,7 @@ class KoiosSearchEngine:
             return self._search_partition(
                 query_set,
                 k,
+                alpha,
                 stream,
                 self._inverted[position],
                 shared,
@@ -239,7 +310,13 @@ class KoiosSearchEngine:
             stats.merge(part_stats)
 
         entries = self._rank(
-            query_set, verified, k, resolve_scores and not timed_out, stats
+            query_set,
+            verified,
+            k,
+            alpha,
+            resolve_scores and not timed_out,
+            stats,
+            sim_cache,
         )
         return SearchResult(
             entries=entries,
@@ -255,6 +332,7 @@ class KoiosSearchEngine:
         self,
         query: frozenset[str],
         k: int,
+        alpha: float,
         stream: MaterializedTokenStream,
         inverted: InvertedIndex,
         shared: GlobalThreshold,
@@ -284,7 +362,7 @@ class KoiosSearchEngine:
                 self._collection,
                 output.survivors,
                 self._sim,
-                self._alpha,
+                alpha,
                 k,
                 theta,
                 stats,
@@ -300,20 +378,35 @@ class KoiosSearchEngine:
         query: frozenset[str],
         verified: list[VerifiedEntry],
         k: int,
+        alpha: float,
         resolve: bool,
         stats: SearchStats,
+        sim_cache: dict[tuple[str, str], float] | None = None,
     ) -> list[ResultEntry]:
-        """Merge per-partition lists, optionally resolving inexact scores."""
+        """Merge per-partition lists, optionally resolving inexact scores.
+
+        Resolution seeds the matching matrix from the same streamed
+        similarity cache the in-phase verifications use, so a set's exact
+        score is one deterministic float no matter which path resolved it
+        — the property that lets the sharded engine pool merge per-shard
+        results into byte-identical global rankings.
+        """
         resolved: list[VerifiedEntry] = []
+        cache_by_token = None
         with stats.timer.phase(POSTPROCESSING):
             for entry in verified:
                 if resolve and not entry.exact:
-                    score = semantic_overlap(
+                    if cache_by_token is None:
+                        cache_by_token = index_cache_by_token(sim_cache)
+                    members = self._collection[entry.set_id]
+                    result, _, _ = semantic_overlap_matching(
                         query,
-                        self._collection[entry.set_id],
+                        members,
                         self._sim,
-                        self._alpha,
+                        alpha,
+                        cached_scores=cache_view(cache_by_token, members),
                     )
+                    score = result.score
                     stats.resolution_em += 1
                     entry = VerifiedEntry(
                         set_id=entry.set_id,

@@ -147,7 +147,7 @@ def postprocess(
     ledger = _UpperBoundLedger(
         {sid: state.final_upper for sid, state in survivors.items()}, k
     )
-    cache_by_token = _index_cache_by_token(sim_cache)
+    cache_by_token = index_cache_by_token(sim_cache)
     lower: dict[int, float] = {
         sid: state.lower_bound for sid, state in survivors.items()
     }
@@ -172,7 +172,7 @@ def postprocess(
             collection[set_id],
             sim,
             alpha,
-            cached_scores=_cache_view(cache_by_token, collection[set_id]),
+            cached_scores=cache_view(cache_by_token, collection[set_id]),
             bound=bound_reader,
         )
         return set_id, result
@@ -225,7 +225,7 @@ def postprocess(
     return _final_entries(ledger, lower, exact, checked, k)
 
 
-def _index_cache_by_token(
+def index_cache_by_token(
     sim_cache: Mapping[tuple[str, str], float] | None,
 ) -> dict[str, list[tuple[str, float]]]:
     """Group the refinement similarity cache by vocabulary token so each
@@ -237,7 +237,7 @@ def _index_cache_by_token(
     return by_token
 
 
-def _cache_view(
+def cache_view(
     cache_by_token: dict[str, list[tuple[str, float]]],
     members: frozenset[str],
 ) -> dict[tuple[str, str], float] | None:

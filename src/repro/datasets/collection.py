@@ -117,7 +117,11 @@ class SetCollection:
     # -- partitioning ------------------------------------------------------
 
     def partition(
-        self, num_partitions: int, *, seed: int | None = 0
+        self,
+        num_partitions: int,
+        *,
+        seed: int | None = 0,
+        within: Sequence[int] | None = None,
     ) -> list[list[int]]:
         """Randomly split set ids into ``num_partitions`` groups (§VI).
 
@@ -125,15 +129,32 @@ class SetCollection:
         expected size, exactly as the paper's scale-out scheme. Returns a
         list of id lists; empty partitions are possible for tiny inputs
         and are skipped by the searcher.
+
+        ``within`` restricts the split to an explicit id subset — the
+        sharded engine pool partitions the repository once and hands each
+        shard engine its slice through this parameter.
         """
         if num_partitions < 1:
             raise InvalidParameterError("num_partitions must be >= 1")
+        if within is None:
+            universe = list(self.ids())
+        else:
+            universe = [int(i) for i in within]
+            for set_id in universe:
+                if not (0 <= set_id < len(self._sets)):
+                    raise InvalidParameterError(
+                        f"set id out of range: {set_id}"
+                    )
+            if len(set(universe)) != len(universe):
+                raise InvalidParameterError(
+                    "within may not contain duplicate set ids"
+                )
         if num_partitions == 1:
-            return [list(self.ids())]
+            return [universe]
         rng = make_rng(seed)
-        assignment = rng.integers(0, num_partitions, size=len(self._sets))
+        assignment = rng.integers(0, num_partitions, size=len(universe))
         partitions: list[list[int]] = [[] for _ in range(num_partitions)]
-        for set_id, part in enumerate(assignment):
+        for set_id, part in zip(universe, assignment):
             partitions[int(part)].append(set_id)
         return partitions
 

@@ -117,10 +117,25 @@ class MaterializedTokenStream:
     Partitioned search (§VI) runs one Koios instance per partition; all
     instances consume the *same* tuple sequence, so the stream is drained
     once and replayed per partition instead of re-probing the index.
+
+    A drained stream records the query tokens and ``alpha`` it was drained
+    for. The serving layer drains one stream for the *union* of a
+    micro-batch's query sets and hands each request its
+    :meth:`restrict`-ed view, so a whole batch costs one index drain.
     """
 
-    def __init__(self, tuples: list[StreamTuple]) -> None:
+    def __init__(
+        self,
+        tuples: list[StreamTuple],
+        *,
+        query_tokens: AbstractSet[str] | None = None,
+        alpha: float | None = None,
+    ) -> None:
         self._tuples = tuples
+        self.query_tokens = (
+            None if query_tokens is None else frozenset(query_tokens)
+        )
+        self.alpha = alpha
 
     @classmethod
     def drain(
@@ -131,13 +146,42 @@ class MaterializedTokenStream:
         *,
         collection_vocabulary: AbstractSet[str] | None = None,
     ) -> "MaterializedTokenStream":
+        query = frozenset(query_tokens)
         stream = TokenStream(
-            query_tokens,
+            query,
             index,
             alpha,
             collection_vocabulary=collection_vocabulary,
         )
-        return cls(list(stream))
+        return cls(list(stream), query_tokens=query, alpha=alpha)
+
+    def covers(self, query_tokens: AbstractSet[str], alpha: float) -> bool:
+        """Whether this stream can serve a search for ``query_tokens`` at
+        ``alpha``: it must have been drained for a superset of the query
+        at exactly the same threshold (a looser alpha would smuggle
+        below-threshold edges into refinement)."""
+        if self.query_tokens is None or self.alpha is None:
+            return False
+        return self.alpha == alpha and query_tokens <= self.query_tokens
+
+    def restrict(
+        self, query_tokens: AbstractSet[str]
+    ) -> "MaterializedTokenStream":
+        """The sub-stream of tuples belonging to ``query_tokens``.
+
+        A subsequence of a non-increasing sequence is non-increasing, and
+        per query element the retained tuples are exactly what a solo
+        drain of that element produces — so the restriction is a valid
+        stream for any query that is a subset of ``query_tokens``.
+        """
+        wanted = frozenset(query_tokens)
+        if self.query_tokens is not None and wanted >= self.query_tokens:
+            return self
+        return MaterializedTokenStream(
+            [t for t in self._tuples if t[0] in wanted],
+            query_tokens=wanted,
+            alpha=self.alpha,
+        )
 
     def __len__(self) -> int:
         return len(self._tuples)

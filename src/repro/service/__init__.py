@@ -1,0 +1,47 @@
+"""The concurrent query-serving subsystem.
+
+Turns the single-shot :class:`~repro.core.koios.KoiosSearchEngine` into
+a long-lived server::
+
+    scheduler -> result cache -> engine pool (shards) -> top-k merge
+
+* :class:`QueryScheduler` — admission, in-flight dedup, micro-batching
+* :class:`ResultCache` — versioned LRU over finished results
+* :class:`EnginePool` — warm per-shard engines, exact global merge
+* :class:`ServiceMetrics` — QPS, latency quantiles, hit/occupancy rates
+* :mod:`repro.service.server` — the JSON-lines protocol used by
+  ``repro serve`` and ``repro batch``
+
+See ``docs/service.md`` for the architecture walk-through.
+"""
+
+from repro.service.cache import CacheKey, ResultCache, make_key
+from repro.service.metrics import ServiceMetrics, percentile
+from repro.service.pool import EnginePool, merge_results
+from repro.service.request import (
+    Hit,
+    SearchRequest,
+    SearchResponse,
+    hits_from_result,
+)
+from repro.service.scheduler import QueryScheduler, Ticket
+from repro.service.server import parse_request_lines, run_batch, serve_lines
+
+__all__ = [
+    "CacheKey",
+    "EnginePool",
+    "Hit",
+    "QueryScheduler",
+    "ResultCache",
+    "SearchRequest",
+    "SearchResponse",
+    "ServiceMetrics",
+    "Ticket",
+    "hits_from_result",
+    "make_key",
+    "merge_results",
+    "parse_request_lines",
+    "percentile",
+    "run_batch",
+    "serve_lines",
+]

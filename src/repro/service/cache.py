@@ -1,0 +1,90 @@
+"""Thread-safe LRU cache of finished search results.
+
+Serving traffic is heavily repetitive — popular queries recur, and a
+warm engine answers them in microseconds from here instead of
+milliseconds through refinement + verification. Entries are keyed on
+``(frozenset(query), k, alpha, collection_version)``; the version
+component makes stale results unreachable the moment the underlying
+collection changes, and :meth:`ResultCache.invalidate` additionally
+drops them eagerly.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable
+
+from repro.errors import InvalidParameterError
+
+#: A fully qualified cache key.
+CacheKey = tuple[frozenset, int, float, Hashable]
+
+
+def make_key(
+    query: frozenset[str], k: int, alpha: float, version: Hashable
+) -> CacheKey:
+    """The canonical cache key of one search against one collection state."""
+    return (query, k, alpha, version)
+
+
+class ResultCache:
+    """A bounded LRU mapping of :data:`CacheKey` to finished payloads.
+
+    All operations are O(1) and thread-safe; the scheduler consults the
+    cache from the accept path and fills it from worker threads.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise InvalidParameterError("cache capacity must be >= 1")
+        self._capacity = capacity
+        self._entries: OrderedDict[CacheKey, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: CacheKey) -> Any | None:
+        """The cached payload for ``key``, or None; refreshes recency."""
+        with self._lock:
+            payload = self._entries.get(key)
+            if payload is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return payload
+
+    def put(self, key: CacheKey, payload: Any) -> None:
+        """Insert or refresh ``key``; evicts the least recently used
+        entry when over capacity."""
+        with self._lock:
+            self._entries[key] = payload
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+
+    def invalidate(self) -> int:
+        """Drop every entry (collection mutated); returns the count."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self.invalidations += 1
+            return dropped
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.hits / total

@@ -1,0 +1,158 @@
+"""Serving-side observability.
+
+The engine's :class:`~repro.core.stats.SearchStats` instruments one
+query; :class:`ServiceMetrics` instruments the *service*: completed
+request throughput (QPS), latency quantiles over a sliding window,
+cache hit rate, in-flight dedup rate, and micro-batch occupancy. Phase
+accounting (drain / search / merge) reuses
+:class:`~repro.utils.timer.PhaseTimer`, and engine-level counters
+aggregate into one long-running ``SearchStats`` via its ``merge``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Iterator, Mapping
+
+from repro.core.stats import SearchStats
+from repro.utils.timer import PhaseTimer
+
+#: Latency samples kept for quantile estimation (a sliding window, so
+#: long-lived servers report recent behaviour, not lifetime history).
+LATENCY_WINDOW = 4096
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 1]); 0.0 for no samples."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+    return ordered[rank]
+
+
+class ServiceMetrics:
+    """Thread-safe counters and timers for one scheduler instance."""
+
+    def __init__(self, *, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._started = clock()
+        self.requests = 0
+        self.completed = 0
+        self.errors = 0
+        self.cache_hits = 0
+        self.deduplicated = 0
+        self.batches = 0
+        self.batched_requests = 0
+        self.timer = PhaseTimer()
+        self.engine_stats = SearchStats()
+        self._latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
+
+    # -- recording ---------------------------------------------------------
+
+    def record_accepted(self) -> None:
+        with self._lock:
+            self.requests += 1
+
+    def record_cache_hit(self) -> None:
+        with self._lock:
+            self.cache_hits += 1
+            self.completed += 1
+            self._latencies.append(0.0)
+
+    def record_deduplicated(self) -> None:
+        """A request that attached to an identical in-flight computation.
+        Counted separately: ``completed`` tracks finished computations and
+        cache hits, not the riders that shared them."""
+        with self._lock:
+            self.deduplicated += 1
+
+    def record_batch(self, size: int) -> None:
+        with self._lock:
+            self.batches += 1
+            self.batched_requests += size
+
+    def record_completed(
+        self, seconds: float, stats: SearchStats | None = None
+    ) -> None:
+        with self._lock:
+            self.completed += 1
+            self._latencies.append(seconds)
+            if stats is not None:
+                self.engine_stats.merge(stats)
+
+    def record_error(self) -> None:
+        with self._lock:
+            self.errors += 1
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a block into :attr:`timer` under the metrics lock (worker
+        threads share this object; ``PhaseTimer`` alone is not
+        thread-safe)."""
+        started = self._clock()
+        try:
+            yield
+        finally:
+            elapsed = self._clock() - started
+            with self._lock:
+                self.timer.totals[name] = (
+                    self.timer.totals.get(name, 0.0) + elapsed
+                )
+
+    # -- reading -----------------------------------------------------------
+
+    @property
+    def uptime_seconds(self) -> float:
+        return self._clock() - self._started
+
+    @property
+    def qps(self) -> float:
+        elapsed = self.uptime_seconds
+        if elapsed <= 0.0:
+            return 0.0
+        return self.completed / elapsed
+
+    @property
+    def mean_batch_occupancy(self) -> float:
+        """Average requests served per engine-side micro-batch."""
+        if self.batches == 0:
+            return 0.0
+        return self.batched_requests / self.batches
+
+    def latency_percentile(self, q: float) -> float:
+        with self._lock:
+            samples = list(self._latencies)
+        return percentile(samples, q)
+
+    def snapshot(self) -> Mapping[str, float]:
+        """A JSON-ready summary (the ``{"op": "metrics"}`` response)."""
+        with self._lock:
+            samples = list(self._latencies)
+            snapshot = {
+                "uptime_seconds": round(self.uptime_seconds, 6),
+                "requests": self.requests,
+                "completed": self.completed,
+                "errors": self.errors,
+                "qps": round(self.qps, 3),
+                "cache_hits": self.cache_hits,
+                "cache_hit_rate": (
+                    round(self.cache_hits / self.requests, 4)
+                    if self.requests
+                    else 0.0
+                ),
+                "deduplicated": self.deduplicated,
+                "batches": self.batches,
+                "mean_batch_occupancy": round(self.mean_batch_occupancy, 3),
+                "latency_p50": round(percentile(samples, 0.50), 6),
+                "latency_p95": round(percentile(samples, 0.95), 6),
+                "stream_tuples": self.engine_stats.stream_tuples,
+                "candidates": self.engine_stats.candidates,
+            }
+            for phase, spent in self.timer.totals.items():
+                snapshot[f"seconds_{phase}"] = round(spent, 6)
+        return snapshot

@@ -1,0 +1,250 @@
+"""A pool of warm, sharded Koios engines.
+
+The repository is split once into ``shards`` random partitions (§VI's
+scale-out scheme); each shard gets a long-lived
+:class:`~repro.core.koios.KoiosSearchEngine` whose inverted index covers
+only that shard, while the collection object, token index, and similarity
+function are shared — so set ids, names, and the vocabulary stay global
+and per-shard results merge without any id remapping.
+
+One query is answered by replaying a single drained token stream through
+every shard engine under one shared
+:class:`~repro.core.topk.GlobalThreshold` (a shard that verifies strong
+results early prunes work in the others, exactly the paper's
+partitioned-search effect) and merge-sorting the per-shard top-k lists
+with the :class:`~repro.core.topk.TopKList` machinery. The merged result
+is the exact global top-k: every shard list is exact over its shard, and
+any set a shard pruned was provably below the global ``theta_lb``.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable
+
+from repro.core.config import FilterConfig
+from repro.core.koios import KoiosSearchEngine, ResultEntry, SearchResult
+from repro.core.stats import SearchStats
+from repro.core.topk import GlobalThreshold, TopKList
+from repro.datasets.collection import SetCollection
+from repro.errors import InvalidParameterError
+from repro.index.base import TokenIndex
+from repro.index.token_stream import MaterializedTokenStream
+from repro.sim.base import SimilarityFunction
+
+
+class EnginePool:
+    """Warm shard engines over one collection, ready to serve queries.
+
+    Parameters
+    ----------
+    collection:
+        The repository ``L``.
+    token_index:
+        The shared per-token similarity index (alpha-independent).
+    sim:
+        The element similarity function.
+    alpha:
+        Default element similarity threshold; requests may override it
+        per call.
+    shards:
+        Number of random shards (1 = a single warm engine).
+    parallel_shards:
+        Fan shard searches out on a thread pool instead of running them
+        serially. Results are identical; only wall-clock changes.
+    """
+
+    def __init__(
+        self,
+        collection: SetCollection,
+        token_index: TokenIndex,
+        sim: SimilarityFunction,
+        *,
+        alpha: float = 0.8,
+        shards: int = 1,
+        shard_seed: int = 0,
+        config: FilterConfig | None = None,
+        em_workers: int = 0,
+        parallel_shards: bool = False,
+    ) -> None:
+        if shards < 1:
+            raise InvalidParameterError("shards must be >= 1")
+        if not (0.0 < alpha <= 1.0):
+            raise InvalidParameterError("alpha must be in (0, 1]")
+        self._token_index = token_index
+        self._sim = sim
+        self._alpha = alpha
+        self._shards = shards
+        self._shard_seed = shard_seed
+        self._config = config
+        self._em_workers = em_workers
+        self._version = 0
+        self._executor = (
+            ThreadPoolExecutor(
+                max_workers=shards, thread_name_prefix="repro-shard"
+            )
+            if parallel_shards and shards > 1
+            else None
+        )
+        self._build(collection)
+
+    def _build(self, collection: SetCollection) -> None:
+        if len(collection) == 0:
+            raise InvalidParameterError("cannot serve an empty collection")
+        self._collection = collection
+        shard_ids = [
+            ids
+            for ids in collection.partition(
+                self._shards, seed=self._shard_seed
+            )
+            if ids
+        ]
+        self._engines = [
+            KoiosSearchEngine(
+                collection,
+                self._token_index,
+                self._sim,
+                alpha=self._alpha,
+                config=self._config,
+                em_workers=self._em_workers,
+                set_ids=ids,
+            )
+            for ids in shard_ids
+        ]
+
+    # -- bookkeeping -------------------------------------------------------
+
+    @property
+    def collection(self) -> SetCollection:
+        return self._collection
+
+    @property
+    def alpha(self) -> float:
+        return self._alpha
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._engines)
+
+    @property
+    def version(self) -> int:
+        """Monotone collection version; bumped by :meth:`reload`. Cache
+        keys embed it so results from a previous collection state can
+        never be served."""
+        return self._version
+
+    def reload(
+        self,
+        collection: SetCollection,
+        *,
+        token_index: TokenIndex | None = None,
+        sim: SimilarityFunction | None = None,
+    ) -> int:
+        """Swap in a mutated collection, rebuilding every shard engine.
+
+        Pass a fresh ``token_index``/``sim`` when the vocabulary changed
+        (the index streams only tokens it was built over). Returns the
+        new version.
+        """
+        if token_index is not None:
+            self._token_index = token_index
+        if sim is not None:
+            self._sim = sim
+        self._build(collection)
+        self._version += 1
+        return self._version
+
+    def shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+
+    # -- searching ---------------------------------------------------------
+
+    def drain(
+        self, query: Iterable[str], *, alpha: float | None = None
+    ) -> MaterializedTokenStream:
+        """Drain one token stream usable by every shard engine (they all
+        share the full collection vocabulary)."""
+        return self._engines[0].drain(query, alpha=alpha)
+
+    def search(
+        self,
+        query: Iterable[str],
+        k: int = 10,
+        *,
+        alpha: float | None = None,
+        stream: MaterializedTokenStream | None = None,
+        time_budget: float | None = None,
+    ) -> SearchResult:
+        """Exact global top-k via all shards; same contract as
+        :meth:`KoiosSearchEngine.search` with ``resolve_scores=True``."""
+        query_set = frozenset(query)
+        effective_alpha = self._alpha if alpha is None else alpha
+        if stream is None:
+            stream = self.drain(query_set, alpha=effective_alpha)
+        shared = GlobalThreshold()
+        # One wall-clock deadline for the whole query: each shard gets
+        # whatever budget remains, not a fresh copy of the full budget.
+        deadline = (
+            None if time_budget is None
+            else time.perf_counter() + time_budget
+        )
+
+        def run_shard(engine: KoiosSearchEngine) -> SearchResult:
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0.0:
+                    return SearchResult(
+                        entries=[], stats=SearchStats(), k=k, timed_out=True
+                    )
+            return engine.search(
+                query_set,
+                k,
+                alpha=alpha,
+                stream=stream,
+                shared_threshold=shared,
+                time_budget=remaining,
+            )
+
+        if self._executor is not None:
+            shard_results = list(self._executor.map(run_shard, self._engines))
+        else:
+            shard_results = [run_shard(engine) for engine in self._engines]
+        return merge_results(shard_results, k)
+
+
+def merge_results(shard_results: list[SearchResult], k: int) -> SearchResult:
+    """Merge-sort per-shard top-k lists into the global top-k.
+
+    Shards partition the id space, so every set appears in at most one
+    list; a :class:`TopKList` keeps the k best by ``(score, -set_id)``,
+    which reproduces the engine's ``(-score, set_id)`` ranking exactly.
+    """
+    best = TopKList(k)
+    entries_by_id: dict[int, ResultEntry] = {}
+    stats = SearchStats()
+    partition_stats: list[SearchStats] = []
+    timed_out = False
+    candidates: list[ResultEntry] = []
+    for result in shard_results:
+        timed_out = timed_out or result.timed_out
+        stats.merge(result.stats)
+        partition_stats.extend(result.partition_stats)
+        candidates.extend(result.entries)
+    # Offer in final rank order: TopKList keeps first-come on value ties,
+    # so pre-sorting by (-score, set_id) makes the k-th-place tie-break
+    # match the engine's ranking exactly.
+    candidates.sort(key=lambda e: (-e.score, e.set_id))
+    for entry in candidates:
+        entries_by_id[entry.set_id] = entry
+        best.offer(entry.set_id, entry.score)
+    entries = [entries_by_id[set_id] for set_id, _ in best.items()]
+    return SearchResult(
+        entries=entries,
+        stats=stats,
+        k=k,
+        timed_out=timed_out,
+        partition_stats=partition_stats,
+    )

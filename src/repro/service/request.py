@@ -1,0 +1,163 @@
+"""Wire types of the query service.
+
+A :class:`SearchRequest` is one top-k search as it arrives over the wire
+(JSON-lines on ``repro serve``'s stdin, one JSON object per line in a
+``repro batch`` input file). A :class:`SearchResponse` is what goes back:
+the ranked hits plus serving metadata (cache hit, dedup, latency).
+
+The wire format is deliberately small::
+
+    {"id": "q1", "query": ["LA", "NYC"], "k": 5, "alpha": 0.8}
+    {"id": "q1", "results": [{"set_id": 3, "name": "cities",
+      "score": 1.73, "exact": true}], "cached": false, "seconds": 0.01}
+
+A bare JSON array of tokens is accepted as shorthand for
+``{"query": [...]}`` so query files can be plain token lists.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.koios import SearchResult
+from repro.errors import EmptyQueryError, InvalidParameterError
+
+_auto_ids = itertools.count(1)
+
+
+def _auto_request_id() -> str:
+    return f"req-{next(_auto_ids)}"
+
+
+@dataclass(frozen=True)
+class SearchRequest:
+    """One top-k search request.
+
+    ``alpha=None`` means "use the service default". ``request_id`` is
+    echoed back on the response so callers can correlate out-of-order
+    completions; one is generated when the wire omits it.
+    """
+
+    query: frozenset[str]
+    k: int = 10
+    alpha: float | None = None
+    request_id: str = field(default_factory=_auto_request_id)
+
+    def __post_init__(self) -> None:
+        if not self.query:
+            raise EmptyQueryError("query set is empty")
+        if any(not isinstance(token, str) for token in self.query):
+            raise InvalidParameterError("query tokens must be strings")
+        if self.k < 1:
+            raise InvalidParameterError("k must be >= 1")
+        if self.alpha is not None and not (0.0 < self.alpha <= 1.0):
+            raise InvalidParameterError("alpha must be in (0, 1]")
+
+    @classmethod
+    def from_obj(cls, obj: Any) -> "SearchRequest":
+        """Parse one decoded JSON value (object or bare token array)."""
+        if isinstance(obj, list):
+            obj = {"query": obj}
+        if not isinstance(obj, dict):
+            raise InvalidParameterError(
+                "request must be a JSON object or token array"
+            )
+        tokens = obj.get("query")
+        if not isinstance(tokens, list):
+            raise InvalidParameterError('request needs a "query" token list')
+        if any(not isinstance(token, str) for token in tokens):
+            raise InvalidParameterError("query tokens must be strings")
+        kwargs: dict[str, Any] = {"query": frozenset(tokens)}
+        if "k" in obj:
+            if not isinstance(obj["k"], int) or isinstance(obj["k"], bool):
+                raise InvalidParameterError('"k" must be an integer')
+            kwargs["k"] = obj["k"]
+        if obj.get("alpha") is not None:
+            if not isinstance(obj["alpha"], (int, float)):
+                raise InvalidParameterError('"alpha" must be a number')
+            kwargs["alpha"] = float(obj["alpha"])
+        if obj.get("id") is not None:
+            kwargs["request_id"] = str(obj["id"])
+        return cls(**kwargs)
+
+    @classmethod
+    def from_json(cls, line: str) -> "SearchRequest":
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise InvalidParameterError(f"bad request JSON: {exc}") from exc
+        return cls.from_obj(obj)
+
+
+@dataclass(frozen=True)
+class Hit:
+    """One ranked result set on the wire."""
+
+    set_id: int
+    name: str
+    score: float
+    exact: bool
+
+    def to_obj(self) -> dict[str, Any]:
+        return {
+            "set_id": self.set_id,
+            "name": self.name,
+            "score": self.score,
+            "exact": self.exact,
+        }
+
+
+@dataclass(frozen=True)
+class SearchResponse:
+    """The answer to one :class:`SearchRequest`."""
+
+    request_id: str
+    hits: tuple[Hit, ...]
+    k: int
+    cached: bool = False
+    deduplicated: bool = False
+    timed_out: bool = False
+    seconds: float = 0.0
+    error: str | None = None
+
+    @classmethod
+    def failure(cls, request_id: str, error: str) -> "SearchResponse":
+        return cls(request_id=request_id, hits=(), k=0, error=error)
+
+    def to_obj(self) -> dict[str, Any]:
+        if self.error is not None:
+            return {"id": self.request_id, "error": self.error}
+        obj: dict[str, Any] = {
+            "id": self.request_id,
+            "results": [hit.to_obj() for hit in self.hits],
+            "cached": self.cached,
+            "seconds": round(self.seconds, 6),
+        }
+        if self.deduplicated:
+            obj["deduplicated"] = True
+        if self.timed_out:
+            obj["timed_out"] = True
+        return obj
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_obj(), separators=(",", ":"))
+
+    def result_lines(self) -> list[str]:
+        """``score  name`` lines, the same layout ``repro search`` prints."""
+        return [f"{hit.score:10.4f}  {hit.name}" for hit in self.hits]
+
+
+def hits_from_result(result: SearchResult) -> tuple[Hit, ...]:
+    """Project a :class:`~repro.core.koios.SearchResult` onto wire hits."""
+    return tuple(
+        Hit(
+            set_id=entry.set_id,
+            name=entry.name,
+            score=entry.score,
+            exact=entry.exact,
+        )
+        for entry in result.entries
+    )

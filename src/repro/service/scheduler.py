@@ -1,0 +1,284 @@
+"""Admission, dedup, and micro-batching of search requests.
+
+The :class:`QueryScheduler` is the front door of the service. Each
+accepted request flows through three short-circuits before any engine
+work happens:
+
+1. **Cache** — a finished result for the same
+   ``(query, k, alpha, collection_version)`` is returned immediately;
+2. **In-flight dedup** — an identical query already being computed
+   shares its future instead of computing twice (the thundering-herd
+   case: one expensive query arriving many times at once costs one
+   search);
+3. **Micro-batching** — remaining requests are grouped by compatible
+   ``(k, alpha)``; a batch is dispatched when it reaches ``max_batch``
+   or on :meth:`QueryScheduler.flush`. The batch worker drains ONE
+   token stream for the union of the batch's query sets and replays a
+   restricted view per request, so the index is probed once per batch
+   instead of once per request.
+
+Dispatch runs on a small worker pool; callers get a :class:`Ticket`
+whose ``result()`` blocks until the response is ready.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import InvalidParameterError, ReproError
+from repro.service.cache import CacheKey, ResultCache, make_key
+from repro.service.metrics import ServiceMetrics
+from repro.service.pool import EnginePool
+from repro.service.request import (
+    Hit,
+    SearchRequest,
+    SearchResponse,
+    hits_from_result,
+)
+
+#: Scheduler phase names (recorded in ``ServiceMetrics.timer``).
+DRAIN = "drain"
+SEARCH = "search"
+
+
+@dataclass(frozen=True)
+class _Payload:
+    """What one computed search stores in futures and the cache."""
+
+    hits: tuple[Hit, ...]
+    timed_out: bool
+    seconds: float
+
+
+class Ticket:
+    """A claim on one accepted request's eventual response."""
+
+    def __init__(
+        self,
+        request: SearchRequest,
+        future: "Future[_Payload]",
+        *,
+        cached: bool = False,
+        deduplicated: bool = False,
+    ) -> None:
+        self._request = request
+        self._future = future
+        self._cached = cached
+        self._deduplicated = deduplicated
+
+    @property
+    def request(self) -> SearchRequest:
+        return self._request
+
+    def done(self) -> bool:
+        return self._future.done()
+
+    def result(self, timeout: float | None = None) -> SearchResponse:
+        """Block for the response. Engine-level :class:`ReproError`\\ s
+        become error responses; unexpected exceptions propagate."""
+        try:
+            payload = self._future.result(timeout)
+        except ReproError as exc:
+            return SearchResponse.failure(self._request.request_id, str(exc))
+        return SearchResponse(
+            request_id=self._request.request_id,
+            hits=payload.hits,
+            k=self._request.k,
+            cached=self._cached,
+            deduplicated=self._deduplicated,
+            timed_out=payload.timed_out,
+            seconds=0.0 if self._cached else payload.seconds,
+        )
+
+
+class QueryScheduler:
+    """Serve :class:`SearchRequest`\\ s through an :class:`EnginePool`.
+
+    Parameters
+    ----------
+    pool:
+        The warm shard engines to search with.
+    cache:
+        Result cache; None disables caching.
+    metrics:
+        Metrics sink (a fresh one is created when omitted).
+    max_batch:
+        Dispatch a ``(k, alpha)`` bucket as soon as it holds this many
+        distinct queries; 1 disables batching.
+    workers:
+        Worker threads executing batches; >1 overlaps independent
+        batches (useful whenever engine work releases the GIL or when
+        callers block on tickets).
+    """
+
+    def __init__(
+        self,
+        pool: EnginePool,
+        *,
+        cache: ResultCache | None = None,
+        metrics: ServiceMetrics | None = None,
+        max_batch: int = 8,
+        workers: int = 1,
+    ) -> None:
+        if max_batch < 1:
+            raise InvalidParameterError("max_batch must be >= 1")
+        if workers < 1:
+            raise InvalidParameterError("workers must be >= 1")
+        self._pool = pool
+        self._cache = cache
+        self.metrics = metrics or ServiceMetrics()
+        self._max_batch = max_batch
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-query"
+        )
+        self._lock = threading.Lock()
+        self._inflight: dict[CacheKey, Future] = {}
+        self._pending: dict[
+            tuple[int, float], list[tuple[SearchRequest, CacheKey, Future]]
+        ] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def __enter__(self) -> "QueryScheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        """Dispatch whatever is pending and wait for workers to drain."""
+        self.flush()
+        self._executor.shutdown(wait=True)
+
+    # -- admission ---------------------------------------------------------
+
+    def submit(self, request: SearchRequest) -> Ticket:
+        """Accept one request; returns immediately with a ticket."""
+        alpha = (
+            self._pool.alpha if request.alpha is None else request.alpha
+        )
+        key = make_key(request.query, request.k, alpha, self._pool.version)
+        self.metrics.record_accepted()
+        ready: list[tuple[SearchRequest, CacheKey, Future]] | None = None
+        bucket = (request.k, alpha)
+        with self._lock:
+            if self._cache is not None:
+                payload = self._cache.get(key)
+                if payload is not None:
+                    self.metrics.record_cache_hit()
+                    future: Future = Future()
+                    future.set_result(payload)
+                    return Ticket(request, future, cached=True)
+            future = self._inflight.get(key)
+            if future is not None:
+                self.metrics.record_deduplicated()
+                return Ticket(request, future, deduplicated=True)
+            future = Future()
+            self._inflight[key] = future
+            queue = self._pending.setdefault(bucket, [])
+            queue.append((request, key, future))
+            if len(queue) >= self._max_batch:
+                ready = self._pending.pop(bucket)
+        if ready is not None:
+            self._dispatch(bucket, ready)
+        return Ticket(request, future)
+
+    def flush(self) -> None:
+        """Dispatch every pending bucket regardless of occupancy."""
+        with self._lock:
+            batches = list(self._pending.items())
+            self._pending.clear()
+        for bucket, items in batches:
+            self._dispatch(bucket, items)
+
+    # -- conveniences ------------------------------------------------------
+
+    def answer(self, request: SearchRequest) -> SearchResponse:
+        """Submit one request and block for its response."""
+        ticket = self.submit(request)
+        self.flush()
+        return ticket.result()
+
+    def answer_many(
+        self, requests: Iterable[SearchRequest]
+    ) -> list[SearchResponse]:
+        """Submit a whole workload, then flush once — maximal batching.
+        Responses come back in request order."""
+        tickets = [self.submit(request) for request in requests]
+        self.flush()
+        return [ticket.result() for ticket in tickets]
+
+    def invalidate_cache(self) -> int:
+        """Explicitly drop cached results (e.g. after ``pool.reload``)."""
+        if self._cache is None:
+            return 0
+        return self._cache.invalidate()
+
+    # -- execution ---------------------------------------------------------
+
+    def _dispatch(
+        self,
+        bucket: tuple[int, float],
+        items: Sequence[tuple[SearchRequest, CacheKey, Future]],
+    ) -> None:
+        self._executor.submit(self._run_batch, bucket, items)
+
+    def _run_batch(
+        self,
+        bucket: tuple[int, float],
+        items: Sequence[tuple[SearchRequest, CacheKey, Future]],
+    ) -> None:
+        k, alpha = bucket
+        self.metrics.record_batch(len(items))
+        stream = None
+        if len(items) > 1:
+            union = frozenset().union(
+                *(request.query for request, _, _ in items)
+            )
+            try:
+                with self.metrics.phase(DRAIN):
+                    stream = self._pool.drain(union, alpha=alpha)
+            except Exception as exc:
+                for _, key, future in items:
+                    self._finish_error(key, future, exc)
+                return
+        for request, key, future in items:
+            started = time.perf_counter()
+            try:
+                request_stream = (
+                    None if stream is None else stream.restrict(request.query)
+                )
+                with self.metrics.phase(SEARCH):
+                    result = self._pool.search(
+                        request.query,
+                        k,
+                        alpha=alpha,
+                        stream=request_stream,
+                    )
+            except Exception as exc:
+                self._finish_error(key, future, exc)
+                continue
+            seconds = time.perf_counter() - started
+            payload = _Payload(
+                hits=hits_from_result(result),
+                timed_out=result.timed_out,
+                seconds=seconds,
+            )
+            if self._cache is not None and not result.timed_out:
+                self._cache.put(key, payload)
+            self.metrics.record_completed(seconds, result.stats)
+            with self._lock:
+                self._inflight.pop(key, None)
+            future.set_result(payload)
+
+    def _finish_error(
+        self, key: CacheKey, future: Future, exc: Exception
+    ) -> None:
+        self.metrics.record_error()
+        with self._lock:
+            self._inflight.pop(key, None)
+        future.set_exception(exc)

@@ -1,0 +1,137 @@
+"""JSON-lines front-ends: the ``repro serve`` loop and ``repro batch``.
+
+``serve_lines`` implements a newline-delimited JSON protocol over any
+text streams (the CLI wires stdin/stdout): each input line is either a
+search request (see :mod:`repro.service.request`) or a control object::
+
+    {"op": "metrics"}      -> one line with the metrics snapshot
+    {"op": "invalidate"}   -> drops the result cache
+    {"op": "flush"}        -> dispatches pending micro-batches now
+
+Requests are answered in arrival order. Lines accumulate into
+micro-batches of up to ``linger`` requests before the scheduler flushes,
+so piping a burst of queries in costs a fraction of the index drains
+that one-at-a-time serving would.
+
+``run_batch`` is the offline variant: parse a whole request file, submit
+everything (maximal batching/dedup/caching), and emit one response line
+per request in input order.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Iterator, TextIO
+
+from repro.errors import ReproError
+from repro.service.request import SearchRequest, SearchResponse
+from repro.service.scheduler import QueryScheduler, Ticket
+
+
+def parse_request_lines(
+    lines: Iterable[str],
+) -> Iterator[SearchRequest | SearchResponse]:
+    """Parse request lines, yielding a failure response for bad ones.
+
+    Blank lines and ``#`` comments are skipped so hand-written query
+    files stay pleasant.
+    """
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            yield SearchRequest.from_json(line)
+        except ReproError as exc:
+            yield SearchResponse.failure(f"line-{number}", str(exc))
+
+
+def run_batch(
+    scheduler: QueryScheduler, lines: Iterable[str]
+) -> list[SearchResponse]:
+    """Answer a whole request file; responses in input order."""
+    parsed = list(parse_request_lines(lines))
+    tickets: list[Ticket | SearchResponse] = []
+    for item in parsed:
+        if isinstance(item, SearchRequest):
+            tickets.append(scheduler.submit(item))
+        else:
+            tickets.append(item)
+    scheduler.flush()
+    return [
+        item.result() if isinstance(item, Ticket) else item
+        for item in tickets
+    ]
+
+
+def _control_line(scheduler: QueryScheduler, op: str) -> str:
+    if op == "metrics":
+        return json.dumps(
+            {"metrics": dict(scheduler.metrics.snapshot())},
+            separators=(",", ":"),
+        )
+    if op == "invalidate":
+        dropped = scheduler.invalidate_cache()
+        return json.dumps({"invalidated": dropped}, separators=(",", ":"))
+    if op == "flush":
+        scheduler.flush()
+        return json.dumps({"flushed": True}, separators=(",", ":"))
+    return json.dumps({"error": f"unknown op: {op}"}, separators=(",", ":"))
+
+
+def serve_lines(
+    scheduler: QueryScheduler,
+    in_stream: TextIO,
+    out_stream: TextIO,
+    *,
+    linger: int = 1,
+) -> int:
+    """The request loop behind ``repro serve``.
+
+    ``linger`` is how many requests may accumulate before the scheduler
+    is flushed; with stdin pipes the loop cannot see "no more input yet",
+    so linger>1 trades a little per-request latency for batched drains
+    on bursty input. Returns the number of requests served.
+    """
+    served = 0
+    window: list[Ticket] = []
+
+    def emit_window() -> None:
+        nonlocal served
+        if not window:
+            return
+        scheduler.flush()
+        for ticket in window:
+            out_stream.write(ticket.result().to_json() + "\n")
+            served += 1
+        out_stream.flush()
+        window.clear()
+
+    def emit_immediate(text: str) -> None:
+        emit_window()  # keep responses in arrival order
+        out_stream.write(text + "\n")
+        out_stream.flush()
+
+    for line in in_stream:
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        try:
+            obj = json.loads(stripped)
+        except json.JSONDecodeError as exc:
+            failure = SearchResponse.failure("parse", f"bad request JSON: {exc}")
+            emit_immediate(failure.to_json())
+            continue
+        if isinstance(obj, dict) and isinstance(obj.get("op"), str):
+            emit_immediate(_control_line(scheduler, obj["op"]))
+            continue
+        try:
+            request = SearchRequest.from_obj(obj)
+        except ReproError as exc:
+            emit_immediate(SearchResponse.failure("parse", str(exc)).to_json())
+            continue
+        window.append(scheduler.submit(request))
+        if len(window) >= max(1, linger):
+            emit_window()
+    emit_window()
+    return served

@@ -1,0 +1,79 @@
+"""Concurrent searches against one shared engine.
+
+The serving layer fires many overlapping ``search()`` calls at the same
+warm :class:`KoiosSearchEngine` from a thread pool. A search must keep
+all its state per-call (streams, candidate tables, thresholds, caches),
+so interleaved queries return exactly what a quiet sequential engine
+returns — this guards the shared-state refactor behind the engine pool.
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+NUM_QUERIES = 16
+THREADS = 4
+K = 10
+
+
+def _reference(engine, queries):
+    return [
+        (result.ids(), result.scores())
+        for result in (engine.search(q, K) for q in queries)
+    ]
+
+
+class TestConcurrentSearches:
+    def test_threaded_searches_match_sequential(self, tiny_opendata):
+        engine = tiny_opendata.engine(alpha=0.8)
+        collection = tiny_opendata.collection
+        queries = [collection[i] for i in range(NUM_QUERIES)]
+        expected = _reference(engine, queries)
+
+        # Several rounds so thread interleavings actually overlap distinct
+        # queries on the same engine instance.
+        for _ in range(3):
+            with ThreadPoolExecutor(max_workers=THREADS) as pool:
+                results = list(pool.map(lambda q: engine.search(q, K), queries))
+            got = [(r.ids(), r.scores()) for r in results]
+            assert got == expected
+
+    def test_threads_with_injected_streams_and_shared_drain(self, tiny_opendata):
+        """Replaying one pre-drained stream concurrently is also safe
+        (a materialized stream is immutable and shared by design)."""
+        engine = tiny_opendata.engine(alpha=0.8)
+        collection = tiny_opendata.collection
+        queries = [collection[i] for i in range(8)]
+        streams = [engine.drain(q) for q in queries]
+        expected = _reference(engine, queries)
+
+        def run(position: int):
+            return engine.search(
+                queries[position], K, stream=streams[position]
+            )
+
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            results = list(pool.map(run, range(len(queries))))
+        got = [(r.ids(), r.scores()) for r in results]
+        assert got == expected
+
+    def test_concurrent_mixed_k_and_alpha(self, tiny_opendata):
+        engine = tiny_opendata.engine(alpha=0.8)
+        collection = tiny_opendata.collection
+        jobs = [
+            (collection[i], 3 + (i % 4), 0.8 if i % 2 else 0.9)
+            for i in range(12)
+        ]
+        expected = [
+            (r.ids(), r.scores())
+            for r in (
+                engine.search(q, k, alpha=alpha) for q, k, alpha in jobs
+            )
+        ]
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            results = list(
+                pool.map(
+                    lambda job: engine.search(job[0], job[1], alpha=job[2]),
+                    jobs,
+                )
+            )
+        got = [(r.ids(), r.scores()) for r in results]
+        assert got == expected

@@ -1,0 +1,102 @@
+"""Acceptance: ``repro batch`` is byte-identical to sequential searches.
+
+Runs the full CLI serving stack (scheduler + cache + micro-batching +
+engine pool) over every set of a synthetic corpus (>= 100 queries, plus
+duplicates to exercise the cache/dedup paths) and compares each
+response's serialized result list byte-for-byte against a sequential
+``KoiosSearchEngine.search()`` loop over the same substrate.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.koios import KoiosSearchEngine
+from repro.datasets.io import load_collection_json
+from repro.embedding.hashing import HashingEmbeddingProvider
+from repro.embedding.provider import VectorStore
+from repro.index.vector_index import ExactCosineIndex
+from repro.service.request import hits_from_result
+from repro.sim.cosine import CosineSimilarity
+
+ALPHA = 0.8
+K = 10
+DUPLICATES = 10
+
+
+@pytest.fixture(scope="module")
+def corpus_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("service") / "corpus.json"
+    assert main([
+        "generate", "--profile", "opendata", "--scale", "tiny",
+        "--seed", "11", "--output", str(path),
+    ]) == 0
+    return path
+
+
+def test_batch_matches_sequential_engine_byte_for_byte(
+    corpus_path, tmp_path, capsys
+):
+    collection = load_collection_json(str(corpus_path))
+    assert len(collection) >= 100
+
+    queries_path = tmp_path / "queries.jsonl"
+    request_ids = []
+    with open(queries_path, "w", encoding="utf-8") as handle:
+        for set_id in collection.ids():
+            request_ids.append(f"q{set_id}")
+            handle.write(json.dumps({
+                "id": request_ids[-1],
+                "query": sorted(collection[set_id]),
+                "k": K,
+            }) + "\n")
+        for repeat in range(DUPLICATES):  # cache/dedup must not change bytes
+            request_ids.append(f"dup{repeat}")
+            handle.write(json.dumps({
+                "id": request_ids[-1],
+                "query": sorted(collection[repeat]),
+                "k": K,
+            }) + "\n")
+
+    responses_path = tmp_path / "responses.jsonl"
+    assert main([
+        "batch", str(corpus_path), str(queries_path),
+        "--alpha", str(ALPHA), "--output", str(responses_path),
+    ]) == 0
+    capsys.readouterr()
+    responses = [
+        json.loads(line)
+        for line in responses_path.read_text().splitlines()
+    ]
+    assert [response["id"] for response in responses] == request_ids
+
+    # The sequential reference: one plain engine, same substrate the CLI
+    # builds (hashing embeddings, exact cosine index), one search per line.
+    provider = HashingEmbeddingProvider(dim=64)
+    store = VectorStore(provider, collection.vocabulary)
+    index = ExactCosineIndex(store, provider)
+    engine = KoiosSearchEngine(
+        collection, index, CosineSimilarity(provider), alpha=ALPHA
+    )
+
+    def canonical(hits) -> str:
+        return json.dumps(
+            [hit.to_obj() for hit in hits], separators=(",", ":")
+        )
+
+    mismatches = []
+    for response in responses:
+        if response["id"].startswith("dup"):
+            set_id = int(response["id"][3:])
+        else:
+            set_id = int(response["id"][1:])
+        expected = engine.search(collection[set_id], K)
+        got = json.dumps(response["results"], separators=(",", ":"))
+        want = canonical(hits_from_result(expected))
+        if got != want:
+            mismatches.append(response["id"])
+    assert not mismatches, (
+        f"{len(mismatches)} of {len(responses)} responses diverged "
+        f"from the sequential engine: {mismatches[:5]}"
+    )

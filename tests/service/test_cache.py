@@ -1,0 +1,82 @@
+"""Tests for the LRU result cache."""
+
+import threading
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.service import ResultCache, make_key
+
+
+def key(n: int, version: int = 0):
+    return make_key(frozenset({f"tok{n}"}), 10, 0.8, version)
+
+
+class TestResultCache:
+    def test_put_get_roundtrip(self):
+        cache = ResultCache(capacity=4)
+        cache.put(key(1), "payload-1")
+        assert cache.get(key(1)) == "payload-1"
+        assert cache.hits == 1
+
+    def test_miss_returns_none_and_counts(self):
+        cache = ResultCache(capacity=4)
+        assert cache.get(key(1)) is None
+        assert cache.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(capacity=2)
+        cache.put(key(1), "a")
+        cache.put(key(2), "b")
+        cache.get(key(1))          # refresh 1: now 2 is least recent
+        cache.put(key(3), "c")     # evicts 2
+        assert cache.get(key(2)) is None
+        assert cache.get(key(1)) == "a"
+        assert cache.get(key(3)) == "c"
+
+    def test_capacity_bound_holds(self):
+        cache = ResultCache(capacity=3)
+        for n in range(10):
+            cache.put(key(n), n)
+        assert len(cache) == 3
+
+    def test_version_partitions_the_keyspace(self):
+        cache = ResultCache(capacity=4)
+        cache.put(key(1, version=0), "old")
+        assert cache.get(key(1, version=1)) is None
+
+    def test_invalidate_clears_everything(self):
+        cache = ResultCache(capacity=4)
+        cache.put(key(1), "a")
+        cache.put(key(2), "b")
+        assert cache.invalidate() == 2
+        assert len(cache) == 0
+        assert cache.invalidations == 1
+
+    def test_hit_rate(self):
+        cache = ResultCache(capacity=4)
+        cache.put(key(1), "a")
+        cache.get(key(1))
+        cache.get(key(2))
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(InvalidParameterError):
+            ResultCache(capacity=0)
+
+    def test_concurrent_access_is_safe(self):
+        cache = ResultCache(capacity=64)
+
+        def worker(offset: int) -> None:
+            for n in range(200):
+                cache.put(key((offset * 200 + n) % 80), n)
+                cache.get(key(n % 80))
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(cache) <= 64

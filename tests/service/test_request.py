@@ -1,0 +1,78 @@
+"""Tests for the JSON-lines wire types."""
+
+import json
+
+import pytest
+
+from repro.errors import EmptyQueryError, InvalidParameterError
+from repro.service import Hit, SearchRequest, SearchResponse
+
+
+class TestSearchRequest:
+    def test_parses_full_object(self):
+        request = SearchRequest.from_json(
+            '{"id": "q7", "query": ["a", "b"], "k": 3, "alpha": 0.7}'
+        )
+        assert request.request_id == "q7"
+        assert request.query == frozenset({"a", "b"})
+        assert request.k == 3
+        assert request.alpha == 0.7
+
+    def test_bare_token_array_shorthand(self):
+        request = SearchRequest.from_json('["a", "b", "a"]')
+        assert request.query == frozenset({"a", "b"})
+        assert request.k == 10
+        assert request.alpha is None
+
+    def test_generates_request_id_when_missing(self):
+        first = SearchRequest.from_json('{"query": ["a"]}')
+        second = SearchRequest.from_json('{"query": ["a"]}')
+        assert first.request_id != second.request_id
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "not json",
+            '"a string"',
+            '{"k": 3}',
+            '{"query": "not-a-list"}',
+            '{"query": ["a"], "k": 0}',
+            '{"query": ["a"], "k": true}',
+            '{"query": ["a"], "alpha": 1.5}',
+            '{"query": ["a"], "alpha": "x"}',
+            '{"query": []}',
+            '{"query": [1, 2]}',
+            '{"query": [["nested", "list"]]}',
+        ],
+    )
+    def test_rejects_malformed_lines(self, line):
+        with pytest.raises((InvalidParameterError, EmptyQueryError)):
+            SearchRequest.from_json(line)
+
+
+class TestSearchResponse:
+    def test_json_roundtrip_shape(self):
+        response = SearchResponse(
+            request_id="q1",
+            hits=(Hit(set_id=3, name="cities", score=1.5, exact=True),),
+            k=5,
+            seconds=0.0123,
+        )
+        obj = json.loads(response.to_json())
+        assert obj["id"] == "q1"
+        assert obj["results"] == [
+            {"set_id": 3, "name": "cities", "score": 1.5, "exact": True}
+        ]
+        assert obj["cached"] is False
+        assert "error" not in obj
+
+    def test_error_responses_are_minimal(self):
+        response = SearchResponse.failure("q9", "boom")
+        obj = json.loads(response.to_json())
+        assert obj == {"id": "q9", "error": "boom"}
+
+    def test_timed_out_flag_serialized_only_when_set(self):
+        ok = SearchResponse(request_id="a", hits=(), k=1)
+        slow = SearchResponse(request_id="b", hits=(), k=1, timed_out=True)
+        assert "timed_out" not in json.loads(ok.to_json())
+        assert json.loads(slow.to_json())["timed_out"] is True

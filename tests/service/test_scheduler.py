@@ -1,0 +1,162 @@
+"""Tests for the query scheduler: cache, dedup, and micro-batching."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.service import (
+    EnginePool,
+    QueryScheduler,
+    ResultCache,
+    SearchRequest,
+)
+
+
+@pytest.fixture()
+def pool(tiny_opendata):
+    return EnginePool(
+        tiny_opendata.collection,
+        tiny_opendata.index,
+        tiny_opendata.sim,
+        alpha=0.8,
+        shards=1,
+    )
+
+
+def request_for(collection, set_id: int, *, k: int = 5, **kwargs):
+    return SearchRequest(query=collection[set_id], k=k, **kwargs)
+
+
+class TestScheduler:
+    def test_answers_match_the_engine(self, tiny_opendata, pool):
+        engine = tiny_opendata.engine(alpha=0.8)
+        with QueryScheduler(pool) as scheduler:
+            for set_id in (0, 7, 31):
+                request = request_for(tiny_opendata.collection, set_id)
+                response = scheduler.answer(request)
+                expected = engine.search(request.query, request.k)
+                assert [h.set_id for h in response.hits] == expected.ids()
+                assert [h.score for h in response.hits] == expected.scores()
+                assert response.error is None
+
+    def test_cache_hit_on_repeat(self, tiny_opendata, pool):
+        with QueryScheduler(pool, cache=ResultCache(16)) as scheduler:
+            request = request_for(tiny_opendata.collection, 3)
+            first = scheduler.answer(request)
+            again = SearchRequest(query=request.query, k=request.k)
+            second = scheduler.answer(again)
+        assert not first.cached
+        assert second.cached
+        assert second.hits == first.hits
+        assert scheduler.metrics.cache_hits == 1
+
+    def test_inflight_dedup_shares_one_computation(self, tiny_opendata, pool):
+        with QueryScheduler(pool, max_batch=64) as scheduler:
+            tickets = [
+                scheduler.submit(
+                    request_for(
+                        tiny_opendata.collection, 5, request_id=f"r{i}"
+                    )
+                )
+                for i in range(6)
+            ]
+            scheduler.flush()
+            responses = [ticket.result() for ticket in tickets]
+        assert scheduler.metrics.deduplicated == 5
+        # one engine computation, every caller got its own request id back
+        assert {r.request_id for r in responses} == {f"r{i}" for i in range(6)}
+        assert len({tuple(h.set_id for h in r.hits) for r in responses}) == 1
+        assert sum(1 for r in responses if r.deduplicated) == 5
+
+    def test_batches_group_compatible_requests(self, tiny_opendata, pool):
+        collection = tiny_opendata.collection
+        with QueryScheduler(pool, max_batch=64) as scheduler:
+            tickets = [
+                scheduler.submit(request_for(collection, set_id, k=5))
+                for set_id in range(8)
+            ]
+            tickets.append(
+                scheduler.submit(request_for(collection, 0, k=3))
+            )
+            scheduler.flush()
+            for ticket in tickets:
+                assert ticket.result().error is None
+        # 8 x k=5 in one batch, the k=3 request in its own
+        assert scheduler.metrics.batches == 2
+        assert scheduler.metrics.batched_requests == 9
+
+    def test_max_batch_triggers_dispatch(self, tiny_opendata, pool):
+        collection = tiny_opendata.collection
+        with QueryScheduler(pool, max_batch=2) as scheduler:
+            tickets = [
+                scheduler.submit(request_for(collection, set_id))
+                for set_id in range(2)
+            ]
+            # full bucket dispatched without an explicit flush
+            responses = [ticket.result(timeout=30) for ticket in tickets]
+        assert all(response.error is None for response in responses)
+        assert scheduler.metrics.batches == 1
+
+    def test_batched_results_match_unbatched(self, tiny_opendata, pool):
+        collection = tiny_opendata.collection
+        engine = tiny_opendata.engine(alpha=0.8)
+        requests = [
+            request_for(collection, set_id, k=10) for set_id in range(12)
+        ]
+        with QueryScheduler(pool, max_batch=12) as scheduler:
+            responses = scheduler.answer_many(requests)
+        for request, response in zip(requests, responses):
+            expected = engine.search(request.query, 10)
+            assert [h.set_id for h in response.hits] == expected.ids()
+            assert [h.score for h in response.hits] == expected.scores()
+
+    def test_multiworker_results_match(self, tiny_opendata, pool):
+        collection = tiny_opendata.collection
+        engine = tiny_opendata.engine(alpha=0.8)
+        requests = [
+            request_for(collection, set_id, k=5) for set_id in range(16)
+        ]
+        with QueryScheduler(pool, max_batch=2, workers=4) as scheduler:
+            responses = scheduler.answer_many(requests)
+        for request, response in zip(requests, responses):
+            expected = engine.search(request.query, 5)
+            assert [h.set_id for h in response.hits] == expected.ids()
+
+    def test_reload_invalidates_cached_results(self, tiny_opendata, pool):
+        collection = tiny_opendata.collection
+        cache = ResultCache(16)
+        with QueryScheduler(pool, cache=cache) as scheduler:
+            request = request_for(collection, 0)
+            scheduler.answer(request)
+            pool.reload(collection)  # version bump: old key unreachable
+            repeat = scheduler.answer(
+                SearchRequest(query=request.query, k=request.k)
+            )
+            assert not repeat.cached
+            assert scheduler.invalidate_cache() >= 1
+
+    def test_per_request_alpha(self, tiny_opendata, pool):
+        engine = tiny_opendata.engine(alpha=0.9)
+        with QueryScheduler(pool) as scheduler:
+            request = request_for(tiny_opendata.collection, 2, alpha=0.9)
+            response = scheduler.answer(request)
+        expected = engine.search(request.query, request.k)
+        assert [h.score for h in response.hits] == expected.scores()
+
+    def test_metrics_snapshot_shape(self, tiny_opendata, pool):
+        with QueryScheduler(pool, cache=ResultCache(4)) as scheduler:
+            request = request_for(tiny_opendata.collection, 1)
+            scheduler.answer(request)
+            scheduler.answer(SearchRequest(query=request.query, k=request.k))
+            snapshot = dict(scheduler.metrics.snapshot())
+        assert snapshot["requests"] == 2
+        assert snapshot["completed"] == 2
+        assert snapshot["cache_hits"] == 1
+        assert snapshot["cache_hit_rate"] == 0.5
+        assert snapshot["qps"] > 0
+        assert "latency_p95" in snapshot
+
+    def test_rejects_bad_parameters(self, pool):
+        with pytest.raises(InvalidParameterError):
+            QueryScheduler(pool, max_batch=0)
+        with pytest.raises(InvalidParameterError):
+            QueryScheduler(pool, workers=0)

@@ -1,0 +1,197 @@
+"""Tests for the JSON-lines server loop and the serve/batch CLI."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.service import (
+    EnginePool,
+    QueryScheduler,
+    ResultCache,
+    run_batch,
+    serve_lines,
+)
+
+
+@pytest.fixture()
+def scheduler(tiny_opendata):
+    pool = EnginePool(
+        tiny_opendata.collection,
+        tiny_opendata.index,
+        tiny_opendata.sim,
+        alpha=0.8,
+        shards=2,
+    )
+    with QueryScheduler(pool, cache=ResultCache(32)) as active:
+        yield active
+
+
+def serve_roundtrip(scheduler, lines, **kwargs):
+    out = io.StringIO()
+    served = serve_lines(scheduler, io.StringIO("".join(lines)), out, **kwargs)
+    responses = [json.loads(line) for line in out.getvalue().splitlines()]
+    return served, responses
+
+
+class TestServeLines:
+    def test_one_request_one_response(self, tiny_opendata, scheduler):
+        tokens = sorted(tiny_opendata.collection[0])
+        line = json.dumps({"id": "q1", "query": tokens, "k": 3}) + "\n"
+        served, responses = serve_roundtrip(scheduler, [line])
+        assert served == 1
+        (response,) = responses
+        assert response["id"] == "q1"
+        assert len(response["results"]) == 3
+        assert {"set_id", "name", "score", "exact"} <= set(
+            response["results"][0]
+        )
+
+    def test_responses_in_arrival_order(self, tiny_opendata, scheduler):
+        lines = [
+            json.dumps(
+                {"id": f"q{i}", "query": sorted(tiny_opendata.collection[i])}
+            )
+            + "\n"
+            for i in range(5)
+        ]
+        served, responses = serve_roundtrip(scheduler, lines, linger=3)
+        assert served == 5
+        assert [r["id"] for r in responses] == [f"q{i}" for i in range(5)]
+
+    def test_blank_and_comment_lines_skipped(self, tiny_opendata, scheduler):
+        tokens = sorted(tiny_opendata.collection[0])
+        lines = ["\n", "# warm-up\n", json.dumps({"query": tokens}) + "\n"]
+        served, responses = serve_roundtrip(scheduler, lines)
+        assert served == 1
+        assert len(responses) == 1
+
+    def test_bad_request_line_yields_error_response(self, scheduler):
+        served, responses = serve_roundtrip(scheduler, ['{"k": 3}\n'])
+        assert served == 0
+        assert "error" in responses[0]
+
+    def test_unhashable_tokens_do_not_kill_the_loop(
+        self, tiny_opendata, scheduler
+    ):
+        tokens = sorted(tiny_opendata.collection[0])
+        lines = [
+            '{"query": [["nested"]]}\n',
+            json.dumps({"id": "after", "query": tokens}) + "\n",
+        ]
+        served, responses = serve_roundtrip(scheduler, lines)
+        assert served == 1
+        assert "error" in responses[0]
+        assert responses[1]["id"] == "after"
+
+    def test_metrics_and_invalidate_ops(self, tiny_opendata, scheduler):
+        tokens = sorted(tiny_opendata.collection[1])
+        lines = [
+            json.dumps({"query": tokens}) + "\n",
+            '{"op": "metrics"}\n',
+            '{"op": "invalidate"}\n',
+            '{"op": "bogus"}\n',
+        ]
+        served, responses = serve_roundtrip(scheduler, lines)
+        assert served == 1
+        metrics = responses[1]["metrics"]
+        assert metrics["requests"] == 1
+        assert responses[2] == {"invalidated": 1}
+        assert "error" in responses[3]
+
+
+class TestRunBatch:
+    def test_mixed_good_and_bad_lines(self, tiny_opendata, scheduler):
+        tokens = sorted(tiny_opendata.collection[2])
+        lines = [
+            json.dumps({"id": "ok", "query": tokens}),
+            "not-json",
+            json.dumps(tokens),  # bare-array shorthand
+        ]
+        responses = run_batch(scheduler, lines)
+        assert len(responses) == 3
+        assert responses[0].request_id == "ok"
+        assert responses[0].error is None
+        assert responses[1].error is not None
+        assert responses[1].request_id == "line-2"
+        assert responses[2].error is None
+
+    def test_duplicate_queries_dedup_or_hit_cache(self, tiny_opendata, scheduler):
+        tokens = sorted(tiny_opendata.collection[3])
+        lines = [json.dumps({"id": f"d{i}", "query": tokens}) for i in range(4)]
+        responses = run_batch(scheduler, lines)
+        hit_sets = {
+            tuple(h.set_id for h in response.hits) for response in responses
+        }
+        assert len(hit_sets) == 1
+        metrics = scheduler.metrics
+        assert metrics.deduplicated + metrics.cache_hits == 3
+
+
+class TestServiceCLI:
+    @pytest.fixture()
+    def collection_path(self, tmp_path):
+        path = tmp_path / "sets.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "west": ["seattle", "portland", "oakland"],
+                    "west_dirty": ["seattle", "portlnd", "oaklnd"],
+                    "east": ["boston", "newyork"],
+                }
+            )
+        )
+        return str(path)
+
+    def test_batch_command_end_to_end(self, tmp_path, collection_path, capsys):
+        queries = tmp_path / "queries.jsonl"
+        queries.write_text(
+            json.dumps({"id": "a", "query": ["seattle", "portland"], "k": 2})
+            + "\n"
+            + json.dumps({"id": "b", "query": ["boston"], "k": 1})
+            + "\n"
+        )
+        out = tmp_path / "responses.jsonl"
+        code = main([
+            "batch", collection_path, str(queries),
+            "--alpha", "0.4", "--output", str(out),
+        ])
+        assert code == 0
+        lines = out.read_text().splitlines()
+        assert len(lines) == 2
+        first, second = (json.loads(line) for line in lines)
+        assert first["id"] == "a"
+        assert first["results"][0]["name"] == "west"
+        assert second["results"][0]["name"] == "east"
+        assert "answered 2 requests" in capsys.readouterr().err
+
+    def test_batch_command_stdout_and_error_exit(
+        self, tmp_path, collection_path, capsys
+    ):
+        queries = tmp_path / "queries.jsonl"
+        queries.write_text('{"query": ["seattle"]}\n{"k": 1}\n')
+        code = main(["batch", collection_path, str(queries), "--alpha", "0.4"])
+        assert code == 1  # one bad line -> nonzero exit
+        out_lines = capsys.readouterr().out.strip().splitlines()
+        assert len(out_lines) == 2
+        assert "error" in json.loads(out_lines[1])
+
+    def test_serve_command_over_stdin(
+        self, collection_path, capsys, monkeypatch
+    ):
+        lines = (
+            json.dumps({"id": "q", "query": ["seattle"], "k": 1})
+            + "\n"
+            + '{"op": "metrics"}\n'
+        )
+        monkeypatch.setattr("sys.stdin", io.StringIO(lines))
+        code = main([
+            "serve", collection_path, "--alpha", "0.4", "--shards", "2",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        out_lines = captured.out.strip().splitlines()
+        assert json.loads(out_lines[0])["id"] == "q"
+        assert json.loads(out_lines[1])["metrics"]["completed"] == 1
+        assert "served 1 requests" in captured.err

@@ -14,6 +14,7 @@ SUBPACKAGES = [
     "repro.experiments",
     "repro.index",
     "repro.matching",
+    "repro.service",
     "repro.sim",
     "repro.utils",
 ]
