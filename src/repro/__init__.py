@@ -43,7 +43,10 @@ from repro.errors import (
     MatchingError,
     ReproError,
     SearchTimeout,
+    SnapshotError,
+    StoreError,
     VocabularyError,
+    WalError,
 )
 from repro.index import (
     ExactCosineIndex,
@@ -72,6 +75,14 @@ from repro.sim import (
     SimilarityFunction,
     WordJaccardSimilarity,
 )
+from repro.store import (
+    MutableSetCollection,
+    SnapshotManifest,
+    WriteAheadLog,
+    inspect_snapshot,
+    load_snapshot,
+    save_snapshot,
+)
 
 __version__ = "1.0.0"
 
@@ -93,6 +104,7 @@ __all__ = [
     "ManyToOneSearchEngine",
     "MatchingError",
     "MinHashLSHIndex",
+    "MutableSetCollection",
     "PinnedSimilarityModel",
     "PrefixJaccardIndex",
     "QGramJaccardSimilarity",
@@ -109,12 +121,20 @@ __all__ = [
     "ServiceMetrics",
     "SetCollection",
     "SimilarityFunction",
+    "SnapshotError",
+    "SnapshotManifest",
+    "StoreError",
     "SyntheticEmbeddingModel",
     "TokenIndex",
     "TokenStream",
     "VectorStore",
     "VocabularyError",
+    "WalError",
     "WordJaccardSimilarity",
+    "WriteAheadLog",
+    "inspect_snapshot",
+    "load_snapshot",
+    "save_snapshot",
     "greedy_semantic_overlap",
     "matching_pairs",
     "semantic_overlap",

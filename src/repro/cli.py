@@ -1,16 +1,23 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands cover the downstream workflow end to end:
+Commands cover the downstream workflow end to end:
 
 * ``generate`` — synthesize a Table-I-shaped corpus to a JSON collection;
 * ``search`` — one top-k semantic overlap search over a JSON/CSV
-  collection (hashing embeddings + exact cosine index by default, q-gram
-  Jaccard with ``--jaccard``);
+  collection or snapshot (hashing embeddings + exact cosine index by
+  default, q-gram Jaccard with ``--jaccard``);
 * ``stats`` — shape statistics of a collection (the Table I columns);
+* ``index build|inspect|compact`` — snapshot lifecycle: persist a
+  collection + substrate, read a manifest, fold a write-ahead log back
+  into a fresh snapshot;
 * ``serve`` — long-lived JSON-lines query server over stdin/stdout,
-  backed by the :mod:`repro.service` scheduler/cache/engine-pool stack;
+  backed by the :mod:`repro.service` scheduler/cache/engine-pool stack,
+  with live insert/delete/replace (optionally WAL-durable);
 * ``batch`` — answer a file of JSON-lines queries to a results file
   through the same serving stack (maximal batching and dedup).
+
+User errors exit with a distinct non-zero code per error family (see
+``ERROR_EXIT_CODES``) instead of a traceback.
 """
 
 from __future__ import annotations
@@ -23,15 +30,19 @@ from pathlib import Path
 from repro.core.config import FilterConfig
 from repro.core.koios import KoiosSearchEngine
 from repro.datasets.collection import SetCollection
-from repro.datasets.io import (
-    load_collection_csv,
-    load_collection_json,
-    save_collection_json,
-)
+from repro.datasets.io import load_collection_auto, save_collection_json
 from repro.datasets.profiles import profile_by_name
 from repro.datasets.synthetic import generate_dataset
 from repro.embedding.hashing import HashingEmbeddingProvider
 from repro.embedding.provider import VectorStore
+from repro.errors import (
+    EmptyQueryError,
+    InvalidParameterError,
+    ReproError,
+    SnapshotError,
+    VocabularyError,
+    WalError,
+)
 from repro.index.lsh import PrefixJaccardIndex
 from repro.index.vector_index import ExactCosineIndex
 from repro.service import (
@@ -43,33 +54,144 @@ from repro.service import (
 )
 from repro.sim.cosine import CosineSimilarity
 from repro.sim.jaccard import QGramJaccardSimilarity
+from repro.store.snapshot import (
+    SNAPSHOT_SUFFIXES,
+    inspect_snapshot,
+    load_snapshot,
+    save_snapshot,
+)
+from repro.store.wal import WriteAheadLog, compact
+
+#: Exit code per user-error family, most specific first. Unexpected
+#: exceptions still traceback — those are bugs, not usage errors.
+ERROR_EXIT_CODES: list[tuple[type, int]] = [
+    (InvalidParameterError, 2),
+    (EmptyQueryError, 3),
+    (VocabularyError, 4),
+    (SnapshotError, 5),
+    (WalError, 6),
+    (ReproError, 7),
+]
+
+#: Exit code for OS-level input problems (missing/unreadable files).
+EX_NOINPUT = 66
+
+
+def package_version() -> str:
+    """The installed distribution version, falling back to the in-tree
+    constant when running from a source checkout."""
+    try:
+        from importlib import metadata
+
+        return metadata.version("repro-koios")
+    except Exception:
+        import repro
+
+        return repro.__version__
 
 
 def _load_collection(path: str) -> SetCollection:
-    if Path(path).suffix.lower() == ".csv":
-        return load_collection_csv(path)
-    return load_collection_json(path)
+    """Shared format-sniffing loader (JSON / long CSV / snapshot)."""
+    return load_collection_auto(path)
 
 
 def _build_substrate(collection: SetCollection, args: argparse.Namespace):
-    """The (token_index, sim) pair selected by ``--jaccard``/``--dim``."""
+    """The ``(token_index, sim, descriptor)`` selected by
+    ``--jaccard``/``--dim``.
+
+    The descriptor is what ``index build`` persists in the snapshot
+    manifest; it *parameterizes* the construction here (rather than
+    being written down separately), so the restored substrate can never
+    drift from the one that produced the persisted artifacts.
+    """
     if args.jaccard:
-        sim = QGramJaccardSimilarity(q=3)
+        descriptor = {"kind": "qgram-jaccard", "q": 3, "alpha": args.alpha}
+        sim = QGramJaccardSimilarity(q=descriptor["q"])
         index = PrefixJaccardIndex(
-            collection.vocabulary, alpha=args.alpha, similarity=sim
+            collection.vocabulary,
+            alpha=descriptor["alpha"],
+            similarity=sim,
         )
-    else:
-        provider = HashingEmbeddingProvider(dim=args.dim)
-        store = VectorStore(provider, collection.vocabulary)
-        index = ExactCosineIndex(store, provider)
-        sim = CosineSimilarity(provider)
-    return index, sim
+        return index, sim, descriptor
+    descriptor = {
+        "kind": "hashing-cosine",
+        "dim": args.dim,
+        "n_min": 3,
+        "n_max": 5,
+        "salt": "hashing-embedding",
+        "batch_size": 100,
+    }
+    provider = HashingEmbeddingProvider(
+        dim=descriptor["dim"],
+        n_min=descriptor["n_min"],
+        n_max=descriptor["n_max"],
+        salt=descriptor["salt"],
+    )
+    store = VectorStore(provider, collection.vocabulary)
+    index = ExactCosineIndex(
+        store, provider, batch_size=descriptor["batch_size"]
+    )
+    sim = CosineSimilarity(provider)
+    return index, sim, descriptor
+
+
+def _load_stack(args: argparse.Namespace):
+    """``(collection, token_index, sim)`` for a search-capable command.
+
+    Snapshot inputs restore their persisted substrate (the snapshot's
+    configuration wins over ``--jaccard``/``--dim``) and come back as a
+    mutable overlay adopting the persisted postings — no re-index, and
+    the serve ops can mutate it. JSON/CSV inputs build the substrate
+    from the flags.
+    """
+    path = args.collection
+    if Path(path).suffix.lower() in SNAPSHOT_SUFFIXES:
+        loaded = load_snapshot(path)
+        overlay = loaded.mutable()
+        if loaded.token_index is not None:
+            substrate = loaded.manifest.substrate or {}
+            index_alpha = substrate.get("alpha")
+            if index_alpha is not None and args.alpha < float(index_alpha):
+                # A prefix-Jaccard index is only exact at or above the
+                # alpha it was built for; serving below it would
+                # silently drop matches in [args.alpha, index_alpha).
+                raise InvalidParameterError(
+                    f"snapshot's {substrate.get('kind')} index was built "
+                    f"for alpha >= {index_alpha}; rebuild it ('repro "
+                    f"index build ... --alpha {args.alpha}') to serve "
+                    f"alpha {args.alpha}"
+                )
+            return overlay, loaded.token_index, loaded.sim
+        index, sim, _ = _build_substrate(overlay, args)
+        return overlay, index, sim
+    collection = _load_collection(path)
+    index, sim, _ = _build_substrate(collection, args)
+    return collection, index, sim
 
 
 def _build_scheduler(args: argparse.Namespace) -> QueryScheduler:
     """The serving stack shared by ``repro serve`` and ``repro batch``."""
-    collection = _load_collection(args.collection)
-    index, sim = _build_substrate(collection, args)
+    collection, index, sim = _load_stack(args)
+    wal = None
+    wal_path = getattr(args, "wal", None)
+    if wal_path is not None:
+        if not hasattr(collection, "insert"):
+            # JSON/CSV input: wrap the overlay here (snapshot inputs
+            # already are one, with their postings adopted).
+            from repro.store.mutable import MutableSetCollection
+
+            collection = MutableSetCollection(collection)
+        wal = WriteAheadLog(wal_path)
+        replayed = wal.replay_into(collection)
+        if replayed:
+            extend = getattr(index, "extend", None)
+            if extend is not None:
+                extend(collection.vocabulary)
+            print(
+                f"# replayed {replayed} WAL records "
+                f"(collection version {collection.version})",
+                file=sys.stderr,
+            )
     pool = EnginePool(
         collection,
         index,
@@ -87,6 +209,7 @@ def _build_scheduler(args: argparse.Namespace) -> QueryScheduler:
         cache=cache,
         max_batch=args.max_batch,
         workers=args.workers,
+        wal=wal,
     )
 
 
@@ -121,9 +244,8 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 def cmd_search(args: argparse.Namespace) -> int:
     """``repro search``: top-k semantic overlap search over a collection."""
-    collection = _load_collection(args.collection)
+    collection, index, sim = _load_stack(args)
     query = frozenset(args.token)
-    index, sim = _build_substrate(collection, args)
     engine = KoiosSearchEngine(
         collection,
         index,
@@ -131,6 +253,7 @@ def cmd_search(args: argparse.Namespace) -> int:
         alpha=args.alpha,
         num_partitions=args.partitions,
         config=FilterConfig.koios(iub_mode=args.iub_mode),
+        inverted_factory=getattr(collection, "delta_index", None),
     )
     result = engine.search(query, k=args.k)
     for entry in result.entries:
@@ -188,6 +311,54 @@ def cmd_batch(args: argparse.Namespace) -> int:
     return 0 if errors == 0 else 1
 
 
+def cmd_index_build(args: argparse.Namespace) -> int:
+    """``repro index build``: persist collection + substrate to a snapshot."""
+    output = Path(args.output)
+    if output.suffix.lower() not in SNAPSHOT_SUFFIXES:
+        raise InvalidParameterError(
+            f"snapshot output should end in .snap or .snapshot, got "
+            f"{output.name!r}"
+        )
+    collection = _load_collection(args.collection)
+    index, _, descriptor = _build_substrate(collection, args)
+    manifest = save_snapshot(
+        output,
+        collection,
+        store=getattr(index, "store", None),
+        substrate=descriptor,
+    )
+    print(
+        f"wrote {output}: {manifest.num_sets} sets, "
+        f"{manifest.num_tokens} tokens, "
+        f"{manifest.total_postings} postings, "
+        f"fingerprint {manifest.fingerprint[:12]}"
+    )
+    return 0
+
+
+def cmd_index_inspect(args: argparse.Namespace) -> int:
+    """``repro index inspect``: print a snapshot manifest as JSON."""
+    manifest = inspect_snapshot(args.snapshot)
+    print(json.dumps(manifest.to_obj(), indent=1, sort_keys=True))
+    return 0
+
+
+def cmd_index_compact(args: argparse.Namespace) -> int:
+    """``repro index compact``: fold a WAL into a fresh snapshot."""
+    if not Path(args.wal).exists():
+        raise InvalidParameterError(
+            f"write-ahead log not found: {args.wal}"
+        )
+    wal = WriteAheadLog(args.wal)
+    manifest, applied = compact(args.snapshot, wal, output=args.output)
+    target = args.output or args.snapshot
+    print(
+        f"folded {applied} WAL records into {target}: "
+        f"{manifest.num_sets} sets, {manifest.num_tokens} tokens"
+    )
+    return 0
+
+
 def _add_substrate_arguments(parser: argparse.ArgumentParser) -> None:
     """Options shared by every command that builds a search stack."""
     parser.add_argument("--alpha", type=float, default=0.8)
@@ -236,6 +407,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Koios: top-k semantic overlap set search",
     )
+    parser.add_argument(
+        "--version", action="version",
+        version=f"%(prog)s {package_version()}",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     generate = commands.add_parser(
@@ -271,6 +446,37 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--verbose", action="store_true")
     search.set_defaults(func=cmd_search)
 
+    index = commands.add_parser(
+        "index", help="snapshot lifecycle: build, inspect, compact"
+    )
+    index_commands = index.add_subparsers(
+        dest="index_command", required=True
+    )
+    build = index_commands.add_parser(
+        "build", help="persist a collection + substrate to a snapshot"
+    )
+    build.add_argument("collection", help="JSON or long-CSV collection")
+    build.add_argument("output", help="snapshot path (.snap)")
+    _add_substrate_arguments(build)
+    build.set_defaults(func=cmd_index_build)
+    inspect = index_commands.add_parser(
+        "inspect", help="print a snapshot manifest as JSON"
+    )
+    inspect.add_argument("snapshot")
+    inspect.set_defaults(func=cmd_index_inspect)
+    compact_cmd = index_commands.add_parser(
+        "compact", help="fold a write-ahead log into a fresh snapshot"
+    )
+    compact_cmd.add_argument("snapshot")
+    compact_cmd.add_argument(
+        "--wal", required=True, help="write-ahead log to fold in"
+    )
+    compact_cmd.add_argument(
+        "--output", default=None,
+        help="write the compacted snapshot here (default: in place)",
+    )
+    compact_cmd.set_defaults(func=cmd_index_compact)
+
     serve = commands.add_parser(
         "serve", help="JSON-lines query server on stdin/stdout"
     )
@@ -278,6 +484,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--linger", type=int, default=1,
         help="requests to accumulate before flushing a micro-batch",
+    )
+    serve.add_argument(
+        "--wal", default=None,
+        help="write-ahead log for insert/delete/replace durability "
+        "(replayed on start)",
     )
     serve.set_defaults(func=cmd_serve)
 
@@ -295,10 +506,25 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Library :class:`ReproError`\\ s and missing-file ``OSError``\\ s are
+    user errors: they print one ``repro: error:`` line and exit with the
+    family's code from :data:`ERROR_EXIT_CODES` / :data:`EX_NOINPUT`.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        for error_type, code in ERROR_EXIT_CODES:
+            if isinstance(exc, error_type):
+                return code
+        return ERROR_EXIT_CODES[-1][1]
+    except OSError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return EX_NOINPUT
 
 
 if __name__ == "__main__":

@@ -17,7 +17,7 @@ from __future__ import annotations
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Callable, Iterable, Sequence
 
 from repro.core.config import FilterConfig
 from repro.core.postprocessing import (
@@ -117,6 +117,12 @@ class KoiosSearchEngine:
         collection object is still shared, so ids, names, and vocabulary
         stay global). The engine pool uses this to keep one warm engine
         per shard of the repository.
+    inverted_factory:
+        Called with each partition's set ids to produce its inverted
+        index instead of re-indexing the collection. The store layer
+        passes delta-maintained indexes (snapshot postings, mutable
+        overlays) through here, making engine construction O(shards)
+        rather than O(total postings).
     """
 
     def __init__(
@@ -132,6 +138,8 @@ class KoiosSearchEngine:
         em_workers: int = 0,
         parallel_partitions: bool = False,
         set_ids: Iterable[int] | None = None,
+        inverted_factory: Callable[[Sequence[int]], InvertedIndex]
+        | None = None,
     ) -> None:
         if not (0.0 < alpha <= 1.0):
             raise InvalidParameterError("alpha must be in (0, 1]")
@@ -151,10 +159,24 @@ class KoiosSearchEngine:
             num_partitions, seed=partition_seed, within=within
         )
         self._partitions = [ids for ids in partitions if ids]
-        self._inverted = [
-            InvertedIndex(collection, ids) for ids in self._partitions
-        ]
-        self._index_bytes = deep_sizeof(self._inverted)
+        if inverted_factory is not None:
+            self._inverted = [
+                inverted_factory(ids) for ids in self._partitions
+            ]
+        else:
+            self._inverted = [
+                InvertedIndex(collection, ids) for ids in self._partitions
+            ]
+        if all(hasattr(index, "memory_bytes") for index in self._inverted):
+            # Delta indexes are views of ONE shared posting store (and
+            # each reports its full footprint), so take the max rather
+            # than deep-walking that graph per engine build — the walk
+            # would dominate the O(shards) hot swap the factory enables.
+            self._index_bytes = max(
+                index.memory_bytes() for index in self._inverted
+            )
+        else:
+            self._index_bytes = deep_sizeof(self._inverted)
 
     @property
     def collection(self) -> SetCollection:

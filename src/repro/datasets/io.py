@@ -11,7 +11,10 @@ downstream user the same ingestion paths without leaving the library:
 * **column CSV** — a regular CSV table whose every column becomes one
   set of its distinct non-empty values, exactly how the paper builds
   OpenData/WDC sets ("the distinct values in every column of every
-  table").
+  table");
+* **snapshots** — the binary format of :mod:`repro.store.snapshot`
+  (``.snap``/``.snapshot``), loaded collection-only here;
+  :func:`load_collection_auto` sniffs all three by extension.
 
 All writers produce deterministic output (sorted names and tokens) so
 saved corpora diff cleanly.
@@ -136,3 +139,29 @@ def _is_numeric(value: str) -> bool:
     except ValueError:
         return False
     return True
+
+
+def load_collection_auto(path: str | Path) -> SetCollection:
+    """Load a collection, sniffing the format from the file extension.
+
+    ``.json`` -> :func:`load_collection_json`, ``.csv`` ->
+    :func:`load_collection_csv`, ``.snap``/``.snapshot`` -> the binary
+    snapshot loader (collection only; use :func:`repro.store.load_snapshot`
+    when you also want the persisted postings and substrate). Anything
+    else raises a friendly :class:`InvalidParameterError` — the one
+    loader every CLI command shares.
+    """
+    suffix = Path(path).suffix.lower()
+    if suffix == ".json":
+        return load_collection_json(path)
+    if suffix == ".csv":
+        return load_collection_csv(path)
+    if suffix in (".snap", ".snapshot"):
+        # Local import: repro.store sits above the dataset layer.
+        from repro.store.snapshot import load_snapshot
+
+        return load_snapshot(path).collection
+    raise InvalidParameterError(
+        f"unrecognized collection format {suffix or '(no extension)'!r} "
+        f"for {path}; expected .json, .csv, .snap, or .snapshot"
+    )

@@ -59,6 +59,7 @@ class VectorStore:
 
     def __init__(self, provider: EmbeddingProvider, tokens: Iterable[str]) -> None:
         covered = [t for t in sorted(set(tokens)) if provider.covers(t)]
+        self._provider = provider
         self._tokens: list[str] = covered
         self._token_to_row: dict[str, int] = {
             token: row for row, token in enumerate(covered)
@@ -69,6 +70,54 @@ class VectorStore:
             matrix = np.zeros((0, provider.dim), dtype=np.float32)
         self._matrix = matrix.astype(np.float32)
         self._dim = provider.dim
+
+    @classmethod
+    def from_state(
+        cls,
+        provider: EmbeddingProvider,
+        tokens: list[str],
+        matrix: np.ndarray,
+    ) -> "VectorStore":
+        """Adopt an already-normalized ``(len(tokens), dim)`` matrix.
+
+        The snapshot loader uses this to skip re-embedding the whole
+        vocabulary on cold start; rows must align with ``tokens``.
+        """
+        store = cls.__new__(cls)
+        store._provider = provider
+        store._tokens = list(tokens)
+        store._token_to_row = {
+            token: row for row, token in enumerate(store._tokens)
+        }
+        store._matrix = np.ascontiguousarray(matrix, dtype=np.float32)
+        store._dim = provider.dim
+        return store
+
+    def extend(self, tokens: Iterable[str]) -> int:
+        """Embed and append any ``tokens`` not yet in the store.
+
+        Live collection mutation grows the vocabulary; extending the
+        store (instead of rebuilding it) keeps the incremental-update
+        path free of the O(|D|) embedding pass. Returns the number of
+        rows added. Rows for tokens that later leave the vocabulary are
+        left in place — the token stream filters on the collection
+        vocabulary, so stale rows cost a little scan time but can never
+        surface in results.
+        """
+        fresh = [
+            t for t in sorted(set(tokens))
+            if t not in self._token_to_row and self._provider.covers(t)
+        ]
+        if not fresh:
+            return 0
+        rows = np.stack([normalize(self._provider.vector(t)) for t in fresh])
+        self._matrix = np.concatenate(
+            [self._matrix, rows.astype(np.float32)], axis=0
+        )
+        for token in fresh:
+            self._token_to_row[token] = len(self._tokens)
+            self._tokens.append(token)
+        return len(fresh)
 
     @property
     def dim(self) -> int:

@@ -25,3 +25,18 @@ class MatchingError(ReproError):
 class SearchTimeout(ReproError):
     """Raised internally when a search exceeds its time budget; callers
     receive a partial result flagged ``timed_out`` instead."""
+
+
+class StoreError(ReproError):
+    """Base class for persistent-store (snapshot / write-ahead log)
+    failures."""
+
+
+class SnapshotError(StoreError):
+    """Raised when a snapshot file is missing sections, fails its
+    checksum, or carries an unsupported format version."""
+
+
+class WalError(StoreError):
+    """Raised when a write-ahead log contains a corrupt or out-of-order
+    record (a torn final record is tolerated and truncated instead)."""

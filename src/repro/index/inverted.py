@@ -9,7 +9,7 @@ because the paper repeatedly attributes WDC's behaviour to its
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from repro.datasets.collection import SetCollection
 
@@ -40,6 +40,23 @@ class InvertedIndex:
             for token in collection[set_id]:
                 postings.setdefault(token, []).append(set_id)
         self._postings = postings
+
+    @classmethod
+    def from_postings(
+        cls, postings: Mapping[str, Sequence[int]]
+    ) -> "InvertedIndex":
+        """Adopt prebuilt posting lists (snapshot load, delta overlays)
+        instead of re-indexing a collection. Lists are copied so the
+        index owns its postings."""
+        index = cls.__new__(cls)
+        index._postings = {
+            token: list(set_ids) for token, set_ids in postings.items()
+        }
+        return index
+
+    def postings(self) -> dict[str, list[int]]:
+        """A copy of the full ``token -> set ids`` map (snapshot save)."""
+        return {token: list(ids) for token, ids in self._postings.items()}
 
     def __contains__(self, token: str) -> bool:
         return token in self._postings

@@ -73,6 +73,7 @@ class PrefixJaccardIndex:
         self._alpha = alpha
         self._similarity = similarity or QGramJaccardSimilarity(q=3)
         self._tokens = sorted(set(vocabulary))
+        self._token_set = set(self._tokens)
         self._gram_freq: Counter = Counter()
         for token in self._tokens:
             self._gram_freq.update(self._similarity.features(token))
@@ -84,6 +85,23 @@ class PrefixJaccardIndex:
     @property
     def alpha(self) -> float:
         return self._alpha
+
+    def extend(self, tokens: Iterable[str]) -> int:
+        """Index any ``tokens`` not yet in the vocabulary.
+
+        Gram frequencies are deliberately *not* recomputed: the prefix
+        principle only needs probe and index to agree on one global gram
+        order, and freezing the construction-time frequencies keeps
+        every already-indexed prefix valid. Returns the number of tokens
+        added.
+        """
+        fresh = [t for t in sorted(set(tokens)) if t not in self._token_set]
+        for token in fresh:
+            self._token_set.add(token)
+            self._tokens.append(token)
+            for gram in self._prefix(token):
+                self._prefix_index.setdefault(gram, []).append(token)
+        return len(fresh)
 
     def _prefix(self, token: str) -> list[str]:
         grams = sorted(

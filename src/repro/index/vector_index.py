@@ -49,6 +49,15 @@ class ExactCosineIndex:
     def store(self) -> VectorStore:
         return self._store
 
+    def extend(self, tokens) -> int:
+        """Embed and index tokens the store does not know yet.
+
+        Live collection mutation calls this so inserted vocabulary
+        streams immediately (a row absent from the store can never be
+        similar to anything). Returns the number of rows added.
+        """
+        return self._store.extend(tokens)
+
     def stream(self, token: str) -> Iterator[tuple[str, float]]:
         """Yield ``(vocab_token, cosine)`` in non-increasing order.
 

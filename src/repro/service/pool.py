@@ -19,9 +19,10 @@ any set a shard pruned was provably below the global ``theta_lb``.
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Iterable
+from typing import Hashable, Iterable
 
 from repro.core.config import FilterConfig
 from repro.core.koios import KoiosSearchEngine, ResultEntry, SearchResult
@@ -53,6 +54,14 @@ class EnginePool:
     parallel_shards:
         Fan shard searches out on a thread pool instead of running them
         serially. Results are identical; only wall-clock changes.
+    inverted_factory:
+        Per-partition inverted-index factory forwarded to every shard
+        engine (see :class:`~repro.core.koios.KoiosSearchEngine`). When
+        omitted and the collection is a
+        :class:`~repro.store.mutable.MutableSetCollection`, its delta
+        factory is adopted automatically, so shard rebuilds after a
+        mutation reuse the incrementally maintained postings instead of
+        re-indexing.
     """
 
     def __init__(
@@ -67,6 +76,7 @@ class EnginePool:
         config: FilterConfig | None = None,
         em_workers: int = 0,
         parallel_shards: bool = False,
+        inverted_factory=None,
     ) -> None:
         if shards < 1:
             raise InvalidParameterError("shards must be >= 1")
@@ -79,7 +89,10 @@ class EnginePool:
         self._shard_seed = shard_seed
         self._config = config
         self._em_workers = em_workers
-        self._version = 0
+        self._reloads = 0
+        self._inverted_factory = inverted_factory
+        self._swap_lock = threading.Lock()
+        self._mutate_lock = threading.Lock()
         self._executor = (
             ThreadPoolExecutor(
                 max_workers=shards, thread_name_prefix="repro-shard"
@@ -93,6 +106,9 @@ class EnginePool:
         if len(collection) == 0:
             raise InvalidParameterError("cannot serve an empty collection")
         self._collection = collection
+        factory = self._inverted_factory
+        if factory is None and hasattr(collection, "delta_index"):
+            factory = collection.delta_index
         shard_ids = [
             ids
             for ids in collection.partition(
@@ -109,9 +125,11 @@ class EnginePool:
                 config=self._config,
                 em_workers=self._em_workers,
                 set_ids=ids,
+                inverted_factory=factory,
             )
             for ids in shard_ids
         ]
+        self._built_collection_version = getattr(collection, "version", None)
 
     # -- bookkeeping -------------------------------------------------------
 
@@ -128,11 +146,19 @@ class EnginePool:
         return len(self._engines)
 
     @property
-    def version(self) -> int:
-        """Monotone collection version; bumped by :meth:`reload`. Cache
-        keys embed it so results from a previous collection state can
-        never be served."""
-        return self._version
+    def version(self) -> Hashable:
+        """The collection state cache keys embed.
+
+        For an immutable collection this is the reload counter (bumped by
+        :meth:`reload`). For a mutable overlay it is the pair
+        ``(reloads, collection.version)``, read *live* — the instant a
+        mutation lands, every previously cached result becomes
+        unreachable, even before the shard engines hot-swap.
+        """
+        live = getattr(self._collection, "version", None)
+        if live is None:
+            return self._reloads
+        return (self._reloads, live)
 
     def reload(
         self,
@@ -140,33 +166,111 @@ class EnginePool:
         *,
         token_index: TokenIndex | None = None,
         sim: SimilarityFunction | None = None,
-    ) -> int:
-        """Swap in a mutated collection, rebuilding every shard engine.
+    ) -> Hashable:
+        """Swap in a new collection object, rebuilding every shard engine.
 
         Pass a fresh ``token_index``/``sim`` when the vocabulary changed
         (the index streams only tokens it was built over). Returns the
         new version.
         """
-        if token_index is not None:
-            self._token_index = token_index
-        if sim is not None:
-            self._sim = sim
-        self._build(collection)
-        self._version += 1
-        return self._version
+        with self._swap_lock:
+            if token_index is not None:
+                self._token_index = token_index
+            if sim is not None:
+                self._sim = sim
+            self._build(collection)
+            self._reloads += 1
+        return self.version
+
+    def refresh(self) -> Hashable:
+        """Hot-swap the shard engines onto the collection's current
+        state. Called lazily by :meth:`drain`/:meth:`search` whenever the
+        live version moved; with a delta factory this is O(shards), not a
+        re-index. Returns the serving version."""
+        with self._swap_lock:
+            live = getattr(self._collection, "version", None)
+            if live is not None and live != self._built_collection_version:
+                self._build(self._collection)
+        return self.version
+
+    def _ensure_fresh(self) -> None:
+        live = getattr(self._collection, "version", None)
+        if live is not None and live != self._built_collection_version:
+            self.refresh()
 
     def shutdown(self) -> None:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
 
+    # -- mutation ----------------------------------------------------------
+
+    def _mutable_collection(self):
+        if not hasattr(self._collection, "insert"):
+            raise InvalidParameterError(
+                "collection is immutable; serve a MutableSetCollection "
+                "(e.g. 'repro serve <snapshot> --wal <log>') to enable "
+                "insert/delete"
+            )
+        return self._collection
+
+    def insert(
+        self, tokens: Iterable[str], *, name: str | None = None
+    ) -> int:
+        """Insert a set into the live collection; returns its id.
+
+        New tokens are appended to the token index's vector store (or
+        prefix index) so they stream immediately; shard engines hot-swap
+        on the next search.
+        """
+        collection = self._mutable_collection()
+        members = frozenset(tokens)
+        # One mutator at a time: VectorStore.extend appends rows and row
+        # ids non-atomically, so interleaved extends would desynchronize
+        # the token -> row mapping.
+        with self._mutate_lock:
+            extend = getattr(self._token_index, "extend", None)
+            if extend is not None:
+                extend(members)
+            return collection.insert(members, name=name)
+
+    def delete(self, ref: int | str) -> int:
+        """Delete a live set by id or name; returns the id."""
+        with self._mutate_lock:
+            return self._mutable_collection().delete(ref)
+
+    def replace(self, ref: int | str, tokens: Iterable[str]) -> int:
+        """Replace a live set's contents; returns the new id."""
+        collection = self._mutable_collection()
+        members = frozenset(tokens)
+        with self._mutate_lock:
+            extend = getattr(self._token_index, "extend", None)
+            if extend is not None:
+                extend(members)
+            return collection.replace(ref, members)
+
     # -- searching ---------------------------------------------------------
+
+    def _effective_alpha(self, alpha: float | None) -> float:
+        """Resolve the per-call alpha, refusing thresholds the token
+        index cannot serve exactly (a prefix-Jaccard index built for
+        alpha_0 silently drops matches below alpha_0 — that must be a
+        loud error on the wire, not missing results)."""
+        effective = self._alpha if alpha is None else alpha
+        index_alpha = getattr(self._token_index, "alpha", None)
+        if index_alpha is not None and effective < index_alpha:
+            raise InvalidParameterError(
+                f"token index is only exact for alpha >= {index_alpha}; "
+                f"rebuild it for alpha {effective} to search below that"
+            )
+        return effective
 
     def drain(
         self, query: Iterable[str], *, alpha: float | None = None
     ) -> MaterializedTokenStream:
         """Drain one token stream usable by every shard engine (they all
         share the full collection vocabulary)."""
-        return self._engines[0].drain(query, alpha=alpha)
+        self._ensure_fresh()
+        return self._engines[0].drain(query, alpha=self._effective_alpha(alpha))
 
     def search(
         self,
@@ -179,8 +283,10 @@ class EnginePool:
     ) -> SearchResult:
         """Exact global top-k via all shards; same contract as
         :meth:`KoiosSearchEngine.search` with ``resolve_scores=True``."""
+        self._ensure_fresh()
         query_set = frozenset(query)
-        effective_alpha = self._alpha if alpha is None else alpha
+        effective_alpha = self._effective_alpha(alpha)
+        alpha = effective_alpha
         if stream is None:
             stream = self.drain(query_set, alpha=effective_alpha)
         shared = GlobalThreshold()

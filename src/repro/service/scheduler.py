@@ -113,6 +113,11 @@ class QueryScheduler:
         Worker threads executing batches; >1 overlaps independent
         batches (useful whenever engine work releases the GIL or when
         callers block on tickets).
+    wal:
+        A :class:`~repro.store.wal.WriteAheadLog` that durably records
+        every mutation accepted through :meth:`insert_set` /
+        :meth:`delete_set` / :meth:`replace_set`. None = in-memory
+        mutation only (still versioned, just not crash-durable).
     """
 
     def __init__(
@@ -123,6 +128,7 @@ class QueryScheduler:
         metrics: ServiceMetrics | None = None,
         max_batch: int = 8,
         workers: int = 1,
+        wal=None,
     ) -> None:
         if max_batch < 1:
             raise InvalidParameterError("max_batch must be >= 1")
@@ -130,6 +136,7 @@ class QueryScheduler:
             raise InvalidParameterError("workers must be >= 1")
         self._pool = pool
         self._cache = cache
+        self._wal = wal
         self.metrics = metrics or ServiceMetrics()
         self._max_batch = max_batch
         self._executor = ThreadPoolExecutor(
@@ -217,6 +224,53 @@ class QueryScheduler:
         if self._cache is None:
             return 0
         return self._cache.invalidate()
+
+    # -- mutation ----------------------------------------------------------
+    #
+    # Mutations apply to the pool's live collection first and are logged
+    # once they succeed; the caller's acknowledgement (and any WAL
+    # replay after a crash) therefore only ever covers mutations that
+    # validated. Version-keyed caching makes stale results unreachable
+    # immediately — no eager invalidation required. Mutations are not
+    # fenced against in-flight batches; the JSON-lines server drains its
+    # response window before applying one, which is the ordering callers
+    # should preserve.
+
+    @property
+    def pool(self) -> EnginePool:
+        return self._pool
+
+    def insert_set(
+        self, tokens: Iterable[str], *, name: str | None = None
+    ) -> int:
+        """Insert a set into the live collection (WAL-logged); returns
+        its id."""
+        members = frozenset(tokens)
+        set_id = self._pool.insert(members, name=name)
+        if self._wal is not None:
+            self._wal.append(
+                "insert", self._pool.collection.name_of(set_id), members
+            )
+        return set_id
+
+    def delete_set(self, ref: int | str) -> int:
+        """Delete a live set by id or name (WAL-logged); returns the id."""
+        collection = self._pool.collection
+        name = ref if isinstance(ref, str) else collection.name_of(ref)
+        set_id = self._pool.delete(ref)
+        if self._wal is not None:
+            self._wal.append("delete", name)
+        return set_id
+
+    def replace_set(self, ref: int | str, tokens: Iterable[str]) -> int:
+        """Replace a live set's contents (WAL-logged); returns the new id."""
+        collection = self._pool.collection
+        name = ref if isinstance(ref, str) else collection.name_of(ref)
+        members = frozenset(tokens)
+        set_id = self._pool.replace(ref, members)
+        if self._wal is not None:
+            self._wal.append("replace", name, members)
+        return set_id
 
     # -- execution ---------------------------------------------------------
 

@@ -7,6 +7,17 @@ search request (see :mod:`repro.service.request`) or a control object::
     {"op": "metrics"}      -> one line with the metrics snapshot
     {"op": "invalidate"}   -> drops the result cache
     {"op": "flush"}        -> dispatches pending micro-batches now
+    {"op": "insert", "name": ..., "tokens": [...]}
+                           -> add a set to the live collection
+    {"op": "delete", "name": ...}
+                           -> remove a set (by name or {"set_id": n})
+    {"op": "replace", "name": ..., "tokens": [...]}
+                           -> swap a set's contents under its name
+
+Mutation ops require the server to hold a mutable collection
+(``repro serve`` wraps one whenever ``--wal`` is given or the input is a
+snapshot); they are applied after the pending response window drains, so
+earlier requests see the old state and later ones the new version.
 
 Requests are answered in arrival order. Lines accumulate into
 micro-batches of up to ``linger`` requests before the scheduler flushes,
@@ -64,19 +75,68 @@ def run_batch(
     ]
 
 
-def _control_line(scheduler: QueryScheduler, op: str) -> str:
-    if op == "metrics":
-        return json.dumps(
-            {"metrics": dict(scheduler.metrics.snapshot())},
-            separators=(",", ":"),
-        )
-    if op == "invalidate":
-        dropped = scheduler.invalidate_cache()
-        return json.dumps({"invalidated": dropped}, separators=(",", ":"))
-    if op == "flush":
-        scheduler.flush()
-        return json.dumps({"flushed": True}, separators=(",", ":"))
-    return json.dumps({"error": f"unknown op: {op}"}, separators=(",", ":"))
+def _mutation_args(obj: dict) -> tuple[str | int, list[str] | None]:
+    """Validate and extract (ref, tokens) from a mutation control line."""
+    if "set_id" in obj:
+        if not isinstance(obj["set_id"], int) or isinstance(
+            obj["set_id"], bool
+        ):
+            raise ReproError('"set_id" must be an integer')
+        ref: str | int = obj["set_id"]
+    elif isinstance(obj.get("name"), str):
+        ref = obj["name"]
+    else:
+        raise ReproError('mutation needs a "name" (or "set_id")')
+    tokens = obj.get("tokens")
+    if tokens is not None:
+        if not isinstance(tokens, list) or any(
+            not isinstance(t, str) for t in tokens
+        ):
+            raise ReproError('"tokens" must be a list of strings')
+    return ref, tokens
+
+
+def _control_line(scheduler: QueryScheduler, obj: dict) -> str:
+    op = obj["op"]
+    compact = {"separators": (",", ":")}
+    try:
+        if op == "metrics":
+            return json.dumps(
+                {"metrics": dict(scheduler.metrics.snapshot())}, **compact
+            )
+        if op == "invalidate":
+            dropped = scheduler.invalidate_cache()
+            return json.dumps({"invalidated": dropped}, **compact)
+        if op == "flush":
+            scheduler.flush()
+            return json.dumps({"flushed": True}, **compact)
+        if op in ("insert", "delete", "replace"):
+            ref, tokens = _mutation_args(obj)
+            if op == "insert":
+                if tokens is None:
+                    raise ReproError('"insert" needs a "tokens" list')
+                if not isinstance(ref, str):
+                    raise ReproError('"insert" addresses sets by "name"')
+                set_id = scheduler.insert_set(tokens, name=ref)
+            elif op == "delete":
+                set_id = scheduler.delete_set(ref)
+            else:
+                if tokens is None:
+                    raise ReproError('"replace" needs a "tokens" list')
+                set_id = scheduler.replace_set(ref, tokens)
+            version = scheduler.pool.version
+            return json.dumps(
+                {
+                    "op": op,
+                    "set_id": set_id,
+                    "version": list(version)
+                    if isinstance(version, tuple) else version,
+                },
+                **compact,
+            )
+    except ReproError as exc:
+        return json.dumps({"error": str(exc)}, **compact)
+    return json.dumps({"error": f"unknown op: {op}"}, **compact)
 
 
 def serve_lines(
@@ -123,7 +183,11 @@ def serve_lines(
             emit_immediate(failure.to_json())
             continue
         if isinstance(obj, dict) and isinstance(obj.get("op"), str):
-            emit_immediate(_control_line(scheduler, obj["op"]))
+            # Drain pending responses BEFORE evaluating the op: earlier
+            # requests must observe the pre-mutation state (and their
+            # cache entries must be keyed by the version they ran at).
+            emit_window()
+            emit_immediate(_control_line(scheduler, obj))
             continue
         try:
             request = SearchRequest.from_obj(obj)

@@ -1,0 +1,56 @@
+"""The persistent storage subsystem.
+
+Turns the in-memory repository into something a long-lived service can
+cold-start and mutate::
+
+    snapshot (binary, checksummed)  ->  fast cold start
+        + write-ahead log           ->  durable mutations
+        + mutable overlay           ->  incremental index maintenance
+
+* :mod:`repro.store.snapshot` — binary collection + derived-artifact
+  snapshots (token table, postings, vector substrate) with a manifest;
+* :mod:`repro.store.wal` — append-only insert/delete/replace log with
+  replay and snapshot compaction;
+* :mod:`repro.store.mutable` — :class:`MutableSetCollection`, the live
+  overlay with delta postings, tombstones, and a monotone ``version``
+  the serving stack keys caches on.
+
+See ``docs/store.md`` for the format and lifecycle walk-through.
+"""
+
+from repro.store.mutable import DeltaInvertedIndex, MutableSetCollection
+from repro.store.snapshot import (
+    FORMAT_VERSION,
+    SNAPSHOT_SUFFIXES,
+    LoadedSnapshot,
+    SnapshotManifest,
+    inspect_snapshot,
+    load_snapshot,
+    restore_substrate,
+    save_snapshot,
+    substrate_fingerprint,
+)
+from repro.store.wal import (
+    WalRecord,
+    WriteAheadLog,
+    apply_record,
+    compact,
+)
+
+__all__ = [
+    "DeltaInvertedIndex",
+    "FORMAT_VERSION",
+    "LoadedSnapshot",
+    "MutableSetCollection",
+    "SNAPSHOT_SUFFIXES",
+    "SnapshotManifest",
+    "WalRecord",
+    "WriteAheadLog",
+    "apply_record",
+    "compact",
+    "inspect_snapshot",
+    "load_snapshot",
+    "restore_substrate",
+    "save_snapshot",
+    "substrate_fingerprint",
+]

@@ -1,0 +1,365 @@
+"""Live collection mutation: delta postings, tombstones, versions.
+
+A :class:`MutableSetCollection` overlays insert/delete/replace on top of
+a :class:`~repro.datasets.collection.SetCollection` without ever
+rebuilding the derived structures:
+
+* **ids are append-only** — an insert takes the next slot, a delete
+  leaves a tombstone, a replace is delete + insert under the same name.
+  Ids of surviving sets never shift, so cached results, WAL records, and
+  per-shard engines all stay meaningful across mutations;
+* **postings are delta-maintained** — each insert appends the new id to
+  its tokens' posting lists (ids are assigned in increasing order, so
+  lists stay ascending, exactly the order a full
+  :class:`~repro.index.inverted.InvertedIndex` rebuild produces);
+  deletes are *not* removed from the lists — readers filter tombstones,
+  and :meth:`vacuum` (run by WAL compaction) rewrites the lists;
+* **the vocabulary is reference-counted** — a token leaves the
+  vocabulary the moment its last containing set dies, which is what
+  keeps the token stream's vocabulary filter exact under deletes;
+* **``version`` increases monotonically** with every mutation — the
+  engine pool hot-swaps on it and the result cache keys on it.
+
+The equivalence contract (proven by ``tests/store/test_equivalence.py``):
+searching through the incremental structures returns bitwise-identical
+results to an engine rebuilt from scratch on the final collection state.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.datasets.collection import CollectionStats, SetCollection
+from repro.errors import InvalidParameterError
+from repro.index.inverted import PostingStats
+
+#: Rough bytes per posting entry (pointer + small-int object share),
+#: used for the O(1) memory estimate delta indexes report instead of a
+#: full object-graph walk.
+_POSTING_ENTRY_BYTES = 32
+
+
+class MutableSetCollection(SetCollection):
+    """A :class:`SetCollection` that supports live mutation.
+
+    Parameters
+    ----------
+    base:
+        Initial contents (copied; the base collection is not touched).
+    postings:
+        Prebuilt ``token -> ascending live set ids`` map aligned with
+        ``base`` (the snapshot loader passes the deserialized postings
+        here so cold start skips the indexing pass). Built from ``base``
+        when omitted.
+    """
+
+    def __init__(
+        self,
+        base: SetCollection | None = None,
+        *,
+        postings: Mapping[str, Sequence[int]] | None = None,
+    ) -> None:
+        self._sets: list[frozenset[str] | None] = []
+        self._names: list[str | None] = []
+        self._name_to_id: dict[str, int] = {}
+        self._postings: dict[str, list[int]] = {}
+        self._token_refs: dict[str, int] = {}
+        self._vocabulary: set[str] = set()
+        self._num_live = 0
+        self._posting_entries = 0
+        self._dead_posting_entries = 0
+        self._version = 0
+        self._mutation_lock = threading.Lock()
+        if base is not None:
+            self._adopt(base, postings)
+
+    def _adopt(
+        self,
+        base: SetCollection,
+        postings: Mapping[str, Sequence[int]] | None,
+    ) -> None:
+        self._sets = [base[set_id] for set_id in base.ids()]
+        self._names = [base.name_of(set_id) for set_id in base.ids()]
+        self._num_live = len(self._sets)
+        for set_id, name in enumerate(self._names):
+            if name in self._name_to_id:
+                raise InvalidParameterError(
+                    f"duplicate set name: {name!r} (mutation is keyed "
+                    "by name, so names must be unique)"
+                )
+            self._name_to_id[name] = set_id
+        if postings is None:
+            for set_id, members in enumerate(self._sets):
+                for token in members:
+                    self._postings.setdefault(token, []).append(set_id)
+        else:
+            self._postings = {
+                token: list(ids) for token, ids in postings.items()
+            }
+        for token, ids in self._postings.items():
+            self._token_refs[token] = len(ids)
+            self._posting_entries += len(ids)
+        self._vocabulary = set(self._token_refs)
+
+    # -- container protocol (live view) ------------------------------------
+
+    def __len__(self) -> int:
+        return self._num_live
+
+    def __getitem__(self, set_id: int) -> frozenset[str]:
+        members = self._sets[set_id]
+        if members is None:
+            raise InvalidParameterError(f"set {set_id} has been deleted")
+        return members
+
+    def __iter__(self) -> Iterator[frozenset[str]]:
+        return (s for s in self._sets if s is not None)
+
+    def ids(self) -> list[int]:  # type: ignore[override]
+        """Ascending ids of live sets (tombstoned slots skipped)."""
+        return [
+            set_id for set_id, s in enumerate(self._sets) if s is not None
+        ]
+
+    def name_of(self, set_id: int) -> str:
+        name = self._names[set_id]
+        if name is None or self._sets[set_id] is None:
+            raise InvalidParameterError(f"set {set_id} has been deleted")
+        return name
+
+    def id_of(self, name: str) -> int:
+        try:
+            return self._name_to_id[name]
+        except KeyError:
+            raise InvalidParameterError(
+                f"no live set named {name!r}"
+            ) from None
+
+    def stats(self) -> CollectionStats:
+        sizes = [len(s) for s in self._sets if s is not None]
+        return CollectionStats(
+            num_sets=len(sizes),
+            max_size=max(sizes) if sizes else 0,
+            avg_size=sum(sizes) / len(sizes) if sizes else 0.0,
+            num_unique_elements=len(self._vocabulary),
+        )
+
+    # -- mutation ----------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter; 0 for a freshly adopted base."""
+        return self._version
+
+    @property
+    def num_slots(self) -> int:
+        """Total id slots ever allocated (live + tombstoned)."""
+        return len(self._sets)
+
+    def contains_name(self, name: str) -> bool:
+        return name in self._name_to_id
+
+    def insert(
+        self, tokens: Iterable[str], *, name: str | None = None
+    ) -> int:
+        """Add a new set; returns its id (the next free slot)."""
+        members = frozenset(tokens)
+        if not members:
+            raise InvalidParameterError("collections may not contain empty sets")
+        if any(not isinstance(token, str) for token in members):
+            raise InvalidParameterError("set tokens must be strings")
+        with self._mutation_lock:
+            set_id = len(self._sets)
+            if name is None:
+                name = f"set_{set_id}"
+            if name in self._name_to_id:
+                raise InvalidParameterError(
+                    f"a live set named {name!r} already exists "
+                    "(delete or replace it instead)"
+                )
+            self._sets.append(members)
+            self._names.append(name)
+            self._name_to_id[name] = set_id
+            for token in members:
+                self._postings.setdefault(token, []).append(set_id)
+                self._token_refs[token] = self._token_refs.get(token, 0) + 1
+                self._vocabulary.add(token)
+            self._posting_entries += len(members)
+            self._num_live += 1
+            self._version += 1
+            return set_id
+
+    def delete(self, ref: int | str) -> int:
+        """Tombstone a live set by id or name; returns the id."""
+        with self._mutation_lock:
+            set_id = self._resolve(ref)
+            members = self._sets[set_id]
+            assert members is not None  # _resolve checked liveness
+            self._sets[set_id] = None
+            name = self._names[set_id]
+            if name is not None:
+                self._name_to_id.pop(name, None)
+            for token in members:
+                remaining = self._token_refs[token] - 1
+                if remaining:
+                    self._token_refs[token] = remaining
+                else:
+                    del self._token_refs[token]
+                    self._vocabulary.discard(token)
+            self._dead_posting_entries += len(members)
+            self._num_live -= 1
+            self._version += 1
+            return set_id
+
+    def replace(self, ref: int | str, tokens: Iterable[str]) -> int:
+        """Delete ``ref`` and insert ``tokens`` under the same name.
+
+        Returns the *new* id: replacement allocates a fresh slot so the
+        ascending-posting invariant (and any result cached against the
+        old id's version) stays intact.
+        """
+        members = frozenset(tokens)
+        # Validate BEFORE the delete: a rejected replace must leave the
+        # old set alive, or an unlogged op destroys data.
+        if not members:
+            raise InvalidParameterError(
+                "collections may not contain empty sets"
+            )
+        if any(not isinstance(token, str) for token in members):
+            raise InvalidParameterError("set tokens must be strings")
+        old_id = self._resolve(ref)
+        name = self._names[old_id]
+        self.delete(old_id)
+        assert name is not None
+        return self.insert(members, name=name)
+
+    def _resolve(self, ref: int | str) -> int:
+        if isinstance(ref, str):
+            try:
+                return self._name_to_id[ref]
+            except KeyError:
+                raise InvalidParameterError(
+                    f"no live set named {ref!r}"
+                ) from None
+        set_id = int(ref)
+        if not (0 <= set_id < len(self._sets)) or self._sets[set_id] is None:
+            raise InvalidParameterError(
+                f"no live set with id {set_id}"
+            )
+        return set_id
+
+    # -- derived structures -------------------------------------------------
+
+    def alive(self, set_id: int) -> bool:
+        return (
+            0 <= set_id < len(self._sets) and self._sets[set_id] is not None
+        )
+
+    def live_postings(self, token: str) -> list[int]:
+        """Current posting list of ``token``: ascending live ids only."""
+        posting = self._postings.get(token)
+        if not posting:
+            return []
+        return [i for i in posting if self._sets[i] is not None]
+
+    def delta_index(
+        self, set_ids: Sequence[int] | None = None
+    ) -> "DeltaInvertedIndex":
+        """An inverted-index view over the live postings, optionally
+        restricted to ``set_ids`` (one per engine shard)."""
+        return DeltaInvertedIndex(self, set_ids)
+
+    def vacuum(self) -> int:
+        """Rewrite posting lists without tombstoned ids; returns the
+        number of dead entries dropped. Run by WAL compaction — routine
+        serving never needs it, readers filter tombstones on the fly."""
+        with self._mutation_lock:
+            dropped = 0
+            for token in list(self._postings):
+                posting = self._postings[token]
+                live = [i for i in posting if self._sets[i] is not None]
+                dropped += len(posting) - len(live)
+                if live:
+                    self._postings[token] = live
+                else:
+                    del self._postings[token]
+            self._posting_entries -= dropped
+            self._dead_posting_entries = 0
+            return dropped
+
+    def compacted(self) -> SetCollection:
+        """A dense immutable copy of the live state (ids renumbered
+        0..len-1 in current id order, names preserved) — what snapshot
+        compaction persists."""
+        live = self.ids()
+        return SetCollection(
+            [self._sets[i] for i in live],
+            names=[self._names[i] for i in live],
+        )
+
+    def posting_bytes(self) -> int:
+        """O(1) estimate of the posting-list footprint."""
+        return (
+            self._posting_entries * _POSTING_ENTRY_BYTES
+            + len(self._postings) * _POSTING_ENTRY_BYTES
+        )
+
+
+class DeltaInvertedIndex:
+    """An :class:`~repro.index.inverted.InvertedIndex`-compatible view of
+    a :class:`MutableSetCollection`'s delta-maintained postings.
+
+    Reads filter tombstones (and, for shard views, non-members) on the
+    fly, so the view is always current — building one is O(shard size),
+    which is what makes the engine pool's hot swap cheap. Posting order
+    matches a full rebuild exactly: ids are appended in increasing order
+    and filtering preserves it.
+    """
+
+    def __init__(
+        self,
+        overlay: MutableSetCollection,
+        set_ids: Sequence[int] | None = None,
+    ) -> None:
+        self._overlay = overlay
+        self._members = None if set_ids is None else frozenset(set_ids)
+
+    def sets_containing(self, token: str) -> list[int]:
+        posting = self._overlay._postings.get(token)
+        if not posting:
+            return []
+        sets = self._overlay._sets
+        members = self._members
+        if members is None:
+            return [i for i in posting if sets[i] is not None]
+        return [i for i in posting if i in members and sets[i] is not None]
+
+    def __contains__(self, token: str) -> bool:
+        return bool(self.sets_containing(token))
+
+    def __len__(self) -> int:
+        return sum(
+            1 for token in self._overlay._postings
+            if self.sets_containing(token)
+        )
+
+    def stats(self) -> PostingStats:
+        lengths = [
+            length
+            for token in self._overlay._postings
+            if (length := len(self.sets_containing(token)))
+        ]
+        if not lengths:
+            return PostingStats(0, 0, 0, 0.0)
+        return PostingStats(
+            num_tokens=len(lengths),
+            total_postings=sum(lengths),
+            max_list_length=max(lengths),
+            avg_list_length=sum(lengths) / len(lengths),
+        )
+
+    def memory_bytes(self) -> int:
+        """Cheap footprint estimate (shared overlay postings, counted
+        once per engine build instead of deep-walked)."""
+        return self._overlay.posting_bytes()

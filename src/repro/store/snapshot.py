@@ -1,0 +1,448 @@
+"""Binary index snapshots: cold-start by load instead of rebuild.
+
+A snapshot persists a :class:`~repro.datasets.collection.SetCollection`
+*together with its derived artifacts* so that ``repro serve`` starts by
+deserializing buffers instead of re-tokenizing, re-embedding, and
+re-indexing:
+
+* the **token table** (the sorted vocabulary ``D``) and **set names**;
+* **set memberships** as token-id arrays (one shared ``str`` object per
+  vocabulary token instead of one per membership, which alone roughly
+  halves collection-build time against JSON);
+* the **inverted-index postings** (``token -> ascending set ids``),
+  adopted verbatim by :meth:`~repro.index.inverted.InvertedIndex.from_postings`;
+* optionally the **vector substrate**: the unit-normalized embedding
+  matrix rows for the token table, adopted by
+  :meth:`~repro.embedding.provider.VectorStore.from_state` — skipping
+  the per-token embedding pass that dominates cold start.
+
+Layout (all integers little-endian)::
+
+    magic "RKOSNAP1" | u32 manifest_len | manifest JSON
+    repeated sections: u32 name_len | name | u64 payload_len | payload
+
+The manifest carries the format version, a fingerprint of the substrate
+configuration (so a server never silently pairs a snapshot with the
+wrong similarity space), a SHA-256 checksum over every section payload,
+and shape counts for :func:`inspect_snapshot`. Writes go through a
+temporary file + ``os.replace`` so a crashed save never leaves a torn
+snapshot behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.datasets.collection import SetCollection
+from repro.errors import SnapshotError
+from repro.index.inverted import InvertedIndex
+
+MAGIC = b"RKOSNAP1"
+FORMAT_VERSION = 1
+
+#: Conventional snapshot file extensions (the CLI loader sniffs these).
+SNAPSHOT_SUFFIXES = (".snap", ".snapshot")
+
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+
+@dataclass(frozen=True)
+class SnapshotManifest:
+    """The self-describing header of one snapshot file."""
+
+    format_version: int
+    checksum: str
+    fingerprint: str
+    num_sets: int
+    num_tokens: int
+    total_memberships: int
+    total_postings: int
+    substrate: dict[str, Any] | None
+
+    def to_obj(self) -> dict[str, Any]:
+        return {
+            "format_version": self.format_version,
+            "checksum": self.checksum,
+            "fingerprint": self.fingerprint,
+            "num_sets": self.num_sets,
+            "num_tokens": self.num_tokens,
+            "total_memberships": self.total_memberships,
+            "total_postings": self.total_postings,
+            "substrate": self.substrate,
+        }
+
+    @classmethod
+    def from_obj(cls, obj: dict[str, Any]) -> "SnapshotManifest":
+        try:
+            return cls(
+                format_version=int(obj["format_version"]),
+                checksum=str(obj["checksum"]),
+                fingerprint=str(obj["fingerprint"]),
+                num_sets=int(obj["num_sets"]),
+                num_tokens=int(obj["num_tokens"]),
+                total_memberships=int(obj["total_memberships"]),
+                total_postings=int(obj["total_postings"]),
+                substrate=obj.get("substrate"),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SnapshotError(f"malformed snapshot manifest: {exc}") from exc
+
+
+def substrate_fingerprint(substrate: dict[str, Any] | None) -> str:
+    """Stable hash of the substrate configuration + format version."""
+    canonical = json.dumps(
+        {"format": FORMAT_VERSION, "substrate": substrate}, sort_keys=True
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _encode_strings(values: Sequence[str]) -> bytes:
+    out = bytearray(_U32.pack(len(values)))
+    for value in values:
+        raw = value.encode("utf-8")
+        out += _U32.pack(len(raw))
+        out += raw
+    return bytes(out)
+
+
+def _decode_strings(payload: bytes) -> list[str]:
+    (count,) = _U32.unpack_from(payload, 0)
+    offset = 4
+    values: list[str] = []
+    for _ in range(count):
+        (length,) = _U32.unpack_from(payload, offset)
+        offset += 4
+        values.append(payload[offset:offset + length].decode("utf-8"))
+        offset += length
+    return values
+
+
+def save_snapshot(
+    path: str | Path,
+    collection: SetCollection,
+    *,
+    store=None,
+    substrate: dict[str, Any] | None = None,
+) -> SnapshotManifest:
+    """Serialize ``collection`` (+ optional vector ``store``) to ``path``.
+
+    Set ids are densified to 0..len-1 in current id order, so snapshotting
+    a mutated :class:`~repro.store.mutable.MutableSetCollection` folds its
+    tombstones away — this is exactly what WAL compaction relies on.
+    Returns the written manifest.
+    """
+    tokens = sorted(collection.vocabulary)
+    token_to_id = {token: i for i, token in enumerate(tokens)}
+    live_ids = list(collection.ids())
+    names = [collection.name_of(set_id) for set_id in live_ids]
+
+    set_lengths = np.empty(len(live_ids), dtype="<u4")
+    member_ids: list[int] = []
+    postings: list[list[int]] = [[] for _ in tokens]
+    for dense_id, set_id in enumerate(live_ids):
+        members = sorted(token_to_id[t] for t in collection[set_id])
+        set_lengths[dense_id] = len(members)
+        member_ids.extend(members)
+        for token_id in members:
+            postings[token_id].append(dense_id)
+    posting_lengths = np.asarray(
+        [len(p) for p in postings], dtype="<u4"
+    )
+    posting_members = np.asarray(
+        [set_id for posting in postings for set_id in posting], dtype="<u4"
+    )
+
+    sections: list[tuple[str, bytes]] = [
+        ("tokens", _encode_strings(tokens)),
+        ("names", _encode_strings(names)),
+        ("set_lengths", set_lengths.tobytes()),
+        ("set_members", np.asarray(member_ids, dtype="<u4").tobytes()),
+        ("posting_lengths", posting_lengths.tobytes()),
+        ("posting_members", posting_members.tobytes()),
+    ]
+    if store is not None:
+        sections.append(("vectors", _encode_vectors(store, tokens)))
+
+    digest = hashlib.sha256()
+    for _, payload in sections:
+        digest.update(payload)
+    manifest = SnapshotManifest(
+        format_version=FORMAT_VERSION,
+        checksum=digest.hexdigest(),
+        fingerprint=substrate_fingerprint(substrate),
+        num_sets=len(live_ids),
+        num_tokens=len(tokens),
+        total_memberships=len(member_ids),
+        total_postings=int(posting_lengths.sum()) if len(tokens) else 0,
+        substrate=substrate,
+    )
+
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    manifest_raw = json.dumps(manifest.to_obj(), sort_keys=True).encode("utf-8")
+    with open(tmp, "wb") as handle:
+        handle.write(MAGIC)
+        handle.write(_U32.pack(len(manifest_raw)))
+        handle.write(manifest_raw)
+        for name, payload in sections:
+            raw_name = name.encode("ascii")
+            handle.write(_U32.pack(len(raw_name)))
+            handle.write(raw_name)
+            handle.write(_U64.pack(len(payload)))
+            handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    return manifest
+
+
+def _encode_vectors(store, tokens: list[str]) -> bytes:
+    """Vector section: coverage mask over the token table + float32 rows
+    (token-table order), so loading is two ``frombuffer`` calls."""
+    mask = np.zeros(len(tokens), dtype="<u1")
+    rows = []
+    for i, token in enumerate(tokens):
+        if token in store:
+            mask[i] = 1
+            rows.append(np.asarray(store.vector(token), dtype="<f4"))
+    matrix = (
+        np.stack(rows) if rows
+        else np.zeros((0, store.dim), dtype="<f4")
+    )
+    header = json.dumps(
+        {"rows": int(matrix.shape[0]), "dim": int(store.dim)},
+        sort_keys=True,
+    ).encode("utf-8")
+    return (
+        _U32.pack(len(header)) + header + mask.tobytes() + matrix.tobytes()
+    )
+
+
+def _read_exact(handle, count: int, what: str) -> bytes:
+    raw = handle.read(count)
+    if len(raw) != count:
+        raise SnapshotError(f"truncated snapshot: short read in {what}")
+    return raw
+
+
+def read_manifest(handle) -> SnapshotManifest:
+    magic = handle.read(len(MAGIC))
+    if magic != MAGIC:
+        raise SnapshotError(
+            "not a repro snapshot (bad magic; expected a file written by "
+            "'repro index build')"
+        )
+    (manifest_len,) = _U32.unpack(_read_exact(handle, 4, "manifest length"))
+    try:
+        obj = json.loads(_read_exact(handle, manifest_len, "manifest"))
+    except json.JSONDecodeError as exc:
+        raise SnapshotError(f"unreadable snapshot manifest: {exc}") from exc
+    manifest = SnapshotManifest.from_obj(obj)
+    if manifest.format_version != FORMAT_VERSION:
+        raise SnapshotError(
+            f"unsupported snapshot format version "
+            f"{manifest.format_version} (this build reads {FORMAT_VERSION})"
+        )
+    return manifest
+
+
+def inspect_snapshot(path: str | Path) -> SnapshotManifest:
+    """Read only the manifest — O(header), no payload deserialization."""
+    with open(path, "rb") as handle:
+        return read_manifest(handle)
+
+
+@dataclass
+class LoadedSnapshot:
+    """Everything a snapshot restores, ready to serve.
+
+    ``token_index``/``sim`` are None when the snapshot carries no
+    substrate description (build the substrate yourself, as for a plain
+    JSON collection).
+    """
+
+    manifest: SnapshotManifest
+    collection: SetCollection
+    postings: dict[str, list[int]]
+    token_index: Any | None
+    sim: Any | None
+
+    def mutable(self):
+        """A :class:`~repro.store.mutable.MutableSetCollection` overlay
+        adopting the loaded postings (no re-index)."""
+        from repro.store.mutable import MutableSetCollection
+
+        return MutableSetCollection(self.collection, postings=self.postings)
+
+    def inverted_factory(self):
+        """Per-partition index factory reusing the loaded postings."""
+        total = len(self.collection)
+
+        def build(set_ids: Sequence[int]) -> InvertedIndex:
+            if len(set_ids) == total:
+                return InvertedIndex.from_postings(self.postings)
+            members = frozenset(set_ids)
+            return InvertedIndex.from_postings({
+                token: kept
+                for token, ids in self.postings.items()
+                if (kept := [i for i in ids if i in members])
+            })
+
+        return build
+
+
+def load_snapshot(
+    path: str | Path, *, verify: bool = True
+) -> LoadedSnapshot:
+    """Deserialize a snapshot written by :func:`save_snapshot`.
+
+    ``verify`` re-hashes every section payload against the manifest
+    checksum (cheap relative to deserialization; disable only for
+    trusted local files on hot restart paths).
+    """
+    with open(path, "rb") as handle:
+        manifest = read_manifest(handle)
+        sections: dict[str, bytes] = {}
+        digest = hashlib.sha256() if verify else None
+        while True:
+            head = handle.read(4)
+            if not head:
+                break
+            if len(head) != 4:
+                raise SnapshotError(
+                    "truncated snapshot: short read in section header"
+                )
+            (name_len,) = _U32.unpack(head)
+            name = _read_exact(handle, name_len, "section name").decode("ascii")
+            (payload_len,) = _U64.unpack(
+                _read_exact(handle, 8, "section length")
+            )
+            payload = _read_exact(handle, payload_len, f"section {name}")
+            sections[name] = payload
+            if digest is not None:
+                digest.update(payload)
+    if digest is not None and digest.hexdigest() != manifest.checksum:
+        raise SnapshotError(
+            "snapshot checksum mismatch: file is corrupt or was modified"
+        )
+    required = (
+        "tokens", "names", "set_lengths", "set_members",
+        "posting_lengths", "posting_members",
+    )
+    missing = [name for name in required if name not in sections]
+    if missing:
+        raise SnapshotError(f"snapshot missing sections: {missing}")
+
+    tokens = _decode_strings(sections["tokens"])
+    names = _decode_strings(sections["names"])
+    set_lengths = np.frombuffer(sections["set_lengths"], dtype="<u4")
+    set_members = np.frombuffer(sections["set_members"], dtype="<u4").tolist()
+    posting_lengths = np.frombuffer(sections["posting_lengths"], dtype="<u4")
+    posting_members = np.frombuffer(
+        sections["posting_members"], dtype="<u4"
+    ).tolist()
+    if len(names) != len(set_lengths):
+        raise SnapshotError("snapshot name/set count mismatch")
+    if len(posting_lengths) != len(tokens):
+        raise SnapshotError("snapshot posting/token count mismatch")
+
+    sets: list[frozenset[str]] = []
+    offset = 0
+    for length in set_lengths:
+        end = offset + int(length)
+        sets.append(frozenset(tokens[i] for i in set_members[offset:end]))
+        offset = end
+    collection = SetCollection.from_parts(sets, names, set(tokens))
+
+    postings: dict[str, list[int]] = {}
+    offset = 0
+    for token, length in zip(tokens, posting_lengths):
+        end = offset + int(length)
+        if length:
+            postings[token] = posting_members[offset:end]
+        offset = end
+
+    token_index = sim = None
+    if manifest.substrate is not None:
+        token_index, sim = restore_substrate(
+            manifest.substrate, tokens, sections.get("vectors")
+        )
+    return LoadedSnapshot(
+        manifest=manifest,
+        collection=collection,
+        postings=postings,
+        token_index=token_index,
+        sim=sim,
+    )
+
+
+def restore_substrate(
+    substrate: dict[str, Any],
+    tokens: list[str],
+    vectors: bytes | None,
+):
+    """Rebuild the ``(token_index, sim)`` pair a snapshot describes.
+
+    ``hashing-cosine`` adopts the persisted matrix; ``qgram-jaccard``
+    re-derives the prefix index from the vocabulary (its build is cheap
+    q-gram bookkeeping, not an embedding pass, so it is not persisted).
+    """
+    kind = substrate.get("kind")
+    if kind == "hashing-cosine":
+        from repro.embedding.hashing import HashingEmbeddingProvider
+        from repro.embedding.provider import VectorStore
+        from repro.index.vector_index import ExactCosineIndex
+        from repro.sim.cosine import CosineSimilarity
+
+        provider = HashingEmbeddingProvider(
+            dim=int(substrate["dim"]),
+            n_min=int(substrate.get("n_min", 3)),
+            n_max=int(substrate.get("n_max", 5)),
+            salt=str(substrate.get("salt", "hashing-embedding")),
+        )
+        if vectors is None:
+            raise SnapshotError(
+                "snapshot declares a hashing-cosine substrate but has no "
+                "vectors section"
+            )
+        (header_len,) = _U32.unpack_from(vectors, 0)
+        header = json.loads(vectors[4:4 + header_len])
+        rows, dim = int(header["rows"]), int(header["dim"])
+        if dim != provider.dim:
+            raise SnapshotError(
+                f"snapshot matrix dim {dim} != substrate dim {provider.dim}"
+            )
+        mask_off = 4 + header_len
+        mask = np.frombuffer(
+            vectors, dtype="<u1", count=len(tokens), offset=mask_off
+        )
+        matrix = np.frombuffer(
+            vectors, dtype="<f4", offset=mask_off + len(tokens)
+        ).reshape(rows, dim)
+        covered = [t for t, m in zip(tokens, mask) if m]
+        if len(covered) != rows:
+            raise SnapshotError("snapshot vector mask/row count mismatch")
+        store = VectorStore.from_state(provider, covered, matrix)
+        index = ExactCosineIndex(
+            store, provider, batch_size=int(substrate.get("batch_size", 100))
+        )
+        return index, CosineSimilarity(provider)
+    if kind == "qgram-jaccard":
+        from repro.index.lsh import PrefixJaccardIndex
+        from repro.sim.jaccard import QGramJaccardSimilarity
+
+        sim = QGramJaccardSimilarity(q=int(substrate.get("q", 3)))
+        index = PrefixJaccardIndex(
+            tokens, alpha=float(substrate["alpha"]), similarity=sim
+        )
+        return index, sim
+    raise SnapshotError(f"unknown snapshot substrate kind: {kind!r}")

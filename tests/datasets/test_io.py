@@ -5,6 +5,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.datasets import SetCollection
 from repro.datasets.io import (
+    load_collection_auto,
     load_collection_csv,
     load_collection_json,
     load_table_columns,
@@ -79,6 +80,51 @@ class TestCsvRoundTrip:
         path.write_text("")
         with pytest.raises(InvalidParameterError):
             load_collection_csv(path)
+
+
+class TestAutoLoader:
+    def _matches(self, loaded, collection):
+        """Same named sets (loaders may reorder ids by sorted name)."""
+        by_name = {
+            collection.name_of(i): collection[i] for i in collection.ids()
+        }
+        assert {
+            loaded.name_of(i): loaded[i] for i in loaded.ids()
+        } == by_name
+
+    def test_sniffs_json(self, collection, tmp_path):
+        path = tmp_path / "c.json"
+        save_collection_json(collection, path)
+        self._matches(load_collection_auto(path), collection)
+
+    def test_sniffs_csv(self, collection, tmp_path):
+        path = tmp_path / "c.csv"
+        save_collection_csv(collection, path)
+        self._matches(load_collection_auto(path), collection)
+
+    def test_sniffs_snapshot(self, collection, tmp_path):
+        from repro.store import save_snapshot
+
+        path = tmp_path / "c.snap"
+        save_snapshot(path, collection)
+        self._matches(load_collection_auto(path), collection)
+
+    def test_extension_is_case_insensitive(self, collection, tmp_path):
+        path = tmp_path / "c.JSON"
+        save_collection_json(collection, path)
+        self._matches(load_collection_auto(path), collection)
+
+    def test_unknown_extension_rejected(self, tmp_path):
+        path = tmp_path / "c.parquet"
+        path.write_text("x")
+        with pytest.raises(InvalidParameterError, match="unrecognized"):
+            load_collection_auto(path)
+
+    def test_missing_extension_rejected(self, tmp_path):
+        path = tmp_path / "collection"
+        path.write_text("x")
+        with pytest.raises(InvalidParameterError, match="no extension"):
+            load_collection_auto(path)
 
 
 class TestTableColumns:

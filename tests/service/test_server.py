@@ -195,3 +195,32 @@ class TestServiceCLI:
         assert json.loads(out_lines[0])["id"] == "q"
         assert json.loads(out_lines[1])["metrics"]["completed"] == 1
         assert "served 1 requests" in captured.err
+
+    def test_serve_command_with_wal_persists_and_replays(
+        self, collection_path, tmp_path, capsys, monkeypatch
+    ):
+        wal = tmp_path / "serve.wal"
+        mutate = (
+            '{"op": "insert", "name": "fresh", '
+            '"tokens": ["seattle", "reno"]}\n'
+        )
+        monkeypatch.setattr("sys.stdin", io.StringIO(mutate))
+        assert main([
+            "serve", collection_path, "--alpha", "0.4",
+            "--wal", str(wal),
+        ]) == 0
+        captured = capsys.readouterr()
+        assert json.loads(captured.out.splitlines()[0])["op"] == "insert"
+        assert wal.read_text().count("\n") == 1
+
+        # Second server start: the WAL replays and "fresh" is served.
+        query = json.dumps({"id": "q", "query": ["seattle", "reno"]}) + "\n"
+        monkeypatch.setattr("sys.stdin", io.StringIO(query))
+        assert main([
+            "serve", collection_path, "--alpha", "0.4",
+            "--wal", str(wal),
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "replayed 1 WAL records" in captured.err
+        response = json.loads(captured.out.splitlines()[0])
+        assert response["results"][0]["name"] == "fresh"

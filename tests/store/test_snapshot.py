@@ -1,0 +1,180 @@
+"""Snapshot round-trips: save -> load must preserve everything."""
+
+import json
+
+import pytest
+
+from repro.datasets import SetCollection
+from repro.embedding import HashingEmbeddingProvider, VectorStore
+from repro.errors import SnapshotError
+from repro.index import InvertedIndex
+from repro.store import (
+    FORMAT_VERSION,
+    inspect_snapshot,
+    load_snapshot,
+    save_snapshot,
+    substrate_fingerprint,
+)
+
+SUBSTRATE = {
+    "kind": "hashing-cosine",
+    "dim": 16,
+    "n_min": 3,
+    "n_max": 5,
+    "salt": "hashing-embedding",
+    "batch_size": 100,
+}
+
+
+@pytest.fixture()
+def collection():
+    return SetCollection(
+        [
+            {"seattle", "portland", "oakland"},
+            {"seattle", "boston"},
+            {"tokyo", "osaka", "kyoto", "nagoya"},
+            {"boston"},
+        ],
+        names=["west", "mixed", "japan", "east"],
+    )
+
+
+@pytest.fixture()
+def snap_path(tmp_path):
+    return tmp_path / "c.snap"
+
+
+class TestRoundTrip:
+    def test_sets_names_stats_survive(self, collection, snap_path):
+        save_snapshot(snap_path, collection)
+        loaded = load_snapshot(snap_path)
+        assert len(loaded.collection) == len(collection)
+        for set_id in collection.ids():
+            assert loaded.collection[set_id] == collection[set_id]
+            assert loaded.collection.name_of(set_id) == collection.name_of(
+                set_id
+            )
+        assert loaded.collection.stats() == collection.stats()
+        assert loaded.collection.vocabulary == collection.vocabulary
+
+    def test_postings_match_a_fresh_inverted_index(
+        self, collection, snap_path
+    ):
+        save_snapshot(snap_path, collection)
+        loaded = load_snapshot(snap_path)
+        fresh = InvertedIndex(collection)
+        for token in collection.vocabulary:
+            assert loaded.postings.get(token, []) == fresh.sets_containing(
+                token
+            )
+        rebuilt = InvertedIndex.from_postings(loaded.postings)
+        for token in collection.vocabulary:
+            assert rebuilt.sets_containing(token) == fresh.sets_containing(
+                token
+            )
+
+    def test_vector_store_survives_bitwise(self, collection, snap_path):
+        provider = HashingEmbeddingProvider(dim=16)
+        store = VectorStore(provider, collection.vocabulary)
+        save_snapshot(
+            snap_path, collection, store=store, substrate=SUBSTRATE
+        )
+        loaded = load_snapshot(snap_path)
+        assert loaded.token_index is not None
+        restored = loaded.token_index.store
+        assert restored.tokens == store.tokens
+        assert (restored.matrix == store.matrix).all()
+
+    def test_substrate_streams_identically(self, collection, snap_path):
+        provider = HashingEmbeddingProvider(dim=16)
+        store = VectorStore(provider, collection.vocabulary)
+        from repro.index import ExactCosineIndex
+
+        original = ExactCosineIndex(store, provider)
+        save_snapshot(
+            snap_path, collection, store=store, substrate=SUBSTRATE
+        )
+        loaded = load_snapshot(snap_path)
+        for probe in ("seattle", "boston", "unseen-token"):
+            assert list(loaded.token_index.stream(probe)) == list(
+                original.stream(probe)
+            )
+
+    def test_jaccard_substrate_round_trip(self, collection, snap_path):
+        substrate = {"kind": "qgram-jaccard", "q": 3, "alpha": 0.5}
+        save_snapshot(snap_path, collection, substrate=substrate)
+        loaded = load_snapshot(snap_path)
+        assert loaded.token_index is not None
+        assert list(loaded.token_index.stream("seattle"))[0][0] == "seattle"
+
+    def test_save_is_deterministic(self, collection, tmp_path):
+        a, b = tmp_path / "a.snap", tmp_path / "b.snap"
+        save_snapshot(a, collection)
+        save_snapshot(b, collection)
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestManifest:
+    def test_inspect_reads_counts_without_payload(
+        self, collection, snap_path
+    ):
+        manifest = save_snapshot(snap_path, collection)
+        seen = inspect_snapshot(snap_path)
+        assert seen == manifest
+        assert seen.format_version == FORMAT_VERSION
+        assert seen.num_sets == 4
+        assert seen.num_tokens == len(collection.vocabulary)
+        assert seen.total_memberships == 10
+        assert seen.total_postings == 10
+
+    def test_fingerprint_tracks_substrate_config(self):
+        a = substrate_fingerprint({"kind": "hashing-cosine", "dim": 16})
+        b = substrate_fingerprint({"kind": "hashing-cosine", "dim": 32})
+        assert a != b
+        assert a == substrate_fingerprint(
+            {"dim": 16, "kind": "hashing-cosine"}
+        )
+
+
+class TestCorruption:
+    def test_bad_magic_rejected(self, snap_path):
+        snap_path.write_bytes(b"NOTASNAP" + b"\x00" * 64)
+        with pytest.raises(SnapshotError, match="magic"):
+            load_snapshot(snap_path)
+
+    def test_flipped_payload_byte_fails_checksum(
+        self, collection, snap_path
+    ):
+        save_snapshot(snap_path, collection)
+        raw = bytearray(snap_path.read_bytes())
+        raw[-1] ^= 0xFF
+        snap_path.write_bytes(bytes(raw))
+        with pytest.raises(SnapshotError, match="checksum"):
+            load_snapshot(snap_path)
+        # verify=False trusts the file and loads anyway (hot restarts).
+        load_snapshot(snap_path, verify=False)
+
+    def test_truncated_file_rejected(self, collection, snap_path):
+        save_snapshot(snap_path, collection)
+        raw = snap_path.read_bytes()
+        snap_path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(SnapshotError, match="truncated|checksum"):
+            load_snapshot(snap_path)
+
+    def test_unsupported_format_version_rejected(
+        self, collection, snap_path
+    ):
+        save_snapshot(snap_path, collection)
+        raw = snap_path.read_bytes()
+        # Rewrite the manifest with a bumped format version.
+        import struct
+
+        (length,) = struct.unpack_from("<I", raw, 8)
+        manifest = json.loads(raw[12:12 + length])
+        manifest["format_version"] = 99
+        new = json.dumps(manifest, sort_keys=True).encode()
+        snap_path.write_bytes(
+            raw[:8] + struct.pack("<I", len(new)) + new + raw[12 + length:]
+        )
+        with pytest.raises(SnapshotError, match="version"):
+            load_snapshot(snap_path)

@@ -1,0 +1,148 @@
+"""Write-ahead log: append/replay, corruption handling, compaction."""
+
+import pytest
+
+from repro.datasets import SetCollection
+from repro.errors import WalError
+from repro.store import (
+    MutableSetCollection,
+    WalRecord,
+    WriteAheadLog,
+    compact,
+    load_snapshot,
+    save_snapshot,
+)
+
+
+@pytest.fixture()
+def wal(tmp_path):
+    return WriteAheadLog(tmp_path / "ops.wal")
+
+
+def base_collection():
+    return SetCollection(
+        [{"a", "b"}, {"b", "c"}], names=["s0", "s1"]
+    )
+
+
+class TestAppendReplay:
+    def test_replay_reproduces_mutations(self, wal):
+        wal.append("insert", "s2", ["c", "d"])
+        wal.append("delete", "s0")
+        wal.append("replace", "s1", ["x"])
+        target = MutableSetCollection(base_collection())
+        assert wal.replay_into(target) == 3
+        assert {target.name_of(i) for i in target.ids()} == {"s1", "s2"}
+        assert target[target.id_of("s1")] == frozenset({"x"})
+        assert target[target.id_of("s2")] == frozenset({"c", "d"})
+
+    def test_sequence_numbers_resume_across_reopen(self, wal, tmp_path):
+        wal.append("insert", "s2", ["c"])
+        reopened = WriteAheadLog(tmp_path / "ops.wal")
+        record = reopened.append("delete", "s2")
+        assert record.seq == 2
+        assert [r.seq for r in reopened.records()] == [1, 2]
+
+    def test_record_round_trip(self):
+        record = WalRecord(seq=7, op="insert", name="n", tokens=("b", "a"))
+        assert WalRecord.from_line(record.to_line()) == WalRecord(
+            seq=7, op="insert", name="n", tokens=("a", "b")
+        )
+
+    def test_reset_truncates(self, wal):
+        wal.append("insert", "s2", ["c"])
+        wal.reset()
+        assert wal.records() == []
+        assert wal.append("insert", "s3", ["d"]).seq == 1
+
+
+class TestCorruption:
+    def test_torn_final_record_is_dropped(self, wal):
+        wal.append("insert", "s2", ["c"])
+        wal.append("delete", "s2")
+        with open(wal.path, "a", encoding="utf-8") as handle:
+            handle.write('{"seq": 3, "op": "ins')  # crash mid-append
+        assert [r.seq for r in wal.records()] == [1, 2]
+
+    def test_reopen_after_torn_tail_repairs_the_file(self, wal, tmp_path):
+        """The first post-crash append must not merge into the partial
+        line — reopening truncates the torn tail before appending."""
+        wal.append("insert", "s2", ["c"])
+        with open(wal.path, "a", encoding="utf-8") as handle:
+            handle.write('{"seq": 2, "op": "ins')  # crash mid-append
+        recovered = WriteAheadLog(tmp_path / "ops.wal")
+        acknowledged = recovered.append("insert", "s3", ["d"])
+        assert acknowledged.seq == 2
+        # A completely fresh reader sees BOTH durable records.
+        fresh = WriteAheadLog(tmp_path / "ops.wal")
+        assert [(r.seq, r.name) for r in fresh.records()] == [
+            (1, "s2"), (2, "s3"),
+        ]
+
+    def test_mid_file_corruption_raises(self, wal):
+        wal.append("insert", "s2", ["c"])
+        wal.append("delete", "s2")
+        lines = wal.path.read_text().splitlines()
+        lines[0] = lines[0].replace("s2", "sX")  # CRC now wrong
+        wal.path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(WalError, match="CRC"):
+            wal.records()
+
+    def test_sequence_gap_raises(self, wal):
+        wal.append("insert", "s2", ["c"])
+        record = WalRecord(seq=5, op="delete", name="s2")
+        with open(wal.path, "a", encoding="utf-8") as handle:
+            handle.write(record.to_line() + "\n")
+            handle.write(
+                WalRecord(seq=6, op="insert", name="x", tokens=("t",))
+                .to_line() + "\n"
+            )
+        with pytest.raises(WalError, match="gap"):
+            wal.records()
+
+
+class TestCompact:
+    def test_compact_folds_wal_into_dense_snapshot(self, wal, tmp_path):
+        snap = tmp_path / "c.snap"
+        save_snapshot(snap, base_collection())
+        wal.append("insert", "s2", ["c", "d"])
+        wal.append("delete", "s0")
+        manifest, applied = compact(snap, wal)
+        assert applied == 2
+        assert manifest.num_sets == 2
+        assert len(wal.records()) == 0
+        loaded = load_snapshot(snap)
+        by_name = {
+            loaded.collection.name_of(i): loaded.collection[i]
+            for i in loaded.collection.ids()
+        }
+        assert by_name == {
+            "s1": frozenset({"b", "c"}),
+            "s2": frozenset({"c", "d"}),
+        }
+        # Dense ids: compaction renumbers 0..n-1.
+        assert loaded.collection.ids() == range(2)
+
+    def test_compact_to_separate_output(self, wal, tmp_path):
+        snap, out = tmp_path / "c.snap", tmp_path / "c2.snap"
+        save_snapshot(snap, base_collection())
+        wal.append("insert", "s2", ["z"])
+        manifest, _ = compact(snap, wal, output=out)
+        assert manifest.num_sets == 3
+        assert load_snapshot(snap).manifest.num_sets == 2  # untouched
+        assert load_snapshot(out).manifest.num_sets == 3
+
+    def test_compacted_snapshot_equals_from_scratch_save(
+        self, wal, tmp_path
+    ):
+        """snapshot + WAL fold == directly saving the mutated state."""
+        snap = tmp_path / "c.snap"
+        save_snapshot(snap, base_collection())
+        wal.append("replace", "s0", ["q", "r"])
+        compact(snap, wal)
+
+        overlay = MutableSetCollection(base_collection())
+        overlay.replace("s0", ["q", "r"])
+        direct = tmp_path / "direct.snap"
+        save_snapshot(direct, overlay)
+        assert snap.read_bytes() == direct.read_bytes()

@@ -105,3 +105,108 @@ class TestParser:
     def test_unknown_profile_rejected(self):
         with pytest.raises(SystemExit):
             main(["generate", "--profile", "bogus", "--output", "x.json"])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        assert out.split()[1][0].isdigit()
+
+
+class TestExitCodes:
+    def test_missing_file_exits_noinput(self, capsys):
+        assert main(["stats", "missing.json"]) == 66
+        assert "repro: error:" in capsys.readouterr().err
+
+    def test_unknown_extension_exits_invalid(self, tmp_path, capsys):
+        path = tmp_path / "sets.parquet"
+        path.write_text("whatever")
+        assert main(["stats", str(path)]) == 2
+        assert "unrecognized collection format" in capsys.readouterr().err
+
+    def test_corrupt_snapshot_exits_snapshot_code(self, tmp_path, capsys):
+        path = tmp_path / "bad.snap"
+        path.write_bytes(b"NOTASNAP" + b"\x00" * 32)
+        assert main(["stats", str(path)]) == 5
+        assert "repro: error:" in capsys.readouterr().err
+
+    def test_bad_json_collection_exits_invalid(self, tmp_path, capsys):
+        path = tmp_path / "sets.json"
+        path.write_text("[1, 2, 3]")
+        assert main(["search", str(path), "tok"]) == 2
+        assert "repro: error:" in capsys.readouterr().err
+
+
+class TestIndexCommands:
+    def test_build_inspect_round_trip(
+        self, collection_path, tmp_path, capsys
+    ):
+        snap = tmp_path / "c.snap"
+        assert main(["index", "build", collection_path, str(snap)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert main(["index", "inspect", str(snap)]) == 0
+        manifest = json.loads(capsys.readouterr().out)
+        assert manifest["num_sets"] == 3
+        assert manifest["substrate"]["kind"] == "hashing-cosine"
+
+    def test_build_rejects_non_snapshot_output(
+        self, collection_path, tmp_path
+    ):
+        assert main(
+            ["index", "build", collection_path, str(tmp_path / "c.json")]
+        ) == 2
+
+    def test_snapshot_search_matches_json_search(
+        self, collection_path, tmp_path, capsys
+    ):
+        snap = tmp_path / "c.snap"
+        main(["index", "build", collection_path, str(snap)])
+        capsys.readouterr()
+        query = ["seattle", "portland", "oakland", "-k", "2",
+                 "--alpha", "0.4"]
+        assert main(["search", collection_path, *query]) == 0
+        from_json = capsys.readouterr().out
+        assert main(["search", str(snap), *query]) == 0
+        assert capsys.readouterr().out == from_json
+
+    def test_compact_folds_wal(self, collection_path, tmp_path, capsys):
+        snap, wal = tmp_path / "c.snap", tmp_path / "c.wal"
+        main(["index", "build", collection_path, str(snap)])
+        from repro.store import WriteAheadLog
+
+        WriteAheadLog(wal).append("insert", "fresh", ["seattle", "reno"])
+        assert main(
+            ["index", "compact", str(snap), "--wal", str(wal)]
+        ) == 0
+        assert "folded 1 WAL records" in capsys.readouterr().out
+        assert wal.read_text() == ""
+        main(["index", "inspect", str(snap)])
+        assert json.loads(capsys.readouterr().out)["num_sets"] == 4
+
+    def test_jaccard_snapshot_rejects_looser_alpha(
+        self, collection_path, tmp_path, capsys
+    ):
+        """A prefix-Jaccard index is only exact at or above its build
+        alpha; serving below it must fail loudly, not drop matches."""
+        snap = tmp_path / "c.snap"
+        main([
+            "index", "build", collection_path, str(snap),
+            "--jaccard", "--alpha", "0.8",
+        ])
+        assert main([
+            "search", str(snap), "seattle", "--alpha", "0.5",
+        ]) == 2
+        assert "alpha" in capsys.readouterr().err
+        # At or above the build alpha the snapshot serves fine.
+        assert main([
+            "search", str(snap), "seattle", "--alpha", "0.8", "-k", "1",
+        ]) == 0
+
+    def test_stats_reads_snapshots(self, collection_path, tmp_path, capsys):
+        snap = tmp_path / "c.snap"
+        main(["index", "build", collection_path, str(snap)])
+        capsys.readouterr()
+        assert main(["stats", str(snap)]) == 0
+        assert json.loads(capsys.readouterr().out)["num_sets"] == 3
