@@ -1,0 +1,128 @@
+"""Cluster scaling: multi-process scatter-gather vs the threaded pool.
+
+The GIL is the ceiling on the single-process serving stack: the KOIOS
+filter/verify hot path is pure Python, so ``EnginePool`` with
+``parallel_shards=True`` time-slices one core no matter how many shard
+threads it runs. ``ClusterPool`` puts each partition in its own
+process; per-query work divides across real cores while the merge (and
+the exactness contract) stays identical.
+
+Both systems run the *same shard layout* under one seed on the same
+Zipf workload, and every cluster answer is verified bitwise against the
+baseline inside :func:`~repro.cluster.bench.run_scaling_bench` — a
+diverging result aborts the benchmark.
+
+Acceptance gate: >= 2x queries/sec at 4 worker processes vs the
+threaded single-process pool. True multi-core speedup physically
+requires cores, so the gate is asserted when the machine has >= 4 CPUs
+(and the run is not ``--smoke``); on smaller machines the benchmark
+still runs, verifies exactness, and reports the measured curve.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.cluster.bench import (
+    format_report,
+    run_scaling_bench,
+    zipf_queries,
+)
+from repro.datasets import SMALL_PROFILES, TINY_PROFILES, generate_dataset
+
+DATASET_SEED = 7
+WORKLOAD_SEED = 13
+K = 10
+ALPHA = 0.8
+REQUIRED_SPEEDUP = 2.0
+GATE_WORKERS = 4
+MIN_CORES_FOR_GATE = 4
+
+SUBSTRATE = {
+    "kind": "hashing-cosine",
+    "dim": 32,
+    "n_min": 3,
+    "n_max": 5,
+    "salt": "hashing-embedding",
+    "batch_size": 100,
+}
+
+FULL = {
+    "profile": SMALL_PROFILES["opendata"],
+    "requests": 40,
+    "distinct": 20,
+    "worker_counts": (1, 2, GATE_WORKERS),
+}
+SMOKE = {
+    "profile": TINY_PROFILES["opendata"],
+    "requests": 8,
+    "distinct": 6,
+    "worker_counts": (2,),
+}
+
+
+def test_cluster_scaling_vs_threaded_pool(smoke, report, benchmark):
+    params = SMOKE if smoke else FULL
+    collection = generate_dataset(
+        params["profile"], seed=DATASET_SEED
+    ).collection
+    queries = zipf_queries(
+        collection,
+        distinct=params["distinct"],
+        requests=params["requests"],
+        seed=WORKLOAD_SEED,
+    )
+    # run_scaling_bench raises ClusterError on any bitwise divergence,
+    # so reaching the report means every answer was exact.
+    results = run_scaling_bench(
+        collection,
+        SUBSTRATE,
+        queries,
+        k=K,
+        alpha=ALPHA,
+        worker_counts=params["worker_counts"],
+    )
+
+    report()
+    for line in format_report(results):
+        report(line)
+    report(json.dumps(results))
+
+    cores = results["cpu_count"]
+    gated_row = next(
+        (
+            row
+            for row in results["rows"]
+            if row["workers"] == GATE_WORKERS
+        ),
+        None,
+    )
+    if not smoke and cores >= MIN_CORES_FOR_GATE and gated_row:
+        assert gated_row["speedup"] >= REQUIRED_SPEEDUP, (
+            f"cluster at {GATE_WORKERS} workers reached only "
+            f"{gated_row['speedup']:.2f}x the threaded pool "
+            f"(needs >= {REQUIRED_SPEEDUP}x on {cores} cores)"
+        )
+    else:
+        report(
+            f"# speedup gate skipped: smoke={smoke}, cores={cores} "
+            f"(gate needs a full run on >= {MIN_CORES_FOR_GATE} cores)"
+        )
+
+    # Timed artifact: one scatter-gather through a warm 2-worker fleet.
+    from repro.cluster import ClusterPool
+    from repro.cluster.worker import substrate_from_descriptor
+
+    token_index, sim = substrate_from_descriptor(
+        SUBSTRATE, collection.vocabulary
+    )
+    with ClusterPool(
+        collection,
+        token_index,
+        sim,
+        alpha=ALPHA,
+        workers=2,
+        substrate=SUBSTRATE,
+    ) as cluster:
+        cluster.search(queries[0], K)  # warm
+        benchmark(cluster.search, queries[0], K)

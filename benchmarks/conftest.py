@@ -86,6 +86,21 @@ def interval_benchmarks(stacks) -> dict[str, QueryBenchmark]:
     return benchmarks
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="run scale-sensitive benches at smoke size (CI keeps the "
+        "code path alive without paying full-corpus runtimes)",
+    )
+
+
+@pytest.fixture(scope="session")
+def smoke(request) -> bool:
+    return request.config.getoption("--smoke")
+
+
 @pytest.fixture()
 def report(capsys):
     """Print through pytest's output capture (tables stay visible)."""

@@ -37,7 +37,9 @@ from repro.embedding import (
     SyntheticEmbeddingModel,
     VectorStore,
 )
+from repro.cluster import ClusterMetrics, ClusterPool
 from repro.errors import (
+    ClusterError,
     EmptyQueryError,
     InvalidParameterError,
     MatchingError,
@@ -88,6 +90,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "CallableSimilarity",
+    "ClusterError",
+    "ClusterMetrics",
+    "ClusterPool",
     "CollectionStats",
     "CosineSimilarity",
     "EditSimilarity",

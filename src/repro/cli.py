@@ -14,7 +14,15 @@ Commands cover the downstream workflow end to end:
   backed by the :mod:`repro.service` scheduler/cache/engine-pool stack,
   with live insert/delete/replace (optionally WAL-durable);
 * ``batch`` — answer a file of JSON-lines queries to a results file
-  through the same serving stack (maximal batching and dedup).
+  through the same serving stack (maximal batching and dedup);
+* ``cluster serve|bench`` — the same JSON-lines protocol over the
+  multi-process scatter-gather backend of :mod:`repro.cluster` (one
+  worker process per partition of the set-id space), and its scaling
+  benchmark against the threaded single-process baseline.
+
+``serve`` and ``cluster serve`` shut down gracefully on SIGINT/SIGTERM:
+in-flight scheduler work drains, pending responses are emitted, the
+write-ahead log is flushed and closed, and the process exits 0.
 
 User errors exit with a distinct non-zero code per error family (see
 ``ERROR_EXIT_CODES``) instead of a traceback.
@@ -24,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 from pathlib import Path
 
@@ -33,9 +42,8 @@ from repro.datasets.collection import SetCollection
 from repro.datasets.io import load_collection_auto, save_collection_json
 from repro.datasets.profiles import profile_by_name
 from repro.datasets.synthetic import generate_dataset
-from repro.embedding.hashing import HashingEmbeddingProvider
-from repro.embedding.provider import VectorStore
 from repro.errors import (
+    ClusterError,
     EmptyQueryError,
     InvalidParameterError,
     ReproError,
@@ -43,17 +51,14 @@ from repro.errors import (
     VocabularyError,
     WalError,
 )
-from repro.index.lsh import PrefixJaccardIndex
-from repro.index.vector_index import ExactCosineIndex
 from repro.service import (
     EnginePool,
+    GracefulShutdown,
     QueryScheduler,
     ResultCache,
     run_batch,
     serve_lines,
 )
-from repro.sim.cosine import CosineSimilarity
-from repro.sim.jaccard import QGramJaccardSimilarity
 from repro.store.snapshot import (
     SNAPSHOT_SUFFIXES,
     inspect_snapshot,
@@ -70,6 +75,7 @@ ERROR_EXIT_CODES: list[tuple[type, int]] = [
     (VocabularyError, 4),
     (SnapshotError, 5),
     (WalError, 6),
+    (ClusterError, 8),
     (ReproError, 7),
 ]
 
@@ -95,25 +101,13 @@ def _load_collection(path: str) -> SetCollection:
     return load_collection_auto(path)
 
 
-def _build_substrate(collection: SetCollection, args: argparse.Namespace):
-    """The ``(token_index, sim, descriptor)`` selected by
-    ``--jaccard``/``--dim``.
-
-    The descriptor is what ``index build`` persists in the snapshot
-    manifest; it *parameterizes* the construction here (rather than
-    being written down separately), so the restored substrate can never
-    drift from the one that produced the persisted artifacts.
-    """
+def _substrate_descriptor(args: argparse.Namespace) -> dict:
+    """The substrate description selected by ``--jaccard``/``--dim``
+    (manifest schema) — without building any artifacts, for callers
+    that only ship the description (e.g. ``cluster bench``)."""
     if args.jaccard:
-        descriptor = {"kind": "qgram-jaccard", "q": 3, "alpha": args.alpha}
-        sim = QGramJaccardSimilarity(q=descriptor["q"])
-        index = PrefixJaccardIndex(
-            collection.vocabulary,
-            alpha=descriptor["alpha"],
-            similarity=sim,
-        )
-        return index, sim, descriptor
-    descriptor = {
+        return {"kind": "qgram-jaccard", "q": 3, "alpha": args.alpha}
+    return {
         "kind": "hashing-cosine",
         "dim": args.dim,
         "n_min": 3,
@@ -121,28 +115,40 @@ def _build_substrate(collection: SetCollection, args: argparse.Namespace):
         "salt": "hashing-embedding",
         "batch_size": 100,
     }
-    provider = HashingEmbeddingProvider(
-        dim=descriptor["dim"],
-        n_min=descriptor["n_min"],
-        n_max=descriptor["n_max"],
-        salt=descriptor["salt"],
+
+
+def _build_substrate(collection: SetCollection, args: argparse.Namespace):
+    """The ``(token_index, sim, descriptor)`` selected by
+    ``--jaccard``/``--dim``.
+
+    The descriptor is what ``index build`` persists in the snapshot
+    manifest; it *parameterizes* the construction (rather than being
+    written down separately), and the construction itself is the same
+    :func:`~repro.cluster.worker.substrate_from_descriptor` every
+    cluster worker replica uses — one code path, so a restored or
+    replicated substrate can never drift from the one built here.
+    """
+    from repro.cluster.worker import substrate_from_descriptor
+
+    descriptor = _substrate_descriptor(args)
+    index, sim = substrate_from_descriptor(
+        descriptor, collection.vocabulary
     )
-    store = VectorStore(provider, collection.vocabulary)
-    index = ExactCosineIndex(
-        store, provider, batch_size=descriptor["batch_size"]
-    )
-    sim = CosineSimilarity(provider)
     return index, sim, descriptor
 
 
-def _load_stack(args: argparse.Namespace):
-    """``(collection, token_index, sim)`` for a search-capable command.
+def _load_serving_stack(args: argparse.Namespace):
+    """``(collection, token_index, sim, descriptor, snapshot_path)``
+    for a search-capable command.
 
     Snapshot inputs restore their persisted substrate (the snapshot's
     configuration wins over ``--jaccard``/``--dim``) and come back as a
     mutable overlay adopting the persisted postings — no re-index, and
     the serve ops can mutate it. JSON/CSV inputs build the substrate
-    from the flags.
+    from the flags. ``descriptor`` is the substrate's manifest-schema
+    description (what cluster workers rebuild their replica index
+    from); ``snapshot_path`` is non-None when the input was a snapshot,
+    so cluster workers can bootstrap by loading it themselves.
     """
     path = args.collection
     if Path(path).suffix.lower() in SNAPSHOT_SUFFIXES:
@@ -161,12 +167,40 @@ def _load_stack(args: argparse.Namespace):
                     f"index build ... --alpha {args.alpha}') to serve "
                     f"alpha {args.alpha}"
                 )
-            return overlay, loaded.token_index, loaded.sim
-        index, sim, _ = _build_substrate(overlay, args)
-        return overlay, index, sim
+            return (
+                overlay,
+                loaded.token_index,
+                loaded.sim,
+                loaded.manifest.substrate,
+                path,
+            )
+        index, sim, descriptor = _build_substrate(overlay, args)
+        return overlay, index, sim, descriptor, path
     collection = _load_collection(path)
-    index, sim, _ = _build_substrate(collection, args)
+    index, sim, descriptor = _build_substrate(collection, args)
+    return collection, index, sim, descriptor, None
+
+
+def _load_stack(args: argparse.Namespace):
+    """``(collection, token_index, sim)`` — see :func:`_load_serving_stack`."""
+    collection, index, sim, _, _ = _load_serving_stack(args)
     return collection, index, sim
+
+
+def _install_shutdown_handlers() -> None:
+    """SIGINT/SIGTERM raise :class:`GracefulShutdown` in the main
+    thread. The first signal starts the graceful drain; handlers then
+    revert to the OS default so a second signal force-terminates a
+    drain that is stuck (e.g. waiting out a hung worker's timeout)
+    instead of being ignored."""
+
+    def handler(signum, frame):
+        signal.signal(signal.SIGINT, signal.SIG_DFL)
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        raise GracefulShutdown()
+
+    signal.signal(signal.SIGINT, handler)
+    signal.signal(signal.SIGTERM, handler)
 
 
 def _build_scheduler(args: argparse.Namespace) -> QueryScheduler:
@@ -272,13 +306,22 @@ def cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_serve(args: argparse.Namespace) -> int:
-    """``repro serve``: JSON-lines request loop on stdin/stdout."""
-    with _build_scheduler(args) as scheduler:
+def _run_serve_loop(scheduler: QueryScheduler, linger: int) -> int:
+    """The shared serve loop with graceful SIGINT/SIGTERM shutdown:
+    drain in-flight work, emit pending responses, flush/close the WAL
+    (via ``scheduler.shutdown``), and report — exit code 0 either way."""
+    _install_shutdown_handlers()
+    try:
         served = serve_lines(
-            scheduler, sys.stdin, sys.stdout, linger=args.linger
+            scheduler, sys.stdin, sys.stdout, linger=linger
         )
-        snapshot = dict(scheduler.metrics.snapshot())
+    except GracefulShutdown:
+        # The signal landed outside the serve loop's own handling
+        # (e.g. between setup and the first read); nothing was dropped.
+        served = scheduler.metrics.completed
+    finally:
+        scheduler.shutdown()
+    snapshot = dict(scheduler.metrics.snapshot())
     print(
         f"# served {served} requests "
         f"(qps={snapshot['qps']}, "
@@ -287,6 +330,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: JSON-lines request loop on stdin/stdout."""
+    with _build_scheduler(args) as scheduler:
+        return _run_serve_loop(scheduler, args.linger)
 
 
 def cmd_batch(args: argparse.Namespace) -> int:
@@ -309,6 +358,101 @@ def cmd_batch(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     return 0 if errors == 0 else 1
+
+
+def cmd_cluster_serve(args: argparse.Namespace) -> int:
+    """``repro cluster serve``: the JSON-lines protocol over worker
+    processes (one per partition of the set-id space)."""
+    from repro.cluster import ClusterPool
+    from repro.store.mutable import MutableSetCollection
+
+    collection, index, sim, descriptor, snapshot_path = (
+        _load_serving_stack(args)
+    )
+    wal = None
+    bootstrap_records = ()
+    if args.wal is not None:
+        if not hasattr(collection, "insert"):
+            collection = MutableSetCollection(collection)
+        wal = WriteAheadLog(args.wal)
+        # Prior mutations replay through the cluster's bootstrap path,
+        # so worker replicas and the coordinator derive identical state.
+        bootstrap_records = wal.records()
+    cluster = ClusterPool(
+        collection,
+        index,
+        sim,
+        alpha=args.alpha,
+        workers=args.workers,
+        shards=args.shards,
+        config=FilterConfig.koios(iub_mode=args.iub_mode),
+        snapshot_path=snapshot_path,
+        substrate=descriptor,
+        bootstrap_records=bootstrap_records,
+        start_method=args.start_method,
+        request_timeout=args.request_timeout,
+    )
+    if bootstrap_records:
+        print(
+            f"# replayed {len(bootstrap_records)} WAL records across "
+            f"{args.workers} workers (version {collection.version})",
+            file=sys.stderr,
+        )
+    cache = (
+        ResultCache(capacity=args.cache_size) if args.cache_size > 0 else None
+    )
+    with cluster:
+        with QueryScheduler(
+            cluster,
+            cache=cache,
+            max_batch=args.max_batch,
+            workers=args.scheduler_workers,
+            wal=wal,
+        ) as scheduler:
+            return _run_serve_loop(scheduler, args.linger)
+
+
+def cmd_cluster_bench(args: argparse.Namespace) -> int:
+    """``repro cluster bench``: multi-process vs threaded throughput."""
+    from repro.cluster.bench import (
+        format_report,
+        run_scaling_bench,
+        zipf_queries,
+    )
+
+    collection = _load_collection(args.collection)
+    descriptor = _substrate_descriptor(args)
+    try:
+        worker_counts = sorted(
+            {int(part) for part in args.workers.split(",") if part.strip()}
+        )
+    except ValueError:
+        raise InvalidParameterError(
+            f"--workers must be a comma-separated int list, got "
+            f"{args.workers!r}"
+        ) from None
+    if not worker_counts or any(count < 1 for count in worker_counts):
+        raise InvalidParameterError("--workers counts must be >= 1")
+    queries = zipf_queries(
+        collection,
+        distinct=args.distinct,
+        requests=args.requests,
+        seed=args.seed,
+    )
+    results = run_scaling_bench(
+        collection,
+        descriptor,
+        queries,
+        k=args.k,
+        alpha=args.alpha,
+        worker_counts=worker_counts,
+        start_method=args.start_method,
+        config=FilterConfig.koios(iub_mode=args.iub_mode),
+    )
+    for line in format_report(results):
+        print(line, file=sys.stderr)
+    print(json.dumps(results, separators=(",", ":")))
+    return 0
 
 
 def cmd_index_build(args: argparse.Namespace) -> int:
@@ -502,6 +646,89 @@ def build_parser() -> argparse.ArgumentParser:
         help="responses file ('-' = stdout)",
     )
     batch.set_defaults(func=cmd_batch)
+
+    cluster = commands.add_parser(
+        "cluster",
+        help="multi-process scatter-gather serving and its benchmark",
+    )
+    cluster_commands = cluster.add_subparsers(
+        dest="cluster_command", required=True
+    )
+    cluster_serve = cluster_commands.add_parser(
+        "serve",
+        help="JSON-lines query server over worker processes",
+    )
+    cluster_serve.add_argument(
+        "collection", help="JSON, long-CSV, or snapshot collection"
+    )
+    _add_substrate_arguments(cluster_serve)
+    cluster_serve.add_argument(
+        "--workers", type=int, default=2,
+        help="worker processes (one partition of the set-id space each)",
+    )
+    cluster_serve.add_argument(
+        "--shards", type=int, default=1,
+        help="engines per worker partition",
+    )
+    cluster_serve.add_argument(
+        "--scheduler-workers", type=int, default=1,
+        help="coordinator-side scheduler threads",
+    )
+    cluster_serve.add_argument(
+        "--cache-size", type=int, default=1024,
+        help="result-cache capacity (0 disables caching)",
+    )
+    cluster_serve.add_argument(
+        "--max-batch", type=int, default=8,
+        help="micro-batch occupancy that triggers dispatch",
+    )
+    cluster_serve.add_argument(
+        "--linger", type=int, default=1,
+        help="requests to accumulate before flushing a micro-batch",
+    )
+    cluster_serve.add_argument(
+        "--wal", default=None,
+        help="write-ahead log for mutation durability (replayed on "
+        "start across the whole fleet)",
+    )
+    cluster_serve.add_argument(
+        "--request-timeout", type=float, default=120.0,
+        help="seconds before a silent worker is declared failed",
+    )
+    cluster_serve.add_argument(
+        "--start-method", default="spawn",
+        choices=["spawn", "fork", "forkserver"],
+        help="multiprocessing start method (spawn is the portable "
+        "default)",
+    )
+    cluster_serve.set_defaults(func=cmd_cluster_serve)
+    cluster_bench = cluster_commands.add_parser(
+        "bench",
+        help="cluster vs threaded-pool scaling benchmark",
+    )
+    cluster_bench.add_argument(
+        "collection", help="JSON, long-CSV, or snapshot collection"
+    )
+    _add_substrate_arguments(cluster_bench)
+    cluster_bench.add_argument(
+        "--workers", default="1,2,4",
+        help="comma-separated worker counts to sweep",
+    )
+    cluster_bench.add_argument(
+        "--requests", type=int, default=60,
+        help="Zipf-skewed requests per configuration",
+    )
+    cluster_bench.add_argument(
+        "--distinct", type=int, default=30,
+        help="distinct queries underlying the Zipf stream",
+    )
+    cluster_bench.add_argument("-k", type=int, default=10)
+    cluster_bench.add_argument("--seed", type=int, default=13)
+    cluster_bench.add_argument(
+        "--start-method", default="spawn",
+        choices=["spawn", "fork", "forkserver"],
+    )
+    cluster_bench.set_defaults(func=cmd_cluster_bench)
     return parser
 
 

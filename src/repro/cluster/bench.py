@@ -1,0 +1,167 @@
+"""The cluster scaling measurement behind ``repro cluster bench`` and
+``benchmarks/bench_cluster_scaling.py``.
+
+Measures query throughput of the multi-process :class:`ClusterPool`
+against the threaded single-process :class:`EnginePool` baseline on the
+same corpus, the same Zipf-skewed workload, and the *same shard layout*
+(``shards=W`` vs ``workers=W`` under one seed), so the two systems do
+byte-for-byte identical search work — the only variable is threads
+sharing one GIL vs processes owning one core each. Every cluster answer
+is verified bitwise against the baseline's while timing, so a speedup
+can never be bought with a wrong result.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Sequence
+
+from repro.cluster.coordinator import ClusterPool
+from repro.cluster.worker import substrate_from_descriptor
+from repro.datasets.collection import SetCollection
+from repro.errors import ClusterError
+from repro.service.pool import EnginePool
+from repro.utils.rng import make_rng
+
+
+def zipf_queries(
+    collection: SetCollection,
+    *,
+    distinct: int,
+    requests: int,
+    seed: int = 13,
+) -> list[frozenset[str]]:
+    """A Zipf-skewed request stream over the collection's own sets
+    (popular queries recur, the serving-layer regime of the ROADMAP)."""
+    rng = make_rng(seed)
+    ids = list(collection.ids())
+    distinct = min(distinct, len(ids))
+    pool_ids = rng.choice(ids, size=distinct, replace=False)
+    ranks = 1.0 / (1.0 + rng.permutation(distinct))
+    probabilities = ranks / ranks.sum()
+    picks = rng.choice(pool_ids, size=requests, p=probabilities)
+    return [frozenset(collection[int(set_id)]) for set_id in picks]
+
+
+def _timed_search(pool, queries: Sequence[frozenset[str]], k: int):
+    started = time.perf_counter()
+    results = [pool.search(query, k) for query in queries]
+    elapsed = time.perf_counter() - started
+    return results, elapsed
+
+
+def run_scaling_bench(
+    collection: SetCollection,
+    substrate: dict[str, Any],
+    queries: Sequence[frozenset[str]],
+    *,
+    k: int = 10,
+    alpha: float = 0.8,
+    worker_counts: Sequence[int] = (1, 2, 4),
+    shard_seed: int = 0,
+    start_method: str = "spawn",
+    config=None,
+) -> dict[str, Any]:
+    """Measure cluster vs threaded-pool throughput at each fleet size.
+
+    Returns a JSON-ready dict: one row per worker count with baseline
+    QPS (threaded ``EnginePool(shards=W, parallel_shards=True)``),
+    cluster QPS, their ratio, and the bitwise-equality verdict. Raises
+    :class:`~repro.errors.ClusterError` on any result mismatch — a
+    scaling number for a system that answers differently is worthless.
+    """
+    token_index, sim = substrate_from_descriptor(
+        substrate, collection.vocabulary
+    )
+    rows: list[dict[str, Any]] = []
+    for workers in worker_counts:
+        baseline = EnginePool(
+            collection,
+            token_index,
+            sim,
+            alpha=alpha,
+            shards=workers,
+            shard_seed=shard_seed,
+            parallel_shards=workers > 1,
+            config=config,
+        )
+        baseline.search(queries[0], k)  # warm the engines
+        baseline_results, baseline_elapsed = _timed_search(
+            baseline, queries, k
+        )
+        baseline.shutdown()
+
+        with ClusterPool(
+            collection,
+            token_index,
+            sim,
+            alpha=alpha,
+            workers=workers,
+            shard_seed=shard_seed,
+            substrate=substrate,
+            start_method=start_method,
+            config=config,
+        ) as cluster:
+            cluster.search(queries[0], k)  # absorb bootstrap/warmup
+            cluster_results, cluster_elapsed = _timed_search(
+                cluster, queries, k
+            )
+
+        for i, (got, expected) in enumerate(
+            zip(cluster_results, baseline_results)
+        ):
+            if (
+                got.ids() != expected.ids()
+                or got.scores() != expected.scores()
+                or got.theta_k != expected.theta_k
+            ):
+                raise ClusterError(
+                    f"cluster result diverged from baseline at "
+                    f"workers={workers}, query {i}"
+                )
+
+        baseline_qps = len(queries) / baseline_elapsed
+        cluster_qps = len(queries) / cluster_elapsed
+        rows.append(
+            {
+                "workers": workers,
+                "baseline_seconds": round(baseline_elapsed, 3),
+                "baseline_qps": round(baseline_qps, 2),
+                "cluster_seconds": round(cluster_elapsed, 3),
+                "cluster_qps": round(cluster_qps, 2),
+                "speedup": round(cluster_qps / baseline_qps, 3),
+                "exact": True,
+            }
+        )
+    return {
+        "benchmark": "cluster_scaling",
+        "num_sets": len(collection),
+        "requests": len(queries),
+        "k": k,
+        "alpha": alpha,
+        "cpu_count": os.cpu_count() or 1,
+        "rows": rows,
+    }
+
+
+def format_report(results: dict[str, Any]) -> list[str]:
+    """Human-readable table lines for a :func:`run_scaling_bench` dict."""
+    lines = [
+        (
+            f"cluster scaling — {results['num_sets']} sets, "
+            f"{results['requests']} Zipf requests, k={results['k']}, "
+            f"alpha={results['alpha']}, {results['cpu_count']} cores"
+        ),
+        (
+            f"{'workers':>8}{'threaded qps':>14}{'cluster qps':>13}"
+            f"{'speedup':>9}{'exact':>7}"
+        ),
+    ]
+    for row in results["rows"]:
+        lines.append(
+            f"{row['workers']:>8}{row['baseline_qps']:>14.2f}"
+            f"{row['cluster_qps']:>13.2f}{row['speedup']:>9.2f}"
+            f"{'yes' if row['exact'] else 'NO':>7}"
+        )
+    return lines

@@ -1,0 +1,726 @@
+"""The scatter-gather coordinator: :class:`ClusterPool`.
+
+``ClusterPool`` is a :class:`~repro.service.backend.SearchBackend` whose
+shard engines live in worker *processes* instead of threads, so the
+pure-Python KOIOS filter/verify hot path runs on every core instead of
+time-slicing one GIL. It plugs into the existing
+:class:`~repro.service.scheduler.QueryScheduler` / JSON-lines server
+stack unchanged.
+
+Exactness
+---------
+Results are bitwise-identical to a single-process
+``EnginePool(shards=N)`` over the same ``shard_seed``: each worker owns
+partition ``i`` of the *same* deterministic ``collection.partition(N)``
+split a ``shards=N`` pool uses, its engines are the same
+:class:`~repro.core.koios.KoiosSearchEngine` instances single-process
+serving builds, and partial top-k lists merge through the same
+:func:`~repro.service.pool.merge_results`. Workers do not share a live
+``GlobalThreshold`` across processes — sharing only prunes *work*,
+never changes the exact merged top-k, so the cluster trades a little
+redundant filtering for zero cross-process chatter during a query.
+
+Replication
+-----------
+Mutations are applied to the coordinator's local replica first (which
+assigns the authoritative id/name and validates), then shipped to every
+worker as a WAL record and acknowledged under a **version barrier**: the
+mutation call does not return until every live worker reports the
+coordinator's exact post-mutation version, and every query carries the
+version it expects, which workers verify before searching. A query can
+therefore never observe a half-applied mutation across partitions.
+
+Failure handling
+----------------
+A worker that dies (crash, kill, hung pipe) is detected on the next
+interaction, restarted, and re-bootstrapped from the base state (shared
+snapshot, or in-memory shipped) plus the full mutation history — the
+deterministic replay reconstructs byte-identical state, so a restart is
+invisible in results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from typing import Any, Hashable, Iterable
+
+from repro.cluster.messages import (
+    OP_METRICS,
+    OP_MUTATE,
+    OP_PING,
+    OP_SEARCH,
+    OP_STOP,
+    STATUS_OK,
+    WorkerSpec,
+    encode_stream,
+    mutation_record,
+)
+from repro.cluster.metrics import ClusterMetrics
+from repro.cluster.worker import worker_main
+from repro.core.config import FilterConfig
+from repro.core.koios import SearchResult
+from repro.datasets.collection import SetCollection
+from repro.errors import (
+    ClusterError,
+    EmptyQueryError,
+    InvalidParameterError,
+)
+from repro.index.base import TokenIndex
+from repro.index.token_stream import MaterializedTokenStream
+from repro.service.backend import (
+    materialize_stream,
+    require_mutable,
+    resolve_alpha,
+)
+from repro.service.pool import merge_results
+from repro.sim.base import SimilarityFunction
+
+
+class _WorkerHandle:
+    """One worker process + its pipe, with crash bookkeeping."""
+
+    def __init__(self, worker_id: int, ctx, spec_factory, *,
+                 bootstrap_timeout: float) -> None:
+        self.worker_id = worker_id
+        self._ctx = ctx
+        self._spec_factory = spec_factory
+        self._bootstrap_timeout = bootstrap_timeout
+        self.process = None
+        self.conn = None
+        self.restarts = -1  # first spawn brings this to 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def spawn(self) -> dict[str, Any]:
+        """Start (or restart) the process; returns its hello payload."""
+        self.discard()
+        spec = self._spec_factory(self.worker_id)
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(spec, child_conn),
+            daemon=True,
+            name=f"repro-cluster-worker-{self.worker_id}",
+        )
+        process.start()
+        child_conn.close()
+        self.process = process
+        self.conn = parent_conn
+        self.restarts += 1
+        return self.receive(self._bootstrap_timeout, what="bootstrap")
+
+    def alive(self) -> bool:
+        return (
+            self.process is not None
+            and self.process.is_alive()
+            and self.conn is not None
+        )
+
+    def discard(self) -> None:
+        """Drop a dead (or dying) process and its pipe.
+
+        Workers ignore SIGINT/SIGTERM (the coordinator owns shutdown),
+        so ``terminate`` alone cannot be relied on — escalate to
+        SIGKILL for a worker that will not exit.
+        """
+        if self.conn is not None:
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+            self.conn = None
+        if self.process is not None:
+            if self.process.is_alive():
+                self.process.terminate()
+                self.process.join(timeout=2)
+            if self.process.is_alive():
+                self.process.kill()
+            self.process.join(timeout=5)
+            self.process = None
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Cooperative shutdown, escalating to terminate."""
+        if self.conn is not None and self.alive():
+            try:
+                self.conn.send((OP_STOP, None))
+                self.conn.poll(timeout)
+            except OSError:
+                pass
+        self.discard()
+
+    # -- messaging ---------------------------------------------------------
+
+    def send(self, op: str, payload: Any) -> bool:
+        """Best-effort send; False marks the worker as failed."""
+        if not self.alive():
+            return False
+        try:
+            self.conn.send((op, payload))
+            return True
+        except (BrokenPipeError, OSError):
+            return False
+
+    def receive(self, timeout: float, *, what: str) -> Any:
+        """Blocking receive with timeout; raises ClusterError on any
+        transport failure or worker-reported error."""
+        if self.conn is None:
+            raise ClusterError(
+                f"worker {self.worker_id} has no live connection"
+            )
+        try:
+            if not self.conn.poll(timeout):
+                raise ClusterError(
+                    f"worker {self.worker_id} timed out after {timeout}s "
+                    f"({what})"
+                )
+            status, payload = self.conn.recv()
+        except (EOFError, OSError) as exc:
+            raise ClusterError(
+                f"worker {self.worker_id} connection failed ({what}): "
+                f"{exc or type(exc).__name__}"
+            ) from exc
+        if status != STATUS_OK:
+            raise ClusterError(
+                f"worker {self.worker_id} error ({what}): {payload}"
+            )
+        return payload
+
+
+class ClusterPool:
+    """Multi-process scatter-gather serving over worker partitions.
+
+    Parameters
+    ----------
+    collection:
+        The repository. Must be at version 0 (a pristine base): worker
+        replicas reconstruct state as *base + mutation history*, so any
+        pre-existing mutations must arrive through
+        ``bootstrap_records``, not be baked into the object.
+    token_index / sim:
+        The coordinator's own substrate — used to drain token streams
+        once per query (workers replay the shipped stream) and to
+        extend the vocabulary on inserts.
+    workers:
+        Worker process count; the set-id space is split into exactly
+        this many partitions (same layout as ``EnginePool(shards=workers)``).
+    shards:
+        Engines *per worker* (each worker subdivides its partition).
+    snapshot_path:
+        When given, workers bootstrap by loading this snapshot instead
+        of receiving the collection through the spawn pickle — the fast
+        path for large corpora. Falls back to in-memory shipping when
+        None.
+    substrate:
+        Substrate descriptor for worker-side index reconstruction
+        (required for in-memory shipping; optional when the snapshot
+        embeds one).
+    bootstrap_records:
+        WAL records (dicts or :class:`~repro.store.wal.WalRecord`) to
+        apply on top of the base before serving — the cluster analogue
+        of ``repro serve``'s WAL replay on start.
+    start_method:
+        ``multiprocessing`` start method; the default ``spawn`` is the
+        portable, thread-safe choice and the one the test-suite pins.
+    request_timeout / bootstrap_timeout:
+        Seconds to wait for a worker's answer / bootstrap hello before
+        declaring it failed.
+    """
+
+    def __init__(
+        self,
+        collection: SetCollection,
+        token_index: TokenIndex,
+        sim: SimilarityFunction,
+        *,
+        alpha: float = 0.8,
+        workers: int = 2,
+        shards: int = 1,
+        shard_seed: int = 0,
+        config: FilterConfig | None = None,
+        snapshot_path: str | None = None,
+        substrate: dict[str, Any] | None = None,
+        bootstrap_records: Iterable[Any] | None = None,
+        start_method: str = "spawn",
+        request_timeout: float = 120.0,
+        bootstrap_timeout: float = 120.0,
+    ) -> None:
+        if workers < 1:
+            raise InvalidParameterError("workers must be >= 1")
+        if shards < 1:
+            raise InvalidParameterError("shards must be >= 1")
+        if not (0.0 < alpha <= 1.0):
+            raise InvalidParameterError("alpha must be in (0, 1]")
+        if len(collection) == 0:
+            raise InvalidParameterError("cannot serve an empty collection")
+        if getattr(collection, "version", 0) != 0:
+            raise InvalidParameterError(
+                "cluster bootstrap needs a pristine base collection "
+                "(version 0); pass prior mutations via bootstrap_records "
+                "so worker replicas can replay them"
+            )
+        self._collection = collection
+        self._token_index = token_index
+        self._sim = sim
+        self._alpha = alpha
+        self._num_workers = workers
+        self._shards = shards
+        self._shard_seed = shard_seed
+        self._config = config
+        self._substrate = substrate
+        self._request_timeout = request_timeout
+        self._lock = threading.RLock()
+        self._closed = False
+        self._history: list[dict[str, Any]] = []
+        self._queries = 0
+        self._mutations = 0
+
+        if snapshot_path is not None:
+            from repro.store.snapshot import inspect_snapshot
+
+            manifest = inspect_snapshot(snapshot_path)
+            if manifest.substrate is None and substrate is None:
+                raise InvalidParameterError(
+                    "snapshot carries no substrate descriptor; pass "
+                    "substrate=... so workers can rebuild the token index"
+                )
+            self._snapshot_path = str(snapshot_path)
+            self._base_sets = None
+            self._base_names = None
+        else:
+            # In-memory shipping: freeze the dense base once; restarts
+            # replay history on top of this exact state.
+            self._snapshot_path = None
+            if substrate is None:
+                raise InvalidParameterError(
+                    "in-memory cluster bootstrap needs a substrate "
+                    "descriptor (substrate=...)"
+                )
+            self._base_sets = tuple(
+                tuple(sorted(collection[set_id]))
+                for set_id in collection.ids()
+            )
+            self._base_names = tuple(
+                collection.name_of(set_id) for set_id in collection.ids()
+            )
+
+        ctx = multiprocessing.get_context(start_method)
+        self._handles = [
+            _WorkerHandle(
+                worker_id,
+                ctx,
+                self._make_spec,
+                bootstrap_timeout=bootstrap_timeout,
+            )
+            for worker_id in range(workers)
+        ]
+        try:
+            for record in bootstrap_records or ():
+                self._apply_bootstrap_record(record)
+            for handle in self._handles:
+                hello = handle.spawn()
+                self._check_version(hello["version"], "bootstrap")
+        except BaseException:
+            self.close()
+            raise
+
+    # -- spec / replication internals --------------------------------------
+
+    def _make_spec(self, worker_id: int) -> WorkerSpec:
+        return WorkerSpec(
+            worker_id=worker_id,
+            num_workers=self._num_workers,
+            shards=self._shards,
+            shard_seed=self._shard_seed,
+            alpha=self._alpha,
+            config=self._config,
+            snapshot_path=self._snapshot_path,
+            sets=self._base_sets,
+            names=self._base_names,
+            substrate=self._substrate,
+            base_version=0,
+            history=tuple(self._history),
+        )
+
+    def _apply_local(
+        self, op: str, ref: int | str | None, tokens: Any
+    ) -> tuple[int, dict[str, Any]]:
+        """Apply one mutation to the coordinator replica; returns
+        ``(set_id, record)`` with the record carrying the authoritative
+        (possibly auto-assigned) name. The single local-apply path for
+        both live mutations and bootstrap replay, so the replayed
+        history can never diverge from what the live fleet applied."""
+        collection = self._mutable_collection()
+        extend = getattr(self._token_index, "extend", None)
+        if op == "insert":
+            members = frozenset(tokens)
+            if extend is not None:
+                extend(members)
+            set_id = collection.insert(
+                members, name=ref if isinstance(ref, str) else None
+            )
+            return set_id, mutation_record(
+                "insert", collection.name_of(set_id), tuple(members)
+            )
+        if op == "delete":
+            assert ref is not None
+            name = ref if isinstance(ref, str) else collection.name_of(ref)
+            return collection.delete(ref), mutation_record(
+                "delete", name, None
+            )
+        if op == "replace":
+            assert ref is not None
+            members = frozenset(tokens)
+            name = ref if isinstance(ref, str) else collection.name_of(ref)
+            if extend is not None:
+                extend(members)
+            return collection.replace(ref, members), mutation_record(
+                "replace", name, tuple(members)
+            )
+        raise ClusterError(f"unknown mutation op: {op!r}")
+
+    def _apply_bootstrap_record(self, record: Any) -> None:
+        """Apply one pre-serving record to the coordinator replica and
+        the history (workers have not spawned yet — they receive these
+        through bootstrap replay, not a live broadcast)."""
+        if hasattr(record, "op"):  # WalRecord
+            record = {
+                "op": record.op,
+                "name": record.name,
+                **(
+                    {"tokens": list(record.tokens)}
+                    if record.tokens is not None
+                    else {}
+                ),
+            }
+        _, replicated = self._apply_local(
+            record.get("op"), record.get("name"), record.get("tokens")
+        )
+        self._history.append(replicated)
+
+    def _live_version(self) -> int:
+        return getattr(self._collection, "version", 0)
+
+    def _check_version(self, observed: int, what: str) -> None:
+        expected = self._live_version()
+        if observed != expected:
+            raise ClusterError(
+                f"worker replica diverged during {what}: replica at "
+                f"{observed}, coordinator at {expected}"
+            )
+
+    def _restart(self, handle: _WorkerHandle, *, why: str) -> None:
+        """Restart one worker and verify its re-bootstrapped version."""
+        hello = handle.spawn()
+        self._check_version(hello["version"], f"restart after {why}")
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ClusterError("cluster pool is closed")
+
+    # -- SearchBackend surface ---------------------------------------------
+
+    @property
+    def collection(self) -> SetCollection:
+        return self._collection
+
+    @property
+    def alpha(self) -> float:
+        return self._alpha
+
+    @property
+    def num_workers(self) -> int:
+        return self._num_workers
+
+    @property
+    def version(self) -> Hashable:
+        """Cache-key component (the live replicated version)."""
+        return ("cluster", self._live_version())
+
+    @property
+    def total_restarts(self) -> int:
+        return sum(max(handle.restarts, 0) for handle in self._handles)
+
+    def _effective_alpha(self, alpha: float | None) -> float:
+        return resolve_alpha(self._alpha, alpha, self._token_index)
+
+    def drain(
+        self, query: Iterable[str], *, alpha: float | None = None
+    ) -> MaterializedTokenStream:
+        """Drain one stream coordinator-side (workers replay it).
+
+        One drain serves the whole fleet: the coordinator holds the
+        same token index and full vocabulary the workers do, so the
+        stream it materializes is exactly what each worker would have
+        drained itself.
+        """
+        query_set = frozenset(query)
+        if not query_set:
+            raise EmptyQueryError("query set is empty")
+        effective_alpha = self._effective_alpha(alpha)
+        with self._lock:
+            stream = materialize_stream(
+                self._token_index,
+                self._collection,
+                query_set,
+                effective_alpha,
+            )
+            stream.version = self.version
+            return stream
+
+    def search(
+        self,
+        query: Iterable[str],
+        k: int = 10,
+        *,
+        alpha: float | None = None,
+        stream: MaterializedTokenStream | None = None,
+        time_budget: float | None = None,
+    ) -> SearchResult:
+        """Exact global top-k: scatter to every worker, merge partials.
+
+        The scatter-gather runs under the coordinator lock, so queries
+        and mutations serialize at this layer — the version barrier a
+        query carries is therefore always the fully-applied one. (Pipe
+        connections are single-consumer, so concurrent scatters would
+        need per-worker request routing; the parallelism this backend
+        buys is per-query *across* workers, which is where the KOIOS
+        hot-path time goes. Scheduler threads over a cluster backend
+        overlap cache hits and batch assembly, not scatters.)
+        """
+        query_set = frozenset(query)
+        if not query_set:
+            raise EmptyQueryError("query set is empty")
+        if k < 1:
+            raise InvalidParameterError("k must be >= 1")
+        effective_alpha = self._effective_alpha(alpha)
+        with self._lock:
+            self._ensure_open()
+            if stream is not None and (
+                stream.version is not None
+                and stream.version != self.version
+            ):
+                # Drained before a mutation landed: its vocabulary
+                # filter belongs to the old state. Re-drain rather than
+                # ship a torn view to the fleet.
+                stream = None
+            if stream is None:
+                stream = self.drain(query_set, alpha=effective_alpha)
+            else:
+                if not stream.covers(query_set, effective_alpha):
+                    raise InvalidParameterError(
+                        "provided stream does not cover this query/alpha"
+                    )
+                stream = stream.restrict(query_set)
+            payload = {
+                "query": sorted(query_set),
+                "k": k,
+                "alpha": effective_alpha,
+                "stream": encode_stream(stream),
+                "version": self._live_version(),
+                "time_budget": time_budget,
+            }
+            partials = self._scatter_search(payload)
+            self._queries += 1
+        return merge_results(partials, k)
+
+    def _scatter_search(
+        self, payload: dict[str, Any]
+    ) -> list[SearchResult]:
+        """Fan one search out; restart-and-retry any failed worker.
+
+        All sends happen before any receive — that is the fan-out that
+        buys multi-core parallelism. A worker that fails at either step
+        is restarted (deterministic re-bootstrap) and asked exactly
+        once more; a second failure is a hard error rather than a
+        silently partial answer.
+        """
+        sent: list[bool] = [
+            handle.send(OP_SEARCH, payload) for handle in self._handles
+        ]
+        results: dict[int, SearchResult] = {}
+        failed: list[_WorkerHandle] = []
+        for handle, ok in zip(self._handles, sent):
+            if not ok:
+                failed.append(handle)
+                continue
+            try:
+                results[handle.worker_id] = handle.receive(
+                    self._request_timeout, what="search"
+                )
+            except ClusterError:
+                failed.append(handle)
+        for handle in failed:
+            self._restart(handle, why="search failure")
+            if not handle.send(OP_SEARCH, payload):
+                raise ClusterError(
+                    f"worker {handle.worker_id} failed immediately after "
+                    "restart"
+                )
+            results[handle.worker_id] = handle.receive(
+                self._request_timeout, what="search retry"
+            )
+        return [results[handle.worker_id] for handle in self._handles]
+
+    # -- mutation ----------------------------------------------------------
+
+    def _mutable_collection(self):
+        return require_mutable(self._collection)
+
+    def insert(
+        self, tokens: Iterable[str], *, name: str | None = None
+    ) -> int:
+        """Insert locally, then replicate under the version barrier."""
+        with self._lock:
+            self._ensure_open()
+            set_id, record = self._apply_local("insert", name, tokens)
+            self._replicate(record)
+        return set_id
+
+    def delete(self, ref: int | str) -> int:
+        """Delete locally, then replicate under the version barrier."""
+        with self._lock:
+            self._ensure_open()
+            set_id, record = self._apply_local("delete", ref, None)
+            self._replicate(record)
+        return set_id
+
+    def replace(self, ref: int | str, tokens: Iterable[str]) -> int:
+        """Replace locally, then replicate under the version barrier."""
+        with self._lock:
+            self._ensure_open()
+            set_id, record = self._apply_local("replace", ref, tokens)
+            self._replicate(record)
+        return set_id
+
+    def _replicate(self, record: dict[str, Any]) -> None:
+        """Ship one applied mutation to every worker and barrier on it.
+
+        The record joins the history *before* the broadcast: a worker
+        that dies mid-broadcast re-bootstraps from history and thereby
+        applies the record exactly once (its restart hello is version-
+        checked in place of an ACK).
+        """
+        self._history.append(record)
+        self._mutations += 1
+        expected = self._live_version()
+        payload = {"record": record, "version": expected}
+        sent = [
+            handle.send(OP_MUTATE, payload) for handle in self._handles
+        ]
+        failed: list[_WorkerHandle] = []
+        for handle, ok in zip(self._handles, sent):
+            if not ok:
+                failed.append(handle)
+                continue
+            try:
+                ack = handle.receive(self._request_timeout, what="mutate")
+                # A divergent ack inside the try: the worker joins the
+                # restart list like any other failure, AFTER the
+                # remaining workers' acks have been drained — one bad
+                # replica must never poison the other pipes.
+                self._check_version(ack["version"], "mutate ack")
+            except ClusterError:
+                failed.append(handle)
+        for handle in failed:
+            # Restart replays the full history (including this record);
+            # the version-checked hello doubles as the ACK. A restart
+            # that itself fails must NOT fail the mutation: it is
+            # already applied on the coordinator and the surviving
+            # replicas (and about to be WAL-logged by the scheduler) —
+            # raising here would acknowledge an error for a mutation
+            # the cluster visibly serves, and strand it outside the
+            # durable log. Leave the worker down; the next operation
+            # that touches it retries the spawn.
+            try:
+                self._restart(handle, why="mutation broadcast failure")
+            except ClusterError:
+                handle.discard()
+
+    # -- health / metrics ---------------------------------------------------
+
+    def health_check(self) -> list[dict[str, Any]]:
+        """Ping every worker, restarting any that died; returns one
+        status dict per worker."""
+        statuses = []
+        with self._lock:
+            self._ensure_open()
+            for handle in self._handles:
+                restarted = False
+                try:
+                    if not handle.send(OP_PING, None):
+                        raise ClusterError(
+                            f"worker {handle.worker_id} is not running"
+                        )
+                    pong = handle.receive(
+                        self._request_timeout, what="ping"
+                    )
+                    self._check_version(pong["version"], "ping")
+                except ClusterError:
+                    self._restart(handle, why="failed health check")
+                    restarted = True
+                statuses.append(
+                    {
+                        "worker_id": handle.worker_id,
+                        "alive": handle.alive(),
+                        "restarted": restarted,
+                        "restarts": max(handle.restarts, 0),
+                    }
+                )
+        return statuses
+
+    def cluster_metrics(self) -> ClusterMetrics:
+        """Gather per-worker metrics snapshots into a rollup."""
+        with self._lock:
+            self._ensure_open()
+            snapshots: dict[int, dict[str, Any]] = {}
+            for handle in self._handles:
+                if not handle.send(OP_METRICS, None):
+                    continue  # a dead worker has no metrics to report
+                try:
+                    snapshots[handle.worker_id] = handle.receive(
+                        self._request_timeout, what="metrics"
+                    )
+                except ClusterError:
+                    # The request may still be in flight on a stalled
+                    # worker; its late reply would desynchronize the
+                    # request/reply pipe for every later op. Drop the
+                    # connection — the next interaction respawns.
+                    handle.discard()
+            return ClusterMetrics(
+                snapshots,
+                queries=self._queries,
+                mutations=self._mutations,
+                restarts=self.total_restarts,
+            )
+
+    def stats_snapshot(self) -> dict[str, Any]:
+        """Backend-side payload of the ``stats`` wire op."""
+        snapshot = self.cluster_metrics().snapshot()
+        version = self.version
+        snapshot["version"] = (
+            list(version) if isinstance(version, tuple) else version
+        )
+        snapshot["num_sets"] = len(self._collection)
+        return snapshot
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop every worker; idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for handle in self._handles:
+                handle.stop()
+
+    def shutdown(self) -> None:
+        """Alias matching :meth:`EnginePool.shutdown`."""
+        self.close()
+
+    def __enter__(self) -> "ClusterPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,139 @@
+"""The coordinator <-> worker wire protocol.
+
+Everything that crosses a process boundary is defined here, so the
+whole IPC surface is auditable in one place. Messages are plain tuples
+``(op, payload)`` sent over ``multiprocessing`` pipe connections; every
+payload is built from picklable primitives, dataclasses, and the core
+result types — nothing that captures a live engine, lock, or file
+handle, which is what keeps the protocol spawn-safe.
+
+Mutations travel as **WAL record dicts** — the same
+``{"op", "name", "tokens"}`` shape :mod:`repro.store.wal` persists.
+One representation serves three jobs: durable logging on the
+coordinator, live replication to workers, and replay when a crashed
+worker re-bootstraps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.config import FilterConfig
+from repro.errors import ClusterError
+from repro.index.token_stream import MaterializedTokenStream, StreamTuple
+
+#: Wire operations the worker loop understands.
+OP_SEARCH = "search"
+OP_MUTATE = "mutate"
+OP_METRICS = "metrics"
+OP_PING = "ping"
+OP_STOP = "stop"
+
+#: Response statuses.
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything one worker process needs to bootstrap its replica.
+
+    A spec is self-contained: a freshly spawned process (including a
+    *replacement* for a crashed worker) reconstructs its exact serving
+    state from the spec alone —
+
+    ``snapshot_path`` **or** ``sets``/``names``
+        the base collection. Snapshot bootstrap re-uses the store
+        layer's checksummed format (postings and the embedding matrix
+        come back as buffer reads); in-memory shipping is the fallback
+        when no snapshot exists and pickles the raw sets through the
+        spawn call.
+    ``substrate``
+        the ``(token_index, sim)`` descriptor (same schema the snapshot
+        manifest persists). Ignored when a snapshot carries its own.
+    ``history``
+        every WAL record the coordinator has applied since the base
+        state, replayed in order during bootstrap — this is what makes
+        restart-and-rebootstrap exact rather than approximate.
+    ``base_version``
+        the coordinator collection's version at base-state capture;
+        workers report ``base_version + local mutations`` so version
+        barriers compare like for like.
+
+    ``partition_index``/``num_workers`` pin the worker's slice of the
+    deterministic set-id split (see ``EnginePool(partition=...)``), and
+    ``shards``/``shard_seed``/``alpha``/``config`` mirror the
+    coordinator's engine parameters so the fleet's layout is exactly
+    the one an equivalent single-process pool would use.
+    """
+
+    worker_id: int
+    num_workers: int
+    shards: int
+    shard_seed: int
+    alpha: float
+    config: FilterConfig | None
+    snapshot_path: str | None
+    sets: tuple[tuple[str, ...], ...] | None
+    names: tuple[str, ...] | None
+    substrate: dict[str, Any] | None
+    base_version: int
+    history: tuple[dict[str, Any], ...]
+
+
+def encode_stream(
+    stream: MaterializedTokenStream | None,
+) -> dict[str, Any] | None:
+    """Project a drained stream onto wire primitives (None passes
+    through: the worker drains locally against its own replica)."""
+    if stream is None:
+        return None
+    return {
+        "tuples": list(stream),
+        "query_tokens": (
+            None if stream.query_tokens is None
+            else sorted(stream.query_tokens)
+        ),
+        "alpha": stream.alpha,
+    }
+
+
+def decode_stream(
+    payload: dict[str, Any] | None,
+) -> MaterializedTokenStream | None:
+    if payload is None:
+        return None
+    tuples: list[StreamTuple] = [tuple(t) for t in payload["tuples"]]
+    query_tokens = payload["query_tokens"]
+    return MaterializedTokenStream(
+        tuples,
+        query_tokens=None if query_tokens is None else frozenset(query_tokens),
+        alpha=payload["alpha"],
+    )
+
+
+def mutation_record(
+    op: str, name: str, tokens: tuple[str, ...] | None
+) -> dict[str, Any]:
+    """One replicated mutation, in WAL-record shape."""
+    record: dict[str, Any] = {"op": op, "name": name}
+    if tokens is not None:
+        record["tokens"] = sorted(tokens)
+    return record
+
+
+def check_version(observed: int, expected: int, *, where: str) -> None:
+    """The version barrier: refuse to act on divergent state.
+
+    A worker behind the coordinator missed a mutation broadcast (it
+    must re-bootstrap); a worker ahead applied something the
+    coordinator never sent. Either way the replica can no longer
+    guarantee bitwise-identical results, so this is a loud
+    :class:`~repro.errors.ClusterError`, not a best-effort answer.
+    """
+    if observed != expected:
+        raise ClusterError(
+            f"version barrier violated in {where}: replica at "
+            f"{observed}, coordinator expects {expected}"
+        )

@@ -1,0 +1,119 @@
+"""Cluster-wide observability.
+
+Each worker process keeps its own
+:class:`~repro.service.metrics.ServiceMetrics` (per-partition latency,
+throughput, engine counters); :class:`ClusterMetrics` pulls those
+snapshots together with the coordinator's fleet counters into one
+JSON-ready rollup — what the ``stats`` wire op of
+``repro cluster serve`` returns.
+
+One query fans out to *every* worker, so worker counters count partial
+searches: the rollup's ``completed`` is the number of partials executed
+fleet-wide (≈ queries × workers), while ``queries`` is the
+coordinator-side scatter count. Latency quantiles cannot be averaged,
+so the rollup reports the fleet *maximum* per quantile — the
+conservative number an operator should alarm on, since a scatter-gather
+query is as slow as its slowest partition.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+#: Worker-snapshot counters that add up meaningfully fleet-wide.
+_SUMMED = (
+    "requests",
+    "completed",
+    "errors",
+    "cache_hits",
+    "deduplicated",
+    "batches",
+    "stream_tuples",
+    "candidates",
+)
+
+#: Quantile keys where the fleet maximum is the honest aggregate.
+_MAXED = ("latency_p50", "latency_p95", "latency_p99")
+
+
+class ClusterMetrics:
+    """A point-in-time aggregate of per-worker metrics snapshots.
+
+    Parameters
+    ----------
+    worker_snapshots:
+        ``worker_id -> ServiceMetrics.snapshot()`` dict (as returned by
+        the worker ``metrics`` wire op; may carry extra worker keys).
+    queries / mutations / restarts:
+        Coordinator-side fleet counters: scatter-gathers served,
+        mutations broadcast, and worker processes restarted after a
+        crash.
+    """
+
+    def __init__(
+        self,
+        worker_snapshots: Mapping[int, Mapping[str, Any]],
+        *,
+        queries: int = 0,
+        mutations: int = 0,
+        restarts: int = 0,
+    ) -> None:
+        self.per_worker = {
+            worker_id: dict(snapshot)
+            for worker_id, snapshot in sorted(worker_snapshots.items())
+        }
+        self.queries = queries
+        self.mutations = mutations
+        self.restarts = restarts
+
+    @property
+    def num_workers(self) -> int:
+        return len(self.per_worker)
+
+    def rollup(self) -> dict[str, Any]:
+        """Fleet-wide aggregate: summed counters, maxed quantiles,
+        summed per-phase seconds/calls."""
+        combined: dict[str, Any] = {
+            "workers": self.num_workers,
+            "queries": self.queries,
+            "mutations": self.mutations,
+            "restarts": self.restarts,
+        }
+        for key in _SUMMED:
+            combined[key] = sum(
+                snapshot.get(key, 0) for snapshot in self.per_worker.values()
+            )
+        for key in _MAXED:
+            combined[key] = max(
+                (
+                    snapshot.get(key, 0.0)
+                    for snapshot in self.per_worker.values()
+                ),
+                default=0.0,
+            )
+        phase_keys = {
+            key
+            for snapshot in self.per_worker.values()
+            for key in snapshot
+            if key.startswith(("seconds_", "calls_"))
+        }
+        for key in sorted(phase_keys):
+            combined[key] = round(
+                sum(
+                    snapshot.get(key, 0)
+                    for snapshot in self.per_worker.values()
+                ),
+                6,
+            )
+        return combined
+
+    def snapshot(self) -> dict[str, Any]:
+        """The JSON payload of the cluster ``stats`` wire op."""
+        return {
+            "backend": "cluster",
+            "rollup": self.rollup(),
+            "per_worker": {
+                str(worker_id): snapshot
+                for worker_id, snapshot in self.per_worker.items()
+            },
+        }

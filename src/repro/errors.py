@@ -40,3 +40,9 @@ class SnapshotError(StoreError):
 class WalError(StoreError):
     """Raised when a write-ahead log contains a corrupt or out-of-order
     record (a torn final record is tolerated and truncated instead)."""
+
+
+class ClusterError(ReproError):
+    """Raised when the multi-process cluster cannot serve a request —
+    a worker died and could not be restarted, a replica diverged from
+    the coordinator's version barrier, or a worker response timed out."""

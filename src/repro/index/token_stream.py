@@ -130,12 +130,18 @@ class MaterializedTokenStream:
         *,
         query_tokens: AbstractSet[str] | None = None,
         alpha: float | None = None,
+        version: object | None = None,
     ) -> None:
         self._tuples = tuples
         self.query_tokens = (
             None if query_tokens is None else frozenset(query_tokens)
         )
         self.alpha = alpha
+        #: Collection version at drain time (stamped by the serving
+        #: layer). A backend refuses to replay a stream drained at a
+        #: different version than it is about to search — the drained
+        #: vocabulary filter would not match the live collection.
+        self.version = version
 
     @classmethod
     def drain(
@@ -181,6 +187,7 @@ class MaterializedTokenStream:
             [t for t in self._tuples if t[0] in wanted],
             query_tokens=wanted,
             alpha=self.alpha,
+            version=self.version,
         )
 
     def __len__(self) -> int:

@@ -8,6 +8,9 @@ a long-lived server::
 * :class:`QueryScheduler` — admission, in-flight dedup, micro-batching
 * :class:`ResultCache` — versioned LRU over finished results
 * :class:`EnginePool` — warm per-shard engines, exact global merge
+* :class:`SearchBackend` — the transport-agnostic backend protocol the
+  scheduler runs over (:class:`EnginePool` in-process, or the
+  multi-process :class:`~repro.cluster.ClusterPool`)
 * :class:`ServiceMetrics` — QPS, latency quantiles, hit/occupancy rates
 * :mod:`repro.service.server` — the JSON-lines protocol used by
   ``repro serve`` and ``repro batch``
@@ -15,9 +18,10 @@ a long-lived server::
 See ``docs/service.md`` for the architecture walk-through.
 """
 
+from repro.service.backend import SearchBackend
 from repro.service.cache import CacheKey, ResultCache, make_key
 from repro.service.metrics import ServiceMetrics, percentile
-from repro.service.pool import EnginePool, merge_results
+from repro.service.pool import EnginePool, ReadWriteLock, merge_results
 from repro.service.request import (
     Hit,
     SearchRequest,
@@ -25,14 +29,22 @@ from repro.service.request import (
     hits_from_result,
 )
 from repro.service.scheduler import QueryScheduler, Ticket
-from repro.service.server import parse_request_lines, run_batch, serve_lines
+from repro.service.server import (
+    GracefulShutdown,
+    parse_request_lines,
+    run_batch,
+    serve_lines,
+)
 
 __all__ = [
     "CacheKey",
     "EnginePool",
+    "GracefulShutdown",
     "Hit",
     "QueryScheduler",
+    "ReadWriteLock",
     "ResultCache",
+    "SearchBackend",
     "SearchRequest",
     "SearchResponse",
     "ServiceMetrics",

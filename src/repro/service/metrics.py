@@ -49,6 +49,7 @@ class ServiceMetrics:
         self.batches = 0
         self.batched_requests = 0
         self.timer = PhaseTimer()
+        self.phase_calls: dict[str, int] = {}
         self.engine_stats = SearchStats()
         self._latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
 
@@ -103,6 +104,7 @@ class ServiceMetrics:
                 self.timer.totals[name] = (
                     self.timer.totals.get(name, 0.0) + elapsed
                 )
+                self.phase_calls[name] = self.phase_calls.get(name, 0) + 1
 
     # -- reading -----------------------------------------------------------
 
@@ -150,9 +152,18 @@ class ServiceMetrics:
                 "mean_batch_occupancy": round(self.mean_batch_occupancy, 3),
                 "latency_p50": round(percentile(samples, 0.50), 6),
                 "latency_p95": round(percentile(samples, 0.95), 6),
+                "latency_p99": round(percentile(samples, 0.99), 6),
                 "stream_tuples": self.engine_stats.stream_tuples,
                 "candidates": self.engine_stats.candidates,
             }
+            # Per-phase aggregates: total seconds, call count, and mean
+            # seconds per call, so operators can see *where* latency
+            # lives (drain vs search) and how batching amortizes it.
             for phase, spent in self.timer.totals.items():
+                calls = self.phase_calls.get(phase, 0)
                 snapshot[f"seconds_{phase}"] = round(spent, 6)
+                snapshot[f"calls_{phase}"] = calls
+                snapshot[f"mean_seconds_{phase}"] = (
+                    round(spent / calls, 6) if calls else 0.0
+                )
         return snapshot

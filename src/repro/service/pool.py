@@ -22,17 +22,69 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Hashable, Iterable
+from contextlib import contextmanager
+from typing import Any, Hashable, Iterable, Iterator
 
 from repro.core.config import FilterConfig
 from repro.core.koios import KoiosSearchEngine, ResultEntry, SearchResult
 from repro.core.stats import SearchStats
 from repro.core.topk import GlobalThreshold, TopKList
 from repro.datasets.collection import SetCollection
-from repro.errors import InvalidParameterError
+from repro.errors import EmptyQueryError, InvalidParameterError
 from repro.index.base import TokenIndex
 from repro.index.token_stream import MaterializedTokenStream
+from repro.service.backend import (
+    materialize_stream,
+    require_mutable,
+    resolve_alpha,
+)
 from repro.sim.base import SimilarityFunction
+
+
+class ReadWriteLock:
+    """Many concurrent readers or one exclusive writer, writer-priority.
+
+    Searches read the pool (engines + live delta postings); mutations
+    and hot-swaps write it. Without exclusion a long-running query could
+    observe a half-applied mutation (some token posting lists updated,
+    others not) — exactly the torn view the serving contract forbids.
+    Writer priority keeps a steady query stream from starving mutations.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if not self._readers:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        with self._cond:
+            self._writers_waiting += 1
+            while self._writer or self._readers:
+                self._cond.wait()
+            self._writers_waiting -= 1
+            self._writer = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer = False
+                self._cond.notify_all()
 
 
 class EnginePool:
@@ -62,6 +114,17 @@ class EnginePool:
         factory is adopted automatically, so shard rebuilds after a
         mutation reuse the incrementally maintained postings instead of
         re-indexing.
+    partition:
+        ``(index, count)`` — serve only partition ``index`` of the
+        repository split into ``count`` partitions under ``shard_seed``
+        (the same deterministic split a ``count``-shard pool uses, so a
+        fleet of ``count`` pools with distinct indexes covers exactly
+        the layout one ``shards=count`` pool does). This is how each
+        :mod:`repro.cluster` worker process owns its slice; the
+        partition is recomputed on every hot swap, so ownership of
+        newly inserted ids stays consistent across the fleet. A
+        partition that happens to receive no live sets yields a pool
+        that answers every search with an empty result.
     """
 
     def __init__(
@@ -77,11 +140,19 @@ class EnginePool:
         em_workers: int = 0,
         parallel_shards: bool = False,
         inverted_factory=None,
+        partition: tuple[int, int] | None = None,
     ) -> None:
         if shards < 1:
             raise InvalidParameterError("shards must be >= 1")
         if not (0.0 < alpha <= 1.0):
             raise InvalidParameterError("alpha must be in (0, 1]")
+        if partition is not None:
+            part_index, part_count = partition
+            if part_count < 1 or not (0 <= part_index < part_count):
+                raise InvalidParameterError(
+                    f"partition must be (index, count) with "
+                    f"0 <= index < count, got {partition!r}"
+                )
         self._token_index = token_index
         self._sim = sim
         self._alpha = alpha
@@ -91,8 +162,8 @@ class EnginePool:
         self._em_workers = em_workers
         self._reloads = 0
         self._inverted_factory = inverted_factory
-        self._swap_lock = threading.Lock()
-        self._mutate_lock = threading.Lock()
+        self._partition = partition
+        self._lock = ReadWriteLock()
         self._executor = (
             ThreadPoolExecutor(
                 max_workers=shards, thread_name_prefix="repro-shard"
@@ -109,10 +180,16 @@ class EnginePool:
         factory = self._inverted_factory
         if factory is None and hasattr(collection, "delta_index"):
             factory = collection.delta_index
+        universe = None
+        if self._partition is not None:
+            part_index, part_count = self._partition
+            universe = collection.partition(
+                part_count, seed=self._shard_seed
+            )[part_index]
         shard_ids = [
             ids
             for ids in collection.partition(
-                self._shards, seed=self._shard_seed
+                self._shards, seed=self._shard_seed, within=universe
             )
             if ids
         ]
@@ -146,6 +223,10 @@ class EnginePool:
         return len(self._engines)
 
     @property
+    def partition(self) -> tuple[int, int] | None:
+        return self._partition
+
+    @property
     def version(self) -> Hashable:
         """The collection state cache keys embed.
 
@@ -173,7 +254,7 @@ class EnginePool:
         (the index streams only tokens it was built over). Returns the
         new version.
         """
-        with self._swap_lock:
+        with self._lock.write():
             if token_index is not None:
                 self._token_index = token_index
             if sim is not None:
@@ -187,16 +268,30 @@ class EnginePool:
         state. Called lazily by :meth:`drain`/:meth:`search` whenever the
         live version moved; with a delta factory this is O(shards), not a
         re-index. Returns the serving version."""
-        with self._swap_lock:
-            live = getattr(self._collection, "version", None)
-            if live is not None and live != self._built_collection_version:
+        with self._lock.write():
+            if self._stale():
                 self._build(self._collection)
         return self.version
 
-    def _ensure_fresh(self) -> None:
+    def _stale(self) -> bool:
         live = getattr(self._collection, "version", None)
-        if live is not None and live != self._built_collection_version:
+        return live is not None and live != self._built_collection_version
+
+    def _ensure_fresh(self) -> None:
+        if self._stale():
             self.refresh()
+
+    def stats_snapshot(self) -> dict[str, Any]:
+        """Backend-side observability (the ``stats`` wire op)."""
+        version = self.version
+        return {
+            "backend": "engine-pool",
+            "shards": self.num_shards,
+            "reloads": self._reloads,
+            "num_sets": len(self._collection),
+            "version": list(version) if isinstance(version, tuple)
+            else version,
+        }
 
     def shutdown(self) -> None:
         if self._executor is not None:
@@ -205,13 +300,7 @@ class EnginePool:
     # -- mutation ----------------------------------------------------------
 
     def _mutable_collection(self):
-        if not hasattr(self._collection, "insert"):
-            raise InvalidParameterError(
-                "collection is immutable; serve a MutableSetCollection "
-                "(e.g. 'repro serve <snapshot> --wal <log>') to enable "
-                "insert/delete"
-            )
-        return self._collection
+        return require_mutable(self._collection)
 
     def insert(
         self, tokens: Iterable[str], *, name: str | None = None
@@ -224,10 +313,10 @@ class EnginePool:
         """
         collection = self._mutable_collection()
         members = frozenset(tokens)
-        # One mutator at a time: VectorStore.extend appends rows and row
-        # ids non-atomically, so interleaved extends would desynchronize
-        # the token -> row mapping.
-        with self._mutate_lock:
+        # Writers are exclusive: VectorStore.extend appends rows and row
+        # ids non-atomically, and concurrent readers must never observe
+        # a half-applied mutation (see ReadWriteLock).
+        with self._lock.write():
             extend = getattr(self._token_index, "extend", None)
             if extend is not None:
                 extend(members)
@@ -235,14 +324,14 @@ class EnginePool:
 
     def delete(self, ref: int | str) -> int:
         """Delete a live set by id or name; returns the id."""
-        with self._mutate_lock:
+        with self._lock.write():
             return self._mutable_collection().delete(ref)
 
     def replace(self, ref: int | str, tokens: Iterable[str]) -> int:
         """Replace a live set's contents; returns the new id."""
         collection = self._mutable_collection()
         members = frozenset(tokens)
-        with self._mutate_lock:
+        with self._lock.write():
             extend = getattr(self._token_index, "extend", None)
             if extend is not None:
                 extend(members)
@@ -251,26 +340,30 @@ class EnginePool:
     # -- searching ---------------------------------------------------------
 
     def _effective_alpha(self, alpha: float | None) -> float:
-        """Resolve the per-call alpha, refusing thresholds the token
-        index cannot serve exactly (a prefix-Jaccard index built for
-        alpha_0 silently drops matches below alpha_0 — that must be a
-        loud error on the wire, not missing results)."""
-        effective = self._alpha if alpha is None else alpha
-        index_alpha = getattr(self._token_index, "alpha", None)
-        if index_alpha is not None and effective < index_alpha:
-            raise InvalidParameterError(
-                f"token index is only exact for alpha >= {index_alpha}; "
-                f"rebuild it for alpha {effective} to search below that"
-            )
-        return effective
+        return resolve_alpha(self._alpha, alpha, self._token_index)
 
     def drain(
         self, query: Iterable[str], *, alpha: float | None = None
     ) -> MaterializedTokenStream:
         """Drain one token stream usable by every shard engine (they all
         share the full collection vocabulary)."""
-        self._ensure_fresh()
-        return self._engines[0].drain(query, alpha=self._effective_alpha(alpha))
+        query_set = frozenset(query)
+        if not query_set:
+            raise EmptyQueryError("query set is empty")
+        effective_alpha = self._effective_alpha(alpha)
+        while True:
+            self._ensure_fresh()
+            with self._lock.read():
+                if self._stale():
+                    continue  # a mutation slipped in; swap and retry
+                stream = materialize_stream(
+                    self._token_index,
+                    self._collection,
+                    query_set,
+                    effective_alpha,
+                )
+                stream.version = self.version
+                return stream
 
     def search(
         self,
@@ -282,13 +375,51 @@ class EnginePool:
         time_budget: float | None = None,
     ) -> SearchResult:
         """Exact global top-k via all shards; same contract as
-        :meth:`KoiosSearchEngine.search` with ``resolve_scores=True``."""
-        self._ensure_fresh()
+        :meth:`KoiosSearchEngine.search` with ``resolve_scores=True``.
+
+        The whole scatter runs under the pool's read lock, so every
+        shard observes one collection version end to end — a concurrent
+        mutation waits for in-flight searches, then the next search
+        hot-swaps onto the new version.
+        """
         query_set = frozenset(query)
         effective_alpha = self._effective_alpha(alpha)
-        alpha = effective_alpha
+        while True:
+            self._ensure_fresh()
+            with self._lock.read():
+                if self._stale():
+                    continue  # a mutation slipped in; swap and retry
+                return self._search_locked(
+                    query_set, k, effective_alpha, stream, time_budget
+                )
+
+    def _search_locked(
+        self,
+        query_set: frozenset[str],
+        k: int,
+        alpha: float,
+        stream: MaterializedTokenStream | None,
+        time_budget: float | None,
+    ) -> SearchResult:
+        engines = self._engines
+        if not engines:
+            # This pool's partition holds no live sets: the exact top-k
+            # over an empty slice is empty.
+            if k < 1:
+                raise InvalidParameterError("k must be >= 1")
+            return SearchResult(entries=[], stats=SearchStats(), k=k)
+        if stream is not None and (
+            stream.version is not None and stream.version != self.version
+        ):
+            # The caller drained at an older collection version (e.g. a
+            # micro-batch union drain that raced a mutation); replaying
+            # it against the hot-swapped engines would be a torn view —
+            # the stream's vocabulary filter belongs to the old state.
+            stream = None
         if stream is None:
-            stream = self.drain(query_set, alpha=effective_alpha)
+            stream = materialize_stream(
+                self._token_index, self._collection, query_set, alpha
+            )
         shared = GlobalThreshold()
         # One wall-clock deadline for the whole query: each shard gets
         # whatever budget remains, not a fresh copy of the full budget.
@@ -315,9 +446,9 @@ class EnginePool:
             )
 
         if self._executor is not None:
-            shard_results = list(self._executor.map(run_shard, self._engines))
+            shard_results = list(self._executor.map(run_shard, engines))
         else:
-            shard_results = [run_shard(engine) for engine in self._engines]
+            shard_results = [run_shard(engine) for engine in engines]
         return merge_results(shard_results, k)
 
 

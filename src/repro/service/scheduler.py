@@ -25,14 +25,14 @@ from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import Future, InvalidStateError, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.errors import InvalidParameterError, ReproError
+from repro.service.backend import SearchBackend
 from repro.service.cache import CacheKey, ResultCache, make_key
 from repro.service.metrics import ServiceMetrics
-from repro.service.pool import EnginePool
 from repro.service.request import (
     Hit,
     SearchRequest,
@@ -96,12 +96,18 @@ class Ticket:
 
 
 class QueryScheduler:
-    """Serve :class:`SearchRequest`\\ s through an :class:`EnginePool`.
+    """Serve :class:`SearchRequest`\\ s through a
+    :class:`~repro.service.backend.SearchBackend`.
 
     Parameters
     ----------
     pool:
-        The warm shard engines to search with.
+        The serving backend executing searches and mutations — the
+        in-process :class:`~repro.service.pool.EnginePool`, the
+        multi-process :class:`~repro.cluster.ClusterPool`, or anything
+        else satisfying :class:`~repro.service.backend.SearchBackend`.
+        The scheduler is transport-agnostic: admission, caching, dedup,
+        and batching behave identically over any backend.
     cache:
         Result cache; None disables caching.
     metrics:
@@ -122,7 +128,7 @@ class QueryScheduler:
 
     def __init__(
         self,
-        pool: EnginePool,
+        pool: SearchBackend,
         *,
         cache: ResultCache | None = None,
         metrics: ServiceMetrics | None = None,
@@ -157,9 +163,16 @@ class QueryScheduler:
         self.shutdown()
 
     def shutdown(self) -> None:
-        """Dispatch whatever is pending and wait for workers to drain."""
+        """Dispatch whatever is pending, wait for workers to drain, and
+        flush/close the write-ahead log (the scheduler is its only
+        writer, so every acknowledged mutation is durable once this
+        returns — the graceful-shutdown contract of ``repro serve``)."""
         self.flush()
         self._executor.shutdown(wait=True)
+        if self._wal is not None:
+            close = getattr(self._wal, "close", None)
+            if close is not None:
+                close()
 
     # -- admission ---------------------------------------------------------
 
@@ -195,12 +208,28 @@ class QueryScheduler:
         return Ticket(request, future)
 
     def flush(self) -> None:
-        """Dispatch every pending bucket regardless of occupancy."""
+        """Dispatch every pending bucket regardless of occupancy.
+
+        Interrupt-safe: an exception raised mid-dispatch (e.g. a
+        signal-raised GracefulShutdown during the serve loop's drain)
+        re-queues the batches not yet handed to the executor, so their
+        futures can still be completed by a retried flush — an
+        abandoned batch would leave callers blocked on futures nobody
+        will ever finish.
+        """
         with self._lock:
             batches = list(self._pending.items())
             self._pending.clear()
-        for bucket, items in batches:
-            self._dispatch(bucket, items)
+        try:
+            while batches:
+                bucket, items = batches[-1]
+                self._dispatch(bucket, items)
+                batches.pop()
+        except BaseException:
+            with self._lock:
+                for bucket, items in batches:
+                    self._pending.setdefault(bucket, []).extend(items)
+            raise
 
     # -- conveniences ------------------------------------------------------
 
@@ -237,7 +266,7 @@ class QueryScheduler:
     # should preserve.
 
     @property
-    def pool(self) -> EnginePool:
+    def pool(self) -> SearchBackend:
         return self._pool
 
     def insert_set(
@@ -301,6 +330,11 @@ class QueryScheduler:
                     self._finish_error(key, future, exc)
                 return
         for request, key, future in items:
+            if future.done():
+                # Double-dispatch guard: flush()'s interrupt re-queue
+                # can in a narrow race dispatch a batch twice; the
+                # first completion wins, the rerun skips.
+                continue
             started = time.perf_counter()
             try:
                 request_stream = (
@@ -327,7 +361,10 @@ class QueryScheduler:
             self.metrics.record_completed(seconds, result.stats)
             with self._lock:
                 self._inflight.pop(key, None)
-            future.set_result(payload)
+            try:
+                future.set_result(payload)
+            except InvalidStateError:
+                pass  # a double-dispatched twin finished first
 
     def _finish_error(
         self, key: CacheKey, future: Future, exc: Exception
@@ -335,4 +372,7 @@ class QueryScheduler:
         self.metrics.record_error()
         with self._lock:
             self._inflight.pop(key, None)
-        future.set_exception(exc)
+        try:
+            future.set_exception(exc)
+        except InvalidStateError:
+            pass  # a double-dispatched twin finished first

@@ -5,6 +5,10 @@ text streams (the CLI wires stdin/stdout): each input line is either a
 search request (see :mod:`repro.service.request`) or a control object::
 
     {"op": "metrics"}      -> one line with the metrics snapshot
+    {"op": "stats"}        -> metrics snapshot + backend-side stats
+                              (live latency quantiles incl. p99,
+                              per-phase timing aggregates, and — for a
+                              cluster backend — the per-worker rollup)
     {"op": "invalidate"}   -> drops the result cache
     {"op": "flush"}        -> dispatches pending micro-batches now
     {"op": "insert", "name": ..., "tokens": [...]}
@@ -37,6 +41,13 @@ from typing import Iterable, Iterator, TextIO
 from repro.errors import ReproError
 from repro.service.request import SearchRequest, SearchResponse
 from repro.service.scheduler import QueryScheduler, Ticket
+
+
+class GracefulShutdown(Exception):
+    """Raised (typically from a SIGINT/SIGTERM handler) to stop the
+    serve loop cleanly: pending responses are drained and emitted, then
+    :func:`serve_lines` returns normally instead of unwinding with a
+    traceback."""
 
 
 def parse_request_lines(
@@ -104,6 +115,12 @@ def _control_line(scheduler: QueryScheduler, obj: dict) -> str:
             return json.dumps(
                 {"metrics": dict(scheduler.metrics.snapshot())}, **compact
             )
+        if op == "stats":
+            payload: dict = {"stats": dict(scheduler.metrics.snapshot())}
+            backend_stats = getattr(scheduler.pool, "stats_snapshot", None)
+            if callable(backend_stats):
+                payload["backend"] = backend_stats()
+            return json.dumps(payload, **compact)
         if op == "invalidate":
             dropped = scheduler.invalidate_cache()
             return json.dumps({"invalidated": dropped}, **compact)
@@ -152,50 +169,92 @@ def serve_lines(
     is flushed; with stdin pipes the loop cannot see "no more input yet",
     so linger>1 trades a little per-request latency for batched drains
     on bursty input. Returns the number of requests served.
+
+    A :class:`GracefulShutdown` or ``KeyboardInterrupt`` raised while
+    the loop is blocked on input (the signal-handler path of
+    ``repro serve``) drains and emits every pending response before
+    returning — in-flight work is never dropped on shutdown.
     """
     served = 0
     window: list[Ticket] = []
+    shutting_down = False
 
     def emit_window() -> None:
-        nonlocal served
+        # Resumable on purpose: each ticket leaves the window only
+        # after its response is written, and a shutdown signal landing
+        # in the blocking wait (where virtually all drain time is
+        # spent) finishes the drain and retries the same ticket — so an
+        # interrupted drain neither drops nor re-emits responses. The
+        # absorbed signal is re-raised once the drain is complete, so
+        # the loop shuts down instead of blocking on the next read. A
+        # signal in the few bytecodes between write and pop can at
+        # worst duplicate one already-written line on retry; dropping
+        # is never possible.
+        nonlocal served, shutting_down
         if not window:
             return
-        scheduler.flush()
-        for ticket in window:
-            out_stream.write(ticket.result().to_json() + "\n")
+        while window:
+            try:
+                # flush() inside the resumable region: a signal landing
+                # mid-dispatch re-queues undispatched batches, and the
+                # retry here re-flushes them — otherwise their futures
+                # would never complete and result() below would hang.
+                scheduler.flush()
+                text = window[0].result().to_json()
+            except (GracefulShutdown, KeyboardInterrupt):
+                shutting_down = True
+                continue  # retry the same ticket; nothing was emitted
+            out_stream.write(text + "\n")
             served += 1
+            window.pop(0)
         out_stream.flush()
-        window.clear()
+        if shutting_down:
+            shutting_down = False  # drained: deliver the signal once
+            raise GracefulShutdown()
 
     def emit_immediate(text: str) -> None:
         emit_window()  # keep responses in arrival order
         out_stream.write(text + "\n")
         out_stream.flush()
 
-    for line in in_stream:
-        stripped = line.strip()
-        if not stripped or stripped.startswith("#"):
-            continue
-        try:
-            obj = json.loads(stripped)
-        except json.JSONDecodeError as exc:
-            failure = SearchResponse.failure("parse", f"bad request JSON: {exc}")
-            emit_immediate(failure.to_json())
-            continue
-        if isinstance(obj, dict) and isinstance(obj.get("op"), str):
-            # Drain pending responses BEFORE evaluating the op: earlier
-            # requests must observe the pre-mutation state (and their
-            # cache entries must be keyed by the version they ran at).
-            emit_window()
-            emit_immediate(_control_line(scheduler, obj))
-            continue
-        try:
-            request = SearchRequest.from_obj(obj)
-        except ReproError as exc:
-            emit_immediate(SearchResponse.failure("parse", str(exc)).to_json())
-            continue
-        window.append(scheduler.submit(request))
-        if len(window) >= max(1, linger):
-            emit_window()
-    emit_window()
+    try:
+        for line in in_stream:
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            try:
+                obj = json.loads(stripped)
+            except json.JSONDecodeError as exc:
+                failure = SearchResponse.failure(
+                    "parse", f"bad request JSON: {exc}"
+                )
+                emit_immediate(failure.to_json())
+                continue
+            if isinstance(obj, dict) and isinstance(obj.get("op"), str):
+                # Drain pending responses BEFORE evaluating the op:
+                # earlier requests must observe the pre-mutation state
+                # (and their cache entries must be keyed by the version
+                # they ran at).
+                emit_window()
+                emit_immediate(_control_line(scheduler, obj))
+                continue
+            try:
+                request = SearchRequest.from_obj(obj)
+            except ReproError as exc:
+                emit_immediate(
+                    SearchResponse.failure("parse", str(exc)).to_json()
+                )
+                continue
+            window.append(scheduler.submit(request))
+            if len(window) >= max(1, linger):
+                emit_window()
+    except (GracefulShutdown, KeyboardInterrupt):
+        pass  # drain below: accepted requests still get their responses
+    try:
+        emit_window()
+    except (GracefulShutdown, KeyboardInterrupt):
+        # The signal landed during the final drain itself; emit_window
+        # is resumable, so one retry finishes the remaining responses
+        # (the CLI handler ignores further signals after the first).
+        emit_window()
     return served

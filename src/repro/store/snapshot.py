@@ -385,6 +385,54 @@ def load_snapshot(
     )
 
 
+def _hashing_provider(substrate: dict[str, Any]):
+    """The descriptor's embedding provider — one construction shared by
+    every path that interprets a substrate description."""
+    from repro.embedding.hashing import HashingEmbeddingProvider
+
+    return HashingEmbeddingProvider(
+        dim=int(substrate["dim"]),
+        n_min=int(substrate.get("n_min", 3)),
+        n_max=int(substrate.get("n_max", 5)),
+        salt=str(substrate.get("salt", "hashing-embedding")),
+    )
+
+
+def build_substrate(substrate: dict[str, Any], vocabulary):
+    """Derive ``(token_index, sim)`` from a descriptor + vocabulary.
+
+    The from-scratch counterpart of :func:`restore_substrate` (no
+    persisted artifacts): both substrate kinds are deterministic
+    functions of (descriptor, vocabulary), so replicas built from the
+    same inputs — in any process — stream identically. This is THE
+    constructor behind the CLI's ``--jaccard``/``--dim`` flags and
+    every cluster worker bootstrap; keep it the only copy, because the
+    cluster's exactness contract dies quietly if two copies drift.
+    """
+    kind = substrate.get("kind")
+    if kind == "hashing-cosine":
+        from repro.embedding.provider import VectorStore
+        from repro.index.vector_index import ExactCosineIndex
+        from repro.sim.cosine import CosineSimilarity
+
+        provider = _hashing_provider(substrate)
+        store = VectorStore(provider, vocabulary)
+        index = ExactCosineIndex(
+            store, provider, batch_size=int(substrate.get("batch_size", 100))
+        )
+        return index, CosineSimilarity(provider)
+    if kind == "qgram-jaccard":
+        from repro.index.lsh import PrefixJaccardIndex
+        from repro.sim.jaccard import QGramJaccardSimilarity
+
+        sim = QGramJaccardSimilarity(q=int(substrate.get("q", 3)))
+        index = PrefixJaccardIndex(
+            vocabulary, alpha=float(substrate["alpha"]), similarity=sim
+        )
+        return index, sim
+    raise SnapshotError(f"unknown substrate kind: {kind!r}")
+
+
 def restore_substrate(
     substrate: dict[str, Any],
     tokens: list[str],
@@ -394,21 +442,17 @@ def restore_substrate(
 
     ``hashing-cosine`` adopts the persisted matrix; ``qgram-jaccard``
     re-derives the prefix index from the vocabulary (its build is cheap
-    q-gram bookkeeping, not an embedding pass, so it is not persisted).
+    q-gram bookkeeping, not an embedding pass, so it is not persisted —
+    it goes through :func:`build_substrate` like every other
+    from-scratch derivation).
     """
     kind = substrate.get("kind")
     if kind == "hashing-cosine":
-        from repro.embedding.hashing import HashingEmbeddingProvider
         from repro.embedding.provider import VectorStore
         from repro.index.vector_index import ExactCosineIndex
         from repro.sim.cosine import CosineSimilarity
 
-        provider = HashingEmbeddingProvider(
-            dim=int(substrate["dim"]),
-            n_min=int(substrate.get("n_min", 3)),
-            n_max=int(substrate.get("n_max", 5)),
-            salt=str(substrate.get("salt", "hashing-embedding")),
-        )
+        provider = _hashing_provider(substrate)
         if vectors is None:
             raise SnapshotError(
                 "snapshot declares a hashing-cosine substrate but has no "
@@ -436,13 +480,4 @@ def restore_substrate(
             store, provider, batch_size=int(substrate.get("batch_size", 100))
         )
         return index, CosineSimilarity(provider)
-    if kind == "qgram-jaccard":
-        from repro.index.lsh import PrefixJaccardIndex
-        from repro.sim.jaccard import QGramJaccardSimilarity
-
-        sim = QGramJaccardSimilarity(q=int(substrate.get("q", 3)))
-        index = PrefixJaccardIndex(
-            tokens, alpha=float(substrate["alpha"]), similarity=sim
-        )
-        return index, sim
-    raise SnapshotError(f"unknown snapshot substrate kind: {kind!r}")
+    return build_substrate(substrate, tokens)

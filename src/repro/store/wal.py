@@ -97,12 +97,20 @@ class WriteAheadLog:
     fsync:
         Force every append to disk before acknowledging. Durability per
         mutation vs throughput — the benchmark serves either way.
+
+    The log keeps one append handle open across mutations (opening the
+    file per record costs more than writing it); :meth:`flush` forces
+    buffered records down, :meth:`close` flushes and releases the
+    handle, and the log is a context manager so serving stacks can
+    guarantee both on the way out. A closed log transparently reopens
+    on the next :meth:`append`.
     """
 
     def __init__(self, path: str | Path, *, fsync: bool = False) -> None:
         self.path = Path(path)
         self._fsync = fsync
         self._next_seq = 1
+        self._handle = None
         if self.path.exists():
             records, truncate_at = self._parse()
             if truncate_at is not None:
@@ -184,16 +192,44 @@ class WriteAheadLog:
             name=name,
             tokens=None if tokens is None else tuple(tokens),
         )
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(record.to_line() + "\n")
-            handle.flush()
-            if self._fsync:
-                os.fsync(handle.fileno())
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(record.to_line() + "\n")
+        self._handle.flush()
+        if self._fsync:
+            os.fsync(self._handle.fileno())
         self._next_seq += 1
         return record
 
+    def flush(self) -> None:
+        """Force buffered records to the OS (and disk under ``fsync``)."""
+        if self._handle is not None:
+            self._handle.flush()
+            if self._fsync:
+                os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        """Flush and release the append handle.
+
+        Safe to call repeatedly; the next :meth:`append` reopens. The
+        graceful-shutdown path of ``repro serve`` calls this after the
+        scheduler drains so every acknowledged mutation is on disk
+        before the process exits.
+        """
+        if self._handle is not None:
+            self.flush()
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def reset(self) -> None:
         """Truncate the log (its contents are folded into a snapshot)."""
+        self.close()
         self.path.write_text("", encoding="utf-8")
         self._next_seq = 1
 

@@ -100,6 +100,57 @@ class TestServeLines:
         assert responses[2] == {"invalidated": 1}
         assert "error" in responses[3]
 
+    def test_stats_op_exposes_live_metrics_and_backend(
+        self, tiny_opendata, scheduler
+    ):
+        tokens = sorted(tiny_opendata.collection[2])
+        lines = [
+            json.dumps({"query": tokens}) + "\n",
+            '{"op": "stats"}\n',
+        ]
+        served, responses = serve_roundtrip(scheduler, lines)
+        assert served == 1
+        stats = responses[1]["stats"]
+        assert stats["completed"] == 1
+        assert "latency_p99" in stats
+        # Per-phase aggregates: total seconds, call count, mean.
+        assert stats["calls_search"] == 1
+        assert stats["mean_seconds_search"] == pytest.approx(
+            stats["seconds_search"]
+        )
+        backend = responses[1]["backend"]
+        assert backend["backend"] == "engine-pool"
+        assert backend["shards"] == 2
+
+    def test_shutdown_mid_stream_drains_pending_responses(
+        self, tiny_opendata, scheduler
+    ):
+        """A GracefulShutdown (the SIGINT/SIGTERM path) raised while
+        requests linger in the window still emits their responses."""
+        from repro.service import GracefulShutdown
+
+        lines = [
+            json.dumps(
+                {"id": f"q{i}", "query": sorted(tiny_opendata.collection[i])}
+            )
+            + "\n"
+            for i in range(3)
+        ]
+
+        def interrupted_stream():
+            yield from lines
+            raise GracefulShutdown()
+
+        out = io.StringIO()
+        served = serve_lines(
+            scheduler, interrupted_stream(), out, linger=10
+        )
+        responses = [
+            json.loads(line) for line in out.getvalue().splitlines()
+        ]
+        assert served == 3
+        assert [r["id"] for r in responses] == ["q0", "q1", "q2"]
+
 
 class TestRunBatch:
     def test_mixed_good_and_bad_lines(self, tiny_opendata, scheduler):

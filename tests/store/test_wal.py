@@ -55,6 +55,24 @@ class TestAppendReplay:
         assert wal.records() == []
         assert wal.append("insert", "s3", ["d"]).seq == 1
 
+    def test_close_flushes_and_reopens_transparently(self, wal, tmp_path):
+        wal.append("insert", "s2", ["c"])
+        wal.close()
+        wal.close()  # idempotent
+        # The record is durable: a fresh reader sees it.
+        assert [r.name for r in WriteAheadLog(tmp_path / "ops.wal").records()] \
+            == ["s2"]
+        # Appending after close reopens the handle with the right seq.
+        assert wal.append("insert", "s3", ["d"]).seq == 2
+        assert [r.seq for r in wal.records()] == [1, 2]
+
+    def test_context_manager_closes_on_exit(self, tmp_path):
+        with WriteAheadLog(tmp_path / "ctx.wal") as wal:
+            wal.append("insert", "s9", ["z"])
+            assert wal._handle is not None
+        assert wal._handle is None
+        assert len(wal.records()) == 1
+
 
 class TestCorruption:
     def test_torn_final_record_is_dropped(self, wal):

@@ -8,6 +8,7 @@ import repro
 
 SUBPACKAGES = [
     "repro.baselines",
+    "repro.cluster",
     "repro.core",
     "repro.datasets",
     "repro.embedding",
@@ -16,6 +17,7 @@ SUBPACKAGES = [
     "repro.matching",
     "repro.service",
     "repro.sim",
+    "repro.store",
     "repro.utils",
 ]
 
