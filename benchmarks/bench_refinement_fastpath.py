@@ -1,0 +1,224 @@
+"""Refinement fast path: columnar engine vs reference engine.
+
+The scenario is the ROADMAP's single-core scale-up item: on a >= 50k
+set repository with WDC-style posting skew and cluster-structured
+similarities, the refinement phase (stream generation + Algorithm 1) is
+the hot path, and its per-tuple Python loop is what PR 3's cluster
+layer was built to spread across processes. The columnar engine
+(:mod:`repro.core.fastpath`) must make that phase multiple times faster
+on one core while returning bitwise-identical results.
+
+The corpus is built, then the same queries run through two otherwise
+identical engines (``FilterConfig.engine = "reference" | "columnar"``).
+Measured per engine: refinement-phase seconds (drain + Algorithm 1, via
+the phase timer), post-processing seconds, end-to-end wall clock, and
+refinement tuples/second.
+
+Acceptance gates: bitwise-identical ids/scores/theta_k always; at full
+scale columnar must be >= 3x faster in the refinement phase; in
+``--smoke`` mode (CI) it must not be slower than the reference. Results
+are written to ``BENCH_refinement.json`` (see docs/performance.md for
+the schema) — the repository commits the full-scale run as the first
+point of the performance trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import FilterConfig
+from repro.core.koios import KoiosSearchEngine
+from repro.core.stats import POSTPROCESSING, REFINEMENT
+from repro.datasets.collection import SetCollection
+from repro.embedding.provider import VectorStore
+from repro.embedding.synthetic import SyntheticEmbeddingModel
+from repro.index.vector_index import ExactCosineIndex
+from repro.sim.cosine import CosineSimilarity
+from repro.utils.rng import make_rng
+
+FULL_SETS = 50_000
+SMOKE_SETS = 2_000
+CLUSTER_SIZE = 100
+PLAIN_TOKENS = 2_000
+MIN_SIZE, MAX_SIZE = 10, 30
+ZIPF_EXPONENT = 0.8
+DIM = 32
+CLUSTER_SIMILARITY = 0.85
+ALPHA = 0.75
+K = 10
+NUM_QUERIES = 3
+SEED = 17
+REQUIRED_FULL_SPEEDUP = 3.0
+OUTPUT = Path(os.environ.get("BENCH_REFINEMENT_OUT", "BENCH_refinement.json"))
+
+
+def build_corpus(num_sets: int):
+    """Cluster-structured vocabulary + zipf-skewed memberships.
+
+    50 tokens-per-cluster similarity structure makes streams long (every
+    query element releases its whole cluster above alpha) and the zipf
+    weights make posting lists long — the regime where refinement, not
+    verification, dominates (the paper's WDC pain point).
+    """
+    rng = make_rng(SEED)
+    num_clusters = max(10, num_sets // 1000)
+    clusters = {
+        f"c{ci}": [f"c{ci}_m{m}" for m in range(CLUSTER_SIZE)]
+        for ci in range(num_clusters)
+    }
+    vocabulary = [
+        token for members in clusters.values() for token in members
+    ] + [f"plain_{i}" for i in range(PLAIN_TOKENS)]
+    weights = 1.0 / np.arange(1, len(vocabulary) + 1) ** ZIPF_EXPONENT
+    weights /= weights.sum()
+    shuffled = np.array(vocabulary)[rng.permutation(len(vocabulary))]
+    sizes = rng.integers(MIN_SIZE, MAX_SIZE + 1, size=num_sets)
+    sets = [
+        [
+            str(shuffled[pick])
+            for pick in rng.choice(
+                len(shuffled), size=int(size), replace=False, p=weights
+            )
+        ]
+        for size in sizes
+    ]
+    collection = SetCollection(sets)
+    provider = SyntheticEmbeddingModel(
+        dim=DIM, clusters=clusters, cluster_similarity=CLUSTER_SIMILARITY
+    )
+    store = VectorStore(provider, collection.vocabulary)
+    index = ExactCosineIndex(store, provider)
+    return collection, index, CosineSimilarity(provider)
+
+
+def run_engine(engine_name, collection, index, sim, queries, *, repeats=1):
+    """Best-of-``repeats`` timings for one engine over all queries.
+
+    A warm-up search runs first so one-time costs (columnar CSR
+    interning, unit-vector caches) are excluded — the serving scenario
+    is warm engines, and at smoke scale the repeat minimum keeps the CI
+    gate from tripping on shared-runner timing noise.
+    """
+    engine = KoiosSearchEngine(
+        collection,
+        index,
+        sim,
+        alpha=ALPHA,
+        config=FilterConfig.koios(engine=engine_name),
+    )
+    engine.search(queries[0], K)
+    outcomes = []
+    refinement = postprocessing = total = None
+    tuples = 0
+    for _ in range(repeats):
+        outcomes = []
+        round_refinement = round_postprocessing = 0.0
+        tuples = 0
+        started = time.perf_counter()
+        for query in queries:
+            result = engine.search(query, K)
+            outcomes.append((result.ids(), result.scores(), result.theta_k))
+            round_refinement += result.stats.timer.seconds(REFINEMENT)
+            round_postprocessing += result.stats.timer.seconds(POSTPROCESSING)
+            tuples += result.stats.stream_tuples
+        round_total = time.perf_counter() - started
+        if refinement is None or round_refinement < refinement:
+            refinement = round_refinement
+            postprocessing = round_postprocessing
+            total = round_total
+    metrics = {
+        "refinement_seconds": round(refinement, 4),
+        "postprocessing_seconds": round(postprocessing, 4),
+        "total_seconds": round(total, 4),
+        "stream_tuples": tuples,
+        "tuples_per_second": (
+            round(tuples / refinement) if refinement > 0 else None
+        ),
+    }
+    return outcomes, metrics, refinement, total
+
+
+def test_columnar_refinement_speedup(smoke, report):
+    num_sets = SMOKE_SETS if smoke else FULL_SETS
+    collection, index, sim = build_corpus(num_sets)
+    rng = make_rng(SEED + 1)
+    queries = [
+        frozenset(collection[int(set_id)])
+        for set_id in rng.integers(0, len(collection), size=NUM_QUERIES)
+    ]
+
+    repeats = 2 if smoke else 1
+    ref_outcomes, ref_metrics, ref_refine, ref_total = run_engine(
+        "reference", collection, index, sim, queries, repeats=repeats
+    )
+    col_outcomes, col_metrics, col_refine, col_total = run_engine(
+        "columnar", collection, index, sim, queries, repeats=repeats
+    )
+
+    identical = ref_outcomes == col_outcomes
+    refinement_speedup = ref_refine / col_refine if col_refine > 0 else None
+    end_to_end_speedup = ref_total / col_total if col_total > 0 else None
+
+    stats = collection.stats()
+    results = {
+        "benchmark": "refinement_fastpath",
+        "mode": "smoke" if smoke else "full",
+        "num_sets": stats.num_sets,
+        "vocab_size": stats.num_unique_elements,
+        "avg_set_size": round(stats.avg_size, 2),
+        "alpha": ALPHA,
+        "k": K,
+        "queries": len(queries),
+        "engines": {
+            "reference": ref_metrics,
+            "columnar": col_metrics,
+        },
+        "refinement_speedup": (
+            round(refinement_speedup, 2)
+            if refinement_speedup is not None else None
+        ),
+        "end_to_end_speedup": (
+            round(end_to_end_speedup, 2)
+            if end_to_end_speedup is not None else None
+        ),
+        "identical_results": identical,
+    }
+    OUTPUT.write_text(json.dumps(results, indent=1) + "\n", encoding="utf-8")
+
+    report()
+    report(
+        f"refinement fast path — {stats.num_sets} sets, "
+        f"{stats.num_unique_elements} tokens, alpha={ALPHA}, "
+        f"{len(queries)} queries"
+    )
+    report(f"{'engine':<12}{'refine s':>10}{'postproc s':>12}{'total s':>9}")
+    for name, metrics in results["engines"].items():
+        report(
+            f"{name:<12}{metrics['refinement_seconds']:>10.2f}"
+            f"{metrics['postprocessing_seconds']:>12.2f}"
+            f"{metrics['total_seconds']:>9.2f}"
+        )
+    report(
+        f"refinement speedup {results['refinement_speedup']}x, "
+        f"end-to-end {results['end_to_end_speedup']}x "
+        f"-> {OUTPUT}"
+    )
+    report(json.dumps(results))
+
+    assert identical, "columnar results diverged from the reference engine"
+    assert refinement_speedup is not None
+    if smoke:
+        assert refinement_speedup >= 1.0, (
+            f"columnar refinement slower than reference "
+            f"({refinement_speedup:.2f}x) at smoke scale"
+        )
+    else:
+        assert refinement_speedup >= REQUIRED_FULL_SPEEDUP, (
+            f"columnar refinement only {refinement_speedup:.2f}x faster "
+            f"(needs >= {REQUIRED_FULL_SPEEDUP}x)"
+        )

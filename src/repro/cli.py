@@ -233,7 +233,7 @@ def _build_scheduler(args: argparse.Namespace) -> QueryScheduler:
         alpha=args.alpha,
         shards=args.shards,
         parallel_shards=args.parallel_shards,
-        config=FilterConfig.koios(iub_mode=args.iub_mode),
+        config=FilterConfig.koios(iub_mode=args.iub_mode, engine=args.engine),
     )
     cache = (
         ResultCache(capacity=args.cache_size) if args.cache_size > 0 else None
@@ -286,7 +286,7 @@ def cmd_search(args: argparse.Namespace) -> int:
         sim,
         alpha=args.alpha,
         num_partitions=args.partitions,
-        config=FilterConfig.koios(iub_mode=args.iub_mode),
+        config=FilterConfig.koios(iub_mode=args.iub_mode, engine=args.engine),
         inverted_factory=getattr(collection, "delta_index", None),
     )
     result = engine.search(query, k=args.k)
@@ -385,7 +385,7 @@ def cmd_cluster_serve(args: argparse.Namespace) -> int:
         alpha=args.alpha,
         workers=args.workers,
         shards=args.shards,
-        config=FilterConfig.koios(iub_mode=args.iub_mode),
+        config=FilterConfig.koios(iub_mode=args.iub_mode, engine=args.engine),
         snapshot_path=snapshot_path,
         substrate=descriptor,
         bootstrap_records=bootstrap_records,
@@ -447,7 +447,7 @@ def cmd_cluster_bench(args: argparse.Namespace) -> int:
         alpha=args.alpha,
         worker_counts=worker_counts,
         start_method=args.start_method,
-        config=FilterConfig.koios(iub_mode=args.iub_mode),
+        config=FilterConfig.koios(iub_mode=args.iub_mode, engine=args.engine),
     )
     for line in format_report(results):
         print(line, file=sys.stderr)
@@ -516,6 +516,14 @@ def _add_substrate_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--iub-mode", default="paper", choices=["paper", "safe"]
+    )
+    parser.add_argument(
+        "--engine",
+        default="columnar",
+        choices=["columnar", "reference"],
+        help="refinement engine: the vectorized columnar fast path "
+        "(default) or the per-tuple reference loop (both return "
+        "bitwise-identical results)",
     )
 
 

@@ -464,6 +464,7 @@ class ClusterPool:
                 self._collection,
                 query_set,
                 effective_alpha,
+                engine=None if self._config is None else self._config.engine,
             )
             stream.version = self.version
             return stream

@@ -16,6 +16,21 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.core.bounds import PAPER, validate_iub_mode
+from repro.errors import InvalidParameterError
+
+#: Refinement engine choices: the columnar NumPy fast path (default)
+#: and the per-tuple reference implementation kept as its oracle.
+ENGINE_COLUMNAR = "columnar"
+ENGINE_REFERENCE = "reference"
+_ENGINES = (ENGINE_COLUMNAR, ENGINE_REFERENCE)
+
+
+def validate_engine(engine: str) -> str:
+    if engine not in _ENGINES:
+        raise InvalidParameterError(
+            f"engine must be one of {_ENGINES}, got {engine!r}"
+        )
+    return engine
 
 
 @dataclass(frozen=True)
@@ -44,6 +59,13 @@ class FilterConfig:
         Verify *every* candidate surviving refinement instead of
         stopping once the top-k upper bounds are settled — the
         behaviour of the paper's Baseline and Baseline+ (§VIII-A4).
+    engine:
+        ``"columnar"`` (default) runs refinement through the vectorized
+        struct-of-arrays engine of :mod:`repro.core.fastpath`;
+        ``"reference"`` runs the per-tuple loop of
+        :mod:`repro.core.refinement`. Both apply the same lemmas and
+        return bitwise-identical results; the reference engine is kept
+        as the readable oracle the fast path is tested against.
     """
 
     use_first_sight_ub: bool = True
@@ -53,14 +75,18 @@ class FilterConfig:
     vanilla_initialization: bool = True
     iub_mode: str = PAPER
     exhaustive_verification: bool = False
+    engine: str = ENGINE_COLUMNAR
 
     def __post_init__(self) -> None:
         validate_iub_mode(self.iub_mode)
+        validate_engine(self.engine)
 
     @classmethod
-    def koios(cls, *, iub_mode: str = PAPER) -> "FilterConfig":
+    def koios(
+        cls, *, iub_mode: str = PAPER, engine: str = ENGINE_COLUMNAR
+    ) -> "FilterConfig":
         """The full published configuration."""
-        return cls(iub_mode=iub_mode)
+        return cls(iub_mode=iub_mode, engine=engine)
 
     @classmethod
     def baseline(cls) -> "FilterConfig":

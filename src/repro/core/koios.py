@@ -19,7 +19,13 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
-from repro.core.config import FilterConfig
+from repro.core.config import ENGINE_COLUMNAR, FilterConfig
+from repro.core.fastpath import (
+    ColumnarPartition,
+    drain_stream,
+    refine_columnar,
+    sim_cache_from_stream,
+)
 from repro.core.postprocessing import (
     VerifiedEntry,
     cache_view,
@@ -27,6 +33,7 @@ from repro.core.postprocessing import (
     postprocess,
 )
 from repro.core.refinement import refine
+from repro.index.interning import token_table_for
 from repro.core.semantic_overlap import semantic_overlap_matching
 from repro.core.stats import POSTPROCESSING, REFINEMENT, SearchStats
 from repro.core.topk import GlobalThreshold, ThetaLB, TopKList
@@ -167,6 +174,9 @@ class KoiosSearchEngine:
             self._inverted = [
                 InvertedIndex(collection, ids) for ids in self._partitions
             ]
+        # Columnar context (token table + per-partition CSR views) is
+        # built lazily on first search so hot swaps stay O(shards).
+        self._columnar_ctx: tuple | None = None
         if all(hasattr(index, "memory_bytes") for index in self._inverted):
             # Delta indexes are views of ONE shared posting store (and
             # each reports its full footprint), so take the max rather
@@ -207,12 +217,31 @@ class KoiosSearchEngine:
         query_set = frozenset(query)
         if not query_set:
             raise EmptyQueryError("query set is empty")
-        return MaterializedTokenStream.drain(
+        return drain_stream(
             query_set,
             self._token_index,
             self._check_alpha(alpha),
-            collection_vocabulary=self._collection.vocabulary,
+            vocabulary=self._collection.vocabulary,
+            engine=self._config.engine,
+            table=self._shared_table(),
         )
+
+    def _shared_table(self):
+        """The collection's shared token table (columnar engine only)."""
+        if self._config.engine != ENGINE_COLUMNAR:
+            return None
+        return token_table_for(self._collection)
+
+    def _columnar_context(self):
+        """Lazily interned CSR views of every partition's index."""
+        if self._columnar_ctx is None:
+            table = token_table_for(self._collection)
+            partitions = [
+                ColumnarPartition.build(index, table)
+                for index in self._inverted
+            ]
+            self._columnar_ctx = (table, partitions)
+        return self._columnar_ctx
 
     def _check_alpha(self, alpha: float | None) -> float:
         if alpha is None:
@@ -275,13 +304,16 @@ class KoiosSearchEngine:
             if time_budget is not None
             else None
         )
+        columnar = self._config.engine == ENGINE_COLUMNAR
         if stream is None:
             with stats.timer.phase(REFINEMENT):
-                stream = MaterializedTokenStream.drain(
+                stream = drain_stream(
                     query_set,
                     self._token_index,
                     alpha,
-                    collection_vocabulary=self._collection.vocabulary,
+                    vocabulary=self._collection.vocabulary,
+                    engine=self._config.engine,
+                    table=self._shared_table(),
                 )
         else:
             if not stream.covers(query_set, alpha):
@@ -296,7 +328,18 @@ class KoiosSearchEngine:
             shared_threshold if shared_threshold is not None
             else GlobalThreshold()
         )
-        sim_cache: dict[tuple[str, str], float] = {}
+        cache_by_token: dict[str, list[tuple[str, float]]] | None = None
+        if columnar:
+            # The similarity cache is a property of the drained stream,
+            # not of any partition's schedule: fill it — and group it by
+            # token for verification-matrix seeding — once per search.
+            with stats.timer.phase(REFINEMENT):
+                sim_cache = sim_cache_from_stream(stream)
+                cache_by_token = index_cache_by_token(sim_cache)
+                columnar_ctx = self._columnar_context()
+        else:
+            sim_cache = {}
+            columnar_ctx = None
         verified: list[VerifiedEntry] = []
         timed_out = False
         partition_stats = [SearchStats() for _ in self._inverted]
@@ -307,11 +350,13 @@ class KoiosSearchEngine:
                 k,
                 alpha,
                 stream,
-                self._inverted[position],
+                position,
                 shared,
                 sim_cache,
                 partition_stats[position],
                 deadline,
+                columnar_ctx,
+                cache_by_token,
             )
 
         try:
@@ -339,6 +384,7 @@ class KoiosSearchEngine:
             resolve_scores and not timed_out,
             stats,
             sim_cache,
+            cache_by_token,
         )
         return SearchResult(
             entries=entries,
@@ -356,27 +402,48 @@ class KoiosSearchEngine:
         k: int,
         alpha: float,
         stream: MaterializedTokenStream,
-        inverted: InvertedIndex,
+        position: int,
         shared: GlobalThreshold,
         sim_cache: dict[tuple[str, str], float],
         stats: SearchStats,
         deadline: float | None,
+        columnar_ctx: tuple | None,
+        cache_by_token: dict[str, list[tuple[str, float]]] | None,
     ) -> list[VerifiedEntry]:
         """Refinement + post-processing of one partition."""
         llb = TopKList(k)
         theta = ThetaLB(llb, shared)
         with stats.timer.phase(REFINEMENT):
-            output = refine(
-                query,
-                stream,
-                inverted,
-                self._collection,
-                theta,
-                stats,
-                self._config,
-                sim_cache=sim_cache,
-                deadline=deadline,
-            )
+            if columnar_ctx is not None:
+                table, partitions = columnar_ctx
+                output = refine_columnar(
+                    query,
+                    stream,
+                    partitions[position],
+                    table,
+                    theta,
+                    stats,
+                    self._config,
+                    sim_cache=sim_cache,
+                    deadline=deadline,
+                )
+            else:
+                output = refine(
+                    query,
+                    stream,
+                    self._inverted[position],
+                    self._collection,
+                    theta,
+                    stats,
+                    self._config,
+                    sim_cache=sim_cache,
+                    deadline=deadline,
+                )
+        # Instrumentation happens outside the phase timers: deep object
+        # walks are bookkeeping, not refinement work, and they would
+        # otherwise dominate the phase timings the benches report.
+        stats.memory.measure("candidate_states", output.survivors)
+        stats.memory.measure("similarity_cache", output.sim_cache)
         stats.memory.measure("topk_lb_list", llb)
         with stats.timer.phase(POSTPROCESSING):
             entries = postprocess(
@@ -390,6 +457,7 @@ class KoiosSearchEngine:
                 stats,
                 self._config,
                 sim_cache=output.sim_cache,
+                cache_by_token=cache_by_token,
                 em_workers=self._em_workers,
                 deadline=deadline,
             )
@@ -404,6 +472,7 @@ class KoiosSearchEngine:
         resolve: bool,
         stats: SearchStats,
         sim_cache: dict[tuple[str, str], float] | None = None,
+        cache_by_token: dict[str, list[tuple[str, float]]] | None = None,
     ) -> list[ResultEntry]:
         """Merge per-partition lists, optionally resolving inexact scores.
 
@@ -414,7 +483,6 @@ class KoiosSearchEngine:
         results into byte-identical global rankings.
         """
         resolved: list[VerifiedEntry] = []
-        cache_by_token = None
         with stats.timer.phase(POSTPROCESSING):
             for entry in verified:
                 if resolve and not entry.exact:

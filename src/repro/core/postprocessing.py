@@ -123,6 +123,7 @@ def postprocess(
     config: FilterConfig,
     *,
     sim_cache: Mapping[tuple[str, str], float] | None = None,
+    cache_by_token: dict[str, list[tuple[str, float]]] | None = None,
     em_workers: int = 0,
     deadline: float | None = None,
 ) -> list[VerifiedEntry]:
@@ -130,6 +131,11 @@ def postprocess(
 
     Parameters
     ----------
+    cache_by_token:
+        The ``sim_cache`` already grouped by vocabulary token (see
+        :func:`index_cache_by_token`). The columnar engine groups the
+        full stream cache once per search and shares it across
+        partitions; when omitted it is derived from ``sim_cache`` here.
     em_workers:
         When > 1, up to this many Hungarian verifications run concurrently
         on a thread pool sharing the live ``theta_lb``.
@@ -147,7 +153,8 @@ def postprocess(
     ledger = _UpperBoundLedger(
         {sid: state.final_upper for sid, state in survivors.items()}, k
     )
-    cache_by_token = index_cache_by_token(sim_cache)
+    if cache_by_token is None:
+        cache_by_token = index_cache_by_token(sim_cache)
     lower: dict[int, float] = {
         sid: state.lower_bound for sid, state in survivors.items()
     }

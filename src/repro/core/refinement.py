@@ -161,9 +161,6 @@ def refine(
             last_similarity, config.iub_mode, stream_exhausted=True
         )
 
-    stats.memory.measure("candidate_states", candidates)
-    stats.memory.measure("iub_buckets", buckets)
-    stats.memory.measure("similarity_cache", sim_cache)
     return RefinementOutput(
         survivors=candidates,
         sim_cache=sim_cache,

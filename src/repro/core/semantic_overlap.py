@@ -103,18 +103,13 @@ def matching_pairs(
 ) -> list[tuple[str, str, float]]:
     """The optimal matching as ``(query_token, candidate_token, weight)``
     triples — the "optimal way of mapping cell values" use-case the paper
-    positions against SEMA-JOIN."""
-    result, query_tokens, candidate_tokens = semantic_overlap_matching(
-        query, candidate, sim, alpha
-    )
+    positions against SEMA-JOIN. Weights are read straight from the
+    graph the matching ran on (one graph build, not one per pair)."""
+    query_tokens = _as_tokens(query)
+    candidate_tokens = _as_tokens(candidate)
+    graph = build_graph(query_tokens, candidate_tokens, sim, alpha)
+    result = hungarian_matching(graph.weights)
     return [
-        (
-            query_tokens[i],
-            candidate_tokens[j],
-            float(
-                build_graph([query_tokens[i]], [candidate_tokens[j]], sim, alpha)
-                .weights[0, 0]
-            ),
-        )
+        (query_tokens[i], candidate_tokens[j], graph.edge_weight(i, j))
         for i, j in result.pairs
     ]

@@ -122,6 +122,17 @@ class ThetaLB:
         self._shared = shared
 
     @property
+    def local(self) -> TopKList:
+        """The partition-local ``L_lb`` (the columnar engine batches its
+        offers and needs the local bottom to skip provable no-ops)."""
+        return self._llb
+
+    @property
+    def shared(self) -> GlobalThreshold | None:
+        """The cross-partition threshold (None for solo runs)."""
+        return self._shared
+
+    @property
     def value(self) -> float:
         local = self._llb.bottom()
         if self._shared is None:

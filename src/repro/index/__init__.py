@@ -3,6 +3,12 @@ cosine vector index (Faiss substitute), MinHash LSH, and the pluggable
 :class:`TokenIndex` protocol."""
 
 from repro.index.base import TokenIndex
+from repro.index.interning import (
+    CSRPostings,
+    TokenTable,
+    csr_from_index,
+    token_table_for,
+)
 from repro.index.inverted import InvertedIndex, PostingStats
 from repro.index.ivf import IVFCosineIndex
 from repro.index.lsh import (
@@ -21,7 +27,11 @@ from repro.index.vector_index import BatchedProbeLog, ExactCosineIndex
 
 __all__ = [
     "BatchedProbeLog",
+    "CSRPostings",
     "ExactCosineIndex",
+    "TokenTable",
+    "csr_from_index",
+    "token_table_for",
     "IVFCosineIndex",
     "ExactJaccardIndex",
     "InvertedIndex",

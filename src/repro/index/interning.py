@@ -1,0 +1,163 @@
+"""Token-id interning and CSR posting views — the columnar substrate.
+
+The reference engine addresses everything by token *strings*: posting
+lists are ``dict[str, list[int]]``, the stream is ``(str, str, float)``
+tuples, and candidate bookkeeping hashes strings on every probe. The
+columnar fast path (:mod:`repro.core.fastpath`) replaces those hash
+probes with integer indexing, which requires one shared coordinate
+system: the :class:`TokenTable` interns a vocabulary to dense integer
+ids (sorted token order, so the table is reproducible from the
+vocabulary alone and identical to the snapshot format's token section),
+and :class:`CSRPostings` lays an inverted index out as two NumPy arrays
+in CSR style — ``offsets[token_id] : offsets[token_id + 1]`` slices the
+posting list of a token out of one flat ``sets`` array.
+
+A useful side effect of the CSR layout: every ``(token, set)``
+membership pair owns exactly one global position in ``sets``, so a
+boolean array over positions is a dense "is this member token matched
+in this candidate" table — the structure that lets refinement replace
+per-candidate ``set.add``/``in`` bookkeeping with vectorized masks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+class TokenTable:
+    """Dense integer ids for a fixed vocabulary, in sorted token order."""
+
+    __slots__ = ("_tokens", "_ids")
+
+    def __init__(self, tokens: Sequence[str]) -> None:
+        """``tokens`` must be unique and sorted (the canonical id order
+        shared with the snapshot format); use :meth:`from_vocabulary` for
+        an arbitrary token set."""
+        self._tokens: list[str] = list(tokens)
+        self._ids: dict[str, int] = {
+            token: i for i, token in enumerate(self._tokens)
+        }
+
+    @classmethod
+    def from_vocabulary(cls, vocabulary: Iterable[str]) -> "TokenTable":
+        return cls(sorted(vocabulary))
+
+    @property
+    def tokens(self) -> list[str]:
+        """The id -> token list (do not mutate)."""
+        return self._tokens
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._ids
+
+    def id_of(self, token: str, default: int = -1) -> int:
+        """The id of ``token``, or ``default`` when not interned."""
+        return self._ids.get(token, default)
+
+    def token_at(self, token_id: int) -> str:
+        return self._tokens[token_id]
+
+    def encode(self, tokens: Iterable[str]) -> np.ndarray:
+        """Ids for ``tokens`` (-1 for tokens outside the table)."""
+        get = self._ids.get
+        return np.fromiter(
+            (get(token, -1) for token in tokens), dtype=np.int64
+        )
+
+
+def token_table_for(collection) -> TokenTable:
+    """The shared :class:`TokenTable` of a collection's vocabulary.
+
+    Cached on the collection object keyed by its live ``version`` (when
+    mutable), so every shard engine of a pool — and every partition of
+    each engine — interns against one table object and the stream's
+    column cache is shared instead of rebuilt per shard.
+    """
+    version = getattr(collection, "version", None)
+    cached = getattr(collection, "_token_table_cache", None)
+    if cached is not None and cached[0] == version:
+        return cached[1]
+    table = TokenTable.from_vocabulary(collection.vocabulary)
+    collection._token_table_cache = (version, table)
+    return table
+
+
+@dataclass(frozen=True)
+class CSRPostings:
+    """One inverted index as flat arrays aligned to a :class:`TokenTable`.
+
+    Attributes
+    ----------
+    offsets:
+        ``int64[len(table) + 1]``; token ``t``'s posting list is
+        ``sets[offsets[t]:offsets[t + 1]]`` (empty for absent tokens).
+    sets:
+        ``int64[total_postings]`` of global set ids, in the same order
+        the dict-backed index stores them (ascending ids).
+    """
+
+    offsets: np.ndarray
+    sets: np.ndarray
+
+    @property
+    def total_postings(self) -> int:
+        return int(self.sets.shape[0])
+
+    def set_sizes(self) -> np.ndarray:
+        """``int64[max_set_id + 1]`` member counts per set id.
+
+        Every member token of an indexed set has a posting entry, so the
+        per-id entry count *is* the set cardinality.
+        """
+        if self.sets.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        return np.bincount(self.sets)
+
+    def nbytes(self) -> int:
+        return int(self.offsets.nbytes + self.sets.nbytes)
+
+
+def csr_from_lengths(
+    lengths: np.ndarray, members: np.ndarray
+) -> CSRPostings:
+    """Adopt snapshot-style ``(per-token lengths, flat members)`` arrays."""
+    offsets = np.zeros(len(lengths) + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    return CSRPostings(
+        offsets=offsets, sets=np.ascontiguousarray(members, dtype=np.int64)
+    )
+
+
+def csr_from_index(index, table: TokenTable) -> CSRPostings:
+    """CSR view of any inverted index exposing ``sets_containing``.
+
+    Works for :class:`~repro.index.inverted.InvertedIndex` and the
+    store's delta views alike; the dedicated
+    :meth:`~repro.index.inverted.InvertedIndex.columnar` fast path
+    should be preferred when available (it caches, and adopts snapshot
+    arrays without a Python pass).
+    """
+    offsets = np.zeros(len(table) + 1, dtype=np.int64)
+    chunks: list[Sequence[int]] = []
+    total = 0
+    for token_id, token in enumerate(table.tokens):
+        ids = index.sets_containing(token)
+        total += len(ids)
+        offsets[token_id + 1] = total
+        if ids:
+            chunks.append(ids)
+    if total:
+        sets = np.fromiter(
+            (set_id for chunk in chunks for set_id in chunk),
+            dtype=np.int64,
+            count=total,
+        )
+    else:
+        sets = np.zeros(0, dtype=np.int64)
+    return CSRPostings(offsets=offsets, sets=sets)

@@ -12,6 +12,12 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.datasets.collection import SetCollection
+from repro.index.interning import (
+    CSRPostings,
+    TokenTable,
+    csr_from_index,
+    csr_from_lengths,
+)
 
 
 @dataclass(frozen=True)
@@ -40,6 +46,8 @@ class InvertedIndex:
             for token in collection[set_id]:
                 postings.setdefault(token, []).append(set_id)
         self._postings = postings
+        self._csr_cache: tuple[TokenTable, CSRPostings] | None = None
+        self._adopted_csr: tuple[list[str], CSRPostings] | None = None
 
     @classmethod
     def from_postings(
@@ -52,7 +60,42 @@ class InvertedIndex:
         index._postings = {
             token: list(set_ids) for token, set_ids in postings.items()
         }
+        index._csr_cache = None
+        index._adopted_csr = None
         return index
+
+    def adopt_csr(self, tokens: list[str], lengths, members) -> None:
+        """Pre-seed the columnar view from snapshot arrays.
+
+        ``tokens`` is the sorted token table the ``lengths``/``members``
+        arrays are aligned to (the snapshot's token section);
+        :meth:`columnar` hands these arrays out directly when asked for
+        a matching table, skipping the Python CSR-building pass on the
+        snapshot cold-start path.
+        """
+        self._adopted_csr = (list(tokens), csr_from_lengths(lengths, members))
+
+    def columnar(self, table: TokenTable) -> CSRPostings:
+        """The CSR posting view aligned to ``table`` (cached).
+
+        The index is immutable, so the view is built once per table; a
+        view adopted from a snapshot via :meth:`adopt_csr` is reused
+        when its token section matches ``table``.
+        """
+        cached = self._csr_cache
+        if cached is not None and cached[0] is table:
+            return cached[1]
+        if (
+            self._adopted_csr is not None
+            and self._adopted_csr[0] == table.tokens
+        ):
+            csr = self._adopted_csr[1]
+        else:
+            csr = csr_from_index(self, table)
+        # Hold the table itself: an id()-keyed cache could alias a
+        # garbage-collected table's reused id.
+        self._csr_cache = (table, csr)
+        return csr
 
     def postings(self) -> dict[str, list[int]]:
         """A copy of the full ``token -> set ids`` map (snapshot save)."""

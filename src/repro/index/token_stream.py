@@ -142,6 +142,23 @@ class MaterializedTokenStream:
         #: different version than it is about to search — the drained
         #: vocabulary filter would not match the live collection.
         self.version = version
+        # Lazy derived views (never pickled; see __getstate__):
+        # per-query-element tuple positions, and interned column arrays.
+        self._positions: dict[str, "object"] | None = None
+        self._columns: tuple[object, list[str], tuple] | None = None
+
+    # Derived caches are process-local: the position index is cheap to
+    # rebuild, and the column arrays are keyed by the *identity* of a
+    # TokenTable that does not travel with the stream (cluster
+    # coordinators ship drained streams to worker processes).
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_positions"] = None
+        state["_columns"] = None
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
 
     @classmethod
     def drain(
@@ -170,6 +187,27 @@ class MaterializedTokenStream:
             return False
         return self.alpha == alpha and query_tokens <= self.query_tokens
 
+    def _position_index(self) -> dict[str, "object"]:
+        """Lazy ``query_token -> ascending tuple positions`` index.
+
+        Built once per drained stream (one O(n) pass); every
+        :meth:`restrict` after that gathers positions instead of
+        scanning the full union stream — the serving layer restricts a
+        micro-batch's union drain once per request, so per-request cost
+        drops from O(union stream) to O(restricted stream).
+        """
+        if self._positions is None:
+            import numpy as np
+
+            grouped: dict[str, list[int]] = {}
+            for position, (q_token, _, _) in enumerate(self._tuples):
+                grouped.setdefault(q_token, []).append(position)
+            self._positions = {
+                q_token: np.asarray(positions, dtype=np.int64)
+                for q_token, positions in grouped.items()
+            }
+        return self._positions
+
     def restrict(
         self, query_tokens: AbstractSet[str]
     ) -> "MaterializedTokenStream":
@@ -180,15 +218,94 @@ class MaterializedTokenStream:
         drain of that element produces — so the restriction is a valid
         stream for any query that is a subset of ``query_tokens``.
         """
+        import numpy as np
+
         wanted = frozenset(query_tokens)
         if self.query_tokens is not None and wanted >= self.query_tokens:
             return self
-        return MaterializedTokenStream(
-            [t for t in self._tuples if t[0] in wanted],
+        positions_by_q = self._position_index()
+        parts = [
+            positions_by_q[q_token]
+            for q_token in sorted(wanted)
+            if q_token in positions_by_q
+        ]
+        if parts:
+            positions = np.sort(np.concatenate(parts))
+            tuples = [self._tuples[i] for i in positions.tolist()]
+        else:
+            positions = np.zeros(0, dtype=np.int64)
+            tuples = []
+        restricted = MaterializedTokenStream(
+            tuples,
             query_tokens=wanted,
             alpha=self.alpha,
             version=self.version,
         )
+        restricted._adopt_restricted_columns(self, positions, wanted)
+        return restricted
+
+    def _adopt_restricted_columns(
+        self, parent: "MaterializedTokenStream", positions, wanted
+    ) -> None:
+        """Slice the parent's cached column arrays for a restriction
+        (query indexes are remapped to the restricted sorted query)."""
+        if parent._columns is None:
+            return
+        import numpy as np
+
+        table, parent_query, (q_col, t_col, s_col) = parent._columns
+        sub_query = sorted(wanted)
+        remap = np.full(len(parent_query), -1, dtype=np.int64)
+        sub_index = {q_token: i for i, q_token in enumerate(sub_query)}
+        for i, q_token in enumerate(parent_query):
+            remap[i] = sub_index.get(q_token, -1)
+        self._columns = (
+            table,
+            sub_query,
+            (remap[q_col[positions]], t_col[positions], s_col[positions]),
+        )
+
+    def attach_columns(self, table, query_sorted: list[str], columns) -> None:
+        """Adopt interned column arrays ``(q_index, token_id, sim)``
+        aligned with the tuple list (the columnar drain produces both
+        representations in one pass). The cache holds the table object
+        itself — identity-compared on read, so a recycled ``id()`` can
+        never alias a stale encoding."""
+        self._columns = (table, list(query_sorted), columns)
+
+    def columns(self, table, query_sorted: list[str]):
+        """Interned column arrays for the columnar refinement engine.
+
+        Returns ``(q_index, token_id, sim)`` NumPy arrays aligned with
+        the tuple order: ``q_index`` indexes into ``query_sorted``,
+        ``token_id`` into ``table`` (-1 for tokens outside it). Cached
+        per table/query pair — every partition and shard replaying this
+        stream shares one encoding pass.
+        """
+        cached = self._columns
+        if (
+            cached is not None
+            and cached[0] is table
+            and cached[1] == query_sorted
+        ):
+            return cached[2]
+        import numpy as np
+
+        q_index = {q_token: i for i, q_token in enumerate(query_sorted)}
+        count = len(self._tuples)
+        q_col = np.fromiter(
+            (q_index[t[0]] for t in self._tuples), dtype=np.int64, count=count
+        )
+        token_id = table.id_of
+        t_col = np.fromiter(
+            (token_id(t[1]) for t in self._tuples), dtype=np.int64, count=count
+        )
+        s_col = np.fromiter(
+            (t[2] for t in self._tuples), dtype=np.float64, count=count
+        )
+        columns = (q_col, t_col, s_col)
+        self._columns = (table, list(query_sorted), columns)
+        return columns
 
     def __len__(self) -> int:
         return len(self._tuples)

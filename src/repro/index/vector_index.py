@@ -49,6 +49,10 @@ class ExactCosineIndex:
     def store(self) -> VectorStore:
         return self._store
 
+    @property
+    def batch_size(self) -> int:
+        return self._batch_size
+
     def extend(self, tokens) -> int:
         """Embed and index tokens the store does not know yet.
 
@@ -58,6 +62,43 @@ class ExactCosineIndex:
         """
         return self._store.extend(tokens)
 
+    def probe_similarities(self, token: str) -> np.ndarray | None:
+        """Clipped cosine of ``token`` against every store row.
+
+        One float32 matrix-vector product — numerically the exact
+        computation :meth:`stream` releases tuple by tuple, exposed as a
+        block so the columnar drain can sort/filter it vectorized.
+        Returns None for probes without an embedding (their stream is
+        empty) and for an empty store.
+        """
+        if len(self._store) == 0 or not self._provider.covers(token):
+            return None
+        probe = normalize(self._provider.vector(token))
+        return np.clip(self._store.matrix @ probe, 0.0, 1.0)
+
+    def row_token_ids(self, table) -> np.ndarray:
+        """Store row -> id in ``table`` (-1 for rows outside it).
+
+        The store may hold stale rows for tokens that left the
+        collection vocabulary (see :meth:`VectorStore.extend`); mapping
+        rows through the collection's token table is exactly the
+        vocabulary filter the reference drain applies per tuple. Cached
+        per (table, store size) — the store only ever grows. The cache
+        holds the table object itself (identity compare): keying by
+        ``id()`` alone would let a garbage-collected table's reused id
+        serve a stale mapping.
+        """
+        cached = getattr(self, "_row_ids_cache", None)
+        if (
+            cached is not None
+            and cached[0] is table
+            and cached[1] == len(self._store)
+        ):
+            return cached[2]
+        row_ids = table.encode(self._store.tokens)
+        self._row_ids_cache = (table, len(self._store), row_ids)
+        return row_ids
+
     def stream(self, token: str) -> Iterator[tuple[str, float]]:
         """Yield ``(vocab_token, cosine)`` in non-increasing order.
 
@@ -65,11 +106,10 @@ class ExactCosineIndex:
         cosines are clamped to zero, matching the [0, 1] similarity range
         of Definition 1 (callers stop at ``alpha > 0`` anyway).
         """
-        if len(self._store) == 0 or not self._provider.covers(token):
+        sims = self.probe_similarities(token)
+        if sims is None:
             return
-        probe = normalize(self._provider.vector(token))
-        sims = self._store.matrix @ probe
-        yield from self._stream_sorted(np.clip(sims, 0.0, 1.0))
+        yield from self._stream_sorted(sims)
 
     def _stream_sorted(self, sims: np.ndarray) -> Iterator[tuple[str, float]]:
         size = sims.shape[0]

@@ -342,6 +342,10 @@ class EnginePool:
     def _effective_alpha(self, alpha: float | None) -> float:
         return resolve_alpha(self._alpha, alpha, self._token_index)
 
+    def _engine_kind(self) -> str | None:
+        """The configured refinement engine (drains follow it)."""
+        return None if self._config is None else self._config.engine
+
     def drain(
         self, query: Iterable[str], *, alpha: float | None = None
     ) -> MaterializedTokenStream:
@@ -361,6 +365,7 @@ class EnginePool:
                     self._collection,
                     query_set,
                     effective_alpha,
+                    engine=self._engine_kind(),
                 )
                 stream.version = self.version
                 return stream
@@ -418,7 +423,11 @@ class EnginePool:
             stream = None
         if stream is None:
             stream = materialize_stream(
-                self._token_index, self._collection, query_set, alpha
+                self._token_index,
+                self._collection,
+                query_set,
+                alpha,
+                engine=self._engine_kind(),
             )
         shared = GlobalThreshold()
         # One wall-clock deadline for the whole query: each shard gets

@@ -23,7 +23,13 @@ class CosineSimilarity(SimilarityFunction):
 
     def __init__(self, provider: EmbeddingProvider) -> None:
         self._provider = provider
-        self._unit_cache: dict[str, np.ndarray] = {}
+        # None records out-of-vocabulary tokens so the provider is only
+        # consulted once per token.
+        self._unit_cache: dict[str, np.ndarray | None] = {}
+        # Shared stand-in row for OOV tokens in matrix(); allocated once
+        # instead of per call (every OOV entry reuses the same buffer —
+        # it is only ever read).
+        self._zero = np.zeros(provider.dim, dtype=np.float32)
 
     @property
     def provider(self) -> EmbeddingProvider:
@@ -52,12 +58,14 @@ class CosineSimilarity(SimilarityFunction):
     def matrix(self, rows: Sequence[str], cols: Sequence[str]) -> np.ndarray:
         """Vectorized similarity matrix with the identical-token and OOV
         rules applied."""
-        dim = self._provider.dim
-        zero = np.zeros(dim, dtype=np.float32)
-        row_units = [self._unit_vector(t) for t in rows]
-        col_units = [self._unit_vector(t) for t in cols]
-        row_matrix = np.stack([zero if v is None else v for v in row_units])
-        col_matrix = np.stack([zero if v is None else v for v in col_units])
+        zero = self._zero
+        unit = self._unit_vector
+        row_matrix = np.stack(
+            [v if (v := unit(t)) is not None else zero for t in rows]
+        )
+        col_matrix = np.stack(
+            [v if (v := unit(t)) is not None else zero for t in cols]
+        )
         out = np.clip(row_matrix @ col_matrix.T, 0.0, 1.0).astype(np.float64)
         col_index = {}
         for j, token in enumerate(cols):

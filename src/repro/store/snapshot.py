@@ -267,7 +267,11 @@ class LoadedSnapshot:
 
     ``token_index``/``sim`` are None when the snapshot carries no
     substrate description (build the substrate yourself, as for a plain
-    JSON collection).
+    JSON collection). ``tokens``/``posting_lengths``/``posting_members``
+    are the raw id-table-aligned arrays of the file: the token table is
+    the sorted vocabulary, so the postings sections are already the
+    CSR layout the columnar engine indexes by, and
+    :meth:`inverted_factory` adopts them without a Python rebuild.
     """
 
     manifest: SnapshotManifest
@@ -275,6 +279,9 @@ class LoadedSnapshot:
     postings: dict[str, list[int]]
     token_index: Any | None
     sim: Any | None
+    tokens: list[str] | None = None
+    posting_lengths: Any | None = None
+    posting_members: Any | None = None
 
     def mutable(self):
         """A :class:`~repro.store.mutable.MutableSetCollection` overlay
@@ -289,7 +296,17 @@ class LoadedSnapshot:
 
         def build(set_ids: Sequence[int]) -> InvertedIndex:
             if len(set_ids) == total:
-                return InvertedIndex.from_postings(self.postings)
+                index = InvertedIndex.from_postings(self.postings)
+                if self.tokens is not None:
+                    # The snapshot's token section *is* the sorted
+                    # vocabulary id table, so the postings arrays are
+                    # the columnar CSR view verbatim.
+                    index.adopt_csr(
+                        self.tokens,
+                        self.posting_lengths,
+                        self.posting_members,
+                    )
+                return index
             members = frozenset(set_ids)
             return InvertedIndex.from_postings({
                 token: kept
@@ -347,9 +364,8 @@ def load_snapshot(
     set_lengths = np.frombuffer(sections["set_lengths"], dtype="<u4")
     set_members = np.frombuffer(sections["set_members"], dtype="<u4").tolist()
     posting_lengths = np.frombuffer(sections["posting_lengths"], dtype="<u4")
-    posting_members = np.frombuffer(
-        sections["posting_members"], dtype="<u4"
-    ).tolist()
+    posting_members_arr = np.frombuffer(sections["posting_members"], dtype="<u4")
+    posting_members = posting_members_arr.tolist()
     if len(names) != len(set_lengths):
         raise SnapshotError("snapshot name/set count mismatch")
     if len(posting_lengths) != len(tokens):
@@ -382,6 +398,9 @@ def load_snapshot(
         postings=postings,
         token_index=token_index,
         sim=sim,
+        tokens=tokens,
+        posting_lengths=posting_lengths,
+        posting_members=posting_members_arr,
     )
 
 

@@ -1,0 +1,346 @@
+"""The columnar engine's equivalence contract.
+
+``FilterConfig.engine = "columnar"`` must be *bitwise-identical* — ids,
+scores, theta_k, bounds — to ``"reference"`` on every workload: across
+both iUB modes, every filter ablation, partitioned engines, sharded
+pools, and a >= 100-op randomized mutation/query interleaving at two
+alphas. The drain fast path must reproduce the heap drain's tuple
+sequence exactly (order included), and the interning/CSR substrate must
+agree with the dict-backed inverted index token for token.
+"""
+
+import pytest
+
+from repro.core import FilterConfig, KoiosSearchEngine
+from repro.core.fastpath import fast_drain
+from repro.index import (
+    InvertedIndex,
+    MaterializedTokenStream,
+    TokenTable,
+    token_table_for,
+)
+from repro.service import EnginePool
+from repro.store import MutableSetCollection
+from repro.store.snapshot import build_substrate
+from repro.utils.rng import make_rng
+
+K = 10
+ALPHAS = (0.7, 0.9)
+OPS = 110
+SEED = 43
+SUBSTRATE = {
+    "kind": "hashing-cosine",
+    "dim": 32,
+    "n_min": 3,
+    "n_max": 5,
+    "salt": "hashing-embedding",
+    "batch_size": 100,
+}
+
+#: Every ablation the paper (and DESIGN.md) names, in both engines.
+ABLATIONS = {
+    "koios": FilterConfig.koios(),
+    "koios-safe": FilterConfig.koios(iub_mode="safe"),
+    "baseline": FilterConfig.baseline(),
+    "baseline-plus": FilterConfig.baseline_plus(),
+    "no-first-sight": FilterConfig.koios().without(use_first_sight_ub=False),
+    "no-buckets": FilterConfig.koios().without(use_iub_buckets=False),
+    "no-no-em": FilterConfig.koios().without(use_no_em=False),
+    "no-early-term": FilterConfig.koios().without(
+        use_em_early_termination=False
+    ),
+    "no-vanilla": FilterConfig.koios().without(
+        vanilla_initialization=False
+    ),
+    "safe-no-vanilla": FilterConfig.koios(iub_mode="safe").without(
+        vanilla_initialization=False
+    ),
+}
+
+
+def assert_bitwise_equal(got, expected, context=""):
+    assert got.ids() == expected.ids(), context
+    assert got.scores() == expected.scores(), context
+    assert got.theta_k == expected.theta_k, context
+    for mine, reference in zip(got.entries, expected.entries):
+        assert mine.lower_bound == reference.lower_bound, context
+        assert mine.upper_bound == reference.upper_bound, context
+        assert mine.exact == reference.exact, context
+
+
+def sample_queries(collection, rng, count):
+    queries = [
+        frozenset(collection[int(i)])
+        for i in rng.integers(0, len(collection), size=count - 2)
+    ]
+    vocab = sorted(collection.vocabulary)
+    # One mixed query with out-of-vocabulary tokens, one fully OOV.
+    queries.append(frozenset(vocab[:3]) | {"oov_x", "oov_y"})
+    queries.append(frozenset({"oov_only_a", "oov_only_b"}))
+    return queries
+
+
+class TestInterning:
+    def test_token_table_roundtrip(self):
+        table = TokenTable.from_vocabulary({"pear", "apple", "fig"})
+        assert table.tokens == ["apple", "fig", "pear"]
+        assert table.id_of("fig") == 1
+        assert table.id_of("missing") == -1
+        assert table.token_at(2) == "pear"
+        assert list(table.encode(["pear", "nope", "apple"])) == [2, -1, 0]
+
+    def test_table_cached_per_collection_version(self, tiny_opendata):
+        collection = tiny_opendata.collection
+        assert token_table_for(collection) is token_table_for(collection)
+
+    def test_csr_matches_dict_postings(self, tiny_opendata):
+        collection = tiny_opendata.collection
+        inverted = InvertedIndex(collection)
+        table = token_table_for(collection)
+        csr = inverted.columnar(table)
+        assert inverted.columnar(table) is csr  # cached
+        for token_id, token in enumerate(table.tokens):
+            lo, hi = csr.offsets[token_id], csr.offsets[token_id + 1]
+            assert csr.sets[lo:hi].tolist() == inverted.sets_containing(token)
+        sizes = csr.set_sizes()
+        for set_id in collection.ids():
+            assert int(sizes[set_id]) == collection.cardinality(set_id)
+
+
+class TestFastDrain:
+    def test_drain_bitwise_identical_to_heap_drain(self, tiny_opendata):
+        collection = tiny_opendata.collection
+        rng = make_rng(SEED)
+        for alpha in ALPHAS:
+            for query in sample_queries(collection, rng, 6):
+                if not (query & collection.vocabulary) and not any(
+                    tiny_opendata.dataset.provider.covers(t) for t in query
+                ):
+                    continue
+                reference = MaterializedTokenStream.drain(
+                    query,
+                    tiny_opendata.index,
+                    alpha,
+                    collection_vocabulary=collection.vocabulary,
+                )
+                columnar = fast_drain(
+                    query,
+                    tiny_opendata.index,
+                    alpha,
+                    vocabulary=collection.vocabulary,
+                )
+                assert list(columnar) == list(reference), (alpha, len(query))
+
+
+class TestRestrict:
+    def test_restriction_matches_filter(self, tiny_opendata):
+        collection = tiny_opendata.collection
+        sets = [collection[0], collection[1]]
+        union = frozenset().union(*sets)
+        engine = tiny_opendata.engine(alpha=0.7)
+        stream = engine.drain(union)
+        for wanted in sets:
+            restricted = stream.restrict(frozenset(wanted))
+            expected = [t for t in stream if t[0] in wanted]
+            assert list(restricted) == expected
+            assert restricted.query_tokens == frozenset(wanted)
+
+    def test_restriction_slices_cached_columns(self, tiny_opendata):
+        collection = tiny_opendata.collection
+        union = frozenset(collection[0]) | frozenset(collection[1])
+        engine = tiny_opendata.engine(alpha=0.7)
+        stream = engine.drain(union)
+        table = token_table_for(collection)
+        stream.columns(table, sorted(union))  # populate the cache
+        wanted = frozenset(collection[0])
+        restricted = stream.restrict(wanted)
+        q_col, t_col, s_col = restricted.columns(table, sorted(wanted))
+        sub_query = sorted(wanted)
+        for (q_token, token, sim), qi, ti, s in zip(
+            restricted, q_col.tolist(), t_col.tolist(), s_col.tolist()
+        ):
+            assert sub_query[qi] == q_token
+            assert table.token_at(ti) == token
+            assert s == sim
+
+    def test_superset_restriction_returns_self(self, tiny_opendata):
+        query = frozenset(tiny_opendata.collection[0])
+        stream = tiny_opendata.engine(alpha=0.7).drain(query)
+        assert stream.restrict(query) is stream
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("name", sorted(ABLATIONS))
+    def test_ablation_bitwise_equal(self, tiny_opendata, name):
+        config = ABLATIONS[name]
+        collection = tiny_opendata.collection
+        reference = tiny_opendata.engine(
+            alpha=0.8, config=config.without(engine="reference")
+        )
+        columnar = tiny_opendata.engine(
+            alpha=0.8, config=config.without(engine="columnar")
+        )
+        rng = make_rng(SEED + 1)
+        for alpha in ALPHAS:
+            for query in sample_queries(collection, rng, 5):
+                assert_bitwise_equal(
+                    columnar.search(query, K, alpha=alpha),
+                    reference.search(query, K, alpha=alpha),
+                    (name, alpha, sorted(query)[:3]),
+                )
+
+    def test_partitioned_engines_bitwise_equal(self, tiny_opendata):
+        collection = tiny_opendata.collection
+        reference = tiny_opendata.engine(
+            alpha=0.8,
+            num_partitions=3,
+            config=FilterConfig.koios(engine="reference"),
+        )
+        columnar = tiny_opendata.engine(
+            alpha=0.8,
+            num_partitions=3,
+            config=FilterConfig.koios(engine="columnar"),
+        )
+        rng = make_rng(SEED + 2)
+        for query in sample_queries(collection, rng, 5):
+            assert_bitwise_equal(
+                columnar.search(query, K),
+                reference.search(query, K),
+                sorted(query)[:3],
+            )
+
+    def test_all_oov_query(self, tiny_opendata):
+        """An entirely out-of-vocabulary query exercises the columnar
+        empty-stream path."""
+        columnar = tiny_opendata.engine(
+            alpha=0.8, config=FilterConfig.koios(engine="columnar")
+        )
+        result = columnar.search({"totally_oov_token"}, K)
+        assert result.entries == []
+        assert result.stats.consistency_ok()
+
+    def test_stats_partition_identically(self, tiny_opendata):
+        """Pruning/resolution counters are exact in the columnar engine
+        (edge counters are trajectory-based and may exceed the
+        reference's, which stops probing pruned candidates)."""
+        reference = tiny_opendata.engine(
+            alpha=0.8, config=FilterConfig.koios(engine="reference")
+        )
+        columnar = tiny_opendata.engine(
+            alpha=0.8, config=FilterConfig.koios(engine="columnar")
+        )
+        query = frozenset(tiny_opendata.collection[3])
+        a = reference.search(query, K).stats
+        b = columnar.search(query, K).stats
+        assert b.consistency_ok()
+        assert b.candidates == a.candidates
+        assert b.pruned_first_sight == a.pruned_first_sight
+        assert b.pruned_bucket == a.pruned_bucket
+        assert b.observed_edges >= a.observed_edges
+
+
+def make_ops(rng, base, count):
+    """>= 100 mixed ops: queries (alternating alphas) and mutations."""
+    live = [base.name_of(i) for i in base.ids()]
+    vocab_pool = sorted(base.vocabulary) + [
+        f"fresh_token_{i}" for i in range(80)
+    ]
+    base_queries = [frozenset(base[i]) for i in base.ids()]
+    ops = []
+    fresh = 0
+    alpha_flip = 0
+    for _ in range(count):
+        roll = rng.random()
+        if roll < 0.5:
+            alpha = ALPHAS[alpha_flip % len(ALPHAS)]
+            alpha_flip += 1
+            if rng.random() < 0.3:
+                size = int(rng.integers(2, 7))
+                query = frozenset(
+                    str(t)
+                    for t in rng.choice(vocab_pool, size=size, replace=False)
+                )
+            else:
+                query = base_queries[int(rng.integers(len(base_queries)))]
+            ops.append(("query", query, alpha))
+        elif roll < 0.75 or len(live) <= 5:
+            name = f"ins_{fresh}"
+            fresh += 1
+            size = int(rng.integers(1, 8))
+            tokens = tuple(
+                str(t)
+                for t in rng.choice(vocab_pool, size=size, replace=False)
+            )
+            ops.append(("insert", name, tokens))
+            live.append(name)
+        elif roll < 0.9:
+            name = str(live.pop(int(rng.integers(len(live)))))
+            ops.append(("delete", name, None))
+        else:
+            name = str(live[int(rng.integers(len(live)))])
+            size = int(rng.integers(1, 8))
+            tokens = tuple(
+                str(t)
+                for t in rng.choice(vocab_pool, size=size, replace=False)
+            )
+            ops.append(("replace", name, tokens))
+    return ops
+
+
+class TestRandomizedPoolEquivalence:
+    def test_sharded_pools_stay_bitwise_equal_under_mutation(
+        self, tiny_opendata
+    ):
+        """The satellite property test: >= 100 randomized ops through
+        two live sharded pools — one per engine — comparing every query
+        bitwise at two alphas."""
+        base = tiny_opendata.collection
+        rng = make_rng(SEED)
+        ops = make_ops(rng, base, OPS)
+        assert len(ops) >= 100
+        assert {op[0] for op in ops} == {
+            "query", "insert", "delete", "replace",
+        }
+
+        pools = {}
+        for engine in ("reference", "columnar"):
+            index, sim = build_substrate(
+                SUBSTRATE, MutableSetCollection(base).vocabulary
+            )
+            pools[engine] = EnginePool(
+                MutableSetCollection(base),
+                index,
+                sim,
+                alpha=0.8,
+                shards=2,
+                config=FilterConfig.koios(engine=engine),
+            )
+        reference, columnar = pools["reference"], pools["columnar"]
+
+        compared = 0
+        for position, op in enumerate(ops):
+            kind = op[0]
+            if kind == "query":
+                _, query, alpha = op
+                assert_bitwise_equal(
+                    columnar.search(query, K, alpha=alpha),
+                    reference.search(query, K, alpha=alpha),
+                    (position, alpha, sorted(query)[:3]),
+                )
+                compared += 1
+            elif kind == "insert":
+                _, name, tokens = op
+                assert columnar.insert(tokens, name=name) == reference.insert(
+                    tokens, name=name
+                )
+            elif kind == "delete":
+                _, name, _ = op
+                assert columnar.delete(name) == reference.delete(name)
+            else:
+                _, name, tokens = op
+                assert columnar.replace(name, tokens) == reference.replace(
+                    name, tokens
+                )
+        assert compared >= 30
+        reference.shutdown()
+        columnar.shutdown()
