@@ -1,25 +1,30 @@
-"""Refinement fast path: columnar engine vs reference engine.
+"""Columnar fast paths vs reference engine: refinement AND verification.
 
 The scenario is the ROADMAP's single-core scale-up item: on a >= 50k
 set repository with WDC-style posting skew and cluster-structured
-similarities, the refinement phase (stream generation + Algorithm 1) is
-the hot path, and its per-tuple Python loop is what PR 3's cluster
-layer was built to spread across processes. The columnar engine
-(:mod:`repro.core.fastpath`) must make that phase multiple times faster
-on one core while returning bitwise-identical results.
+similarities, both phases are hot — the refinement phase (stream
+generation + Algorithm 1) was made 4.6x faster by the columnar
+trajectory engine (:mod:`repro.core.fastpath`), which left the search
+verification-bound: Algorithm 2's per-candidate ``cache_view`` /
+``build_graph`` construction dominated the end-to-end time. The
+columnar verification engine (:mod:`repro.core.fastpath_verify`) builds
+every candidate matrix from one batched matmul per phase and must make
+verification multiple times faster on one core while returning
+bitwise-identical results.
 
 The corpus is built, then the same queries run through two otherwise
 identical engines (``FilterConfig.engine = "reference" | "columnar"``).
 Measured per engine: refinement-phase seconds (drain + Algorithm 1, via
-the phase timer), post-processing seconds, end-to-end wall clock, and
-refinement tuples/second.
+the phase timer), verification seconds (Algorithm 2 + resolution),
+end-to-end wall clock, and refinement tuples/second.
 
 Acceptance gates: bitwise-identical ids/scores/theta_k always; at full
-scale columnar must be >= 3x faster in the refinement phase; in
-``--smoke`` mode (CI) it must not be slower than the reference. Results
-are written to ``BENCH_refinement.json`` (see docs/performance.md for
-the schema) — the repository commits the full-scale run as the first
-point of the performance trajectory.
+scale columnar must be >= 3x faster in refinement, >= 3x faster in
+verification, and >= 2.5x faster end-to-end; in ``--smoke`` mode (CI)
+neither phase may be slower than the reference. Results are written to
+``BENCH_refinement.json`` (see docs/performance.md for the schema) —
+the repository commits the full-scale run as the performance
+trajectory's current point.
 """
 
 from __future__ import annotations
@@ -54,6 +59,8 @@ K = 10
 NUM_QUERIES = 3
 SEED = 17
 REQUIRED_FULL_SPEEDUP = 3.0
+REQUIRED_FULL_VERIFICATION_SPEEDUP = 3.0
+REQUIRED_FULL_END_TO_END_SPEEDUP = 2.5
 OUTPUT = Path(os.environ.get("BENCH_REFINEMENT_OUT", "BENCH_refinement.json"))
 
 
@@ -127,20 +134,25 @@ def run_engine(engine_name, collection, index, sim, queries, *, repeats=1):
             round_postprocessing += result.stats.timer.seconds(POSTPROCESSING)
             tuples += result.stats.stream_tuples
         round_total = time.perf_counter() - started
+        # Per-metric best-of-N: each phase (and the wall clock) takes its
+        # own minimum, so one noisy round on a shared runner cannot trip
+        # a gate for a phase that ran clean in the other round.
         if refinement is None or round_refinement < refinement:
             refinement = round_refinement
+        if postprocessing is None or round_postprocessing < postprocessing:
             postprocessing = round_postprocessing
+        if total is None or round_total < total:
             total = round_total
     metrics = {
         "refinement_seconds": round(refinement, 4),
-        "postprocessing_seconds": round(postprocessing, 4),
+        "verification_seconds": round(postprocessing, 4),
         "total_seconds": round(total, 4),
         "stream_tuples": tuples,
         "tuples_per_second": (
             round(tuples / refinement) if refinement > 0 else None
         ),
     }
-    return outcomes, metrics, refinement, total
+    return outcomes, metrics, (refinement, postprocessing, total)
 
 
 def test_columnar_refinement_speedup(smoke, report):
@@ -153,15 +165,18 @@ def test_columnar_refinement_speedup(smoke, report):
     ]
 
     repeats = 2 if smoke else 1
-    ref_outcomes, ref_metrics, ref_refine, ref_total = run_engine(
+    ref_outcomes, ref_metrics, ref_times = run_engine(
         "reference", collection, index, sim, queries, repeats=repeats
     )
-    col_outcomes, col_metrics, col_refine, col_total = run_engine(
+    col_outcomes, col_metrics, col_times = run_engine(
         "columnar", collection, index, sim, queries, repeats=repeats
     )
 
     identical = ref_outcomes == col_outcomes
+    ref_refine, ref_verify, ref_total = ref_times
+    col_refine, col_verify, col_total = col_times
     refinement_speedup = ref_refine / col_refine if col_refine > 0 else None
+    verification_speedup = ref_verify / col_verify if col_verify > 0 else None
     end_to_end_speedup = ref_total / col_total if col_total > 0 else None
 
     stats = collection.stats()
@@ -182,6 +197,10 @@ def test_columnar_refinement_speedup(smoke, report):
             round(refinement_speedup, 2)
             if refinement_speedup is not None else None
         ),
+        "verification_speedup": (
+            round(verification_speedup, 2)
+            if verification_speedup is not None else None
+        ),
         "end_to_end_speedup": (
             round(end_to_end_speedup, 2)
             if end_to_end_speedup is not None else None
@@ -196,15 +215,16 @@ def test_columnar_refinement_speedup(smoke, report):
         f"{stats.num_unique_elements} tokens, alpha={ALPHA}, "
         f"{len(queries)} queries"
     )
-    report(f"{'engine':<12}{'refine s':>10}{'postproc s':>12}{'total s':>9}")
+    report(f"{'engine':<12}{'refine s':>10}{'verify s':>12}{'total s':>9}")
     for name, metrics in results["engines"].items():
         report(
             f"{name:<12}{metrics['refinement_seconds']:>10.2f}"
-            f"{metrics['postprocessing_seconds']:>12.2f}"
+            f"{metrics['verification_seconds']:>12.2f}"
             f"{metrics['total_seconds']:>9.2f}"
         )
     report(
         f"refinement speedup {results['refinement_speedup']}x, "
+        f"verification {results['verification_speedup']}x, "
         f"end-to-end {results['end_to_end_speedup']}x "
         f"-> {OUTPUT}"
     )
@@ -212,13 +232,26 @@ def test_columnar_refinement_speedup(smoke, report):
 
     assert identical, "columnar results diverged from the reference engine"
     assert refinement_speedup is not None
+    assert verification_speedup is not None
     if smoke:
         assert refinement_speedup >= 1.0, (
             f"columnar refinement slower than reference "
             f"({refinement_speedup:.2f}x) at smoke scale"
         )
+        assert verification_speedup >= 1.0, (
+            f"columnar verification slower than reference "
+            f"({verification_speedup:.2f}x) at smoke scale"
+        )
     else:
         assert refinement_speedup >= REQUIRED_FULL_SPEEDUP, (
             f"columnar refinement only {refinement_speedup:.2f}x faster "
             f"(needs >= {REQUIRED_FULL_SPEEDUP}x)"
+        )
+        assert verification_speedup >= REQUIRED_FULL_VERIFICATION_SPEEDUP, (
+            f"columnar verification only {verification_speedup:.2f}x faster "
+            f"(needs >= {REQUIRED_FULL_VERIFICATION_SPEEDUP}x)"
+        )
+        assert end_to_end_speedup >= REQUIRED_FULL_END_TO_END_SPEEDUP, (
+            f"columnar end-to-end only {end_to_end_speedup:.2f}x faster "
+            f"(needs >= {REQUIRED_FULL_END_TO_END_SPEEDUP}x)"
         )

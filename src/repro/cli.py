@@ -521,9 +521,9 @@ def _add_substrate_arguments(parser: argparse.ArgumentParser) -> None:
         "--engine",
         default="columnar",
         choices=["columnar", "reference"],
-        help="refinement engine: the vectorized columnar fast path "
-        "(default) or the per-tuple reference loop (both return "
-        "bitwise-identical results)",
+        help="search engine for refinement AND verification: the "
+        "vectorized columnar fast paths (default) or the per-candidate "
+        "reference loops (both return bitwise-identical results)",
     )
 
 

@@ -43,7 +43,7 @@ from __future__ import annotations
 
 import multiprocessing
 import threading
-from typing import Any, Hashable, Iterable
+from typing import Any, Hashable, Iterable, Sequence
 
 from repro.cluster.messages import (
     OP_METRICS,
@@ -206,6 +206,11 @@ class ClusterPool:
         this many partitions (same layout as ``EnginePool(shards=workers)``).
     shards:
         Engines *per worker* (each worker subdivides its partition).
+    worker_configs:
+        One :class:`FilterConfig` per worker, overriding ``config``
+        worker by worker — engine A/B rollouts and the differential
+        harness's mixed-engine fleets use this; results are identical
+        whichever worker serves a partition.
     snapshot_path:
         When given, workers bootstrap by loading this snapshot instead
         of receiving the collection through the spawn pickle — the fast
@@ -238,6 +243,7 @@ class ClusterPool:
         shards: int = 1,
         shard_seed: int = 0,
         config: FilterConfig | None = None,
+        worker_configs: Sequence[FilterConfig] | None = None,
         snapshot_path: str | None = None,
         substrate: dict[str, Any] | None = None,
         bootstrap_records: Iterable[Any] | None = None,
@@ -247,6 +253,10 @@ class ClusterPool:
     ) -> None:
         if workers < 1:
             raise InvalidParameterError("workers must be >= 1")
+        if worker_configs is not None and len(worker_configs) != workers:
+            raise InvalidParameterError(
+                "worker_configs must name one FilterConfig per worker"
+            )
         if shards < 1:
             raise InvalidParameterError("shards must be >= 1")
         if not (0.0 < alpha <= 1.0):
@@ -267,6 +277,9 @@ class ClusterPool:
         self._shards = shards
         self._shard_seed = shard_seed
         self._config = config
+        self._worker_configs = (
+            None if worker_configs is None else tuple(worker_configs)
+        )
         self._substrate = substrate
         self._request_timeout = request_timeout
         self._lock = threading.RLock()
@@ -327,13 +340,19 @@ class ClusterPool:
     # -- spec / replication internals --------------------------------------
 
     def _make_spec(self, worker_id: int) -> WorkerSpec:
+        # Per-worker configs (engine A/B rollouts, the differential
+        # harness's mixed-engine fleet) override the fleet default; the
+        # engines guarantee bitwise-identical results either way.
+        config = self._config
+        if self._worker_configs is not None:
+            config = self._worker_configs[worker_id]
         return WorkerSpec(
             worker_id=worker_id,
             num_workers=self._num_workers,
             shards=self._shards,
             shard_seed=self._shard_seed,
             alpha=self._alpha,
-            config=self._config,
+            config=config,
             snapshot_path=self._snapshot_path,
             sets=self._base_sets,
             names=self._base_names,

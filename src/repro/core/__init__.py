@@ -5,6 +5,10 @@ partitioned facade, filter configuration, and search statistics)."""
 from repro.core.bounds import PAPER, SAFE, CandidateState
 from repro.core.buckets import BucketStore
 from repro.core.config import FilterConfig
+from repro.core.fastpath_verify import (
+    ColumnarVerifier,
+    supports_columnar_verify,
+)
 from repro.core.koios import KoiosSearchEngine, ResultEntry, SearchResult
 from repro.core.many_to_one import ManyToOneSearchEngine
 from repro.core.postprocessing import VerifiedEntry, postprocess
@@ -25,6 +29,7 @@ __all__ = [
     "SAFE",
     "BucketStore",
     "CandidateState",
+    "ColumnarVerifier",
     "FilterConfig",
     "GlobalThreshold",
     "KoiosSearchEngine",
@@ -45,5 +50,6 @@ __all__ = [
     "semantic_overlap",
     "semantic_overlap_many_to_one",
     "semantic_overlap_matching",
+    "supports_columnar_verify",
     "vanilla_overlap",
 ]

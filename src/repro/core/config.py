@@ -60,12 +60,17 @@ class FilterConfig:
         stopping once the top-k upper bounds are settled — the
         behaviour of the paper's Baseline and Baseline+ (§VIII-A4).
     engine:
-        ``"columnar"`` (default) runs refinement through the vectorized
-        struct-of-arrays engine of :mod:`repro.core.fastpath`;
-        ``"reference"`` runs the per-tuple loop of
-        :mod:`repro.core.refinement`. Both apply the same lemmas and
-        return bitwise-identical results; the reference engine is kept
-        as the readable oracle the fast path is tested against.
+        ``"columnar"`` (default) runs *both* phases through the
+        vectorized fast paths: refinement via the struct-of-arrays
+        engine of :mod:`repro.core.fastpath` and verification via the
+        batched-matmul matrix builder of
+        :mod:`repro.core.fastpath_verify` (when the similarity is
+        embedding-backed). ``"reference"`` runs the per-tuple loop of
+        :mod:`repro.core.refinement` and the per-candidate matrix
+        construction of :mod:`repro.core.postprocessing`. Both apply
+        the same lemmas and return bitwise-identical results; the
+        reference engine is kept as the readable oracle the fast paths
+        are differentially tested against.
     """
 
     use_first_sight_ub: bool = True

@@ -53,8 +53,11 @@ stream generation: instead of the heap-merged per-tuple release of
 similarity block comes from one matrix-vector product
 (:meth:`~repro.index.vector_index.ExactCosineIndex.probe_similarities`
 — numerically the identical float32 computation), is filtered against
-``alpha`` and the collection vocabulary as arrays, and the merged
-stream is one stable descending argsort.
+``alpha`` and the collection vocabulary as arrays, and the blocks are
+merged by an exact simulation of the reference heap's push-counter
+tiebreak (NOT a plain argsort — equal similarities across query
+elements must pop in the reference's insertion order to keep the
+stream bitwise-identical).
 """
 
 from __future__ import annotations

@@ -26,6 +26,10 @@ from repro.core.fastpath import (
     refine_columnar,
     sim_cache_from_stream,
 )
+from repro.core.fastpath_verify import (
+    ColumnarVerifier,
+    supports_columnar_verify,
+)
 from repro.core.postprocessing import (
     VerifiedEntry,
     cache_view,
@@ -445,6 +449,15 @@ class KoiosSearchEngine:
         stats.memory.measure("candidate_states", output.survivors)
         stats.memory.measure("similarity_cache", output.sim_cache)
         stats.memory.measure("topk_lb_list", llb)
+        # The columnar engine covers both phases: verification matrices
+        # come from one batched matmul per partition instead of
+        # per-candidate cache_view/build_graph calls. Similarities
+        # without an embedding matrix keep the reference verify path.
+        verifier = None
+        if columnar_ctx is not None and supports_columnar_verify(self._sim):
+            verifier = ColumnarVerifier(
+                query, self._collection, columnar_ctx[0], self._sim, alpha
+            )
         with stats.timer.phase(POSTPROCESSING):
             entries = postprocess(
                 query,
@@ -460,6 +473,7 @@ class KoiosSearchEngine:
                 cache_by_token=cache_by_token,
                 em_workers=self._em_workers,
                 deadline=deadline,
+                verifier=verifier,
             )
         return entries
 

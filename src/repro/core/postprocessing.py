@@ -126,6 +126,7 @@ def postprocess(
     cache_by_token: dict[str, list[tuple[str, float]]] | None = None,
     em_workers: int = 0,
     deadline: float | None = None,
+    verifier=None,
 ) -> list[VerifiedEntry]:
     """Run Algorithm 2 over one partition's surviving candidates.
 
@@ -143,6 +144,18 @@ def postprocess(
         Absolute ``time.perf_counter()`` deadline; exceeding it raises
         :class:`~repro.errors.SearchTimeout` (the facade converts that
         into a partial, flagged result — the paper's "timed-out query").
+        The deadline is threaded into the matchings themselves (the
+        solver re-reads its bound callable after every labeling update),
+        so a single slow Hungarian run — including ones on pooled
+        workers — aborts promptly instead of overshooting the budget by
+        a whole batch.
+    verifier:
+        Optional :class:`~repro.core.fastpath_verify.ColumnarVerifier`.
+        When given, candidate weight matrices come from its shared
+        batched-matmul block instead of per-candidate ``cache_view`` +
+        ``build_graph`` calls; the pruning schedule below is untouched
+        either way, which is what keeps the two verification engines
+        bitwise-identical.
 
     Returns the partition's (at most k) result sets in descending
     score/bound order.
@@ -155,6 +168,8 @@ def postprocess(
     )
     if cache_by_token is None:
         cache_by_token = index_cache_by_token(sim_cache)
+    if verifier is not None:
+        verifier.prepare(survivors, cache_by_token)
     lower: dict[int, float] = {
         sid: state.lower_bound for sid, state in survivors.items()
     }
@@ -171,9 +186,13 @@ def postprocess(
     bound_reader: Callable[[], float] | None = None
     if config.use_em_early_termination:
         bound_reader = lambda: theta.value  # noqa: E731 — live threshold
+    if deadline is not None:
+        bound_reader = _deadline_bound(bound_reader, deadline)
 
     def verify(set_id: int):
         """One Hungarian run against the live threshold."""
+        if verifier is not None:
+            return set_id, verifier.match(set_id, bound_reader)
         result, _, _ = semantic_overlap_matching(
             query,
             collection[set_id],
@@ -229,7 +248,31 @@ def postprocess(
     # them in the No-EM column, and so do we.
     stats.no_em_discarded += len(ledger) - len(checked)
     stats.memory.measure("postproc_upper_bounds", ledger)
+    if verifier is not None:
+        stats.memory.record("verify_weight_block", verifier.nbytes())
     return _final_entries(ledger, lower, exact, checked, k)
+
+
+def _deadline_bound(
+    base: Callable[[], float] | None, deadline: float
+) -> Callable[[], float | None]:
+    """Wrap the early-termination bound with the phase deadline.
+
+    The solver re-reads its bound after every labeling update, so
+    checking the clock there bounds how far a single matching can
+    overshoot the budget — previously the deadline was only polled
+    between batches, and one slow Hungarian run could blow far past it.
+    Returning ``None`` (no early termination configured) keeps the
+    solver's pruning behaviour unchanged; the wrapper only adds the
+    timeout side-channel.
+    """
+
+    def read() -> float | None:
+        if time.perf_counter() > deadline:
+            raise SearchTimeout("post-processing exceeded its budget")
+        return None if base is None else base()
+
+    return read
 
 
 def index_cache_by_token(

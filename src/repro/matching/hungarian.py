@@ -59,6 +59,26 @@ class MatchingResult:
     label_updates: int = 0
 
 
+def initial_label_sum(weights: np.ndarray) -> float:
+    """Label sum of the canonical initial feasible labeling (row maxima).
+
+    Computed exactly as :func:`hungarian_matching` computes it before its
+    first labeling update — the row maxima of the zero-padded square
+    matrix, summed over the padded length — so the returned float is
+    bitwise-identical to the ``label_sum`` a run on ``weights`` starts
+    from. The columnar verification engine uses this to apply the
+    Lemma-8 initial check without paying for the padded matrix.
+    """
+    num_rows, num_cols = weights.shape
+    size = max(num_rows, num_cols)
+    labels = np.zeros(size, dtype=np.float64)
+    if num_rows and num_cols:
+        # Weights are non-negative, so the padded row maxima equal the
+        # raw row maxima; padding rows stay 0.
+        labels[:num_rows] = weights.max(axis=1)
+    return float(labels.sum())
+
+
 def hungarian_matching(
     weights: np.ndarray,
     *,

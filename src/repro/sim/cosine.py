@@ -55,17 +55,27 @@ class CosineSimilarity(SimilarityFunction):
             return 0.0
         return float(max(0.0, np.dot(vec_a, vec_b)))
 
+    def unit_rows(self, tokens: Sequence[str]) -> np.ndarray:
+        """Stacked unit vectors for ``tokens`` (shared zero row for OOV).
+
+        This is exactly the embedding-matrix construction of
+        :meth:`matrix`; the columnar verification engine
+        (:mod:`repro.core.fastpath_verify`) calls it once per phase to
+        build every candidate's weight matrix from one batched matmul,
+        and gates on this method to know the similarity is
+        embedding-backed.
+        """
+        zero = self._zero
+        unit = self._unit_vector
+        return np.stack(
+            [v if (v := unit(t)) is not None else zero for t in tokens]
+        )
+
     def matrix(self, rows: Sequence[str], cols: Sequence[str]) -> np.ndarray:
         """Vectorized similarity matrix with the identical-token and OOV
         rules applied."""
-        zero = self._zero
-        unit = self._unit_vector
-        row_matrix = np.stack(
-            [v if (v := unit(t)) is not None else zero for t in rows]
-        )
-        col_matrix = np.stack(
-            [v if (v := unit(t)) is not None else zero for t in cols]
-        )
+        row_matrix = self.unit_rows(rows)
+        col_matrix = self.unit_rows(cols)
         out = np.clip(row_matrix @ col_matrix.T, 0.0, 1.0).astype(np.float64)
         col_index = {}
         for j, token in enumerate(cols):

@@ -86,3 +86,65 @@ def test_columnar_cluster_matches_reference_pool(base_collection):
             compared += 1
         assert compared >= 20
     reference.shutdown()
+
+
+def test_mixed_engine_workers_match_reference_pool(base_collection):
+    """The differential harness's cluster leg: a fleet whose workers run
+    *different* engines — worker 0 columnar (fast refinement AND fast
+    verification), worker 1 reference — must still serve bytes identical
+    to a single-process reference pool, queries interleaved with
+    mutations. Partition placement therefore cannot leak engine choice."""
+    rng = make_rng(SEED + 1)
+    queries = [frozenset(base_collection[i]) for i in base_collection.ids()]
+
+    index, sim = substrate_from_descriptor(
+        SUBSTRATE, base_collection.vocabulary
+    )
+    cluster_index, cluster_sim = substrate_from_descriptor(
+        SUBSTRATE, base_collection.vocabulary
+    )
+    reference = EnginePool(
+        MutableSetCollection(base_collection),
+        index,
+        sim,
+        alpha=0.8,
+        shards=WORKERS,
+        config=FilterConfig.koios(engine="reference"),
+    )
+    with ClusterPool(
+        MutableSetCollection(base_collection),
+        cluster_index,
+        cluster_sim,
+        alpha=0.8,
+        workers=WORKERS,
+        substrate=SUBSTRATE,
+        worker_configs=[
+            FilterConfig.koios(engine="columnar"),
+            FilterConfig.koios(engine="reference"),
+        ],
+    ) as cluster:
+        compared = 0
+        for step in range(16):
+            if step % 6 == 5:
+                tokens = tuple(
+                    str(t)
+                    for t in rng.choice(
+                        sorted(base_collection.vocabulary), size=4,
+                        replace=False,
+                    )
+                ) + (f"mixed_fresh_{step}",)
+                name = f"mixed_mut_{step}"
+                assert cluster.insert(tokens, name=name) == reference.insert(
+                    tokens, name=name
+                )
+                continue
+            alpha = ALPHAS[step % len(ALPHAS)]
+            query = queries[int(rng.integers(len(queries)))]
+            got = cluster.search(query, K, alpha=alpha)
+            expected = reference.search(query, K, alpha=alpha)
+            assert got.ids() == expected.ids(), (step, alpha)
+            assert got.scores() == expected.scores(), (step, alpha)
+            assert got.theta_k == expected.theta_k, (step, alpha)
+            compared += 1
+        assert compared >= 12
+    reference.shutdown()

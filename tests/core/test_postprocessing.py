@@ -1,16 +1,24 @@
 """Tests for Algorithm 2 (post-processing) on controlled inputs."""
 
+import heapq
 import time
 
+import numpy as np
 import pytest
 
 from repro.core import FilterConfig, SearchStats, ThetaLB, TopKList
 from repro.core.bounds import CandidateState
-from repro.core.postprocessing import postprocess
+from repro.core.postprocessing import (
+    _UpperBoundLedger,
+    _final_entries,
+    _peek_unchecked,
+    postprocess,
+)
 from repro.datasets import SetCollection
 from repro.embedding import PinnedSimilarityModel
 from repro.errors import SearchTimeout
 from repro.sim import CallableSimilarity
+from repro.sim.base import SimilarityFunction
 
 
 def survivor(set_id, members, query, lower, upper):
@@ -181,6 +189,78 @@ class TestParallelVerification:
             assert s.score == pytest.approx(p.score)
 
 
+class _SeededDenseSim(SimilarityFunction):
+    """A deterministic dense similarity over ``t<i>`` tokens.
+
+    Every pair scores in [0.7, 1.0) from a seeded table, making the
+    Hungarian matching of two large sets genuinely slow (many labeling
+    updates) while the matrix itself builds in microseconds — the shape
+    that isolates the in-matching deadline check.
+    """
+
+    def __init__(self, size: int, seed: int = 7) -> None:
+        rng = np.random.default_rng(seed)
+        table = 0.7 + 0.3 * rng.random((size, size))
+        self._table = np.minimum(table, table.T)
+
+    def _index(self, token: str) -> int:
+        return int(token[1:])
+
+    def score(self, a: str, b: str) -> float:
+        if a == b:
+            return 1.0
+        return float(self._table[self._index(a), self._index(b)])
+
+    def matrix(self, rows, cols):
+        r = [self._index(t) for t in rows]
+        c = [self._index(t) for t in cols]
+        out = self._table[np.ix_(r, c)].astype(np.float64)
+        for i, a in enumerate(rows):
+            for j, b in enumerate(cols):
+                if a == b:
+                    out[i, j] = 1.0
+        return out
+
+
+def _slow_matching_inputs(num_candidates: int, side: int = 700):
+    """One query and ``num_candidates`` disjoint large candidates whose
+    verifications each take a macroscopic amount of time."""
+    universe = 2 * side
+    query = {f"t{i}" for i in range(0, side)}
+    sets = [
+        {f"t{i}" for i in range(side, side + side)}
+        for _ in range(num_candidates)
+    ]
+    sim = _SeededDenseSim(universe + 1)
+    collection = SetCollection(sets)
+    survivors = {
+        set_id: survivor(
+            set_id, collection[set_id], frozenset(query), 0.0, float(side)
+        )
+        for set_id in range(num_candidates)
+    }
+    return frozenset(query), collection, sim, survivors
+
+
+def _run_slow_post(query, collection, sim, survivors, *, em_workers=0,
+                   deadline=None):
+    stats = SearchStats()
+    stats.candidates = len(survivors)
+    return postprocess(
+        query,
+        collection,
+        dict(survivors),
+        sim,
+        0.7,
+        1,
+        ThetaLB(TopKList(1)),
+        stats,
+        FilterConfig.koios().without(use_no_em=False),
+        em_workers=em_workers,
+        deadline=deadline,
+    )
+
+
 class TestDeadline:
     def test_expired_deadline_raises(self):
         sets = [{"a"}, {"b"}]
@@ -190,6 +270,147 @@ class TestDeadline:
                 {"a", "b"}, sets, {}, bounds, k=1,
                 deadline=time.perf_counter() - 1.0,
             )
+
+    def test_deadline_aborts_inside_one_matching(self):
+        """The regression the granularity fix pins: the deadline is
+        re-read inside the Hungarian run (after every labeling update),
+        so a single slow matching aborts promptly instead of completing
+        and only then noticing the blown budget at the batch boundary."""
+        inputs = _slow_matching_inputs(1)
+        started = time.perf_counter()
+        _run_slow_post(*inputs)
+        full_run = time.perf_counter() - started
+        assert full_run > 0.05, "calibration: matching must be slow"
+
+        started = time.perf_counter()
+        with pytest.raises(SearchTimeout):
+            _run_slow_post(*inputs, deadline=time.perf_counter() + 0.01)
+        aborted = time.perf_counter() - started
+        assert aborted < full_run / 2, (aborted, full_run)
+
+    def test_deadline_aborts_pooled_workers_promptly(self):
+        """With ``em_workers > 1`` the deadline travels into every
+        worker's bound callable: a whole in-flight batch aborts without
+        any worker finishing its matching."""
+        inputs = _slow_matching_inputs(4)
+        started = time.perf_counter()
+        _run_slow_post(*inputs, em_workers=4)
+        full_run = time.perf_counter() - started
+
+        started = time.perf_counter()
+        with pytest.raises(SearchTimeout):
+            _run_slow_post(
+                *inputs, em_workers=4, deadline=time.perf_counter() + 0.01
+            )
+        aborted = time.perf_counter() - started
+        assert aborted < full_run / 2, (aborted, full_run)
+
+    def test_deadline_checked_without_early_termination(self):
+        """Even with the Lemma-8 filter ablated the bound callable still
+        carries the deadline (and still never prunes)."""
+        query, collection, sim, survivors = _slow_matching_inputs(1)
+        stats = SearchStats()
+        stats.candidates = len(survivors)
+        with pytest.raises(SearchTimeout):
+            postprocess(
+                query,
+                collection,
+                dict(survivors),
+                sim,
+                0.7,
+                1,
+                ThetaLB(TopKList(1)),
+                stats,
+                FilterConfig.koios().without(
+                    use_no_em=False, use_em_early_termination=False
+                ),
+                deadline=time.perf_counter() + 0.01,
+            )
+
+
+class TestUpperBoundLedger:
+    def build(self, bounds, k=2):
+        return _UpperBoundLedger(bounds, k)
+
+    def test_theta_ub_with_fewer_than_k_alive(self):
+        ledger = self.build({1: 0.9}, k=2)
+        assert ledger.theta_ub() == 0.0
+        ledger.remove(1)
+        assert ledger.theta_ub() == 0.0
+        assert len(ledger) == 0
+
+    def test_duplicate_float_bounds_remove_one_instance(self):
+        ledger = self.build({1: 0.5, 2: 0.5, 3: 0.5}, k=2)
+        assert ledger.theta_ub() == 0.5
+        ledger.remove(2)
+        assert len(ledger) == 2
+        assert ledger.value(1) == 0.5
+        assert ledger.value(3) == 0.5
+        assert ledger.theta_ub() == 0.5
+        ledger.remove(1)
+        assert ledger.theta_ub() == 0.0  # one alive < k
+
+    def test_lower_to_with_duplicates_keeps_sorted_consistent(self):
+        ledger = self.build({1: 0.8, 2: 0.8, 3: 0.6}, k=3)
+        ledger.lower_to(1, 0.6)
+        assert ledger.value(1) == 0.6
+        assert ledger.value(2) == 0.8
+        assert ledger.theta_ub() == 0.6
+        ledger.lower_to(2, 0.1)
+        assert ledger.theta_ub() == 0.1
+        assert sorted(
+            ledger.value(s) for s in ledger.alive_ids()
+        ) == [0.1, 0.6, 0.6]
+
+    def test_peek_skips_stale_heap_entries_after_lower_to(self):
+        ledger = self.build({1: 0.9, 2: 0.7, 3: 0.5}, k=2)
+        heap = [(-ledger.value(s), s) for s in ledger.alive_ids()]
+        heapq.heapify(heap)
+        ledger.lower_to(1, 0.2)  # heap's (-0.9, 1) entry is now stale
+        set_id, upper = _peek_unchecked(heap, ledger, checked=set())
+        assert (set_id, upper) == (2, 0.7)
+        # The stale entry was dropped, not requeued: 1 is only visible
+        # at its *current* bound once re-pushed by the caller.
+        heapq.heappush(heap, (-0.2, 1))
+        heapq.heappop(heap)  # consume (2, 0.7)
+        set_id, upper = _peek_unchecked(heap, ledger, checked=set())
+        assert (set_id, upper) == (3, 0.5)
+
+    def test_peek_skips_removed_and_checked(self):
+        ledger = self.build({1: 0.9, 2: 0.7}, k=1)
+        heap = [(-ledger.value(s), s) for s in ledger.alive_ids()]
+        heapq.heapify(heap)
+        ledger.remove(1)
+        set_id, upper = _peek_unchecked(heap, ledger, checked={2})
+        assert set_id is None
+        assert upper == 0.0
+        assert heap == []
+
+
+class TestFinalEntriesTieBreaking:
+    def test_checked_sets_win_ties_then_lower_ids(self):
+        ledger = _UpperBoundLedger({1: 0.8, 2: 0.8, 3: 0.8}, k=2)
+        lower = {1: 0.3, 2: 0.4, 3: 0.4}
+        # 3 is checked (exact), 1 and 2 tie unchecked at the same bound:
+        # the checked set enters first, then the lower id.
+        entries = _final_entries(
+            ledger, lower, exact={3: 0.8}, checked={3}, k=2
+        )
+        assert [e.set_id for e in entries] == [3, 1]
+        assert entries[0].exact and entries[0].score == 0.8
+        assert not entries[1].exact and entries[1].score == 0.3
+
+    def test_output_sorted_by_score_then_id(self):
+        ledger = _UpperBoundLedger({5: 0.9, 2: 0.9, 7: 0.9}, k=3)
+        lower = {5: 0.9, 2: 0.9, 7: 0.9}
+        entries = _final_entries(
+            ledger,
+            lower,
+            exact={5: 0.9, 2: 0.9, 7: 0.9},
+            checked={5, 2, 7},
+            k=3,
+        )
+        assert [e.set_id for e in entries] == [2, 5, 7]
 
 
 class TestStatsAttribution:

@@ -1,0 +1,299 @@
+"""The verification engines' differential-testing harness.
+
+Algorithm 2 has two implementations: the reference per-candidate loop
+(``cache_view`` + ``build_graph`` + solver) and the columnar fast path
+(one batched matmul per phase, column-gather matrices, the same solver)
+— see :mod:`repro.core.fastpath_verify`. Exactness bugs in the
+Hungarian/pruning interplay are subtle, so the fast path is pinned to
+the reference oracle by a randomized sweep: >= 10 seeds x 2 alphas x
+the ablation grid over ``use_no_em`` / ``use_em_early_termination`` /
+``exhaustive_verification`` / ``em_workers in {0, 4}``, asserting
+bitwise-identical result entries (unresolved, i.e. raw
+``VerifiedEntry`` content), stats counters, and ``theta_lb``
+trajectories, plus a direct ``postprocess``-level comparison of
+``VerifiedEntry`` lists with and without the injected verifier.
+
+Two counters are compared only in sequential cells (``em_workers=0``):
+``em_full`` / ``em_early_terminated`` / ``em_label_updates`` read the
+*live* ``theta_lb`` from worker threads, so their split is
+timing-dependent by design when verifications overlap (their sum — the
+sets that entered a matching — stays deterministic and is always
+asserted). ``observed_edges`` / ``discarded_edges`` differ between
+*refinement* engines by design (trajectory-based counting) and are out
+of scope here.
+
+The cluster leg of the harness — a fleet mixing verification engines
+across workers against a single-engine pool — lives in
+``tests/cluster/test_engine_equivalence.py`` next to the cluster
+fixtures.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core import FilterConfig, GlobalThreshold, SearchStats, ThetaLB, TopKList
+from repro.core.fastpath_verify import (
+    ColumnarVerifier,
+    supports_columnar_verify,
+)
+from repro.core.postprocessing import postprocess
+from repro.core.refinement import refine
+from repro.index import InvertedIndex, token_table_for
+from repro.utils.rng import make_rng
+
+K = 10
+ALPHAS = (0.7, 0.9)
+SEEDS = range(10)
+
+#: The satellite's ablation grid: every combination of the three
+#: verification filters, each at both worker widths.
+GRID = [
+    {
+        "use_no_em": no_em,
+        "use_em_early_termination": early,
+        "exhaustive_verification": exhaustive,
+    }
+    for no_em, early, exhaustive in itertools.product(
+        (True, False), repeat=3
+    )
+]
+EM_WORKERS = (0, 4)
+
+#: Counters that must agree bitwise between engines. The edge counters
+#: are excluded (trajectory-based in the columnar refinement engine);
+#: the EM-split counters are excluded only in threaded cells (see
+#: module docstring) but their sum is always compared.
+SEQUENTIAL_COUNTERS = (
+    "stream_tuples",
+    "candidates",
+    "pruned_first_sight",
+    "pruned_bucket",
+    "bucket_moves",
+    "no_em_accepted",
+    "no_em_discarded",
+    "em_early_terminated",
+    "em_full",
+    "em_label_updates",
+    "resolution_em",
+)
+THREADED_EXEMPT = {"em_early_terminated", "em_full", "em_label_updates"}
+
+
+class RecordingThreshold(GlobalThreshold):
+    """A shared threshold that logs every published ``theta_lb``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.trajectory: list[tuple[float, float]] = []
+
+    def raise_to(self, candidate: float) -> float:
+        value = super().raise_to(candidate)
+        self.trajectory.append((candidate, value))
+        return value
+
+
+def sweep_queries(collection, seed):
+    """One deterministic query per seed, alternating between an existing
+    set and a random vocabulary mix (occasionally with an
+    out-of-vocabulary token) so both query shapes cover every cell."""
+    rng = make_rng(1000 + seed)
+    base = frozenset(collection[int(rng.integers(len(collection)))])
+    vocab = sorted(collection.vocabulary)
+    size = int(rng.integers(3, 8))
+    mixed = frozenset(
+        str(t) for t in rng.choice(vocab, size=size, replace=False)
+    )
+    if seed % 3 == 0:
+        mixed = mixed | {f"oov_sweep_{seed}"}
+    return (base,) if seed % 2 else (mixed,)
+
+
+def counters_of(stats: SearchStats) -> dict[str, int]:
+    return {name: getattr(stats, name) for name in SEQUENTIAL_COUNTERS}
+
+
+def entry_tuple(entry):
+    return (
+        entry.set_id,
+        entry.score,
+        entry.exact,
+        entry.lower_bound,
+        entry.upper_bound,
+    )
+
+
+@pytest.fixture(scope="module")
+def engines(tiny_opendata):
+    """One warm engine per (grid cell, em_workers, engine) triple."""
+    built = {}
+    for cell, workers, engine in itertools.product(
+        range(len(GRID)), EM_WORKERS, ("reference", "columnar")
+    ):
+        config = FilterConfig.koios(engine=engine).without(**GRID[cell])
+        built[cell, workers, engine] = tiny_opendata.engine(
+            alpha=0.8, config=config, em_workers=workers
+        )
+    return built
+
+
+class TestDifferentialSweep:
+    @pytest.mark.parametrize("workers", EM_WORKERS)
+    @pytest.mark.parametrize("cell", range(len(GRID)))
+    def test_grid_cell_bitwise_across_seeds(
+        self, tiny_opendata, engines, cell, workers
+    ):
+        reference = engines[cell, workers, "reference"]
+        columnar = engines[cell, workers, "columnar"]
+        assert supports_columnar_verify(tiny_opendata.sim)
+        compared = 0
+        for seed in SEEDS:
+            for alpha in ALPHAS:
+                for query in sweep_queries(tiny_opendata.collection, seed):
+                    context = (cell, workers, seed, alpha, sorted(query)[:3])
+                    ref_theta = RecordingThreshold()
+                    col_theta = RecordingThreshold()
+                    # resolve_scores=False keeps No-EM accepts unresolved,
+                    # i.e. the entries are the raw VerifiedEntry content.
+                    expected = reference.search(
+                        query,
+                        K,
+                        alpha=alpha,
+                        resolve_scores=False,
+                        shared_threshold=ref_theta,
+                    )
+                    got = columnar.search(
+                        query,
+                        K,
+                        alpha=alpha,
+                        resolve_scores=False,
+                        shared_threshold=col_theta,
+                    )
+                    assert [entry_tuple(e) for e in got.entries] == [
+                        entry_tuple(e) for e in expected.entries
+                    ], context
+                    assert got.theta_k == expected.theta_k, context
+                    assert (
+                        col_theta.trajectory == ref_theta.trajectory
+                    ), context
+                    mine = counters_of(got.stats)
+                    theirs = counters_of(expected.stats)
+                    assert (
+                        mine["em_early_terminated"] + mine["em_full"]
+                        == theirs["em_early_terminated"] + theirs["em_full"]
+                    ), context
+                    if workers > 1:
+                        for name in THREADED_EXEMPT:
+                            mine.pop(name)
+                            theirs.pop(name)
+                    assert mine == theirs, context
+                    compared += 1
+        assert compared == len(SEEDS) * len(ALPHAS)
+
+
+class TestPostprocessLevelDifferential:
+    def test_verified_entry_lists_bitwise_identical(self, tiny_opendata):
+        """Drive ``postprocess`` directly — same survivors, same theta
+        state — with and without the injected columnar verifier and
+        compare the produced ``VerifiedEntry`` lists field by field."""
+        collection = tiny_opendata.collection
+        engine = tiny_opendata.engine(alpha=0.8)
+        inverted = InvertedIndex(collection)
+        table = token_table_for(collection)
+        rng = make_rng(7)
+        compared_entries = 0
+        for seed in range(6):
+            query = frozenset(collection[int(rng.integers(len(collection)))])
+            alpha = ALPHAS[seed % len(ALPHAS)]
+            stream = engine.drain(query, alpha=alpha)
+            outcomes = []
+            for use_verifier in (False, True):
+                llb = TopKList(K)
+                theta = ThetaLB(llb)
+                stats = SearchStats()
+                output = refine(
+                    query,
+                    stream,
+                    inverted,
+                    collection,
+                    theta,
+                    stats,
+                    FilterConfig.koios(),
+                )
+                verifier = None
+                if use_verifier:
+                    verifier = ColumnarVerifier(
+                        query, collection, table, tiny_opendata.sim, alpha
+                    )
+                entries = postprocess(
+                    query,
+                    collection,
+                    output.survivors,
+                    tiny_opendata.sim,
+                    alpha,
+                    K,
+                    theta,
+                    stats,
+                    FilterConfig.koios(),
+                    sim_cache=output.sim_cache,
+                    verifier=verifier,
+                )
+                outcomes.append((entries, counters_of(stats)))
+            (ref_entries, ref_stats), (col_entries, col_stats) = outcomes
+            assert col_entries == ref_entries, seed  # frozen dataclasses
+            assert col_stats == ref_stats, seed
+            compared_entries += len(ref_entries)
+        assert compared_entries > 0
+
+    def test_uncached_cells_route_through_reference_fallback(
+        self, tiny_opendata
+    ):
+        """The matmul drift guard: with an empty similarity cache every
+        above-alpha cell is uncached, so every candidate with a
+        non-trivial matrix must take the reference fallback — and the
+        entries still match the reference engine bitwise, because the
+        fallback *is* the reference computation."""
+        collection = tiny_opendata.collection
+        engine = tiny_opendata.engine(alpha=0.8)
+        inverted = InvertedIndex(collection)
+        table = token_table_for(collection)
+        query = frozenset(collection[2])
+        alpha = 0.7
+        stream = engine.drain(query, alpha=alpha)
+        outcomes = []
+        fallback_sizes = []
+        for use_verifier in (False, True):
+            theta = ThetaLB(TopKList(K))
+            stats = SearchStats()
+            output = refine(
+                query,
+                stream,
+                inverted,
+                collection,
+                theta,
+                stats,
+                FilterConfig.koios(),
+            )
+            verifier = None
+            if use_verifier:
+                verifier = ColumnarVerifier(
+                    query, collection, table, tiny_opendata.sim, alpha
+                )
+            entries = postprocess(
+                query,
+                collection,
+                output.survivors,
+                tiny_opendata.sim,
+                alpha,
+                K,
+                theta,
+                stats,
+                FilterConfig.koios(),
+                sim_cache={},  # nothing cached: all hot cells suspicious
+                verifier=verifier,
+            )
+            outcomes.append(entries)
+            if verifier is not None:
+                fallback_sizes.append(len(verifier._fallback))
+        assert outcomes[1] == outcomes[0]
+        assert fallback_sizes[0] > 0  # the guard actually engaged

@@ -1,0 +1,188 @@
+"""Property-based tests for the Kuhn–Munkres solver.
+
+Random small bipartite graphs are verified against a brute-force
+exhaustive matcher. Three properties carry Koios's exactness argument
+and are asserted over hundreds of seeded graphs:
+
+* **optimality** — the solver's score equals the best assignment found
+  by exhaustive enumeration, for square and rectangular shapes, sparse
+  matrices, and tied weights;
+* **label-sum dominance** — ``sum_v l(v)`` upper-bounds every matching
+  at every point of the run. Observable consequence: a run bounded at
+  exactly the optimal score can never early-terminate (if any
+  intermediate label sum dipped below the optimum, the ``bound`` check
+  after that labeling update would have pruned), and the bound callable
+  is consulted after every single update (reads == updates + 1), so no
+  intermediate labeling escapes the check;
+* **pruning soundness** — a run that reports ``pruned=True`` does so
+  only when the true score is below the threshold, and its certified
+  ``label_sum`` brackets the truth from above.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.matching.hungarian import (
+    hungarian_matching,
+    initial_label_sum,
+)
+
+NUM_GRAPHS = 150
+MAX_SIDE = 6
+
+
+def brute_force_optimum(weights: np.ndarray) -> float:
+    """Best assignment score by exhaustive enumeration of the padded
+    square matrix (non-negative weights make the optimal *optional*
+    matching equal the optimal perfect matching on the padding)."""
+    rows, cols = weights.shape
+    size = max(rows, cols)
+    padded = np.zeros((size, size))
+    padded[:rows, :cols] = weights
+    return max(
+        sum(padded[i, perm[i]] for i in range(size))
+        for perm in itertools.permutations(range(size))
+    )
+
+
+def random_graphs():
+    rng = np.random.default_rng(1234)
+    for case in range(NUM_GRAPHS):
+        rows = int(rng.integers(1, MAX_SIDE + 1))
+        cols = int(rng.integers(1, MAX_SIDE + 1))
+        weights = rng.random((rows, cols))
+        if case % 3 == 0:
+            # Sparse: zero entries are non-edges.
+            weights[rng.random((rows, cols)) < 0.5] = 0.0
+        if case % 4 == 0:
+            # Tied weights stress the equality subgraph.
+            weights = np.round(weights, 1)
+        yield case, weights
+
+
+class TestOptimality:
+    def test_matches_brute_force_on_random_graphs(self):
+        for case, weights in random_graphs():
+            result = hungarian_matching(weights)
+            expected = brute_force_optimum(weights)
+            assert result.score == pytest.approx(expected), (case, weights)
+            assert not result.pruned
+
+    def test_pairs_form_a_valid_matching_summing_to_score(self):
+        for case, weights in random_graphs():
+            result = hungarian_matching(weights)
+            rows = [i for i, _ in result.pairs]
+            cols = [j for _, j in result.pairs]
+            assert len(set(rows)) == len(rows), case
+            assert len(set(cols)) == len(cols), case
+            assert all(weights[i, j] > 0.0 for i, j in result.pairs), case
+            assert result.score == pytest.approx(
+                sum(weights[i, j] for i, j in result.pairs)
+            ), case
+
+    def test_completed_label_sum_equals_score(self):
+        """LP duality: at completion the label sum has converged onto
+        the optimum."""
+        for case, weights in random_graphs():
+            result = hungarian_matching(weights)
+            assert result.label_sum == pytest.approx(result.score), case
+
+    def test_zero_matrix(self):
+        result = hungarian_matching(np.zeros((3, 4)))
+        assert result.score == 0.0
+        assert result.pairs == []
+        assert not result.pruned
+
+
+class TestLabelSumDominance:
+    def test_initial_label_sum_bitwise_matches_solver(self):
+        for case, weights in random_graphs():
+            # The solver's entry check reads the exact float
+            # initial_label_sum computes: a bound one ulp below it never
+            # aborts the run before the first update, one far above
+            # always does.
+            start = initial_label_sum(weights)
+            at_start = hungarian_matching(weights, bound=start)
+            if at_start.pruned:
+                # Never at the entry check itself: threshold == label_sum
+                # is kept (the strict < with epsilon), so a prune needs
+                # at least one labeling update first.
+                assert at_start.label_updates >= 1, case
+            pruned = hungarian_matching(weights, bound=start + 1.0)
+            assert pruned.pruned, case
+            assert pruned.label_updates == 0, case
+            assert pruned.label_sum == start, case
+
+    def test_bound_at_optimum_never_prunes(self):
+        """The label sum upper-bounds every matching throughout the run:
+        bounding at exactly the optimal score must never terminate
+        early, because no intermediate label sum may drop below it."""
+        for case, weights in random_graphs():
+            expected = brute_force_optimum(weights)
+            result = hungarian_matching(weights, bound=expected)
+            assert not result.pruned, (case, expected)
+            assert result.score == pytest.approx(expected), case
+
+    def test_bound_read_after_every_update(self):
+        """Reads == updates + 1 (the initial check): no labeling change
+        escapes the early-termination filter."""
+        for case, weights in random_graphs():
+            reads = 0
+
+            def counting_bound():
+                nonlocal reads
+                reads += 1
+                return None  # never prune, just observe
+
+            result = hungarian_matching(weights, bound=counting_bound)
+            assert reads == result.label_updates + 1, case
+
+
+class TestPruningSoundness:
+    def test_pruned_only_when_truth_below_threshold(self):
+        """Sweep thresholds around the optimum: every early termination
+        must be sound (true score < threshold) and certify a label_sum
+        that brackets the truth from above; every completed run must
+        still be optimal."""
+        rng = np.random.default_rng(99)
+        checked_pruned = 0
+        for case, weights in random_graphs():
+            expected = brute_force_optimum(weights)
+            for threshold in (
+                expected - 0.05,
+                expected + 1e-6,
+                expected + float(rng.random()),
+                initial_label_sum(weights) + 0.1,
+            ):
+                result = hungarian_matching(weights, bound=threshold)
+                if result.pruned:
+                    checked_pruned += 1
+                    assert expected < threshold, (case, threshold)
+                    assert result.label_sum >= expected - 1e-9, case
+                    assert result.label_sum < threshold, case
+                else:
+                    assert result.score == pytest.approx(expected), case
+        assert checked_pruned >= NUM_GRAPHS  # the sweep really pruned
+
+    def test_live_bound_callable_prunes_mid_run(self):
+        """A threshold that rises mid-run (the shared theta_lb scenario)
+        aborts a matching that a frozen threshold would have finished."""
+        rng = np.random.default_rng(3)
+        weights = 0.5 + 0.5 * rng.random((7, 7))
+        expected = brute_force_optimum(weights)
+
+        calls = 0
+
+        def rising_bound():
+            nonlocal calls
+            calls += 1
+            return 0.0 if calls < 3 else expected + 0.5
+
+        result = hungarian_matching(weights, bound=rising_bound)
+        assert result.pruned
+        # Sound w.r.t. the risen threshold: the certified upper bound
+        # sits between the true optimum and the bound that fired.
+        assert result.label_sum < expected + 0.5
+        assert result.label_sum >= expected - 1e-9
