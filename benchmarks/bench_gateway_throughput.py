@@ -1,0 +1,334 @@
+"""Gateway throughput and overload behaviour over real sockets.
+
+Two tenants share one gateway process:
+
+* ``steady`` — unlimited quota; its clients measure end-to-end QPS at
+  1/4/16 concurrent connections (the serving stack behind a socket,
+  admission queue, and executor hop included).
+* ``hot`` — a deliberately tight token bucket and a shallow admission
+  queue; a flood client bursts far past both to exercise the structured
+  ``retry_after_seconds`` rejection path and oldest-first load shedding
+  while ``steady`` keeps serving next door.
+
+Acceptance gates (the ISSUE's criteria, asserted here and in CI smoke):
+
+* every admitted response is bitwise-identical to the direct
+  (no-gateway) scheduler path over the same collection;
+* a load burst past the bucket shed/rejects with structured
+  ``retry_after_seconds`` on every refused line — no crash, no hang;
+* the *other* tenant's p99 stays bounded while the flood runs.
+
+The run writes ``BENCH_gateway.json`` (QPS per concurrency level, shed
+and rejection counts, per-tenant p99) — CI uploads it as an artifact.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import TINY_PROFILES, generate_dataset
+from repro.gateway import GatewayServer, TenantRegistry
+from repro.service.bootstrap import build_serving_stack
+from repro.service.request import SearchRequest
+from repro.utils.rng import make_rng
+
+DATASET_SEED = 7
+WORKLOAD_SEED = 13
+K = 10
+DISTINCT_QUERIES = 32
+CLIENT_COUNTS = (1, 4, 16)
+REQUESTS_PER_CLIENT = 40
+SMOKE_CLIENT_COUNTS = (1, 4)
+SMOKE_REQUESTS_PER_CLIENT = 12
+FLOOD_REQUESTS = 60
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_gateway.json"
+
+#: The hot tenant's bucket: tiny sustained rate, small burst, shallow
+#: queue — a flood must trip quota rejections AND queue sheds.
+HOT_QPS = 5.0
+HOT_BURST = 8.0
+HOT_QUEUE_DEPTH = 2
+
+
+@pytest.fixture(scope="module")
+def corpus_dir(tmp_path_factory):
+    """Both tenants serve the same tiny-OpenData corpus from disk."""
+    dataset = generate_dataset(TINY_PROFILES["opendata"], seed=DATASET_SEED)
+    collection = dataset.collection
+    sets = {
+        collection.name_of(i): sorted(collection[i])
+        for i in range(len(collection))
+    }
+    root = tmp_path_factory.mktemp("gateway-bench")
+    (root / "corpus.json").write_text(json.dumps(sets))
+    (root / "tenants.json").write_text(
+        json.dumps(
+            {
+                "cache_size": 512,
+                "max_inflight": 4,
+                "tenants": [
+                    {"name": "steady", "collection": "corpus.json"},
+                    {
+                        "name": "hot",
+                        "collection": "corpus.json",
+                        "qps": HOT_QPS,
+                        "burst": HOT_BURST,
+                        "max_queue_depth": HOT_QUEUE_DEPTH,
+                        "max_inflight": 1,
+                    },
+                ],
+            }
+        )
+    )
+    return root
+
+
+@pytest.fixture(scope="module")
+def workload(corpus_dir):
+    """A Zipf-skewed stream of (id, query, k) lines over the corpus."""
+    sets = json.loads((corpus_dir / "corpus.json").read_text())
+    names = sorted(sets)
+    rng = make_rng(WORKLOAD_SEED)
+    pool = rng.choice(len(names), size=DISTINCT_QUERIES, replace=False)
+    ranks = 1.0 / (1.0 + rng.permutation(DISTINCT_QUERIES))
+    picks = rng.choice(pool, size=512, p=ranks / ranks.sum())
+    return [sorted(sets[names[int(pick)]]) for pick in picks]
+
+
+async def _client_loop(port, tenant, lines):
+    """One sequential client: send a line, await its response."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(
+        (json.dumps({"op": "hello", "tenant": tenant}) + "\n").encode()
+    )
+    await writer.drain()
+    assert json.loads(await reader.readline())["ok"] is True
+    responses = []
+    for line in lines:
+        writer.write((json.dumps(line) + "\n").encode())
+        await writer.drain()
+        responses.append(
+            json.loads(
+                await asyncio.wait_for(reader.readline(), timeout=60)
+            )
+        )
+    writer.close()
+    return responses
+
+
+async def _flood(port, tenant, lines):
+    """Pipeline every line at once, then collect every response."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(
+        (json.dumps({"op": "hello", "tenant": tenant}) + "\n").encode()
+    )
+    await writer.drain()
+    assert json.loads(await reader.readline())["ok"] is True
+    payload = "".join(json.dumps(line) + "\n" for line in lines)
+    writer.write(payload.encode())
+    await writer.drain()
+    responses = []
+    for _ in lines:
+        responses.append(
+            json.loads(
+                await asyncio.wait_for(reader.readline(), timeout=60)
+            )
+        )
+    writer.close()
+    return responses
+
+
+def request_lines(workload, prefix, count, *, start=0):
+    return [
+        {
+            "id": f"{prefix}-{i}",
+            "query": workload[(start + i) % len(workload)],
+            "k": K,
+        }
+        for i in range(count)
+    ]
+
+
+def test_gateway_throughput_and_overload(corpus_dir, workload, smoke, report):
+    client_counts = SMOKE_CLIENT_COUNTS if smoke else CLIENT_COUNTS
+    per_client = SMOKE_REQUESTS_PER_CLIENT if smoke else REQUESTS_PER_CLIENT
+    flood_size = FLOOD_REQUESTS if not smoke else 40
+
+    async def main():
+        registry = TenantRegistry.from_config(corpus_dir / "tenants.json")
+        server = GatewayServer(registry, port=0)
+        await server.start()
+        serve_task = asyncio.create_task(server.serve_until_shutdown())
+
+        throughput = []
+        all_responses = []
+        for clients in client_counts:
+            started = time.perf_counter()
+            batches = await asyncio.gather(
+                *[
+                    _client_loop(
+                        server.port,
+                        "steady",
+                        request_lines(
+                            workload, f"c{clients}.{c}", per_client,
+                            start=c * per_client,
+                        ),
+                    )
+                    for c in range(clients)
+                ]
+            )
+            elapsed = time.perf_counter() - started
+            total = clients * per_client
+            throughput.append(
+                {
+                    "clients": clients,
+                    "requests": total,
+                    "seconds": round(elapsed, 4),
+                    "qps": round(total / elapsed, 1),
+                }
+            )
+            for batch in batches:
+                all_responses.extend(batch)
+        baseline_p99 = registry.get("steady").metrics.latency_percentile(
+            0.99
+        )
+
+        # Overload: flood the hot tenant while steady keeps serving.
+        flood_lines = request_lines(workload, "flood", flood_size)
+        steady_lines = request_lines(workload, "mid", per_client)
+        flood_responses, steady_responses = await asyncio.gather(
+            _flood(server.port, "hot", flood_lines),
+            _client_loop(server.port, "steady", steady_lines),
+        )
+        all_responses.extend(steady_responses)
+        stats = server.stats()
+        server.request_shutdown()
+        await serve_task
+        return (
+            throughput, all_responses, flood_responses, steady_responses,
+            stats, baseline_p99,
+        )
+
+    (
+        throughput, steady_all, flood_responses, steady_under_load,
+        stats, baseline_p99,
+    ) = asyncio.run(main())
+
+    # -- gate 1: admitted answers are bitwise the direct-scheduler answers
+    direct = build_serving_stack(str(corpus_dir / "corpus.json"))
+    try:
+        expected_cache: dict[str, list] = {}
+
+        def expected_results(query):
+            # One direct computation per distinct query, compared
+            # against every gateway response for it.
+            key = json.dumps(query)
+            if key not in expected_cache:
+                expected_cache[key] = direct.scheduler.answer(
+                    SearchRequest.from_obj({"query": query, "k": K})
+                ).to_obj()["results"]
+            return expected_cache[key]
+
+        def line_query(response):
+            # Client ids encode the workload offset: "<prefix>-<i>",
+            # issued from `start = client * per_client`.
+            prefix, i = response["id"].rsplit("-", 1)
+            start = 0
+            if prefix.startswith("c") and "." in prefix:
+                start = int(prefix.split(".")[1]) * per_client
+            return workload[(start + int(i)) % len(workload)]
+
+        assert all("results" in r for r in steady_all)
+        checked = 0
+        for response in flood_responses:
+            if "results" not in response:
+                continue
+            assert response["results"] == expected_results(
+                line_query(response)
+            )
+            checked += 1
+        for response in steady_all:
+            assert response["results"] == expected_results(
+                line_query(response)
+            )
+        assert checked > 0, "the flood should still admit some requests"
+    finally:
+        direct.close()
+
+    # -- gate 2: refusals are structured, with an honest retry hint
+    refused = [r for r in flood_responses if r.get("rejected")]
+    assert refused, "the flood never tripped quota or shedding"
+    for rejection in refused:
+        assert rejection["retry_after_seconds"] > 0.0
+    hot_row = stats["tenants"]["hot"]
+    assert hot_row["rejected"] + hot_row["shed"] == len(refused)
+
+    # -- gate 3: the neighbour's p99 stays bounded under the flood
+    steady_p99 = stats["tenants"]["steady"]["latency_p99"]
+    p99_bound = max(0.5, 20.0 * max(baseline_p99, 1e-4))
+    assert steady_p99 <= p99_bound, (
+        f"steady tenant p99 {steady_p99:.4f}s blew past {p99_bound:.4f}s "
+        f"while the hot tenant flooded"
+    )
+
+    payload = {
+        "workload": {
+            "profile": "tiny-opendata",
+            "distinct_queries": DISTINCT_QUERIES,
+            "k": K,
+            "requests_per_client": per_client,
+            "smoke": bool(smoke),
+            "hot_quota": {
+                "qps": HOT_QPS,
+                "burst": HOT_BURST,
+                "max_queue_depth": HOT_QUEUE_DEPTH,
+            },
+        },
+        "throughput": throughput,
+        "overload": {
+            "flood_requests": flood_size,
+            "admitted": sum(
+                1 for r in flood_responses if "results" in r
+            ),
+            "refused": len(refused),
+            "rejected_by_quota": hot_row["rejected"],
+            "shed_from_queue": hot_row["shed"],
+            "queue_depth_peak": hot_row["queue_depth_peak"],
+        },
+        "tenants": {
+            name: {
+                "completed": row["completed"],
+                "rejected": row["rejected"],
+                "shed": row["shed"],
+                "latency_p50_seconds": row["latency_p50"],
+                "latency_p99_seconds": row["latency_p99"],
+            }
+            for name, row in stats["tenants"].items()
+        },
+    }
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    report()
+    report(
+        f"gateway throughput — tiny-opendata, k={K}, "
+        f"{per_client} requests/client"
+    )
+    report(f"{'clients':>8}{'requests':>10}{'seconds':>9}{'qps':>8}")
+    for row in throughput:
+        report(
+            f"{row['clients']:>8}{row['requests']:>10}"
+            f"{row['seconds']:>9.2f}{row['qps']:>8.1f}"
+        )
+    report(
+        f"overload: {payload['overload']['admitted']} admitted, "
+        f"{hot_row['rejected']} quota-rejected, {hot_row['shed']} shed "
+        f"(queue peak {hot_row['queue_depth_peak']}); "
+        f"steady p99 {steady_p99 * 1000:.1f}ms "
+        f"(baseline {baseline_p99 * 1000:.1f}ms)"
+    )
+    report(f"wrote {ARTIFACT.name}")

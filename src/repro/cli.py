@@ -18,7 +18,13 @@ Commands cover the downstream workflow end to end:
 * ``cluster serve|bench`` — the same JSON-lines protocol over the
   multi-process scatter-gather backend of :mod:`repro.cluster` (one
   worker process per partition of the set-id space), and its scaling
-  benchmark against the threaded single-process baseline.
+  benchmark against the threaded single-process baseline;
+* ``gateway serve`` — the asyncio network front end of
+  :mod:`repro.gateway`: multi-tenant named collections from a JSON
+  config, per-tenant token-bucket quotas with ``retry_after_seconds``
+  rejections, bounded admission queues with oldest-first load
+  shedding, pluggable auth, TCP JSON-lines + minimal HTTP POST on one
+  port.
 
 ``serve`` and ``cluster serve`` shut down gracefully on SIGINT/SIGTERM:
 in-flight scheduler work drains, pending responses are emitted, the
@@ -45,6 +51,7 @@ from repro.datasets.synthetic import generate_dataset
 from repro.errors import (
     ClusterError,
     EmptyQueryError,
+    GatewayError,
     InvalidParameterError,
     ReproError,
     SnapshotError,
@@ -52,17 +59,21 @@ from repro.errors import (
     WalError,
 )
 from repro.service import (
-    EnginePool,
     GracefulShutdown,
     QueryScheduler,
     ResultCache,
     run_batch,
     serve_lines,
 )
+from repro.service.bootstrap import (
+    build_serving_stack,
+    build_substrate,
+    load_serving_stack,
+    substrate_descriptor,
+)
 from repro.store.snapshot import (
     SNAPSHOT_SUFFIXES,
     inspect_snapshot,
-    load_snapshot,
     save_snapshot,
 )
 from repro.store.wal import WriteAheadLog, compact
@@ -76,6 +87,7 @@ ERROR_EXIT_CODES: list[tuple[type, int]] = [
     (SnapshotError, 5),
     (WalError, 6),
     (ClusterError, 8),
+    (GatewayError, 9),
     (ReproError, 7),
 ]
 
@@ -102,83 +114,27 @@ def _load_collection(path: str) -> SetCollection:
 
 
 def _substrate_descriptor(args: argparse.Namespace) -> dict:
-    """The substrate description selected by ``--jaccard``/``--dim``
-    (manifest schema) — without building any artifacts, for callers
-    that only ship the description (e.g. ``cluster bench``)."""
-    if args.jaccard:
-        return {"kind": "qgram-jaccard", "q": 3, "alpha": args.alpha}
-    return {
-        "kind": "hashing-cosine",
-        "dim": args.dim,
-        "n_min": 3,
-        "n_max": 5,
-        "salt": "hashing-embedding",
-        "batch_size": 100,
-    }
+    """See :func:`repro.service.bootstrap.substrate_descriptor`."""
+    return substrate_descriptor(
+        jaccard=args.jaccard, dim=args.dim, alpha=args.alpha
+    )
 
 
 def _build_substrate(collection: SetCollection, args: argparse.Namespace):
-    """The ``(token_index, sim, descriptor)`` selected by
-    ``--jaccard``/``--dim``.
-
-    The descriptor is what ``index build`` persists in the snapshot
-    manifest; it *parameterizes* the construction (rather than being
-    written down separately), and the construction itself is the same
-    :func:`~repro.cluster.worker.substrate_from_descriptor` every
-    cluster worker replica uses — one code path, so a restored or
-    replicated substrate can never drift from the one built here.
-    """
-    from repro.cluster.worker import substrate_from_descriptor
-
-    descriptor = _substrate_descriptor(args)
-    index, sim = substrate_from_descriptor(
-        descriptor, collection.vocabulary
+    """See :func:`repro.service.bootstrap.build_substrate`."""
+    return build_substrate(
+        collection, jaccard=args.jaccard, dim=args.dim, alpha=args.alpha
     )
-    return index, sim, descriptor
 
 
 def _load_serving_stack(args: argparse.Namespace):
-    """``(collection, token_index, sim, descriptor, snapshot_path)``
-    for a search-capable command.
-
-    Snapshot inputs restore their persisted substrate (the snapshot's
-    configuration wins over ``--jaccard``/``--dim``) and come back as a
-    mutable overlay adopting the persisted postings — no re-index, and
-    the serve ops can mutate it. JSON/CSV inputs build the substrate
-    from the flags. ``descriptor`` is the substrate's manifest-schema
-    description (what cluster workers rebuild their replica index
-    from); ``snapshot_path`` is non-None when the input was a snapshot,
-    so cluster workers can bootstrap by loading it themselves.
-    """
-    path = args.collection
-    if Path(path).suffix.lower() in SNAPSHOT_SUFFIXES:
-        loaded = load_snapshot(path)
-        overlay = loaded.mutable()
-        if loaded.token_index is not None:
-            substrate = loaded.manifest.substrate or {}
-            index_alpha = substrate.get("alpha")
-            if index_alpha is not None and args.alpha < float(index_alpha):
-                # A prefix-Jaccard index is only exact at or above the
-                # alpha it was built for; serving below it would
-                # silently drop matches in [args.alpha, index_alpha).
-                raise InvalidParameterError(
-                    f"snapshot's {substrate.get('kind')} index was built "
-                    f"for alpha >= {index_alpha}; rebuild it ('repro "
-                    f"index build ... --alpha {args.alpha}') to serve "
-                    f"alpha {args.alpha}"
-                )
-            return (
-                overlay,
-                loaded.token_index,
-                loaded.sim,
-                loaded.manifest.substrate,
-                path,
-            )
-        index, sim, descriptor = _build_substrate(overlay, args)
-        return overlay, index, sim, descriptor, path
-    collection = _load_collection(path)
-    index, sim, descriptor = _build_substrate(collection, args)
-    return collection, index, sim, descriptor, None
+    """See :func:`repro.service.bootstrap.load_serving_stack`."""
+    return load_serving_stack(
+        args.collection,
+        alpha=args.alpha,
+        jaccard=args.jaccard,
+        dim=args.dim,
+    )
 
 
 def _load_stack(args: argparse.Namespace):
@@ -205,46 +161,27 @@ def _install_shutdown_handlers() -> None:
 
 def _build_scheduler(args: argparse.Namespace) -> QueryScheduler:
     """The serving stack shared by ``repro serve`` and ``repro batch``."""
-    collection, index, sim = _load_stack(args)
-    wal = None
-    wal_path = getattr(args, "wal", None)
-    if wal_path is not None:
-        if not hasattr(collection, "insert"):
-            # JSON/CSV input: wrap the overlay here (snapshot inputs
-            # already are one, with their postings adopted).
-            from repro.store.mutable import MutableSetCollection
-
-            collection = MutableSetCollection(collection)
-        wal = WriteAheadLog(wal_path)
-        replayed = wal.replay_into(collection)
-        if replayed:
-            extend = getattr(index, "extend", None)
-            if extend is not None:
-                extend(collection.vocabulary)
-            print(
-                f"# replayed {replayed} WAL records "
-                f"(collection version {collection.version})",
-                file=sys.stderr,
-            )
-    pool = EnginePool(
-        collection,
-        index,
-        sim,
+    stack = build_serving_stack(
+        args.collection,
         alpha=args.alpha,
+        jaccard=args.jaccard,
+        dim=args.dim,
+        iub_mode=args.iub_mode,
+        engine=args.engine,
         shards=args.shards,
         parallel_shards=args.parallel_shards,
-        config=FilterConfig.koios(iub_mode=args.iub_mode, engine=args.engine),
-    )
-    cache = (
-        ResultCache(capacity=args.cache_size) if args.cache_size > 0 else None
-    )
-    return QueryScheduler(
-        pool,
-        cache=cache,
-        max_batch=args.max_batch,
         workers=args.workers,
-        wal=wal,
+        max_batch=args.max_batch,
+        cache_size=args.cache_size if args.cache_size > 0 else None,
+        wal_path=getattr(args, "wal", None),
     )
+    if stack.replayed:
+        print(
+            f"# replayed {stack.replayed} WAL records "
+            f"(collection version {stack.collection.version})",
+            file=sys.stderr,
+        )
+    return stack.scheduler
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -452,6 +389,51 @@ def cmd_cluster_bench(args: argparse.Namespace) -> int:
     for line in format_report(results):
         print(line, file=sys.stderr)
     print(json.dumps(results, separators=(",", ":")))
+    return 0
+
+
+def cmd_gateway_serve(args: argparse.Namespace) -> int:
+    """``repro gateway serve``: the asyncio multi-tenant front end."""
+    import asyncio
+
+    from repro.gateway import TenantRegistry
+    from repro.gateway.server import run_gateway
+
+    registry = TenantRegistry.from_config(args.config)
+
+    def announce(server) -> None:
+        print(
+            f"# gateway listening on {server.host}:{server.port} "
+            f"(tenants: {', '.join(server.registry.names)})",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    try:
+        server = asyncio.run(
+            run_gateway(
+                registry,
+                host=args.host,
+                port=args.port,
+                executor_workers=args.executor_workers,
+                announce=announce,
+            )
+        )
+    except KeyboardInterrupt:
+        # The loop was torn down before the graceful path could run
+        # (second signal); tenant WALs still flush on close.
+        registry.close()
+        return 0
+    except Exception:
+        registry.close()
+        raise
+    totals = server.stats()["totals"]
+    print(
+        f"# gateway drained: {totals['completed']} completed, "
+        f"{totals['rejected']} rejected, {totals['shed']} shed "
+        f"across {len(registry)} tenants",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -737,6 +719,37 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["spawn", "fork", "forkserver"],
     )
     cluster_bench.set_defaults(func=cmd_cluster_bench)
+
+    gateway = commands.add_parser(
+        "gateway",
+        help="asyncio multi-tenant network front end",
+    )
+    gateway_commands = gateway.add_subparsers(
+        dest="gateway_command", required=True
+    )
+    gateway_serve = gateway_commands.add_parser(
+        "serve",
+        help="serve tenants from a JSON config over TCP (JSON-lines "
+        "+ HTTP POST)",
+    )
+    gateway_serve.add_argument(
+        "--config", required=True,
+        help="tenant config JSON (see docs/gateway.md for the schema)",
+    )
+    gateway_serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="listen address (default loopback)",
+    )
+    gateway_serve.add_argument(
+        "--port", type=int, default=7207,
+        help="listen port (0 = pick a free one, announced on stderr)",
+    )
+    gateway_serve.add_argument(
+        "--executor-workers", type=int, default=None,
+        help="threads executing admitted requests (default: the "
+        "config's max_inflight)",
+    )
+    gateway_serve.set_defaults(func=cmd_gateway_serve)
     return parser
 
 

@@ -46,3 +46,16 @@ class ClusterError(ReproError):
     """Raised when the multi-process cluster cannot serve a request —
     a worker died and could not be restarted, a replica diverged from
     the coordinator's version barrier, or a worker response timed out."""
+
+
+class GatewayError(ReproError):
+    """Raised when the network gateway cannot start or serve — a broken
+    tenant configuration, an unknown tenant on the wire, or a listener
+    that failed to bind. Per-request overload is *not* an error: quota
+    and admission rejections travel as structured wire responses with
+    ``retry_after_seconds``, never as exceptions out of the server."""
+
+
+class TenantConfigError(GatewayError):
+    """Raised when a gateway tenant configuration file is malformed —
+    missing fields, duplicate tenant names, or out-of-range quotas."""

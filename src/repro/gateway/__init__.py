@@ -1,0 +1,71 @@
+"""The multi-tenant network front end (``repro gateway serve``).
+
+Puts a real socket in front of the serving stack::
+
+    asyncio TCP/HTTP listener
+        -> auth hook (per connection)
+        -> tenant registry (named collections; own snapshot/WAL/cache
+           namespace per tenant)
+        -> token-bucket quotas (QPS + mutation rate, retry-after on
+           rejection)
+        -> admission control (bounded per-tenant queues, oldest-first
+           load shedding, global in-flight cap, round-robin dispatch)
+        -> run_in_executor -> QueryScheduler -> EnginePool / ClusterPool
+
+* :class:`TenantRegistry` / :class:`TenantSpec` / :class:`Tenant` —
+  named, isolated serving stacks from one JSON config
+* :class:`TokenBucket` / :class:`TenantQuota` — event-loop-refilled
+  rate limits with structured ``retry_after_seconds`` rejections
+* :class:`AdmissionController` — backpressure and fairness
+* :class:`AuthPolicy` / :class:`AllowAll` / :class:`StaticTokenAuth` —
+  pluggable per-connection token checks
+* :class:`GatewayServer` / :func:`run_gateway` — the asyncio server
+  (JSON-lines TCP + minimal HTTP/1.1 POST adapter, graceful drain)
+* :func:`gateway_rollup` — the per-tenant ``stats`` projection
+
+See ``docs/gateway.md`` for the wire protocol and semantics.
+"""
+
+from repro.gateway.admission import AdmissionController, AdmissionShed
+from repro.gateway.auth import (
+    AllowAll,
+    AuthPolicy,
+    StaticTokenAuth,
+    policy_from_tokens,
+)
+from repro.gateway.metrics import gateway_rollup
+from repro.gateway.quota import (
+    MUTATION,
+    SEARCH,
+    QuotaRejection,
+    TenantQuota,
+    TokenBucket,
+)
+from repro.gateway.server import GatewayServer, run_gateway
+from repro.gateway.tenants import (
+    Tenant,
+    TenantRegistry,
+    TenantSpec,
+    build_tenant,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionShed",
+    "AllowAll",
+    "AuthPolicy",
+    "GatewayServer",
+    "MUTATION",
+    "QuotaRejection",
+    "SEARCH",
+    "StaticTokenAuth",
+    "Tenant",
+    "TenantQuota",
+    "TenantRegistry",
+    "TenantSpec",
+    "TokenBucket",
+    "build_tenant",
+    "gateway_rollup",
+    "policy_from_tokens",
+    "run_gateway",
+]

@@ -1,0 +1,200 @@
+"""Admission control: bounded per-tenant queues over a shared executor.
+
+The gateway's event loop must never block on engine work, and one hot
+tenant must never starve the rest. Both properties live here:
+
+* every tenant owns a **bounded FIFO queue** (``max_queue_depth`` from
+  its spec). When a job arrives at a full queue the *oldest* waiting
+  job is shed — under overload the requests most likely to have been
+  abandoned by their client are the stalest ones, and shedding them
+  keeps tail latency for everything still queued bounded instead of
+  letting the backlog grow without limit;
+* a **global in-flight cap** bounds how many jobs occupy executor
+  threads at once, and dispatch walks tenants **round-robin**, so a
+  tenant with a thousand queued jobs gets the same dispatch cadence as
+  one with two (an optional per-tenant ``max_inflight`` tightens this
+  further);
+* jobs run via ``loop.run_in_executor`` on the gateway's thread pool —
+  the (threaded) scheduler stack underneath is blocking by design, and
+  the executor is the bridge that keeps the asyncio front end
+  non-blocking.
+
+A shed job's awaiter receives :class:`AdmissionShed` carrying the
+tenant's ``retry_after_seconds`` hint; the server turns it into the
+same structured rejection shape quota refusals use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import GatewayError
+from repro.gateway.tenants import Tenant
+
+
+class AdmissionShed(GatewayError):
+    """An accepted job was evicted from its queue under overload."""
+
+    def __init__(self, tenant: str, retry_after_seconds: float) -> None:
+        super().__init__(
+            f"request shed under load (tenant {tenant!r}); retry in "
+            f"{retry_after_seconds:.3f}s"
+        )
+        self.tenant = tenant
+        self.retry_after_seconds = retry_after_seconds
+
+
+@dataclass
+class _Job:
+    tenant: Tenant
+    fn: Callable[[], Any]
+    future: "asyncio.Future[Any]"
+
+
+@dataclass
+class _TenantLane:
+    queue: deque = field(default_factory=deque)
+    inflight: int = 0
+
+
+class AdmissionController:
+    """Queues, sheds, and dispatches jobs for every tenant.
+
+    Single-event-loop object: every method except the executor-side job
+    body runs on the loop thread, so plain attributes need no locking.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_inflight: int = 8,
+        executor: ThreadPoolExecutor | None = None,
+    ) -> None:
+        if max_inflight < 1:
+            raise GatewayError("max_inflight must be >= 1")
+        self._max_inflight = max_inflight
+        self._executor = executor
+        self._lanes: dict[str, _TenantLane] = {}
+        self._order: deque[str] = deque()
+        self._inflight = 0
+        self._draining = False
+        self._idle = asyncio.Event()
+        self._idle.set()
+
+    # -- bookkeeping -------------------------------------------------------
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    def queue_depth(self, tenant_name: str) -> int:
+        lane = self._lanes.get(tenant_name)
+        return len(lane.queue) if lane else 0
+
+    def _lane(self, tenant_name: str) -> _TenantLane:
+        lane = self._lanes.get(tenant_name)
+        if lane is None:
+            lane = self._lanes[tenant_name] = _TenantLane()
+            self._order.append(tenant_name)
+        return lane
+
+    def _note_depth(self, tenant: Tenant, lane: _TenantLane) -> None:
+        tenant.metrics.set_queue_depth(len(lane.queue))
+
+    # -- admission ---------------------------------------------------------
+
+    def submit(
+        self, tenant: Tenant, fn: Callable[[], Any]
+    ) -> "asyncio.Future[Any]":
+        """Queue ``fn`` for ``tenant``; resolve with its return value.
+
+        When the tenant's queue is full the oldest queued job is shed
+        (its future fails with :class:`AdmissionShed`) to make room —
+        the new job is always accepted, so a client that just arrived
+        is never punished for a backlog it didn't create.
+        """
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future[Any] = loop.create_future()
+        if self._draining:
+            future.set_exception(
+                AdmissionShed(tenant.name, retry_after_seconds=1.0)
+            )
+            return future
+        lane = self._lane(tenant.name)
+        if len(lane.queue) >= tenant.spec.max_queue_depth:
+            oldest: _Job = lane.queue.popleft()
+            tenant.metrics.record_shed()
+            if not oldest.future.done():
+                oldest.future.set_exception(
+                    AdmissionShed(
+                        tenant.name,
+                        tenant.quota.shed_retry_after(len(lane.queue)),
+                    )
+                )
+        lane.queue.append(_Job(tenant=tenant, fn=fn, future=future))
+        self._idle.clear()
+        self._note_depth(tenant, lane)
+        self._pump(loop)
+        return future
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _tenant_cap(self, job: _Job) -> int:
+        per_tenant = job.tenant.spec.max_inflight
+        return self._max_inflight if per_tenant is None else per_tenant
+
+    def _next_job(self) -> _Job | None:
+        """The next dispatchable job, scanning tenants round-robin."""
+        for _ in range(len(self._order)):
+            name = self._order[0]
+            self._order.rotate(-1)
+            lane = self._lanes[name]
+            if not lane.queue:
+                continue
+            if lane.inflight >= self._tenant_cap(lane.queue[0]):
+                continue
+            return lane.queue.popleft()
+        return None
+
+    def _pump(self, loop: asyncio.AbstractEventLoop) -> None:
+        while self._inflight < self._max_inflight:
+            job = self._next_job()
+            if job is None:
+                break
+            lane = self._lanes[job.tenant.name]
+            lane.inflight += 1
+            self._inflight += 1
+            self._note_depth(job.tenant, lane)
+            loop.create_task(self._run(loop, job))
+        if self._inflight == 0 and not any(
+            lane.queue for lane in self._lanes.values()
+        ):
+            self._idle.set()
+
+    async def _run(self, loop: asyncio.AbstractEventLoop, job: _Job) -> None:
+        try:
+            result = await loop.run_in_executor(self._executor, job.fn)
+        except Exception as exc:  # noqa: BLE001 — delivered to the awaiter
+            if not job.future.done():
+                job.future.set_exception(exc)
+        else:
+            if not job.future.done():
+                job.future.set_result(result)
+        finally:
+            lane = self._lanes[job.tenant.name]
+            lane.inflight -= 1
+            self._inflight -= 1
+            self._pump(loop)
+
+    # -- shutdown ----------------------------------------------------------
+
+    async def drain(self) -> None:
+        """Stop accepting, then wait for queues and in-flight work to
+        empty — every already-admitted job still runs and answers (the
+        graceful-drain contract)."""
+        self._draining = True
+        await self._idle.wait()

@@ -1,0 +1,64 @@
+"""Pluggable per-connection authentication.
+
+The gateway authenticates a connection *to a tenant*: the ``hello``
+wire op (or the HTTP ``Authorization`` header) presents an optional
+bearer token, and the policy decides whether that token may act as the
+named tenant. The default is :class:`AllowAll` — a gateway whose config
+declares no ``auth_token`` anywhere behaves exactly like the local
+``repro serve`` loop, just over a socket.
+
+Policies are deliberately tiny objects satisfying :class:`AuthPolicy`;
+a deployment embedding the gateway as a library can hand
+:class:`GatewayServer` anything with an ``authenticate`` method (an
+LDAP hook, a JWT verifier, ...). What the gateway guarantees is only
+*where* the hook runs: once per tenant binding, before any quota or
+admission work is spent on the connection.
+"""
+
+from __future__ import annotations
+
+import hmac
+from typing import Mapping, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class AuthPolicy(Protocol):
+    """Decides whether ``token`` may act as ``tenant``."""
+
+    def authenticate(self, tenant: str, token: str | None) -> bool:
+        ...
+
+
+class AllowAll:
+    """The default policy: every connection may act as every tenant."""
+
+    def authenticate(self, tenant: str, token: str | None) -> bool:
+        return True
+
+
+class StaticTokenAuth:
+    """Per-tenant shared-secret tokens (the config's ``auth_token``).
+
+    Tenants absent from the mapping are open (their spec declared no
+    token); tenants present require an exact match, compared in
+    constant time. A ``None`` token never matches a required one.
+    """
+
+    def __init__(self, tokens: Mapping[str, str]) -> None:
+        self._tokens = dict(tokens)
+
+    def authenticate(self, tenant: str, token: str | None) -> bool:
+        expected = self._tokens.get(tenant)
+        if expected is None:
+            return True
+        if token is None:
+            return False
+        return hmac.compare_digest(expected, token)
+
+
+def policy_from_tokens(tokens: Mapping[str, str]) -> AuthPolicy:
+    """The policy implied by a config: token-checking when any tenant
+    declared an ``auth_token``, allow-all otherwise."""
+    if tokens:
+        return StaticTokenAuth(tokens)
+    return AllowAll()

@@ -1,0 +1,53 @@
+"""Gateway observability: the per-tenant rollup behind the ``stats`` op.
+
+Each tenant's :class:`~repro.service.metrics.ServiceMetrics` already
+carries the full serving schema — accepted/completed/rejected/shed
+counters, queue-depth gauge and peak, latency p50/p95/p99, cache and
+batching rates — because the gateway records admission outcomes into
+the *same* object the scheduler times requests into. The rollup here
+is therefore a projection, not a second bookkeeping system: one row per
+tenant (``Tenant.stats()``), plus totals summed across the fleet, in
+exactly the schema the in-process ``stats`` wire op of ``repro serve``
+emits per field.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard only
+    from repro.gateway.tenants import Tenant
+
+#: Counter fields summed into the gateway-wide totals row.
+_TOTAL_FIELDS = (
+    "requests",
+    "completed",
+    "errors",
+    "rejected",
+    "shed",
+    "queue_depth",
+    "cache_hits",
+    "deduplicated",
+)
+
+
+def gateway_rollup(
+    tenants: "Iterable[Tenant]", *, extra: dict | None = None
+) -> dict:
+    """The ``{"op": "stats"}`` payload: per-tenant rows + fleet totals."""
+    rows = [tenant.stats() for tenant in tenants]
+    totals: dict = {name: 0 for name in _TOTAL_FIELDS}
+    worst_p99 = 0.0
+    for row in rows:
+        for name in _TOTAL_FIELDS:
+            totals[name] += row.get(name, 0)
+        worst_p99 = max(worst_p99, row.get("latency_p99", 0.0))
+    totals["latency_p99_worst"] = worst_p99
+    payload = {
+        "backend": "gateway",
+        "tenants": {row["tenant"]: row for row in rows},
+        "totals": totals,
+    }
+    if extra:
+        payload.update(extra)
+    return payload

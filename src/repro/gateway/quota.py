@@ -1,0 +1,167 @@
+"""Per-tenant rate limiting: token buckets refilled on the event loop.
+
+A :class:`TokenBucket` is the classic leaky-bucket dual — ``rate``
+tokens per second of sustained budget plus ``burst`` tokens of
+headroom. Acquisition is non-blocking by design: the gateway never
+holds a connection hostage waiting for budget. An exhausted bucket
+answers with *how long until one token exists*, which travels to the
+client verbatim as the ``retry_after_seconds`` field of a structured
+``429``-style rejection — the retry-after contract of
+``docs/gateway.md``.
+
+Buckets refill lazily on a caller-supplied monotonic clock (injectable
+for deterministic tests), so there is no refill task to schedule and a
+bucket costs nothing while its tenant is idle.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import InvalidParameterError
+
+#: Quota kinds a tenant carries — searches and mutations are budgeted
+#: independently (a bulk loader must not starve its own queries).
+SEARCH = "search"
+MUTATION = "mutation"
+
+
+class TokenBucket:
+    """A lazily refilled token bucket.
+
+    Parameters
+    ----------
+    rate:
+        Sustained tokens per second. ``None`` (or ``<= 0`` is rejected;
+        use ``None``) disables limiting — every acquire succeeds.
+    burst:
+        Bucket capacity: how many tokens may be spent instantaneously
+        above the sustained rate. Defaults to ``max(rate, 1)`` so a
+        1-QPS tenant can still send its one request without shaping.
+    clock:
+        Monotonic seconds source (injected by tests).
+    """
+
+    def __init__(
+        self,
+        rate: float | None,
+        burst: float | None = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate is not None and rate <= 0:
+            raise InvalidParameterError(
+                "token-bucket rate must be positive (use None to disable "
+                "limiting)"
+            )
+        if burst is not None and burst <= 0:
+            raise InvalidParameterError("token-bucket burst must be positive")
+        self._rate = rate
+        self._burst = (
+            None if rate is None else float(burst if burst else max(rate, 1.0))
+        )
+        self._clock = clock
+        self._tokens = self._burst
+        self._refilled_at = clock()
+
+    @property
+    def unlimited(self) -> bool:
+        return self._rate is None
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._refilled_at
+        self._refilled_at = now
+        if elapsed > 0:
+            self._tokens = min(
+                self._burst, self._tokens + elapsed * self._rate
+            )
+
+    def try_acquire(self, tokens: float = 1.0) -> float:
+        """Spend ``tokens`` if available.
+
+        Returns ``0.0`` on success, else the seconds until the bucket
+        will hold ``tokens`` again (the wire's ``retry_after_seconds``).
+        Never blocks; never goes negative.
+        """
+        if self._rate is None:
+            return 0.0
+        self._refill()
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return 0.0
+        return (tokens - self._tokens) / self._rate
+
+    def available(self) -> float:
+        """Current token balance (refills first); ``inf`` if unlimited."""
+        if self._rate is None:
+            return float("inf")
+        self._refill()
+        return self._tokens
+
+
+@dataclass(frozen=True)
+class QuotaRejection:
+    """A structured refusal: which budget ran out and when to retry.
+
+    This is *data*, not an exception — rejections are the normal
+    operating mode of an overloaded gateway, and they flow through the
+    response path like any other line.
+    """
+
+    kind: str
+    retry_after_seconds: float
+
+    def to_obj(self, request_id: str | None = None) -> dict:
+        obj = {
+            "error": f"{self.kind} quota exhausted",
+            "rejected": True,
+            "retry_after_seconds": round(self.retry_after_seconds, 6),
+        }
+        if request_id is not None:
+            obj["id"] = request_id
+        return obj
+
+
+class TenantQuota:
+    """The two budgets one tenant holds: searches and mutations.
+
+    ``check(kind)`` returns ``None`` when admitted or a
+    :class:`QuotaRejection` carrying the bucket's retry-after. A bucket
+    configured with ``rate=None`` admits everything of its kind.
+    """
+
+    def __init__(
+        self,
+        *,
+        search_rate: float | None = None,
+        search_burst: float | None = None,
+        mutation_rate: float | None = None,
+        mutation_burst: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._buckets = {
+            SEARCH: TokenBucket(search_rate, search_burst, clock=clock),
+            MUTATION: TokenBucket(mutation_rate, mutation_burst, clock=clock),
+        }
+        self._search_rate = search_rate
+
+    def check(self, kind: str) -> QuotaRejection | None:
+        bucket = self._buckets.get(kind)
+        if bucket is None:
+            raise InvalidParameterError(f"unknown quota kind: {kind!r}")
+        retry_after = bucket.try_acquire()
+        if retry_after == 0.0:
+            return None
+        return QuotaRejection(kind=kind, retry_after_seconds=retry_after)
+
+    def shed_retry_after(self, queue_depth: int) -> float:
+        """The retry hint attached to a load-shed response: roughly how
+        long the current backlog takes to drain at the sustained rate
+        (bounded below so clients never busy-spin), or a flat beat when
+        the tenant is unlimited and simply outran the executor."""
+        if self._search_rate:
+            return max(0.05, queue_depth / self._search_rate)
+        return max(0.05, 0.01 * queue_depth)

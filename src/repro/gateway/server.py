@@ -1,0 +1,606 @@
+"""The asyncio network front end: TCP JSON-lines + a minimal HTTP POST
+adapter, multi-tenant, quota-checked, admission-controlled.
+
+Wire protocol (TCP, newline-delimited JSON — a superset of the stdin
+protocol of ``repro serve``)::
+
+    {"op": "hello", "tenant": "alpha", "token": "s3cret"}
+                      -> {"ok": true, "tenant": "alpha"}  (binds the
+                         connection; optional when one tenant exists)
+    {"id": "q1", "query": ["LA", "NYC"], "k": 5}
+                      -> a SearchResponse line, or a structured
+                         rejection {"id": "q1", "error": ...,
+                         "rejected": true, "retry_after_seconds": r}
+    {"op": "insert"|"delete"|"replace", ...}
+                      -> the mutation ack (quota-checked against the
+                         tenant's mutation bucket)
+    {"op": "metrics"} -> the bound tenant's metrics snapshot
+    {"op": "stats"}   -> the gateway rollup (per-tenant + totals)
+    {"op": "flush"|"invalidate"}
+                      -> tenant-scoped scheduler controls
+
+Every request line may carry ``"tenant": "name"`` to address a tenant
+explicitly (re-authenticated against the connection's token). Requests
+on one connection are answered **in arrival order**; searches execute
+concurrently, and a mutation op waits for the connection's in-flight
+searches first, so earlier requests observe the pre-mutation state —
+the same ordering contract ``serve_lines`` keeps on stdin.
+
+The HTTP/1.1 adapter shares the listener: a request whose first bytes
+look like an HTTP method is parsed as ``POST /`` (body = one JSON
+object or many JSON lines; tenant from ``X-Repro-Tenant`` or the
+``/tenant/<name>`` path; token from ``Authorization: Bearer``) or
+``GET /stats``. A single rejected request maps to ``429`` with a
+``Retry-After`` header; everything else answers ``200`` with one JSON
+response per line.
+
+Shutdown (SIGINT/SIGTERM or :meth:`GatewayServer.request_shutdown`)
+reuses the cluster's graceful-drain semantics: stop accepting, let
+every admitted job finish and its response flush, then close each
+tenant's scheduler and WAL, and return — exit code 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import GatewayError, ReproError
+from repro.gateway.admission import AdmissionController, AdmissionShed
+from repro.gateway.auth import AuthPolicy, policy_from_tokens
+from repro.gateway.metrics import gateway_rollup
+from repro.gateway.quota import MUTATION, SEARCH
+from repro.gateway.tenants import Tenant, TenantRegistry
+from repro.service.request import SearchRequest, SearchResponse
+from repro.service.server import control_line
+
+_COMPACT = {"separators": (",", ":")}
+
+#: HTTP methods the adapter recognizes on a fresh connection.
+_HTTP_METHODS = (b"POST ", b"GET ", b"PUT ", b"HEAD ")
+
+#: Ops the JSON-lines handler accepts (superset of ``serve_lines``).
+_TENANT_OPS = {"metrics", "flush", "invalidate"}
+_MUTATION_OPS = {"insert", "delete", "replace"}
+
+
+def _error_line(message: str, **extra: Any) -> str:
+    return json.dumps({"error": message, **extra}, **_COMPACT)
+
+
+@dataclass(eq=False)  # identity semantics: connections live in sets
+class _Connection:
+    """Per-connection state: the bound tenant, the presented token, and
+    the ordered-response machinery."""
+
+    reader: asyncio.StreamReader
+    writer: asyncio.StreamWriter
+    tenant: Tenant | None = None
+    token: str | None = None
+    out_queue: "asyncio.Queue[asyncio.Task | None]" = field(
+        default_factory=asyncio.Queue
+    )
+    searches: list[asyncio.Task] = field(default_factory=list)
+
+    async def drain_searches(self) -> None:
+        """Wait for this connection's in-flight searches (the barrier a
+        mutation op crosses so earlier requests see the old state)."""
+        pending = [task for task in self.searches if not task.done()]
+        if pending:
+            await asyncio.wait(pending)
+        self.searches.clear()
+
+
+class GatewayServer:
+    """The asyncio front end over a :class:`TenantRegistry`."""
+
+    def __init__(
+        self,
+        registry: TenantRegistry,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        auth: AuthPolicy | None = None,
+        executor_workers: int | None = None,
+    ) -> None:
+        self.registry = registry
+        self.host = host
+        self.port = port
+        self.auth = auth or policy_from_tokens(registry.auth_tokens())
+        self._executor = ThreadPoolExecutor(
+            max_workers=executor_workers or registry.max_inflight,
+            thread_name_prefix="repro-gateway",
+        )
+        self.admission = AdmissionController(
+            max_inflight=registry.max_inflight, executor=self._executor
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[_Connection] = set()
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._shutdown_requested = asyncio.Event()
+        self._started = time.monotonic()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listener; ``self.port`` carries the real port after
+        a ``port=0`` bind (tests and smoke runs)."""
+        try:
+            self._server = await asyncio.start_server(
+                self._on_connection, host=self.host, port=self.port
+            )
+        except OSError as exc:
+            raise GatewayError(
+                f"cannot bind {self.host}:{self.port}: {exc}"
+            ) from exc
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    def request_shutdown(self) -> None:
+        """Begin the graceful drain (signal-handler safe: just an event)."""
+        self._shutdown_requested.set()
+
+    async def serve_until_shutdown(self, *, install_signals: bool = False):
+        """Serve until :meth:`request_shutdown`, then drain and close."""
+        if self._server is None:
+            await self.start()
+        if install_signals:
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(signum, self.request_shutdown)
+                except (NotImplementedError, RuntimeError):
+                    pass  # non-unix loop: rely on KeyboardInterrupt
+        try:
+            await self._shutdown_requested.wait()
+        finally:
+            await self.shutdown()
+
+    async def shutdown(self) -> None:
+        """Graceful drain: stop accepting, finish every admitted job and
+        flush its response, then close tenant schedulers and WALs."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.admission.drain()
+        # In-flight responses are being written by per-connection writer
+        # tasks; give them a moment, then cut idle connections loose
+        # (their readers block on clients that may never speak again).
+        if self._conn_tasks:
+            await asyncio.wait(self._conn_tasks, timeout=0.25)
+        for conn in list(self._connections):
+            conn.writer.close()
+        if self._conn_tasks:
+            await asyncio.wait(self._conn_tasks, timeout=5.0)
+        self._executor.shutdown(wait=True)
+        self.registry.close()
+
+    # -- connection handling ----------------------------------------------
+
+    def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Connection(reader=reader, writer=writer)
+        task = asyncio.get_running_loop().create_task(
+            self._handle_connection(conn)
+        )
+        self._connections.add(conn)
+        self._conn_tasks.add(task)
+
+        def _done(finished: asyncio.Task) -> None:
+            self._connections.discard(conn)
+            self._conn_tasks.discard(task)
+            finished.exception()  # retrieve; the handler already coped
+
+        task.add_done_callback(_done)
+
+    async def _handle_connection(self, conn: _Connection) -> None:
+        try:
+            first = await conn.reader.readline()
+            if not first:
+                return
+            if any(first.startswith(method) for method in _HTTP_METHODS):
+                await self._serve_http(conn, first)
+            else:
+                await self._serve_jsonl(conn, first)
+        except (
+            ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError
+        ):
+            pass  # client went away mid-exchange; nothing to answer
+        finally:
+            try:
+                conn.writer.close()
+                await conn.writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    # -- JSON-lines transport ---------------------------------------------
+
+    async def _serve_jsonl(self, conn: _Connection, first: bytes) -> None:
+        writer_task = asyncio.get_running_loop().create_task(
+            self._write_ordered(conn)
+        )
+        try:
+            line: bytes | None = first
+            while line:
+                await self._accept_line(conn, line)
+                if self._shutdown_requested.is_set():
+                    break
+                line = await conn.reader.readline()
+        finally:
+            await conn.out_queue.put(None)
+            await writer_task
+
+    async def _write_ordered(self, conn: _Connection) -> None:
+        """Emit responses in arrival order (tasks complete out of order;
+        the queue restores the wire order)."""
+        while True:
+            task = await conn.out_queue.get()
+            if task is None:
+                return
+            try:
+                text = await task
+            except Exception as exc:  # noqa: BLE001 — keep the conn alive
+                text = _error_line(
+                    f"internal error: {type(exc).__name__}: {exc}"
+                )
+            if text is None:
+                continue
+            try:
+                conn.writer.write(text.encode("utf-8") + b"\n")
+                await conn.writer.drain()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                return  # client is gone; drain remaining tasks silently
+
+    async def _accept_line(self, conn: _Connection, raw: bytes) -> None:
+        """Parse one line and enqueue its (concurrent) handling."""
+        loop = asyncio.get_running_loop()
+        stripped = raw.strip()
+        if not stripped or stripped.startswith(b"#"):
+            return
+        try:
+            obj = json.loads(stripped)
+        except json.JSONDecodeError as exc:
+            obj = SearchResponse.failure(
+                "parse", f"bad request JSON: {exc}"
+            )
+            task = loop.create_task(_immediate(obj.to_json()))
+            await conn.out_queue.put(task)
+            return
+        if isinstance(obj, dict) and isinstance(obj.get("op"), str):
+            # Ops are barriers: like serve_lines, a mutation (or any
+            # control op) first waits for the connection's in-flight
+            # searches, so earlier requests observe the old state.
+            await conn.drain_searches()
+            task = loop.create_task(self._handle_op(conn, obj))
+        else:
+            task = loop.create_task(self._handle_search(conn, obj))
+            conn.searches.append(task)
+        await conn.out_queue.put(task)
+
+    # -- tenant resolution -------------------------------------------------
+
+    def _resolve_tenant(
+        self, conn: _Connection, obj: dict | None
+    ) -> Tenant | str:
+        """The tenant a request addresses, or an error line (str)."""
+        name = None
+        if isinstance(obj, dict):
+            raw_name = obj.get("tenant")
+            if raw_name is not None:
+                if not isinstance(raw_name, str):
+                    return _error_line('"tenant" must be a string')
+                name = raw_name
+        if name is None:
+            if conn.tenant is not None:
+                return conn.tenant
+            sole = self.registry.sole_tenant
+            if sole is None:
+                return _error_line(
+                    'tenant required: bind one with {"op": "hello", '
+                    '"tenant": ...} or add a "tenant" field '
+                    f"(configured: {self.registry.names})"
+                )
+            tenant = sole
+        else:
+            found = self.registry.get(name)
+            if found is None:
+                return _error_line(
+                    f"unknown tenant {name!r} "
+                    f"(configured: {self.registry.names})"
+                )
+            tenant = found
+        if not self.auth.authenticate(tenant.name, conn.token):
+            tenant.metrics.record_rejected()
+            return _error_line(
+                f"authentication failed for tenant {tenant.name!r}",
+                auth=False,
+            )
+        return tenant
+
+    # -- request handlers --------------------------------------------------
+
+    async def _handle_search(self, conn: _Connection, obj: Any) -> str:
+        try:
+            request = SearchRequest.from_obj(
+                {k: v for k, v in obj.items() if k != "tenant"}
+                if isinstance(obj, dict)
+                else obj
+            )
+        except ReproError as exc:
+            return SearchResponse.failure("parse", str(exc)).to_json()
+        resolved = self._resolve_tenant(
+            conn, obj if isinstance(obj, dict) else None
+        )
+        if isinstance(resolved, str):
+            return resolved
+        tenant = resolved
+        rejection = tenant.quota.check(SEARCH)
+        if rejection is not None:
+            tenant.metrics.record_rejected()
+            return json.dumps(
+                rejection.to_obj(request.request_id), **_COMPACT
+            )
+        scheduler = tenant.scheduler
+        try:
+            response = await self.admission.submit(
+                tenant, lambda: scheduler.answer(request)
+            )
+        except AdmissionShed as shed:
+            return json.dumps(
+                {
+                    "id": request.request_id,
+                    "error": "request shed under load",
+                    "rejected": True,
+                    "shed": True,
+                    "retry_after_seconds": round(
+                        shed.retry_after_seconds, 6
+                    ),
+                },
+                **_COMPACT,
+            )
+        except ReproError as exc:
+            return SearchResponse.failure(
+                request.request_id, str(exc)
+            ).to_json()
+        return response.to_json()
+
+    async def _handle_op(self, conn: _Connection, obj: dict) -> str:
+        op = obj["op"]
+        if op == "hello":
+            return self._handle_hello(conn, obj)
+        if op == "stats":
+            return json.dumps(self.stats(), **_COMPACT)
+        resolved = self._resolve_tenant(conn, obj)
+        if isinstance(resolved, str):
+            return resolved
+        tenant = resolved
+        scheduler = tenant.scheduler
+        if op in _MUTATION_OPS:
+            rejection = tenant.quota.check(MUTATION)
+            if rejection is not None:
+                tenant.metrics.record_rejected()
+                return json.dumps(rejection.to_obj(), **_COMPACT)
+            try:
+                return await self.admission.submit(
+                    tenant, lambda: control_line(scheduler, obj)
+                )
+            except AdmissionShed as shed:
+                return json.dumps(
+                    {
+                        "error": "mutation shed under load",
+                        "op": op,
+                        "rejected": True,
+                        "shed": True,
+                        "retry_after_seconds": round(
+                            shed.retry_after_seconds, 6
+                        ),
+                    },
+                    **_COMPACT,
+                )
+        if op in _TENANT_OPS:
+            # Cheap scheduler controls: total by construction (the
+            # hardened _control_line never raises).
+            return control_line(scheduler, obj)
+        return _error_line(f"unknown op: {op}", op=op)
+
+    def _handle_hello(self, conn: _Connection, obj: dict) -> str:
+        name = obj.get("tenant")
+        if not isinstance(name, str):
+            sole = self.registry.sole_tenant
+            if sole is None:
+                return _error_line(
+                    'hello needs a "tenant" name '
+                    f"(configured: {self.registry.names})"
+                )
+            name = sole.name
+        tenant = self.registry.get(name)
+        if tenant is None:
+            return _error_line(
+                f"unknown tenant {name!r} "
+                f"(configured: {self.registry.names})"
+            )
+        token = obj.get("token")
+        if token is not None and not isinstance(token, str):
+            return _error_line('"token" must be a string')
+        if not self.auth.authenticate(name, token):
+            tenant.metrics.record_rejected()
+            return _error_line(
+                f"authentication failed for tenant {name!r}", auth=False
+            )
+        conn.tenant = tenant
+        conn.token = token
+        return json.dumps({"ok": True, "tenant": name}, **_COMPACT)
+
+    def stats(self) -> dict:
+        """The gateway rollup (the ``stats`` op and ``GET /stats``)."""
+        return gateway_rollup(
+            self.registry,
+            extra={
+                "gateway": {
+                    "uptime_seconds": round(
+                        time.monotonic() - self._started, 6
+                    ),
+                    "inflight": self.admission.inflight,
+                    "connections": len(self._connections),
+                    "max_inflight": self.registry.max_inflight,
+                }
+            },
+        )
+
+    # -- HTTP adapter ------------------------------------------------------
+
+    async def _serve_http(self, conn: _Connection, first: bytes) -> None:
+        try:
+            parts = first.decode("latin-1").split()
+            method, target = parts[0].upper(), parts[1]
+        except (IndexError, UnicodeDecodeError):
+            await _http_reply(conn, 400, [_error_line("bad request line")])
+            return
+        headers: dict[str, str] = {}
+        while True:
+            raw = await conn.reader.readline()
+            if not raw.strip():
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        auth_header = headers.get("authorization", "")
+        if auth_header.lower().startswith("bearer "):
+            conn.token = auth_header[7:].strip()
+        tenant_name = headers.get("x-repro-tenant")
+        path = target.split("?", 1)[0]
+        if tenant_name is None and path.startswith("/tenant/"):
+            tenant_name = path[len("/tenant/"):].strip("/")
+        if method == "GET":
+            if path in ("/stats", "/"):
+                await _http_reply(
+                    conn, 200, [json.dumps(self.stats(), **_COMPACT)]
+                )
+            else:
+                await _http_reply(
+                    conn, 404, [_error_line(f"no such resource: {path}")]
+                )
+            return
+        if method != "POST":
+            await _http_reply(
+                conn, 405, [_error_line(f"method {method} not allowed")]
+            )
+            return
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            await _http_reply(
+                conn, 400, [_error_line("bad Content-Length")]
+            )
+            return
+        body = (
+            await conn.reader.readexactly(length) if length else b""
+        )
+        if tenant_name is not None:
+            resolved = self._resolve_tenant(conn, {"tenant": tenant_name})
+            if isinstance(resolved, str):
+                status = 401 if '"auth":false' in resolved else 404
+                await _http_reply(conn, status, [resolved])
+                return
+            conn.tenant = resolved
+        lines = [ln for ln in body.splitlines() if ln.strip()]
+        responses: list[str] = []
+        for raw_line in lines:
+            try:
+                obj = json.loads(raw_line)
+            except json.JSONDecodeError as exc:
+                responses.append(
+                    SearchResponse.failure(
+                        "parse", f"bad request JSON: {exc}"
+                    ).to_json()
+                )
+                continue
+            if isinstance(obj, dict) and isinstance(obj.get("op"), str):
+                responses.append(await self._handle_op(conn, obj))
+            else:
+                responses.append(await self._handle_search(conn, obj))
+        status = 200
+        retry_after: float | None = None
+        if len(responses) == 1:
+            try:
+                decoded = json.loads(responses[0])
+            except json.JSONDecodeError:
+                decoded = {}
+            if isinstance(decoded, dict) and decoded.get("rejected"):
+                status = 429
+                retry_after = decoded.get("retry_after_seconds")
+        await _http_reply(conn, status, responses, retry_after=retry_after)
+
+
+async def _immediate(text: str) -> str:
+    return text
+
+
+_HTTP_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    401: "Unauthorized",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    429: "Too Many Requests",
+}
+
+
+async def _http_reply(
+    conn: _Connection,
+    status: int,
+    lines: list[str],
+    *,
+    retry_after: float | None = None,
+) -> None:
+    body = ("\n".join(lines) + "\n").encode("utf-8")
+    reason = _HTTP_REASONS.get(status, "OK")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n"
+    )
+    if retry_after is not None:
+        head += f"Retry-After: {max(1, round(retry_after))}\r\n"
+    conn.writer.write(head.encode("latin-1") + b"\r\n" + body)
+    await conn.writer.drain()
+
+
+async def run_gateway(
+    registry: TenantRegistry,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    auth: AuthPolicy | None = None,
+    executor_workers: int | None = None,
+    ready: "asyncio.Event | None" = None,
+    announce=None,
+) -> GatewayServer:
+    """Start a gateway, announce its port, serve until shutdown.
+
+    ``announce(server)`` (if given) runs once the port is bound —
+    the CLI prints the listen line there, tests capture the port.
+    ``ready`` is set at the same moment for in-process callers.
+    """
+    server = GatewayServer(
+        registry,
+        host=host,
+        port=port,
+        auth=auth,
+        executor_workers=executor_workers,
+    )
+    await server.start()
+    if announce is not None:
+        announce(server)
+    if ready is not None:
+        ready.set()
+    await server.serve_until_shutdown(install_signals=True)
+    return server

@@ -14,11 +14,22 @@ a long-lived server::
 * :class:`ServiceMetrics` — QPS, latency quantiles, hit/occupancy rates
 * :mod:`repro.service.server` — the JSON-lines protocol used by
   ``repro serve`` and ``repro batch``
+* :mod:`repro.service.bootstrap` — one construction path
+  (:func:`build_serving_stack`) shared by ``repro serve``, ``repro
+  batch``, and every tenant of the network gateway
+  (:mod:`repro.gateway`)
 
 See ``docs/service.md`` for the architecture walk-through.
 """
 
 from repro.service.backend import SearchBackend
+from repro.service.bootstrap import (
+    ServingStack,
+    build_serving_stack,
+    build_substrate,
+    load_serving_stack,
+    substrate_descriptor,
+)
 from repro.service.cache import CacheKey, ResultCache, make_key
 from repro.service.metrics import ServiceMetrics, percentile
 from repro.service.pool import EnginePool, ReadWriteLock, merge_results
@@ -31,6 +42,7 @@ from repro.service.request import (
 from repro.service.scheduler import QueryScheduler, Ticket
 from repro.service.server import (
     GracefulShutdown,
+    control_line,
     parse_request_lines,
     run_batch,
     serve_lines,
@@ -48,12 +60,18 @@ __all__ = [
     "SearchRequest",
     "SearchResponse",
     "ServiceMetrics",
+    "ServingStack",
     "Ticket",
+    "build_serving_stack",
+    "build_substrate",
+    "control_line",
     "hits_from_result",
+    "load_serving_stack",
     "make_key",
     "merge_results",
     "parse_request_lines",
     "percentile",
     "run_batch",
     "serve_lines",
+    "substrate_descriptor",
 ]

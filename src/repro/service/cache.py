@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Any, Hashable
+from typing import Any, Callable, Hashable
 
 from repro.errors import InvalidParameterError
 
@@ -73,11 +73,26 @@ class ResultCache:
             while len(self._entries) > self._capacity:
                 self._entries.popitem(last=False)
 
-    def invalidate(self) -> int:
-        """Drop every entry (collection mutated); returns the count."""
+    def invalidate(
+        self, *, where: Callable[[CacheKey], bool] | None = None
+    ) -> int:
+        """Drop entries; returns the count.
+
+        Without ``where`` every entry goes (the classic "collection
+        mutated" drop). With a key predicate only matching entries are
+        removed — O(n), used by multi-tenant callers sharing one cache
+        to drop a single tenant's namespace without touching its
+        neighbours'.
+        """
         with self._lock:
-            dropped = len(self._entries)
-            self._entries.clear()
+            if where is None:
+                dropped = len(self._entries)
+                self._entries.clear()
+            else:
+                doomed = [key for key in self._entries if where(key)]
+                for key in doomed:
+                    del self._entries[key]
+                dropped = len(doomed)
             self.invalidations += 1
             return dropped
 

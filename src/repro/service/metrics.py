@@ -44,6 +44,10 @@ class ServiceMetrics:
         self.requests = 0
         self.completed = 0
         self.errors = 0
+        self.rejected = 0
+        self.shed = 0
+        self.queue_depth = 0
+        self.queue_depth_peak = 0
         self.cache_hits = 0
         self.deduplicated = 0
         self.batches = 0
@@ -89,6 +93,30 @@ class ServiceMetrics:
     def record_error(self) -> None:
         with self._lock:
             self.errors += 1
+
+    def record_rejected(self) -> None:
+        """A request refused before any engine work (quota exhausted or
+        auth denied) — the structured-``retry_after_seconds`` path of the
+        gateway. Not counted in ``requests``: rejection is the service
+        protecting itself, not serving."""
+        with self._lock:
+            self.rejected += 1
+
+    def record_shed(self) -> None:
+        """An *accepted* request dropped under overload (its bounded
+        admission queue overflowed and load-shedding evicted it,
+        oldest-first)."""
+        with self._lock:
+            self.shed += 1
+
+    def set_queue_depth(self, depth: int) -> None:
+        """Gauge: requests currently waiting in the admission queue
+        feeding this scheduler (the gateway updates it as jobs enqueue
+        and dispatch; the peak is kept for the snapshot)."""
+        with self._lock:
+            self.queue_depth = depth
+            if depth > self.queue_depth_peak:
+                self.queue_depth_peak = depth
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -140,6 +168,10 @@ class ServiceMetrics:
                 "requests": self.requests,
                 "completed": self.completed,
                 "errors": self.errors,
+                "rejected": self.rejected,
+                "shed": self.shed,
+                "queue_depth": self.queue_depth,
+                "queue_depth_peak": self.queue_depth_peak,
                 "qps": round(self.qps, 3),
                 "cache_hits": self.cache_hits,
                 "cache_hit_rate": (

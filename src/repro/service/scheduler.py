@@ -124,6 +124,15 @@ class QueryScheduler:
         every mutation accepted through :meth:`insert_set` /
         :meth:`delete_set` / :meth:`replace_set`. None = in-memory
         mutation only (still versioned, just not crash-durable).
+    cache_namespace:
+        A hashable tag mixed into every cache key's version component
+        (``(namespace, pool.version)`` instead of the bare version).
+        Multi-tenant deployments point several schedulers at ONE shared
+        :class:`ResultCache` and give each its tenant id here: capacity
+        is shared fleet-wide, yet one tenant's entries can never be
+        returned for — nor invalidated by — another tenant, because no
+        key collides across namespaces. None (the default) leaves the
+        key shape exactly as before.
     """
 
     def __init__(
@@ -135,6 +144,7 @@ class QueryScheduler:
         max_batch: int = 8,
         workers: int = 1,
         wal=None,
+        cache_namespace=None,
     ) -> None:
         if max_batch < 1:
             raise InvalidParameterError("max_batch must be >= 1")
@@ -143,6 +153,7 @@ class QueryScheduler:
         self._pool = pool
         self._cache = cache
         self._wal = wal
+        self._cache_namespace = cache_namespace
         self.metrics = metrics or ServiceMetrics()
         self._max_batch = max_batch
         self._executor = ThreadPoolExecutor(
@@ -181,7 +192,9 @@ class QueryScheduler:
         alpha = (
             self._pool.alpha if request.alpha is None else request.alpha
         )
-        key = make_key(request.query, request.k, alpha, self._pool.version)
+        key = make_key(
+            request.query, request.k, alpha, self._cache_version()
+        )
         self.metrics.record_accepted()
         ready: list[tuple[SearchRequest, CacheKey, Future]] | None = None
         bucket = (request.k, alpha)
@@ -248,11 +261,33 @@ class QueryScheduler:
         self.flush()
         return [ticket.result() for ticket in tickets]
 
+    def _cache_version(self):
+        """The version component of this scheduler's cache keys — the
+        backend version, tagged with the tenant namespace when set."""
+        version = self._pool.version
+        if self._cache_namespace is None:
+            return version
+        return (self._cache_namespace, version)
+
     def invalidate_cache(self) -> int:
-        """Explicitly drop cached results (e.g. after ``pool.reload``)."""
+        """Explicitly drop cached results (e.g. after ``pool.reload``).
+
+        A namespaced scheduler drops only its own namespace's entries —
+        on a shared multi-tenant cache, one tenant's ``invalidate`` wire
+        op must never evict a neighbour's warm results.
+        """
         if self._cache is None:
             return 0
-        return self._cache.invalidate()
+        if self._cache_namespace is None:
+            return self._cache.invalidate()
+        namespace = self._cache_namespace
+        return self._cache.invalidate(
+            where=lambda key: (
+                isinstance(key[3], tuple)
+                and len(key[3]) == 2
+                and key[3][0] == namespace
+            )
+        )
 
     # -- mutation ----------------------------------------------------------
     #
@@ -268,6 +303,11 @@ class QueryScheduler:
     @property
     def pool(self) -> SearchBackend:
         return self._pool
+
+    @property
+    def cache(self) -> ResultCache | None:
+        """The (possibly shared) result cache; None when disabled."""
+        return self._cache
 
     def insert_set(
         self, tokens: Iterable[str], *, name: str | None = None

@@ -76,7 +76,12 @@ def run_batch(
     tickets: list[Ticket | SearchResponse] = []
     for item in parsed:
         if isinstance(item, SearchRequest):
-            tickets.append(scheduler.submit(item))
+            try:
+                tickets.append(scheduler.submit(item))
+            except ReproError as exc:
+                tickets.append(
+                    SearchResponse.failure(item.request_id, str(exc))
+                )
         else:
             tickets.append(item)
     scheduler.flush()
@@ -108,6 +113,14 @@ def _mutation_args(obj: dict) -> tuple[str | int, list[str] | None]:
 
 
 def _control_line(scheduler: QueryScheduler, obj: dict) -> str:
+    """One control op -> one response line.
+
+    Total by construction: *every* failure — a user error
+    (:class:`ReproError`), an unknown op, or an unexpected exception out
+    of a backend hook — becomes a structured ``{"error": ..., "op":
+    ...}`` line. A long-lived server must never lose its serve loop to
+    one bad control line.
+    """
     op = obj["op"]
     compact = {"separators": (",", ":")}
     try:
@@ -152,8 +165,23 @@ def _control_line(scheduler: QueryScheduler, obj: dict) -> str:
                 **compact,
             )
     except ReproError as exc:
-        return json.dumps({"error": str(exc)}, **compact)
-    return json.dumps({"error": f"unknown op: {op}"}, **compact)
+        return json.dumps({"error": str(exc), "op": op}, **compact)
+    except Exception as exc:  # noqa: BLE001 — the loop must survive
+        return json.dumps(
+            {
+                "error": f"internal error in op {op!r}: "
+                f"{type(exc).__name__}: {exc}",
+                "op": op,
+            },
+            **compact,
+        )
+    return json.dumps({"error": f"unknown op: {op}", "op": op}, **compact)
+
+
+#: Public name for transports layered over the same control protocol
+#: (the network gateway answers tenant-scoped ops through this exact
+#: function, so op semantics can never drift between stdin and TCP).
+control_line = _control_line
 
 
 def serve_lines(
@@ -245,7 +273,19 @@ def serve_lines(
                     SearchResponse.failure("parse", str(exc)).to_json()
                 )
                 continue
-            window.append(scheduler.submit(request))
+            try:
+                ticket = scheduler.submit(request)
+            except ReproError as exc:
+                # Admission itself can refuse a request (e.g. an alpha
+                # below what the token index serves exactly). That is a
+                # per-request error line, not a dead serve loop.
+                emit_immediate(
+                    SearchResponse.failure(
+                        request.request_id, str(exc)
+                    ).to_json()
+                )
+                continue
+            window.append(ticket)
             if len(window) >= max(1, linger):
                 emit_window()
     except (GracefulShutdown, KeyboardInterrupt):

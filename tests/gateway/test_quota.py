@@ -1,0 +1,108 @@
+"""Tests for the token buckets behind per-tenant quotas."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.gateway import MUTATION, SEARCH, TenantQuota, TokenBucket
+
+
+class FakeClock:
+    """A hand-cranked monotonic clock."""
+
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestTokenBucket:
+    def test_burst_admits_then_rejects_with_retry_after(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=3.0, clock=clock)
+        assert [bucket.try_acquire() for _ in range(3)] == [0.0] * 3
+        retry_after = bucket.try_acquire()
+        # Empty bucket at 2 tokens/s: one token exists in 0.5s.
+        assert retry_after == pytest.approx(0.5)
+
+    def test_refill_is_rate_proportional_and_capped_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=4.0, burst=2.0, clock=clock)
+        assert bucket.try_acquire(2.0) == 0.0
+        clock.advance(0.25)  # 1 token back
+        assert bucket.available() == pytest.approx(1.0)
+        clock.advance(100.0)  # refill never exceeds burst
+        assert bucket.available() == pytest.approx(2.0)
+
+    def test_retry_after_is_honest(self):
+        """Waiting exactly the advertised retry-after makes the next
+        acquire succeed — the wire contract clients rely on."""
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=1.0, clock=clock)
+        assert bucket.try_acquire() == 0.0
+        retry_after = bucket.try_acquire()
+        assert retry_after > 0.0
+        clock.advance(retry_after)
+        assert bucket.try_acquire() == 0.0
+
+    def test_unlimited_bucket_always_admits(self):
+        bucket = TokenBucket(rate=None, clock=FakeClock())
+        assert bucket.unlimited
+        assert all(bucket.try_acquire() == 0.0 for _ in range(1000))
+        assert bucket.available() == float("inf")
+
+    def test_burst_defaults_cover_low_rate_tenants(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=0.1, clock=clock)  # burst -> max(rate, 1)
+        assert bucket.try_acquire() == 0.0
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_nonpositive_rate_or_burst_rejected(self, bad):
+        with pytest.raises(InvalidParameterError):
+            TokenBucket(rate=bad)
+        with pytest.raises(InvalidParameterError):
+            TokenBucket(rate=1.0, burst=bad)
+
+
+class TestTenantQuota:
+    def test_search_and_mutation_budgets_are_independent(self):
+        clock = FakeClock()
+        quota = TenantQuota(
+            search_rate=1.0, search_burst=1.0,
+            mutation_rate=1.0, mutation_burst=1.0,
+            clock=clock,
+        )
+        assert quota.check(SEARCH) is None
+        rejection = quota.check(SEARCH)
+        assert rejection is not None
+        assert rejection.kind == SEARCH
+        assert rejection.retry_after_seconds > 0.0
+        # The mutation bucket is untouched by search exhaustion.
+        assert quota.check(MUTATION) is None
+
+    def test_unknown_kind_is_a_programming_error(self):
+        with pytest.raises(InvalidParameterError):
+            TenantQuota().check("bogus")
+
+    def test_rejection_wire_shape(self):
+        clock = FakeClock()
+        quota = TenantQuota(search_rate=1.0, search_burst=1.0, clock=clock)
+        quota.check(SEARCH)
+        rejection = quota.check(SEARCH)
+        obj = rejection.to_obj("q7")
+        assert obj["rejected"] is True
+        assert obj["id"] == "q7"
+        assert obj["retry_after_seconds"] > 0.0
+        assert "quota exhausted" in obj["error"]
+        assert "id" not in rejection.to_obj()
+
+    def test_shed_retry_after_scales_with_backlog(self):
+        limited = TenantQuota(search_rate=10.0, clock=FakeClock())
+        assert limited.shed_retry_after(20) == pytest.approx(2.0)
+        assert limited.shed_retry_after(0) == pytest.approx(0.05)
+        unlimited = TenantQuota(clock=FakeClock())
+        assert unlimited.shed_retry_after(0) == pytest.approx(0.05)
+        assert unlimited.shed_retry_after(50) == pytest.approx(0.5)

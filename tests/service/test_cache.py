@@ -53,6 +53,25 @@ class TestResultCache:
         assert len(cache) == 0
         assert cache.invalidations == 1
 
+    def test_predicate_invalidation_scopes_the_drop(self):
+        """``invalidate(where=...)`` drops only matching keys — how a
+        multi-tenant shared cache evicts one namespace."""
+        cache = ResultCache(capacity=8)
+        cache.put(key(1, version=("a", 0)), "a1")
+        cache.put(key(2, version=("a", 0)), "a2")
+        cache.put(key(1, version=("b", 0)), "b1")
+        dropped = cache.invalidate(where=lambda k: k[3][0] == "a")
+        assert dropped == 2
+        assert cache.invalidations == 1
+        assert cache.get(key(1, version=("b", 0))) == "b1"
+        assert cache.get(key(1, version=("a", 0))) is None
+
+    def test_predicate_matching_nothing_drops_nothing(self):
+        cache = ResultCache(capacity=4)
+        cache.put(key(1), "a")
+        assert cache.invalidate(where=lambda k: False) == 0
+        assert cache.get(key(1)) == "a"
+
     def test_hit_rate(self):
         cache = ResultCache(capacity=4)
         cache.put(key(1), "a")

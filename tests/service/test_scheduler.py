@@ -160,3 +160,84 @@ class TestScheduler:
             QueryScheduler(pool, max_batch=0)
         with pytest.raises(InvalidParameterError):
             QueryScheduler(pool, workers=0)
+
+    def test_admission_counters_in_snapshot(self, pool):
+        """The gateway-facing counters (rejected/shed/queue depth) ride
+        the same snapshot the ``metrics`` op emits."""
+        with QueryScheduler(pool) as scheduler:
+            metrics = scheduler.metrics
+            metrics.record_rejected()
+            metrics.record_rejected()
+            metrics.record_shed()
+            metrics.set_queue_depth(5)
+            metrics.set_queue_depth(2)
+            snapshot = dict(metrics.snapshot())
+        assert snapshot["rejected"] == 2
+        assert snapshot["shed"] == 1
+        assert snapshot["queue_depth"] == 2
+        assert snapshot["queue_depth_peak"] == 5
+        # Rejections are refusals, not served traffic.
+        assert snapshot["requests"] == 0
+
+
+class TestCacheNamespace:
+    """One shared cache, several schedulers — the multi-tenant keying."""
+
+    def make_pool(self, tiny_opendata, collection=None):
+        return EnginePool(
+            collection or tiny_opendata.collection,
+            tiny_opendata.index,
+            tiny_opendata.sim,
+            alpha=0.8,
+            shards=1,
+        )
+
+    def test_namespaces_partition_a_shared_cache(self, tiny_opendata):
+        shared = ResultCache(64)
+        pool_a = self.make_pool(tiny_opendata)
+        pool_b = self.make_pool(tiny_opendata)
+        with QueryScheduler(
+            pool_a, cache=shared, cache_namespace="a"
+        ) as sched_a, QueryScheduler(
+            pool_b, cache=shared, cache_namespace="b"
+        ) as sched_b:
+            request = request_for(tiny_opendata.collection, 4)
+            first = sched_a.answer(request)
+            # Identical query through B: same shared cache, different
+            # namespace — must NOT see A's entry.
+            other = sched_b.answer(
+                SearchRequest(query=request.query, k=request.k)
+            )
+            warm = sched_a.answer(
+                SearchRequest(query=request.query, k=request.k)
+            )
+        assert not first.cached
+        assert not other.cached
+        assert warm.cached
+        assert len(shared) == 2  # one entry per namespace
+
+    def test_namespaced_invalidate_spares_the_neighbour(self, tiny_opendata):
+        shared = ResultCache(64)
+        pool_a = self.make_pool(tiny_opendata)
+        pool_b = self.make_pool(tiny_opendata)
+        with QueryScheduler(
+            pool_a, cache=shared, cache_namespace="a"
+        ) as sched_a, QueryScheduler(
+            pool_b, cache=shared, cache_namespace="b"
+        ) as sched_b:
+            request = request_for(tiny_opendata.collection, 6)
+            sched_a.answer(request)
+            sched_b.answer(SearchRequest(query=request.query, k=request.k))
+            assert sched_a.invalidate_cache() == 1  # only A's entry
+            still_warm = sched_b.answer(
+                SearchRequest(query=request.query, k=request.k)
+            )
+        assert still_warm.cached
+
+    def test_no_namespace_keeps_the_legacy_key_shape(self, tiny_opendata):
+        cache = ResultCache(64)
+        pool = self.make_pool(tiny_opendata)
+        with QueryScheduler(pool, cache=cache) as scheduler:
+            scheduler.answer(request_for(tiny_opendata.collection, 0))
+        (key,) = list(cache._entries)
+        assert key[3] == pool.version  # bare version, no namespace tuple

@@ -122,6 +122,68 @@ class TestServeLines:
         assert backend["backend"] == "engine-pool"
         assert backend["shards"] == 2
 
+    def test_unknown_op_names_the_op_and_loop_survives(
+        self, tiny_opendata, scheduler
+    ):
+        tokens = sorted(tiny_opendata.collection[0])
+        lines = [
+            '{"op": "bogus"}\n',
+            json.dumps({"id": "after", "query": tokens}) + "\n",
+        ]
+        served, responses = serve_roundtrip(scheduler, lines)
+        assert responses[0] == {"error": "unknown op: bogus", "op": "bogus"}
+        assert responses[1]["id"] == "after"
+        assert served == 1
+
+    def test_internal_error_in_an_op_becomes_a_structured_line(
+        self, tiny_opendata, scheduler, monkeypatch
+    ):
+        """An unexpected exception out of a control-op hook must never
+        kill the serve loop — it answers as an internal-error line."""
+        monkeypatch.setattr(
+            scheduler,
+            "invalidate_cache",
+            lambda: (_ for _ in ()).throw(RuntimeError("cache on fire")),
+        )
+        tokens = sorted(tiny_opendata.collection[0])
+        lines = [
+            '{"op": "invalidate"}\n',
+            json.dumps({"id": "after", "query": tokens}) + "\n",
+        ]
+        served, responses = serve_roundtrip(scheduler, lines)
+        assert responses[0]["op"] == "invalidate"
+        assert "internal error" in responses[0]["error"]
+        assert "cache on fire" in responses[0]["error"]
+        assert responses[1]["id"] == "after"
+        assert served == 1
+
+    def test_submit_time_error_answers_instead_of_killing_the_loop(
+        self, tiny_opendata, scheduler, monkeypatch
+    ):
+        """A backend whose ``submit`` validates synchronously (raising a
+        ReproError) gets a per-request failure line, not a dead loop."""
+        from repro.errors import InvalidParameterError
+
+        real_submit = scheduler.submit
+
+        def picky_submit(request):
+            if request.request_id == "doomed":
+                raise InvalidParameterError("alpha below the index floor")
+            return real_submit(request)
+
+        monkeypatch.setattr(scheduler, "submit", picky_submit)
+        tokens = sorted(tiny_opendata.collection[0])
+        lines = [
+            json.dumps({"id": "doomed", "query": tokens}) + "\n",
+            json.dumps({"id": "after", "query": tokens}) + "\n",
+        ]
+        served, responses = serve_roundtrip(scheduler, lines)
+        assert responses[0] == {
+            "id": "doomed", "error": "alpha below the index floor",
+        }
+        assert responses[1]["id"] == "after"
+        assert served == 1
+
     def test_shutdown_mid_stream_drains_pending_responses(
         self, tiny_opendata, scheduler
     ):
@@ -178,6 +240,28 @@ class TestRunBatch:
         assert len(hit_sets) == 1
         metrics = scheduler.metrics
         assert metrics.deduplicated + metrics.cache_hits == 3
+
+    def test_submit_time_error_becomes_a_failure_response(
+        self, tiny_opendata, scheduler, monkeypatch
+    ):
+        from repro.errors import InvalidParameterError
+
+        real_submit = scheduler.submit
+
+        def picky_submit(request):
+            if request.request_id == "doomed":
+                raise InvalidParameterError("nope")
+            return real_submit(request)
+
+        monkeypatch.setattr(scheduler, "submit", picky_submit)
+        tokens = sorted(tiny_opendata.collection[2])
+        lines = [
+            json.dumps({"id": "doomed", "query": tokens}),
+            json.dumps({"id": "fine", "query": tokens}),
+        ]
+        responses = run_batch(scheduler, lines)
+        assert responses[0].error == "nope"
+        assert responses[1].error is None
 
 
 class TestServiceCLI:

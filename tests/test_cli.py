@@ -138,6 +138,16 @@ class TestExitCodes:
         assert main(["search", str(path), "tok"]) == 2
         assert "repro: error:" in capsys.readouterr().err
 
+    def test_gateway_config_errors_exit_gateway_code(self, tmp_path, capsys):
+        assert main(
+            ["gateway", "serve", "--config", str(tmp_path / "nope.json")]
+        ) == 9
+        assert "repro: error:" in capsys.readouterr().err
+        bad = tmp_path / "tenants.json"
+        bad.write_text(json.dumps({"tenants": [{"name": "a"}]}))
+        assert main(["gateway", "serve", "--config", str(bad)]) == 9
+        assert "collection" in capsys.readouterr().err
+
 
 class TestIndexCommands:
     def test_build_inspect_round_trip(

@@ -13,6 +13,7 @@ SUBPACKAGES = [
     "repro.datasets",
     "repro.embedding",
     "repro.experiments",
+    "repro.gateway",
     "repro.index",
     "repro.matching",
     "repro.service",
