@@ -20,6 +20,13 @@ Acceptance gates (the ISSUE's criteria, asserted here and in CI smoke):
 
 The run writes ``BENCH_gateway.json`` (QPS per concurrency level, shed
 and rejection counts, per-tenant p99) — CI uploads it as an artifact.
+
+A second test is the **tracing overhead guard**: the same gateway and
+workload run with tracing off and on (full head sampling), alternating
+passes best-of-N, and the QPS delta is gated — tracing must cost < 5%
+throughput (a looser bound at smoke scale, where per-pass jitter on a
+tiny corpus exceeds the real overhead). The delta lands under a
+``"tracing"`` key in the same ``BENCH_gateway.json``.
 """
 
 from __future__ import annotations
@@ -31,6 +38,7 @@ from pathlib import Path
 
 import pytest
 
+from repro import obs
 from repro.datasets import TINY_PROFILES, generate_dataset
 from repro.gateway import GatewayServer, TenantRegistry
 from repro.service.bootstrap import build_serving_stack
@@ -53,6 +61,16 @@ ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_gateway.json"
 HOT_QPS = 5.0
 HOT_BURST = 8.0
 HOT_QUEUE_DEPTH = 2
+
+#: Tracing overhead gate (percent of QPS). The full run holds the
+#: documented < 5% claim; at smoke scale a single pass is ~50 tiny
+#: requests, where pass-to-pass jitter alone exceeds 5%, so the smoke
+#: gate only catches gross regressions (a hot-path sink write, an
+#: accidental flush per span).
+TRACE_GATE_PCT = 5.0
+SMOKE_TRACE_GATE_PCT = 20.0
+TRACE_PAIRS = 6
+SMOKE_TRACE_PAIRS = 4
 
 
 @pytest.fixture(scope="module")
@@ -332,3 +350,132 @@ def test_gateway_throughput_and_overload(corpus_dir, workload, smoke, report):
         f"(baseline {baseline_p99 * 1000:.1f}ms)"
     )
     report(f"wrote {ARTIFACT.name}")
+
+
+def test_tracing_overhead_guard(corpus_dir, workload, smoke, report, tmp_path):
+    """Tracing must be nearly free: same gateway, same workload, QPS
+    with tracing off vs on (full head sampling, every trace written).
+
+    Two sources of noise dwarf the real overhead and are designed out:
+
+    * *work drift* — every pass replays the identical request lines and
+      starts by dropping the result cache (``{"op": "invalidate"}``),
+      so each pass pays the same cold misses + LRU hits;
+    * *machine drift* — throughput decays slowly within a run (turbo
+      and scheduler effects), so off/on pairs run in ABBA order (the
+      pair's bias alternates sign) and the gate reads the **median** of
+      per-pair deltas, which a monotone drift cancels out of.
+    """
+    pairs = SMOKE_TRACE_PAIRS if smoke else TRACE_PAIRS
+    gate_pct = SMOKE_TRACE_GATE_PCT if smoke else TRACE_GATE_PCT
+    clients = 2 if smoke else 4
+    per_client = 24 if smoke else 40
+    sink_path = tmp_path / "bench-trace.jsonl"
+
+    def pass_lines(client):
+        start = client * per_client
+        return [
+            {
+                "id": f"c{client}-{i}",
+                "query": workload[(start + i) % len(workload)],
+                "k": K,
+            }
+            for i in range(per_client)
+        ]
+
+    async def main():
+        registry = TenantRegistry.from_config(corpus_dir / "tenants.json")
+        server = GatewayServer(registry, port=0)
+        await server.start()
+        serve_task = asyncio.create_task(server.serve_until_shutdown())
+
+        async def timed_pass():
+            await _client_loop(
+                server.port, "steady", [{"op": "invalidate"}]
+            )
+            started = time.perf_counter()
+            batches = await asyncio.gather(
+                *[
+                    _client_loop(server.port, "steady", pass_lines(c))
+                    for c in range(clients)
+                ]
+            )
+            elapsed = time.perf_counter() - started
+            for batch in batches:
+                assert all("results" in r for r in batch)
+            return clients * per_client / elapsed
+
+        async def traced_pass():
+            obs.configure(str(sink_path), sample_rate=1.0)
+            try:
+                return await timed_pass()
+            finally:
+                obs.disable()
+
+        await timed_pass()  # warmup: cold import/alloc paths
+        qps_off, qps_on = [], []
+        try:
+            for pair in range(pairs):
+                if pair % 2 == 0:  # ABBA: off,on | on,off | off,on …
+                    qps_off.append(await timed_pass())
+                    qps_on.append(await traced_pass())
+                else:
+                    qps_on.append(await traced_pass())
+                    qps_off.append(await timed_pass())
+        finally:
+            obs.disable()
+
+        server.request_shutdown()
+        await serve_task
+        return qps_off, qps_on
+
+    qps_off, qps_on = asyncio.run(main())
+
+    # The traced passes must actually have traced: every root span of
+    # every request was head-sampled at rate 1.0.
+    traced_roots = sum(
+        1
+        for line in sink_path.read_text().splitlines()
+        if json.loads(line).get("name") == "gateway.request"
+    )
+    assert traced_roots == pairs * clients * per_client
+
+    def median(values):
+        ranked = sorted(values)
+        mid = len(ranked) // 2
+        if len(ranked) % 2:
+            return ranked[mid]
+        return (ranked[mid - 1] + ranked[mid]) / 2.0
+
+    deltas = [
+        (off - on) / off * 100.0 for off, on in zip(qps_off, qps_on)
+    ]
+    overhead_pct = median(deltas)
+    med_off, med_on = median(qps_off), median(qps_on)
+
+    tracing = {
+        "qps_off": round(med_off, 1),
+        "qps_on": round(med_on, 1),
+        "overhead_pct": round(overhead_pct, 2),
+        "gate_pct": gate_pct,
+        "pairs": pairs,
+        "requests_per_pass": clients * per_client,
+        "sample_rate": 1.0,
+        "smoke": bool(smoke),
+    }
+    payload = (
+        json.loads(ARTIFACT.read_text()) if ARTIFACT.exists() else {}
+    )
+    payload["tracing"] = tracing
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    report()
+    report(
+        f"tracing overhead — median of {pairs} ABBA pairs: "
+        f"{med_off:.1f} qps off, {med_on:.1f} qps on "
+        f"({overhead_pct:+.2f}%, gate < {gate_pct:.0f}%)"
+    )
+    assert overhead_pct < gate_pct, (
+        f"tracing costs {overhead_pct:.2f}% of gateway QPS "
+        f"({med_off:.1f} -> {med_on:.1f}); gate is {gate_pct:.0f}%"
+    )

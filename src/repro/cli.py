@@ -24,7 +24,15 @@ Commands cover the downstream workflow end to end:
   config, per-tenant token-bucket quotas with ``retry_after_seconds``
   rejections, bounded admission queues with oldest-first load
   shedding, pluggable auth, TCP JSON-lines + minimal HTTP POST on one
-  port.
+  port (plus ``GET /metrics`` Prometheus exposition);
+* ``trace tail|show|top`` — the trace inspector of :mod:`repro.obs`:
+  reconstruct and pretty-print span trees from the JSON-lines sink
+  the ``--trace`` flag of the serving commands writes.
+
+``serve``, ``cluster serve``, and ``gateway serve`` accept ``--trace
+PATH`` (plus ``--trace-sample`` and ``--trace-slow-ms``) to emit
+request spans — gateway root, admission queue wait, scheduler,
+engine phases, cluster scatter/worker — to a bounded, rotating sink.
 
 ``serve`` and ``cluster serve`` shut down gracefully on SIGINT/SIGTERM:
 in-flight scheduler work drains, pending responses are emitted, the
@@ -141,6 +149,25 @@ def _load_stack(args: argparse.Namespace):
     """``(collection, token_index, sim)`` — see :func:`_load_serving_stack`."""
     collection, index, sim, _, _ = _load_serving_stack(args)
     return collection, index, sim
+
+
+def _configure_tracing(args: argparse.Namespace) -> None:
+    """Enable span tracing when the serving command asked for it.
+
+    Runs before any backend construction, so cluster worker specs
+    capture the configuration and spawned processes append to the
+    same sink.
+    """
+    trace_path = getattr(args, "trace", None)
+    if trace_path is None:
+        return
+    from repro import obs
+
+    obs.configure(
+        trace_path,
+        sample_rate=args.trace_sample,
+        slow_threshold_ms=args.trace_slow_ms,
+    )
 
 
 def _install_shutdown_handlers() -> None:
@@ -271,6 +298,7 @@ def _run_serve_loop(scheduler: QueryScheduler, linger: int) -> int:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     """``repro serve``: JSON-lines request loop on stdin/stdout."""
+    _configure_tracing(args)
     with _build_scheduler(args) as scheduler:
         return _run_serve_loop(scheduler, args.linger)
 
@@ -303,6 +331,7 @@ def cmd_cluster_serve(args: argparse.Namespace) -> int:
     from repro.cluster import ClusterPool
     from repro.store.mutable import MutableSetCollection
 
+    _configure_tracing(args)  # before spawn: worker specs capture it
     collection, index, sim, descriptor, snapshot_path = (
         _load_serving_stack(args)
     )
@@ -399,6 +428,7 @@ def cmd_gateway_serve(args: argparse.Namespace) -> int:
     from repro.gateway import TenantRegistry
     from repro.gateway.server import run_gateway
 
+    _configure_tracing(args)  # before tenant builds: cluster tenants
     registry = TenantRegistry.from_config(args.config)
 
     def announce(server) -> None:
@@ -434,6 +464,43 @@ def cmd_gateway_serve(args: argparse.Namespace) -> int:
         f"across {len(registry)} tenants",
         file=sys.stderr,
     )
+    return 0
+
+
+def cmd_trace_tail(args: argparse.Namespace) -> int:
+    """``repro trace tail``: the most recent span trees in a sink."""
+    from repro.obs.inspect import tail_traces
+
+    shown = 0
+    for tree in tail_traces(args.file, args.count):
+        if shown:
+            print()
+        print(tree)
+        shown += 1
+    if not shown:
+        print("(no traces)", file=sys.stderr)
+    return 0
+
+
+def cmd_trace_show(args: argparse.Namespace) -> int:
+    """``repro trace show``: one trace's span tree by (prefix of) id."""
+    from repro.obs.inspect import show_trace
+
+    tree = show_trace(args.file, args.trace_id)
+    if tree is None:
+        raise InvalidParameterError(
+            f"no trace matching {args.trace_id!r} in {args.file} "
+            f"(prefixes must be unambiguous)"
+        )
+    print(tree)
+    return 0
+
+
+def cmd_trace_top(args: argparse.Namespace) -> int:
+    """``repro trace top``: where did the milliseconds go?"""
+    from repro.obs.inspect import format_top, top_spans
+
+    print(format_top(top_spans(args.file, by=args.by, limit=args.limit)))
     return 0
 
 
@@ -506,6 +573,25 @@ def _add_substrate_arguments(parser: argparse.ArgumentParser) -> None:
         help="search engine for refinement AND verification: the "
         "vectorized columnar fast paths (default) or the per-candidate "
         "reference loops (both return bitwise-identical results)",
+    )
+
+
+def _add_trace_arguments(parser: argparse.ArgumentParser) -> None:
+    """Tracing options shared by the serving commands."""
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="emit request spans as JSON lines to this sink file "
+        "(inspect with 'repro trace')",
+    )
+    parser.add_argument(
+        "--trace-sample", type=float, default=1.0,
+        help="fraction of traces to keep (deterministic per trace_id; "
+        "errors and slow requests are always kept)",
+    )
+    parser.add_argument(
+        "--trace-slow-ms", type=float, default=None,
+        help="always keep traces whose root span exceeds this many "
+        "milliseconds (the slow-query log)",
     )
 
 
@@ -624,6 +710,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write-ahead log for insert/delete/replace durability "
         "(replayed on start)",
     )
+    _add_trace_arguments(serve)
     serve.set_defaults(func=cmd_serve)
 
     batch = commands.add_parser(
@@ -691,6 +778,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="multiprocessing start method (spawn is the portable "
         "default)",
     )
+    _add_trace_arguments(cluster_serve)
     cluster_serve.set_defaults(func=cmd_cluster_serve)
     cluster_bench = cluster_commands.add_parser(
         "bench",
@@ -749,7 +837,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="threads executing admitted requests (default: the "
         "config's max_inflight)",
     )
+    _add_trace_arguments(gateway_serve)
     gateway_serve.set_defaults(func=cmd_gateway_serve)
+
+    trace = commands.add_parser(
+        "trace",
+        help="inspect a span sink: tail recent traces, show one, "
+        "aggregate hot spans",
+    )
+    trace_commands = trace.add_subparsers(
+        dest="trace_command", required=True
+    )
+    trace_tail = trace_commands.add_parser(
+        "tail", help="pretty-print the most recent span trees"
+    )
+    trace_tail.add_argument(
+        "file", help="trace sink path (a server's --trace)"
+    )
+    trace_tail.add_argument(
+        "--count", type=int, default=5,
+        help="how many of the most recent traces to show",
+    )
+    trace_tail.set_defaults(func=cmd_trace_tail)
+    trace_show = trace_commands.add_parser(
+        "show", help="one trace's span tree by trace id"
+    )
+    trace_show.add_argument(
+        "file", help="trace sink path (a server's --trace)"
+    )
+    trace_show.add_argument(
+        "trace_id", help="full trace id or an unambiguous prefix"
+    )
+    trace_show.set_defaults(func=cmd_trace_show)
+    trace_top = trace_commands.add_parser(
+        "top", help="aggregate span durations across the sink"
+    )
+    trace_top.add_argument(
+        "file", help="trace sink path (a server's --trace)"
+    )
+    trace_top.add_argument(
+        "--by", default="name", choices=["name", "phase"],
+        help="group over span names or engine phases only",
+    )
+    trace_top.add_argument(
+        "--limit", type=int, default=20,
+        help="rows to print",
+    )
+    trace_top.set_defaults(func=cmd_trace_top)
     return parser
 
 

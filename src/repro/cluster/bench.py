@@ -14,13 +14,13 @@ can never be bought with a wrong result.
 from __future__ import annotations
 
 import os
-import time
 from typing import Any, Sequence
 
 from repro.cluster.coordinator import ClusterPool
 from repro.cluster.worker import substrate_from_descriptor
 from repro.datasets.collection import SetCollection
 from repro.errors import ClusterError
+from repro.obs import timed
 from repro.service.pool import EnginePool
 from repro.utils.rng import make_rng
 
@@ -45,10 +45,9 @@ def zipf_queries(
 
 
 def _timed_search(pool, queries: Sequence[frozenset[str]], k: int):
-    started = time.perf_counter()
-    results = [pool.search(query, k) for query in queries]
-    elapsed = time.perf_counter() - started
-    return results, elapsed
+    with timed() as watch:
+        results = [pool.search(query, k) for query in queries]
+    return results, watch.seconds
 
 
 def run_scaling_bench(

@@ -54,6 +54,7 @@ from repro.cluster.messages import (
     STATUS_OK,
     WorkerSpec,
     encode_stream,
+    encode_trace,
     mutation_record,
 )
 from repro.cluster.metrics import ClusterMetrics
@@ -68,6 +69,7 @@ from repro.errors import (
 )
 from repro.index.base import TokenIndex
 from repro.index.token_stream import MaterializedTokenStream
+from repro.obs import current_context, get_tracer, trace_config
 from repro.service.backend import (
     materialize_stream,
     require_mutable,
@@ -359,6 +361,10 @@ class ClusterPool:
             substrate=self._substrate,
             base_version=0,
             history=tuple(self._history),
+            # Captured at spawn/restart time, so a worker started after
+            # tracing was enabled adopts it (and one restarted after
+            # disable() comes up untraced).
+            trace=trace_config(),
         )
 
     def _apply_local(
@@ -540,7 +546,21 @@ class ClusterPool:
                 "version": self._live_version(),
                 "time_budget": time_budget,
             }
-            partials = self._scatter_search(payload)
+            tracer = get_tracer()
+            parent = current_context() if tracer.enabled else None
+            if parent is not None:
+                # One scatter span per query; its context rides the
+                # payload so every worker's span nests under it in the
+                # shared sink.
+                with tracer.span(
+                    "cluster.scatter",
+                    parent=parent,
+                    tags={"workers": self._num_workers},
+                ) as scatter:
+                    payload["trace"] = encode_trace(scatter.context)
+                    partials = self._scatter_search(payload)
+            else:
+                partials = self._scatter_search(payload)
             self._queries += 1
         return merge_results(partials, k)
 

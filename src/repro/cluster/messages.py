@@ -22,6 +22,7 @@ from typing import Any
 from repro.core.config import FilterConfig
 from repro.errors import ClusterError
 from repro.index.token_stream import MaterializedTokenStream, StreamTuple
+from repro.obs import SpanContext
 
 #: Wire operations the worker loop understands.
 OP_SEARCH = "search"
@@ -80,6 +81,10 @@ class WorkerSpec:
     substrate: dict[str, Any] | None
     base_version: int
     history: tuple[dict[str, Any], ...]
+    #: The coordinator's tracing configuration
+    #: (:func:`repro.obs.trace_config`), so a spawned worker appends
+    #: spans to the same sink; None leaves worker tracing disabled.
+    trace: dict[str, Any] | None = None
 
 
 def encode_stream(
@@ -111,6 +116,18 @@ def decode_stream(
         query_tokens=None if query_tokens is None else frozenset(query_tokens),
         alpha=payload["alpha"],
     )
+
+
+def encode_trace(context: SpanContext | None) -> dict[str, Any] | None:
+    """Project a span context onto wire primitives (None = untraced)."""
+    return None if context is None else context.to_wire()
+
+
+def decode_trace(payload: dict[str, Any] | None) -> SpanContext | None:
+    """Rebuild the coordinator-side span context a search payload
+    carried; tolerant of absent/malformed input (tracing must never
+    fail a search)."""
+    return SpanContext.from_wire(payload)
 
 
 def mutation_record(

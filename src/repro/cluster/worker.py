@@ -26,7 +26,6 @@ that is what keeps the design exact and simple:
 from __future__ import annotations
 
 import signal
-import time
 from dataclasses import dataclass
 from typing import Any
 
@@ -41,9 +40,11 @@ from repro.cluster.messages import (
     WorkerSpec,
     check_version,
     decode_stream,
+    decode_trace,
 )
 from repro.datasets.collection import SetCollection
 from repro.errors import ClusterError, ReproError
+from repro.obs import Stopwatch, configure_from, get_tracer
 from repro.service.metrics import ServiceMetrics
 from repro.service.pool import EnginePool
 from repro.store.mutable import MutableSetCollection
@@ -159,17 +160,34 @@ def _handle_search(state: WorkerState, payload: dict[str, Any]) -> Any:
     )
     state.metrics.record_accepted()
     stream = decode_stream(payload["stream"])
-    started = time.perf_counter()
-    result = state.pool.search(
-        frozenset(payload["query"]),
-        payload["k"],
-        alpha=payload["alpha"],
-        stream=stream,
-        time_budget=payload.get("time_budget"),
-    )
-    state.metrics.record_completed(
-        time.perf_counter() - started, result.stats
-    )
+    # The coordinator's span context crosses the wire as primitives;
+    # parenting the worker span under it stitches this process's spans
+    # into the same request tree (and the same sink file).
+    remote = decode_trace(payload.get("trace"))
+    tracer = get_tracer()
+    watch = Stopwatch()
+    if tracer.enabled and remote is not None:
+        with tracer.span(
+            "worker.search",
+            parent=remote,
+            tags={"worker": state.spec.worker_id},
+        ):
+            result = state.pool.search(
+                frozenset(payload["query"]),
+                payload["k"],
+                alpha=payload["alpha"],
+                stream=stream,
+                time_budget=payload.get("time_budget"),
+            )
+    else:
+        result = state.pool.search(
+            frozenset(payload["query"]),
+            payload["k"],
+            alpha=payload["alpha"],
+            stream=stream,
+            time_budget=payload.get("time_budget"),
+        )
+    state.metrics.record_completed(watch.stop(), result.stats)
     return result
 
 
@@ -197,6 +215,7 @@ def _dispatch(state: WorkerState, op: str, payload: Any) -> Any:
             shards=state.pool.num_shards,
             version=state.effective_version,
             bootstrap_history_length=len(state.spec.history),
+            histograms=state.metrics.histogram_snapshot(),
         )
         return snapshot
     if op == OP_PING:
@@ -215,6 +234,10 @@ def worker_main(spec: WorkerSpec, conn) -> None:
     # SIGKILL for a worker that ignores its stop.
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    # Adopt the coordinator's tracing configuration (same sink file —
+    # O_APPEND keeps multi-process lines whole; the deterministic head
+    # sample keeps keep/drop decisions consistent across processes).
+    configure_from(spec.trace)
     try:
         state = bootstrap(spec)
     except Exception as exc:  # noqa: BLE001 — report, then die visibly

@@ -79,6 +79,7 @@ from repro.errors import (
 )
 from repro.index.interning import CSRPostings, TokenTable, csr_from_index
 from repro.index.token_stream import MaterializedTokenStream
+from repro.obs import annotate
 
 #: Stream tuples per trajectory block — bounds peak edge-array memory
 #: and the number of per-block "rounds" (max edges one candidate has in
@@ -583,6 +584,13 @@ def refine_columnar(
         + event_bytes
     )
     stats.memory.record("columnar_state", columnar_bytes)
+    # Tracing hook (observation only — a no-op outside an active span):
+    # how much stream the columnar phase chewed and what survived it.
+    annotate(
+        stream_tuples=n_tuples,
+        survivors=len(survivors),
+        columnar_bytes=columnar_bytes,
+    )
     return RefinementOutput(
         survivors=survivors,
         sim_cache=sim_cache,

@@ -67,6 +67,7 @@ from repro.matching.hungarian import (
     initial_label_sum,
 )
 from repro.index.interning import TokenTable
+from repro.obs import annotate
 
 
 def _entry_replay(
@@ -247,6 +248,13 @@ class ColumnarVerifier:
                 self._fallback.add(set_id)
                 continue
             self._positions[set_id] = all_positions[lo:hi]
+        # Tracing hook (observation only): the one batched matmul this
+        # phase runs, and how many candidates bypass it via fallback.
+        annotate(
+            verify_matmul_cells=int(weights.size),
+            verify_candidates=len(self._positions),
+            verify_fallbacks=len(self._fallback),
+        )
 
     # -- per-candidate verification ---------------------------------------
 

@@ -38,6 +38,7 @@ from repro.core.postprocessing import (
 )
 from repro.core.refinement import refine
 from repro.index.interning import token_table_for
+from repro.obs import traced_phase
 from repro.core.semantic_overlap import semantic_overlap_matching
 from repro.core.stats import POSTPROCESSING, REFINEMENT, SearchStats
 from repro.core.topk import GlobalThreshold, ThetaLB, TopKList
@@ -310,7 +311,7 @@ class KoiosSearchEngine:
         )
         columnar = self._config.engine == ENGINE_COLUMNAR
         if stream is None:
-            with stats.timer.phase(REFINEMENT):
+            with traced_phase(stats.timer, REFINEMENT):
                 stream = drain_stream(
                     query_set,
                     self._token_index,
@@ -337,7 +338,7 @@ class KoiosSearchEngine:
             # The similarity cache is a property of the drained stream,
             # not of any partition's schedule: fill it — and group it by
             # token for verification-matrix seeding — once per search.
-            with stats.timer.phase(REFINEMENT):
+            with traced_phase(stats.timer, REFINEMENT):
                 sim_cache = sim_cache_from_stream(stream)
                 cache_by_token = index_cache_by_token(sim_cache)
                 columnar_ctx = self._columnar_context()
@@ -417,7 +418,7 @@ class KoiosSearchEngine:
         """Refinement + post-processing of one partition."""
         llb = TopKList(k)
         theta = ThetaLB(llb, shared)
-        with stats.timer.phase(REFINEMENT):
+        with traced_phase(stats.timer, REFINEMENT):
             if columnar_ctx is not None:
                 table, partitions = columnar_ctx
                 output = refine_columnar(
@@ -458,7 +459,7 @@ class KoiosSearchEngine:
             verifier = ColumnarVerifier(
                 query, self._collection, columnar_ctx[0], self._sim, alpha
             )
-        with stats.timer.phase(POSTPROCESSING):
+        with traced_phase(stats.timer, POSTPROCESSING):
             entries = postprocess(
                 query,
                 self._collection,
@@ -497,7 +498,7 @@ class KoiosSearchEngine:
         results into byte-identical global rankings.
         """
         resolved: list[VerifiedEntry] = []
-        with stats.timer.phase(POSTPROCESSING):
+        with traced_phase(stats.timer, POSTPROCESSING):
             for entry in verified:
                 if resolve and not entry.exact:
                     if cache_by_token is None:

@@ -44,6 +44,7 @@ from repro.core.stats import SearchStats
 from repro.core.topk import ThetaLB
 from repro.datasets.collection import SetCollection
 from repro.errors import SearchTimeout
+from repro.obs import annotate
 from repro.sim.base import SimilarityFunction
 
 
@@ -250,6 +251,13 @@ def postprocess(
     stats.memory.measure("postproc_upper_bounds", ledger)
     if verifier is not None:
         stats.memory.record("verify_weight_block", verifier.nbytes())
+    # Tracing hook (observation only): how verification resolved the
+    # survivors — exact matchings run vs. sets retired without one.
+    annotate(
+        em_checked=len(checked),
+        no_em=len(ledger) - len(checked),
+        survivors=len(ledger),
+    )
     return _final_entries(ledger, lower, exact, checked, k)
 
 

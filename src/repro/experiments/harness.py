@@ -9,7 +9,6 @@ to run.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
@@ -20,6 +19,7 @@ from repro.datasets.benchmarks import QueryBenchmark
 from repro.datasets.synthetic import SyntheticDataset
 from repro.embedding.provider import VectorStore
 from repro.index.vector_index import ExactCosineIndex
+from repro.obs import timed
 from repro.sim.cosine import CosineSimilarity
 
 #: A searcher under test: called with (query_tokens, k) -> SearchResult.
@@ -119,9 +119,9 @@ def run_benchmark(
     """
     records: list[QueryRecord] = []
     for group_label, query_id, tokens in benchmark:
-        start = time.perf_counter()
-        result = search_fn(tokens, k)
-        elapsed = time.perf_counter() - start
+        with timed() as watch:
+            result = search_fn(tokens, k)
+        elapsed = watch.seconds
         stats = result.stats
         records.append(
             QueryRecord(

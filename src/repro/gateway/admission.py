@@ -34,6 +34,7 @@ from typing import Any, Callable
 
 from repro.errors import GatewayError
 from repro.gateway.tenants import Tenant
+from repro.obs import Stopwatch, get_tracer
 
 
 class AdmissionShed(GatewayError):
@@ -53,6 +54,11 @@ class _Job:
     tenant: Tenant
     fn: Callable[[], Any]
     future: "asyncio.Future[Any]"
+    #: The request's span context (None when untraced) and the stopwatch
+    #: timing its wait in the queue — emitted as a retroactive
+    #: ``gateway.queue`` span at dispatch (or, with an error, at shed).
+    trace: Any = None
+    waited: Stopwatch | None = None
 
 
 @dataclass
@@ -105,10 +111,27 @@ class AdmissionController:
     def _note_depth(self, tenant: Tenant, lane: _TenantLane) -> None:
         tenant.metrics.set_queue_depth(len(lane.queue))
 
+    @staticmethod
+    def _note_queue_span(job: _Job, *, error: str | None = None) -> None:
+        """Emit the job's queue-wait as a retroactive span (a shed job
+        carries the error, so the sink always keeps its trace)."""
+        if job.trace is None or job.waited is None:
+            return
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return
+        tracer.record(
+            "gateway.queue",
+            job.waited.stop(),
+            parent=job.trace,
+            tags={"tenant": job.tenant.name},
+            error=error,
+        )
+
     # -- admission ---------------------------------------------------------
 
     def submit(
-        self, tenant: Tenant, fn: Callable[[], Any]
+        self, tenant: Tenant, fn: Callable[[], Any], *, trace: Any = None
     ) -> "asyncio.Future[Any]":
         """Queue ``fn`` for ``tenant``; resolve with its return value.
 
@@ -116,6 +139,9 @@ class AdmissionController:
         (its future fails with :class:`AdmissionShed`) to make room —
         the new job is always accepted, so a client that just arrived
         is never punished for a backlog it didn't create.
+
+        ``trace`` (a span context) attributes the job's queue wait to
+        its request trace as a retroactive ``gateway.queue`` span.
         """
         loop = asyncio.get_running_loop()
         future: asyncio.Future[Any] = loop.create_future()
@@ -128,6 +154,7 @@ class AdmissionController:
         if len(lane.queue) >= tenant.spec.max_queue_depth:
             oldest: _Job = lane.queue.popleft()
             tenant.metrics.record_shed()
+            self._note_queue_span(oldest, error="AdmissionShed: shed")
             if not oldest.future.done():
                 oldest.future.set_exception(
                     AdmissionShed(
@@ -135,7 +162,11 @@ class AdmissionController:
                         tenant.quota.shed_retry_after(len(lane.queue)),
                     )
                 )
-        lane.queue.append(_Job(tenant=tenant, fn=fn, future=future))
+        waited = Stopwatch() if trace is not None else None
+        lane.queue.append(
+            _Job(tenant=tenant, fn=fn, future=future,
+                 trace=trace, waited=waited)
+        )
         self._idle.clear()
         self._note_depth(tenant, lane)
         self._pump(loop)
@@ -169,6 +200,7 @@ class AdmissionController:
             lane.inflight += 1
             self._inflight += 1
             self._note_depth(job.tenant, lane)
+            self._note_queue_span(job)
             loop.create_task(self._run(loop, job))
         if self._inflight == 0 and not any(
             lane.queue for lane in self._lanes.values()

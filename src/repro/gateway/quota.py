@@ -148,6 +148,14 @@ class TenantQuota:
         }
         self._search_rate = search_rate
 
+    def available(self, kind: str) -> float:
+        """Current token balance for ``kind`` (``inf`` when unlimited)
+        — the gateway's per-tenant quota gauges read this."""
+        bucket = self._buckets.get(kind)
+        if bucket is None:
+            raise InvalidParameterError(f"unknown quota kind: {kind!r}")
+        return bucket.available()
+
     def check(self, kind: str) -> QuotaRejection | None:
         bucket = self._buckets.get(kind)
         if bucket is None:

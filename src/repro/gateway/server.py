@@ -15,9 +15,17 @@ protocol of ``repro serve``)::
                       -> the mutation ack (quota-checked against the
                          tenant's mutation bucket)
     {"op": "metrics"} -> the bound tenant's metrics snapshot
+    {"op": "prometheus"}
+                      -> the bound tenant's Prometheus exposition text
     {"op": "stats"}   -> the gateway rollup (per-tenant + totals)
     {"op": "flush"|"invalidate"}
                       -> tenant-scoped scheduler controls
+
+A search line may carry ``"trace_id"`` to join the request into a
+caller-owned trace; with tracing enabled (``--trace``) the gateway
+opens a ``gateway.request`` root span either way and threads its
+context through admission, the scheduler, the engine phases, and —
+for cluster-backed tenants — across the worker wire.
 
 Every request line may carry ``"tenant": "name"`` to address a tenant
 explicitly (re-authenticated against the connection's token). Requests
@@ -30,9 +38,11 @@ The HTTP/1.1 adapter shares the listener: a request whose first bytes
 look like an HTTP method is parsed as ``POST /`` (body = one JSON
 object or many JSON lines; tenant from ``X-Repro-Tenant`` or the
 ``/tenant/<name>`` path; token from ``Authorization: Bearer``) or
-``GET /stats``. A single rejected request maps to ``429`` with a
-``Retry-After`` header; everything else answers ``200`` with one JSON
-response per line.
+``GET /stats`` or ``GET /metrics`` (Prometheus text exposition). An
+``X-Trace-Id`` header maps onto the ``trace_id`` field of each body
+line. A single rejected request maps to ``429`` with a ``Retry-After``
+header; everything else answers ``200`` with one JSON response per
+line.
 
 Shutdown (SIGINT/SIGTERM or :meth:`GatewayServer.request_shutdown`)
 reuses the cluster's graceful-drain semantics: stop accepting, let
@@ -47,7 +57,7 @@ import json
 import signal
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any
 
 from repro.errors import GatewayError, ReproError
@@ -56,6 +66,8 @@ from repro.gateway.auth import AuthPolicy, policy_from_tokens
 from repro.gateway.metrics import gateway_rollup
 from repro.gateway.quota import MUTATION, SEARCH
 from repro.gateway.tenants import Tenant, TenantRegistry
+from repro.obs import PromRegistry, get_tracer
+from repro.obs.adapters import cluster_to_registry, gateway_to_registry
 from repro.service.request import SearchRequest, SearchResponse
 from repro.service.server import control_line
 
@@ -65,7 +77,7 @@ _COMPACT = {"separators": (",", ":")}
 _HTTP_METHODS = (b"POST ", b"GET ", b"PUT ", b"HEAD ")
 
 #: Ops the JSON-lines handler accepts (superset of ``serve_lines``).
-_TENANT_OPS = {"metrics", "flush", "invalidate"}
+_TENANT_OPS = {"metrics", "prometheus", "flush", "invalidate"}
 _MUTATION_OPS = {"insert", "delete", "replace"}
 
 
@@ -124,6 +136,11 @@ class GatewayServer:
         self._conn_tasks: set[asyncio.Task] = set()
         self._shutdown_requested = asyncio.Event()
         self._started = time.monotonic()
+        # One registry for the server's lifetime: Prometheus counters
+        # must be monotone across scrapes, and the set_at_least
+        # projection in the adapters guarantees that only against a
+        # long-lived registry.
+        self._prom = PromRegistry()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -328,6 +345,24 @@ class GatewayServer:
     # -- request handlers --------------------------------------------------
 
     async def _handle_search(self, conn: _Connection, obj: Any) -> str:
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return await self._answer_search(conn, obj, root=None)
+        # The root span of the whole request tree. A client-supplied
+        # trace_id (the line's "trace_id" field; the HTTP adapter maps
+        # X-Trace-Id onto it) joins the gateway into the caller's
+        # trace; otherwise a fresh one is issued here.
+        trace_id = None
+        if isinstance(obj, dict):
+            raw = obj.get("trace_id")
+            if isinstance(raw, str) and raw:
+                trace_id = raw
+        with tracer.span("gateway.request", trace_id=trace_id) as root:
+            return await self._answer_search(conn, obj, root=root)
+
+    async def _answer_search(
+        self, conn: _Connection, obj: Any, *, root: Any
+    ) -> str:
         try:
             request = SearchRequest.from_obj(
                 {k: v for k, v in obj.items() if k != "tenant"}
@@ -335,25 +370,43 @@ class GatewayServer:
                 else obj
             )
         except ReproError as exc:
+            if root is not None:
+                root.annotate(outcome="parse_error")
             return SearchResponse.failure("parse", str(exc)).to_json()
         resolved = self._resolve_tenant(
             conn, obj if isinstance(obj, dict) else None
         )
         if isinstance(resolved, str):
+            if root is not None:
+                root.annotate(outcome="tenant_error")
             return resolved
         tenant = resolved
+        trace_context = None
+        if root is not None:
+            root.annotate(tenant=tenant.name, request_id=request.request_id)
+            # Downstream layers (admission queue, scheduler, engine,
+            # cluster) parent under the gateway's root span; the
+            # context rides the request object (never its equality).
+            trace_context = root.context
+            request = replace(request, trace=trace_context)
         rejection = tenant.quota.check(SEARCH)
         if rejection is not None:
             tenant.metrics.record_rejected()
+            if root is not None:
+                root.annotate(outcome="rejected")
             return json.dumps(
                 rejection.to_obj(request.request_id), **_COMPACT
             )
         scheduler = tenant.scheduler
         try:
             response = await self.admission.submit(
-                tenant, lambda: scheduler.answer(request)
+                tenant,
+                lambda: scheduler.answer(request),
+                trace=trace_context,
             )
         except AdmissionShed as shed:
+            if root is not None:
+                root.annotate(outcome="shed")
             return json.dumps(
                 {
                     "id": request.request_id,
@@ -367,6 +420,8 @@ class GatewayServer:
                 **_COMPACT,
             )
         except ReproError as exc:
+            if root is not None:
+                root.annotate(outcome="error")
             return SearchResponse.failure(
                 request.request_id, str(exc)
             ).to_json()
@@ -455,6 +510,25 @@ class GatewayServer:
             },
         )
 
+    def prometheus_text(self) -> str:
+        """The Prometheus exposition (``GET /metrics``): every tenant's
+        scheduler metrics, quota balances, and — for tenants served by
+        a cluster backend — the fleet rollup and per-worker counters."""
+        gateway_to_registry(
+            self._prom, self.registry, connections=len(self._connections)
+        )
+        for tenant in self.registry:
+            cluster_metrics = getattr(
+                tenant.scheduler.pool, "cluster_metrics", None
+            )
+            if callable(cluster_metrics):
+                cluster_to_registry(
+                    self._prom,
+                    cluster_metrics().snapshot(),
+                    tenant=tenant.name,
+                )
+        return self._prom.render()
+
     # -- HTTP adapter ------------------------------------------------------
 
     async def _serve_http(self, conn: _Connection, first: bytes) -> None:
@@ -483,6 +557,13 @@ class GatewayServer:
                 await _http_reply(
                     conn, 200, [json.dumps(self.stats(), **_COMPACT)]
                 )
+            elif path == "/metrics":
+                await _http_reply(
+                    conn,
+                    200,
+                    [self.prometheus_text().rstrip("\n")],
+                    content_type=PromRegistry.CONTENT_TYPE,
+                )
             else:
                 await _http_reply(
                     conn, 404, [_error_line(f"no such resource: {path}")]
@@ -510,6 +591,7 @@ class GatewayServer:
                 await _http_reply(conn, status, [resolved])
                 return
             conn.tenant = resolved
+        trace_header = headers.get("x-trace-id")
         lines = [ln for ln in body.splitlines() if ln.strip()]
         responses: list[str] = []
         for raw_line in lines:
@@ -525,6 +607,14 @@ class GatewayServer:
             if isinstance(obj, dict) and isinstance(obj.get("op"), str):
                 responses.append(await self._handle_op(conn, obj))
             else:
+                if (
+                    trace_header
+                    and isinstance(obj, dict)
+                    and "trace_id" not in obj
+                ):
+                    # X-Trace-Id maps onto the wire-level trace_id
+                    # field, so both transports share one join rule.
+                    obj["trace_id"] = trace_header
                 responses.append(await self._handle_search(conn, obj))
         status = 200
         retry_after: float | None = None
@@ -559,12 +649,13 @@ async def _http_reply(
     lines: list[str],
     *,
     retry_after: float | None = None,
+    content_type: str = "application/json",
 ) -> None:
     body = ("\n".join(lines) + "\n").encode("utf-8")
     reason = _HTTP_REASONS.get(status, "OK")
     head = (
         f"HTTP/1.1 {status} {reason}\r\n"
-        f"Content-Type: application/json\r\n"
+        f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
         f"Connection: close\r\n"
     )

@@ -22,6 +22,7 @@ The registry is built from a JSON config file::
           "wal": "alpha.wal",              # optional durability
           "alpha": 0.8,                    # + jaccard/dim/engine/iub_mode
           "shards": 1, "workers": 1, "max_batch": 8,
+          "cluster_workers": 2,            # optional multi-process backend
           "qps": 50, "burst": 10,          # search token bucket
           "mutations_per_second": 5, "mutation_burst": 5,
           "max_queue_depth": 64,           # admission queue bound
@@ -56,7 +57,7 @@ _SPEC_KEYS = {
     "name", "collection", "wal", "alpha", "jaccard", "dim", "engine",
     "iub_mode", "shards", "workers", "max_batch", "qps", "burst",
     "mutations_per_second", "mutation_burst", "max_queue_depth",
-    "max_inflight", "auth_token",
+    "max_inflight", "auth_token", "cluster_workers",
 }
 
 
@@ -82,6 +83,9 @@ class TenantSpec:
     max_queue_depth: int = 64
     max_inflight: int | None = None
     auth_token: str | None = None
+    #: Serve this tenant over a multi-process cluster backend with this
+    #: many worker processes (None = in-process engine pool).
+    cluster_workers: int | None = None
 
     def __post_init__(self) -> None:
         if not self.name or not isinstance(self.name, str):
@@ -97,6 +101,10 @@ class TenantSpec:
         if self.max_inflight is not None and self.max_inflight < 1:
             raise TenantConfigError(
                 f"tenant {self.name!r}: max_inflight must be >= 1"
+            )
+        if self.cluster_workers is not None and self.cluster_workers < 1:
+            raise TenantConfigError(
+                f"tenant {self.name!r}: cluster_workers must be >= 1"
             )
         for rate_field in (
             "qps", "burst", "mutations_per_second", "mutation_burst"
@@ -363,6 +371,7 @@ def build_tenant(
             None if spec.wal is None else _resolve(spec.wal, base_dir)
         ),
         cache_namespace=spec.name,
+        cluster_workers=spec.cluster_workers,
     )
     quota = TenantQuota(
         search_rate=spec.qps,

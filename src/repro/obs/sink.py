@@ -1,0 +1,252 @@
+"""The bounded, rotating, sampled trace sink.
+
+Spans become JSON lines appended to one file.  Three properties make
+that safe to leave on in production:
+
+* **Bounded disk** — when the file passes ``max_bytes`` it rotates to
+  ``<path>.1`` (one backup generation); the inspector reads both.
+* **Head+tail-biased sampling** — the keep/drop decision per trace:
+
+  1. *errors* are always kept (and retroactively flush the trace's
+     buffered spans);
+  2. *slow roots* (root-span duration >= ``slow_threshold_ms``) are
+     always kept with their full buffered tree — the slow-query log;
+  3. a deterministic ``crc32(trace_id)`` *head sample* keeps a
+     ``sample_rate`` fraction of the rest — deterministic so every
+     process of a cluster (coordinator and spawned workers) makes the
+     identical decision with no coordination;
+  4. a *slowest-N* min-heap of root durations tail-biases what
+     survives beyond the sample: a root slower than the N fastest
+     kept so far is kept even when the head sample said drop.
+
+* **Multi-process appends** — each line is a single ``os.write`` on an
+  ``O_APPEND`` descriptor, which POSIX keeps atomic for our line
+  sizes, so coordinator and workers interleave whole lines, never
+  torn ones.
+
+Child spans close before their parents, so a trace's spans arrive
+bottom-up; spans with no decision yet are buffered (bounded) until
+their root arrives.  Buffering is per-process: a cluster worker never
+sees the root, so at ``sample_rate < 1`` a worker's spans for a
+slow-but-unsampled trace are dropped — tail decisions cannot cross
+processes without a collector.  The head sample and the error rule
+are exact everywhere; run ``sample_rate=1.0`` (the default) when full
+cross-process trees matter.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import os
+import threading
+import zlib
+from collections import OrderedDict
+from typing import Any
+
+_COMPACT = {"separators": (",", ":"), "sort_keys": False}
+
+#: Head-sampling resolution: rates are compared on a 0..10^6 lattice.
+_SAMPLE_LATTICE = 1_000_000
+
+
+class TraceSink:
+    """Appends sampled span records to a rotating JSONL file."""
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        max_bytes: int = 8 * 1024 * 1024,
+        sample_rate: float = 1.0,
+        slow_threshold_ms: float | None = None,
+        slowest_n: int = 32,
+        max_pending_traces: int = 256,
+        max_pending_spans: int = 64,
+        max_decisions: int = 4096,
+    ) -> None:
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(
+                f"sample_rate must be in [0, 1], got {sample_rate}"
+            )
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.path = os.path.abspath(path)
+        self.max_bytes = max_bytes
+        self.sample_rate = sample_rate
+        self.slow_threshold_ms = slow_threshold_ms
+        self.slowest_n = slowest_n
+        self._sample_cut = int(round(sample_rate * _SAMPLE_LATTICE))
+        self._lock = threading.Lock()
+        self._fd: int | None = None
+        self._writes = 0
+        # trace_id -> keep? (bounded LRU so long runs can't grow it).
+        self._decisions: "OrderedDict[str, bool]" = OrderedDict()
+        self._max_decisions = max_decisions
+        # trace_id -> undecided span records awaiting their root.
+        self._pending: "OrderedDict[str, list[dict]]" = OrderedDict()
+        self._max_pending_traces = max_pending_traces
+        self._max_pending_spans = max_pending_spans
+        #: Min-heap of kept root durations (ms) — the tail-bias bar.
+        self._slowest: list[float] = []
+        self.written = 0
+        self.dropped = 0
+
+    # -- decisions ---------------------------------------------------------
+
+    def _head_sampled(self, trace_id: str) -> bool:
+        if self._sample_cut >= _SAMPLE_LATTICE:
+            return True
+        if self._sample_cut <= 0:
+            return False
+        bucket = zlib.crc32(trace_id.encode("ascii")) % _SAMPLE_LATTICE
+        return bucket < self._sample_cut
+
+    def _decide_root(self, trace_id: str, seconds: float) -> bool:
+        duration_ms = seconds * 1000.0
+        if (
+            self.slow_threshold_ms is not None
+            and duration_ms >= self.slow_threshold_ms
+        ):
+            return True
+        if self._head_sampled(trace_id):
+            self._note_duration(duration_ms)
+            return True
+        # Tail bias: slower than the N fastest kept roots so far?
+        if self.slowest_n > 0 and (
+            len(self._slowest) < self.slowest_n
+            or duration_ms > self._slowest[0]
+        ):
+            self._note_duration(duration_ms)
+            return True
+        return False
+
+    def _note_duration(self, duration_ms: float) -> None:
+        if self.slowest_n <= 0:
+            return
+        if len(self._slowest) < self.slowest_n:
+            heapq.heappush(self._slowest, duration_ms)
+        elif duration_ms > self._slowest[0]:
+            heapq.heapreplace(self._slowest, duration_ms)
+
+    def _remember(self, trace_id: str, keep: bool) -> None:
+        self._decisions[trace_id] = keep
+        self._decisions.move_to_end(trace_id)
+        while len(self._decisions) > self._max_decisions:
+            self._decisions.popitem(last=False)
+
+    # -- ingestion ---------------------------------------------------------
+
+    def offer(
+        self,
+        record: dict[str, Any],
+        *,
+        is_root: bool,
+        is_error: bool,
+        seconds: float,
+    ) -> None:
+        """Submit one span record; the sink decides keep/buffer/drop."""
+        trace_id = record.get("trace_id", "")
+        with self._lock:
+            decided = self._decisions.get(trace_id)
+            if decided is True or is_error:
+                if decided is None or (is_error and decided is not True):
+                    self._remember(trace_id, True)
+                self._flush_pending(trace_id)
+                self._write(record)
+                return
+            if decided is False:
+                self.dropped += 1
+                return
+            if is_root:
+                keep = self._decide_root(trace_id, seconds)
+                self._remember(trace_id, keep)
+                if keep:
+                    self._flush_pending(trace_id)
+                    self._write(record)
+                else:
+                    self.dropped += 1 + len(
+                        self._pending.pop(trace_id, ())
+                    )
+                return
+            # Undecided non-root: the head sample is decision enough to
+            # keep (it is deterministic, so buffering would only delay
+            # the identical outcome); otherwise buffer for the root.
+            if self._head_sampled(trace_id):
+                self._remember(trace_id, True)
+                self._flush_pending(trace_id)
+                self._write(record)
+                return
+            self._buffer(trace_id, record)
+
+    def _buffer(self, trace_id: str, record: dict[str, Any]) -> None:
+        bucket = self._pending.get(trace_id)
+        if bucket is None:
+            while len(self._pending) >= self._max_pending_traces:
+                _, evicted = self._pending.popitem(last=False)
+                self.dropped += len(evicted)
+            bucket = self._pending[trace_id] = []
+        self._pending.move_to_end(trace_id)
+        if len(bucket) >= self._max_pending_spans:
+            self.dropped += 1
+            return
+        bucket.append(record)
+
+    def _flush_pending(self, trace_id: str) -> None:
+        for buffered in self._pending.pop(trace_id, ()):
+            self._write(buffered)
+
+    # -- the file ----------------------------------------------------------
+
+    def _open(self) -> int:
+        fd = os.open(
+            self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+        )
+        self._fd = fd
+        return fd
+
+    def _write(self, record: dict[str, Any]) -> None:
+        line = (json.dumps(record, **_COMPACT) + "\n").encode("utf-8")
+        fd = self._fd if self._fd is not None else self._open()
+        self._writes += 1
+        # Another process may have rotated the shared file out from
+        # under this descriptor; re-anchor to the live path every few
+        # dozen writes so long-lived workers follow rotations.
+        if self._writes % 32 == 0 and not self._same_inode(fd):
+            os.close(fd)
+            fd = self._open()
+        os.write(fd, line)
+        self.written += 1
+        try:
+            size = os.fstat(fd).st_size
+        except OSError:
+            return
+        if size >= self.max_bytes:
+            self._rotate()
+
+    def _same_inode(self, fd: int) -> bool:
+        try:
+            return os.fstat(fd).st_ino == os.stat(self.path).st_ino
+        except OSError:
+            return False
+
+    def _rotate(self) -> None:
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+        try:
+            os.replace(self.path, self.path + ".1")
+        except OSError:
+            # A sibling process rotated first; just reopen the path.
+            pass
+
+    def flush(self) -> None:
+        """O_APPEND writes are unbuffered; nothing to do, kept for
+        interface symmetry with file-like sinks."""
+
+    def close(self) -> None:
+        with self._lock:
+            self._pending.clear()
+            if self._fd is not None:
+                os.close(self._fd)
+                self._fd = None

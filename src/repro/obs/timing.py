@@ -1,0 +1,60 @@
+"""The one shared monotonic-timing helper.
+
+The scheduler, the cluster worker, the experiment harness, and the
+cluster bench all used to carry their own inline ``perf_counter``
+delta pairs.  They now route through :class:`Stopwatch`/:func:`timed`
+so the clock choice (and its injectability in tests) lives in exactly
+one place.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+#: The monotonic clock every duration in the repo is measured on.
+MONOTONIC: Callable[[], float] = time.perf_counter
+
+
+class Stopwatch:
+    """A started monotonic stopwatch.
+
+    ``Stopwatch()`` starts immediately; :meth:`stop` freezes
+    ``seconds`` and returns it, while reading :attr:`seconds` before
+    stopping reports the running elapsed time.  ``clock`` is
+    injectable for deterministic tests.
+    """
+
+    __slots__ = ("_clock", "_started", "_stopped")
+
+    def __init__(self, clock: Callable[[], float] = MONOTONIC) -> None:
+        self._clock = clock
+        self._started = clock()
+        self._stopped: float | None = None
+
+    @property
+    def seconds(self) -> float:
+        if self._stopped is not None:
+            return self._stopped - self._started
+        return self._clock() - self._started
+
+    def stop(self) -> float:
+        if self._stopped is None:
+            self._stopped = self._clock()
+        return self._stopped - self._started
+
+    def restart(self) -> None:
+        self._started = self._clock()
+        self._stopped = None
+
+
+@contextmanager
+def timed(clock: Callable[[], float] = MONOTONIC) -> Iterator[Stopwatch]:
+    """``with timed() as watch: ...`` — ``watch.seconds`` is the block's
+    duration after exit (and the running elapsed time inside it)."""
+    watch = Stopwatch(clock)
+    try:
+        yield watch
+    finally:
+        watch.stop()

@@ -127,10 +127,15 @@ def load_serving_stack(
 class ServingStack:
     """One fully wired serving stack (what ``repro serve`` runs and what
     a gateway tenant owns): the scheduler in front, plus the pieces a
-    caller may need to introspect or shut down."""
+    caller may need to introspect or shut down.
+
+    ``pool`` is an :class:`EnginePool` for in-process serving or a
+    :class:`~repro.cluster.coordinator.ClusterPool` when the stack was
+    built with ``cluster_workers`` — both present the same
+    ``SearchBackend`` surface to the scheduler."""
 
     scheduler: QueryScheduler
-    pool: EnginePool
+    pool: "EnginePool | object"
     collection: SetCollection
     wal: object | None
     replayed: int
@@ -160,6 +165,7 @@ def build_serving_stack(
     wal_path: str | Path | None = None,
     cache_namespace: Hashable | None = None,
     metrics: ServiceMetrics | None = None,
+    cluster_workers: int | None = None,
 ) -> ServingStack:
     """Load a collection and wire the full serving stack around it.
 
@@ -169,36 +175,72 @@ def build_serving_stack(
     existing records, and makes accepted mutations durable.
     ``cache_namespace`` tags this stack's cache keys (see
     :class:`~repro.service.scheduler.QueryScheduler`).
+    ``cluster_workers`` switches the backend to a multi-process
+    :class:`~repro.cluster.coordinator.ClusterPool` with that many
+    worker processes (``shards`` then means engines per worker); WAL
+    records replay through the cluster's bootstrap path so worker
+    replicas and the coordinator derive identical state.
     """
     from repro.store.wal import WriteAheadLog
 
     collection, index, sim, descriptor, snapshot_path = load_serving_stack(
         collection_path, alpha=alpha, jaccard=jaccard, dim=dim
     )
+    config = FilterConfig.koios(iub_mode=iub_mode, engine=engine)
     wal = None
     replayed = 0
-    if wal_path is not None:
-        if not hasattr(collection, "insert"):
-            # JSON/CSV input: wrap the overlay here (snapshot inputs
-            # already are one, with their postings adopted).
-            from repro.store.mutable import MutableSetCollection
+    if cluster_workers is not None:
+        if cluster_workers < 1:
+            raise InvalidParameterError("cluster_workers must be >= 1")
+        from repro.cluster.coordinator import ClusterPool
 
-            collection = MutableSetCollection(collection)
-        wal = WriteAheadLog(wal_path)
-        replayed = wal.replay_into(collection)
-        if replayed:
-            extend = getattr(index, "extend", None)
-            if extend is not None:
-                extend(collection.vocabulary)
-    pool = EnginePool(
-        collection,
-        index,
-        sim,
-        alpha=alpha,
-        shards=shards,
-        parallel_shards=parallel_shards,
-        config=FilterConfig.koios(iub_mode=iub_mode, engine=engine),
-    )
+        bootstrap_records: tuple = ()
+        if wal_path is not None:
+            if not hasattr(collection, "insert"):
+                from repro.store.mutable import MutableSetCollection
+
+                collection = MutableSetCollection(collection)
+            wal = WriteAheadLog(wal_path)
+            # NOT replay_into: the cluster needs the version-0 base and
+            # applies prior mutations itself, so restarted workers can
+            # reconstruct byte-identical state from base + history.
+            bootstrap_records = tuple(wal.records())
+            replayed = len(bootstrap_records)
+        pool = ClusterPool(
+            collection,
+            index,
+            sim,
+            alpha=alpha,
+            workers=cluster_workers,
+            shards=shards,
+            config=config,
+            snapshot_path=snapshot_path,
+            substrate=descriptor,
+            bootstrap_records=bootstrap_records,
+        )
+    else:
+        if wal_path is not None:
+            if not hasattr(collection, "insert"):
+                # JSON/CSV input: wrap the overlay here (snapshot inputs
+                # already are one, with their postings adopted).
+                from repro.store.mutable import MutableSetCollection
+
+                collection = MutableSetCollection(collection)
+            wal = WriteAheadLog(wal_path)
+            replayed = wal.replay_into(collection)
+            if replayed:
+                extend = getattr(index, "extend", None)
+                if extend is not None:
+                    extend(collection.vocabulary)
+        pool = EnginePool(
+            collection,
+            index,
+            sim,
+            alpha=alpha,
+            shards=shards,
+            parallel_shards=parallel_shards,
+            config=config,
+        )
     if cache is None and cache_size:
         cache = ResultCache(capacity=cache_size)
     scheduler = QueryScheduler(

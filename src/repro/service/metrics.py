@@ -13,15 +13,16 @@ from __future__ import annotations
 
 import threading
 import time
-from collections import deque
 from contextlib import contextmanager
 from typing import Iterator, Mapping
 
 from repro.core.stats import SearchStats
+from repro.obs.histogram import Reservoir, StreamingHistogram
 from repro.utils.timer import PhaseTimer
 
-#: Latency samples kept for quantile estimation (a sliding window, so
-#: long-lived servers report recent behaviour, not lifetime history).
+#: Latency samples kept for quantile estimation — the reservoir size.
+#: A week-long serve process holds exactly this many floats per
+#: scheduler no matter how many requests it absorbs.
 LATENCY_WINDOW = 4096
 
 
@@ -55,7 +56,14 @@ class ServiceMetrics:
         self.timer = PhaseTimer()
         self.phase_calls: dict[str, int] = {}
         self.engine_stats = SearchStats()
-        self._latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
+        # Bounded latency accounting: a fixed-size uniform reservoir
+        # backs the percentile keys (same nearest-rank math as before),
+        # and streaming fixed-bucket histograms carry the full
+        # distribution for Prometheus exposition — neither grows with
+        # request count.
+        self._latencies = Reservoir(LATENCY_WINDOW)
+        self._latency_hist = StreamingHistogram()
+        self._phase_hists: dict[str, StreamingHistogram] = {}
 
     # -- recording ---------------------------------------------------------
 
@@ -67,7 +75,8 @@ class ServiceMetrics:
         with self._lock:
             self.cache_hits += 1
             self.completed += 1
-            self._latencies.append(0.0)
+            self._latencies.observe(0.0)
+            self._latency_hist.observe(0.0)
 
     def record_deduplicated(self) -> None:
         """A request that attached to an identical in-flight computation.
@@ -86,7 +95,8 @@ class ServiceMetrics:
     ) -> None:
         with self._lock:
             self.completed += 1
-            self._latencies.append(seconds)
+            self._latencies.observe(seconds)
+            self._latency_hist.observe(seconds)
             if stats is not None:
                 self.engine_stats.merge(stats)
 
@@ -133,6 +143,10 @@ class ServiceMetrics:
                     self.timer.totals.get(name, 0.0) + elapsed
                 )
                 self.phase_calls[name] = self.phase_calls.get(name, 0) + 1
+                hist = self._phase_hists.get(name)
+                if hist is None:
+                    hist = self._phase_hists[name] = StreamingHistogram()
+                hist.observe(elapsed)
 
     # -- reading -----------------------------------------------------------
 
@@ -156,13 +170,25 @@ class ServiceMetrics:
 
     def latency_percentile(self, q: float) -> float:
         with self._lock:
-            samples = list(self._latencies)
+            samples = self._latencies.samples()
         return percentile(samples, q)
+
+    def histogram_snapshot(self) -> dict:
+        """Plain-dict streaming-histogram states (request latency +
+        per-phase) for the Prometheus adapter and wire shipping."""
+        with self._lock:
+            return {
+                "latency": self._latency_hist.state(),
+                "phases": {
+                    name: hist.state()
+                    for name, hist in self._phase_hists.items()
+                },
+            }
 
     def snapshot(self) -> Mapping[str, float]:
         """A JSON-ready summary (the ``{"op": "metrics"}`` response)."""
         with self._lock:
-            samples = list(self._latencies)
+            samples = self._latencies.samples()
             snapshot = {
                 "uptime_seconds": round(self.uptime_seconds, 6),
                 "requests": self.requests,

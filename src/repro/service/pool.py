@@ -33,6 +33,7 @@ from repro.datasets.collection import SetCollection
 from repro.errors import EmptyQueryError, InvalidParameterError
 from repro.index.base import TokenIndex
 from repro.index.token_stream import MaterializedTokenStream
+from repro.obs import current_context, get_tracer
 from repro.service.backend import (
     materialize_stream,
     require_mutable,
@@ -437,7 +438,14 @@ class EnginePool:
             else time.perf_counter() + time_budget
         )
 
-        def run_shard(engine: KoiosSearchEngine) -> SearchResult:
+        # Shard searches may run on executor threads, where the tracing
+        # context variable does not follow; capture the caller's span
+        # here and parent each shard span explicitly.
+        tracer = get_tracer()
+        trace_parent = current_context() if tracer.enabled else None
+
+        def run_shard(item: tuple[int, KoiosSearchEngine]) -> SearchResult:
+            index, engine = item
             remaining = None
             if deadline is not None:
                 remaining = deadline - time.perf_counter()
@@ -445,19 +453,37 @@ class EnginePool:
                     return SearchResult(
                         entries=[], stats=SearchStats(), k=k, timed_out=True
                     )
-            return engine.search(
-                query_set,
-                k,
-                alpha=alpha,
-                stream=stream,
-                shared_threshold=shared,
-                time_budget=remaining,
-            )
+            if trace_parent is None:
+                return engine.search(
+                    query_set,
+                    k,
+                    alpha=alpha,
+                    stream=stream,
+                    shared_threshold=shared,
+                    time_budget=remaining,
+                )
+            with tracer.span(
+                "engine.search",
+                parent=trace_parent,
+                tags={"shard": index},
+            ):
+                return engine.search(
+                    query_set,
+                    k,
+                    alpha=alpha,
+                    stream=stream,
+                    shared_threshold=shared,
+                    time_budget=remaining,
+                )
 
         if self._executor is not None:
-            shard_results = list(self._executor.map(run_shard, engines))
+            shard_results = list(
+                self._executor.map(run_shard, enumerate(engines))
+            )
         else:
-            shard_results = [run_shard(engine) for engine in engines]
+            shard_results = [
+                run_shard(item) for item in enumerate(engines)
+            ]
         return merge_results(shard_results, k)
 
 

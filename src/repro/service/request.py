@@ -24,6 +24,7 @@ from typing import Any
 
 from repro.core.koios import SearchResult
 from repro.errors import EmptyQueryError, InvalidParameterError
+from repro.obs import SpanContext
 
 _auto_ids = itertools.count(1)
 
@@ -39,12 +40,17 @@ class SearchRequest:
     ``alpha=None`` means "use the service default". ``request_id`` is
     echoed back on the response so callers can correlate out-of-order
     completions; one is generated when the wire omits it.
+
+    ``trace`` carries the request's tracing context (the gateway's root
+    span, or a client-supplied ``trace_id`` on the wire) down into the
+    scheduler; it never participates in equality, hashing, or results.
     """
 
     query: frozenset[str]
     k: int = 10
     alpha: float | None = None
     request_id: str = field(default_factory=_auto_request_id)
+    trace: Any = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if not self.query:
@@ -81,6 +87,9 @@ class SearchRequest:
             kwargs["alpha"] = float(obj["alpha"])
         if obj.get("id") is not None:
             kwargs["request_id"] = str(obj["id"])
+        trace_id = obj.get("trace_id")
+        if isinstance(trace_id, str) and trace_id:
+            kwargs["trace"] = SpanContext(trace_id=trace_id)
         return cls(**kwargs)
 
     @classmethod

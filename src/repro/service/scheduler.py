@@ -24,12 +24,12 @@ whose ``result()`` blocks until the response is ready.
 from __future__ import annotations
 
 import threading
-import time
 from concurrent.futures import Future, InvalidStateError, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.errors import InvalidParameterError, ReproError
+from repro.obs import Stopwatch, get_tracer
 from repro.service.backend import SearchBackend
 from repro.service.cache import CacheKey, ResultCache, make_key
 from repro.service.metrics import ServiceMetrics
@@ -356,15 +356,27 @@ class QueryScheduler:
         items: Sequence[tuple[SearchRequest, CacheKey, Future]],
     ) -> None:
         k, alpha = bucket
+        tracer = get_tracer()
         self.metrics.record_batch(len(items))
         stream = None
         if len(items) > 1:
             union = frozenset().union(
                 *(request.query for request, _, _ in items)
             )
+            # The union drain serves the whole batch; its span hangs off
+            # the first traced request (one drain cannot parent into
+            # every trace) and tags the batch width.
+            drain_parent = next(
+                (r.trace for r, _, _ in items if r.trace is not None), None
+            )
             try:
-                with self.metrics.phase(DRAIN):
-                    stream = self._pool.drain(union, alpha=alpha)
+                with tracer.span(
+                    "scheduler.drain",
+                    parent=drain_parent,
+                    tags={"batch": len(items)},
+                ):
+                    with self.metrics.phase(DRAIN):
+                        stream = self._pool.drain(union, alpha=alpha)
             except Exception as exc:
                 for _, key, future in items:
                     self._finish_error(key, future, exc)
@@ -375,22 +387,32 @@ class QueryScheduler:
                 # can in a narrow race dispatch a batch twice; the
                 # first completion wins, the rerun skips.
                 continue
-            started = time.perf_counter()
+            watch = Stopwatch()
             try:
-                request_stream = (
-                    None if stream is None else stream.restrict(request.query)
-                )
-                with self.metrics.phase(SEARCH):
-                    result = self._pool.search(
-                        request.query,
-                        k,
-                        alpha=alpha,
-                        stream=request_stream,
+                # The span stays open across the backend call on this
+                # worker thread, so engine-side spans (shards, phases)
+                # nest under it via the context variable.
+                with tracer.span(
+                    "scheduler.search",
+                    parent=request.trace,
+                    tags={"request_id": request.request_id},
+                ):
+                    request_stream = (
+                        None
+                        if stream is None
+                        else stream.restrict(request.query)
                     )
+                    with self.metrics.phase(SEARCH):
+                        result = self._pool.search(
+                            request.query,
+                            k,
+                            alpha=alpha,
+                            stream=request_stream,
+                        )
             except Exception as exc:
                 self._finish_error(key, future, exc)
                 continue
-            seconds = time.perf_counter() - started
+            seconds = watch.stop()
             payload = _Payload(
                 hits=hits_from_result(result),
                 timed_out=result.timed_out,

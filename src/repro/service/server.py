@@ -5,6 +5,9 @@ text streams (the CLI wires stdin/stdout): each input line is either a
 search request (see :mod:`repro.service.request`) or a control object::
 
     {"op": "metrics"}      -> one line with the metrics snapshot
+    {"op": "prometheus"}   -> {"prometheus": "<text exposition>", ...}
+                              (the scheduler's metrics rendered in
+                              Prometheus text format)
     {"op": "stats"}        -> metrics snapshot + backend-side stats
                               (live latency quantiles incl. p99,
                               per-phase timing aggregates, and — for a
@@ -36,11 +39,35 @@ per request in input order.
 from __future__ import annotations
 
 import json
+import weakref
 from typing import Iterable, Iterator, TextIO
 
 from repro.errors import ReproError
 from repro.service.request import SearchRequest, SearchResponse
 from repro.service.scheduler import QueryScheduler, Ticket
+
+#: One long-lived Prometheus registry per scheduler (counters must be
+#: monotone across scrapes); weak keys let schedulers die normally.
+_PROM_REGISTRIES: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def _prometheus_line(scheduler: QueryScheduler) -> str:
+    """The ``prometheus`` wire op: this scheduler's metrics as text
+    exposition, wrapped in one JSON line."""
+    from repro.obs import PromRegistry
+    from repro.obs.adapters import service_to_registry
+
+    registry = _PROM_REGISTRIES.get(scheduler)
+    if registry is None:
+        registry = _PROM_REGISTRIES[scheduler] = PromRegistry()
+    service_to_registry(registry, scheduler.metrics)
+    return json.dumps(
+        {
+            "prometheus": registry.render(),
+            "content_type": PromRegistry.CONTENT_TYPE,
+        },
+        separators=(",", ":"),
+    )
 
 
 class GracefulShutdown(Exception):
@@ -128,6 +155,8 @@ def _control_line(scheduler: QueryScheduler, obj: dict) -> str:
             return json.dumps(
                 {"metrics": dict(scheduler.metrics.snapshot())}, **compact
             )
+        if op == "prometheus":
+            return _prometheus_line(scheduler)
         if op == "stats":
             payload: dict = {"stats": dict(scheduler.metrics.snapshot())}
             backend_stats = getattr(scheduler.pool, "stats_snapshot", None)

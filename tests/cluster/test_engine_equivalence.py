@@ -5,10 +5,16 @@ reference-engine single-process pool with the same shard layout,
 through queries at two alphas interleaved with live mutations — the
 engine switch composes with scatter-gather, stream shipping, and the
 mutation version barrier without disturbing exactness.
+
+The cluster leg additionally runs fully *traced* (spans from the
+scatter through every worker's engine phases) against the untraced
+reference: tracing is observation-only by contract, so results must
+stay bitwise identical with it on.
 """
 
 import pytest
 
+from repro import obs
 from repro.cluster import ClusterPool
 from repro.cluster.worker import substrate_from_descriptor
 from repro.core import FilterConfig
@@ -36,7 +42,9 @@ def base_collection():
     return generate_dataset(TINY_PROFILES["opendata"], seed=11).collection
 
 
-def test_columnar_cluster_matches_reference_pool(base_collection):
+def test_columnar_cluster_matches_reference_pool(
+    base_collection, tmp_path
+):
     rng = make_rng(SEED)
     vocab_pool = sorted(base_collection.vocabulary)
     queries = [frozenset(base_collection[i]) for i in base_collection.ids()]
@@ -55,37 +63,55 @@ def test_columnar_cluster_matches_reference_pool(base_collection):
         shards=WORKERS,
         config=FilterConfig.koios(engine="reference"),
     )
-    with ClusterPool(
-        MutableSetCollection(base_collection),
-        cluster_index,
-        cluster_sim,
-        alpha=0.8,
-        workers=WORKERS,
-        substrate=SUBSTRATE,
-        config=FilterConfig.koios(engine="columnar"),
-    ) as cluster:
-        compared = 0
-        for step in range(30):
-            if step % 5 == 4:
-                tokens = tuple(
-                    str(t)
-                    for t in rng.choice(vocab_pool, size=4, replace=False)
-                ) + (f"cluster_fresh_{step}",)
-                name = f"mut_{step}"
-                assert cluster.insert(tokens, name=name) == reference.insert(
-                    tokens, name=name
-                )
-                continue
-            alpha = ALPHAS[step % len(ALPHAS)]
-            query = queries[int(rng.integers(len(queries)))]
-            got = cluster.search(query, K, alpha=alpha)
-            expected = reference.search(query, K, alpha=alpha)
-            assert got.ids() == expected.ids(), (step, alpha)
-            assert got.scores() == expected.scores(), (step, alpha)
-            assert got.theta_k == expected.theta_k, (step, alpha)
-            compared += 1
-        assert compared >= 20
+    sink_path = str(tmp_path / "trace.jsonl")
+    # Configure BEFORE the cluster spawns: worker specs capture the
+    # trace config, so worker processes append to the same sink.
+    tracer = obs.configure(sink_path)
+    try:
+        with ClusterPool(
+            MutableSetCollection(base_collection),
+            cluster_index,
+            cluster_sim,
+            alpha=0.8,
+            workers=WORKERS,
+            substrate=SUBSTRATE,
+            config=FilterConfig.koios(engine="columnar"),
+        ) as cluster:
+            compared = 0
+            for step in range(30):
+                if step % 5 == 4:
+                    tokens = tuple(
+                        str(t)
+                        for t in rng.choice(
+                            vocab_pool, size=4, replace=False
+                        )
+                    ) + (f"cluster_fresh_{step}",)
+                    name = f"mut_{step}"
+                    assert cluster.insert(
+                        tokens, name=name
+                    ) == reference.insert(tokens, name=name)
+                    continue
+                alpha = ALPHAS[step % len(ALPHAS)]
+                query = queries[int(rng.integers(len(queries)))]
+                # The cluster leg runs inside a live trace; the
+                # reference runs untraced. Equal bytes below IS the
+                # tracing-on/off equivalence contract.
+                with tracer.span("request", tags={"step": step}):
+                    got = cluster.search(query, K, alpha=alpha)
+                expected = reference.search(query, K, alpha=alpha)
+                assert got.ids() == expected.ids(), (step, alpha)
+                assert got.scores() == expected.scores(), (step, alpha)
+                assert got.theta_k == expected.theta_k, (step, alpha)
+                compared += 1
+            assert compared >= 20
+    finally:
+        obs.disable()
     reference.shutdown()
+    # Tracing was actually live: spans crossed the process boundary.
+    from repro.obs.inspect import read_spans
+
+    names = {span["name"] for span in read_spans(sink_path)}
+    assert {"request", "cluster.scatter", "worker.search"} <= names
 
 
 def test_mixed_engine_workers_match_reference_pool(base_collection):

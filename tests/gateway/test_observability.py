@@ -1,0 +1,299 @@
+"""Gateway observability: ``GET /metrics``, the ``prometheus`` wire
+op, end-to-end trace propagation, and metrics-vs-wire drift under
+rejection and load shedding."""
+
+import asyncio
+import json
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs.inspect import read_spans, show_trace
+from repro.obs.prom import PromRegistry, parse_exposition
+
+from tests.gateway import test_server as _wire
+from tests.gateway.test_server import (
+    Client,
+    gateway_dir,  # noqa: F401 — fixture reuse
+    run_gateway_scenario,
+)
+
+# Referenced through the module so pytest does not re-collect the
+# borrowed test class here.
+http_exchange = _wire.TestHttpAdapter.http_exchange
+
+
+@pytest.fixture()
+def traced(tmp_path):
+    """Tracing on for one test, always restored off."""
+    sink_path = str(tmp_path / "trace.jsonl")
+    obs.configure(sink_path)
+    try:
+        yield sink_path
+    finally:
+        obs.disable()
+
+
+class TestPrometheusEndpoint:
+    def test_get_metrics_serves_valid_exposition(self, gateway_dir):
+        async def scenario(server):
+            body = json.dumps(
+                {"id": "m1", "query": ["portland", "oakland"], "k": 1}
+            ).encode()
+            post = await http_exchange(
+                server.port,
+                b"POST /tenant/alpha HTTP/1.1\r\n"
+                b"Content-Length: %d\r\n\r\n%s" % (len(body), body),
+            )
+            assert post[0] == 200
+            first = await http_exchange(
+                server.port, b"GET /metrics HTTP/1.1\r\n\r\n"
+            )
+            second = await http_exchange(
+                server.port, b"GET /metrics HTTP/1.1\r\n\r\n"
+            )
+            return first, second
+
+        first, second = run_gateway_scenario(gateway_dir, scenario)
+        status, headers, text = first
+        assert status == 200
+        assert headers["content-type"] == PromRegistry.CONTENT_TYPE
+        values = parse_exposition(text)
+        assert values['repro_requests_total{tenant="alpha"}'] == 1
+        assert values['repro_completed_total{tenant="alpha"}'] == 1
+        assert 'repro_requests_total{tenant="beta"}' in values
+        # Unlimited quotas expose +Inf balances.
+        assert values[
+            'repro_quota_available_tokens{tenant="alpha",kind="search"}'
+        ] == float("inf")
+        assert values["repro_gateway_connections"] >= 0
+        # The request latency histogram carries the completed search.
+        assert values[
+            'repro_request_latency_seconds_count{tenant="alpha"}'
+        ] == 1
+        # Counters never go backwards between scrapes.
+        again = parse_exposition(second[2])
+        for series, value in values.items():
+            if series.endswith("_total") or "_bucket" in series:
+                assert again.get(series, 0) >= value
+
+    def test_prometheus_wire_op_on_a_bound_connection(self, gateway_dir):
+        async def scenario(server):
+            client = await Client.connect(server.port)
+            assert (
+                await client.roundtrip({"op": "hello", "tenant": "alpha"})
+            )["ok"]
+            await client.roundtrip(
+                {"id": "w1", "query": ["seattle"], "k": 1}
+            )
+            reply = await client.roundtrip({"op": "prometheus"})
+            await client.close()
+            return reply
+
+        reply = run_gateway_scenario(gateway_dir, scenario)
+        assert reply["content_type"] == PromRegistry.CONTENT_TYPE
+        values = parse_exposition(reply["prometheus"])
+        # The wire op is tenant-scoped: the bound tenant's scheduler
+        # metrics under the default label.
+        assert values['repro_requests_total{tenant="default"}'] == 1
+
+
+class TestTracePropagation:
+    TRACE_ID = "feedfacefeedfacefeedfacefeedface"
+
+    def test_wire_trace_id_spans_gateway_queue_and_scheduler(
+        self, gateway_dir, traced
+    ):
+        async def scenario(server):
+            client = await Client.connect(server.port)
+            await client.roundtrip({"op": "hello", "tenant": "alpha"})
+            response = await client.roundtrip({
+                "id": "t1", "query": ["seattle", "boston"], "k": 2,
+                "trace_id": self.TRACE_ID,
+            })
+            await client.close()
+            return response
+
+        response = run_gateway_scenario(gateway_dir, scenario)
+        assert "results" in response
+        spans = [
+            s for s in read_spans(traced)
+            if s["trace_id"] == self.TRACE_ID
+        ]
+        by_name = {s["name"]: s for s in spans}
+        root = by_name["gateway.request"]
+        assert root["parent_id"] is None
+        assert root["tags"]["tenant"] == "alpha"
+        assert root["tags"]["request_id"] == "t1"
+        assert by_name["gateway.queue"]["parent_id"] == root["span_id"]
+        assert by_name["scheduler.search"]["parent_id"] == root["span_id"]
+        assert "engine.search" in by_name
+        tree = show_trace(traced, "feedface")  # prefix lookup
+        assert tree.startswith(f"trace {self.TRACE_ID}")
+
+    def test_http_x_trace_id_header_joins_the_trace(
+        self, gateway_dir, traced
+    ):
+        async def scenario(server):
+            body = json.dumps(
+                {"id": "h1", "query": ["portland"], "k": 1}
+            ).encode()
+            return await http_exchange(
+                server.port,
+                b"POST /tenant/alpha HTTP/1.1\r\n"
+                b"X-Trace-Id: %s\r\n"
+                b"Content-Length: %d\r\n\r\n%s"
+                % (self.TRACE_ID.encode(), len(body), body),
+            )
+
+        status, _, _ = run_gateway_scenario(gateway_dir, scenario)
+        assert status == 200
+        names = {
+            s["name"] for s in read_spans(traced)
+            if s["trace_id"] == self.TRACE_ID
+        }
+        assert {"gateway.request", "scheduler.search"} <= names
+
+    def test_fresh_trace_issued_when_client_sends_none(
+        self, gateway_dir, traced
+    ):
+        async def scenario(server):
+            client = await Client.connect(server.port)
+            await client.roundtrip({"op": "hello", "tenant": "alpha"})
+            await client.roundtrip(
+                {"id": "f1", "query": ["seattle"], "k": 1}
+            )
+            await client.close()
+
+        run_gateway_scenario(gateway_dir, scenario)
+        roots = [
+            s for s in read_spans(traced)
+            if s["name"] == "gateway.request"
+        ]
+        assert len(roots) == 1
+        assert len(roots[0]["trace_id"]) == 32
+
+
+class TestMetricsWireDrift:
+    """The ``stats`` rollup must agree with the structured error lines
+    the gateway actually sent — counters may not drift from the wire."""
+
+    def test_quota_rejections_match_rejected_lines(self, gateway_dir):
+        config = json.loads((gateway_dir / "tenants.json").read_text())
+        config["tenants"][0].update({"qps": 0.001, "burst": 2})
+        (gateway_dir / "tenants.json").write_text(json.dumps(config))
+
+        async def scenario(server):
+            client = await Client.connect(server.port)
+            await client.roundtrip({"op": "hello", "tenant": "alpha"})
+            responses = []
+            for i in range(6):
+                responses.append(await client.roundtrip(
+                    {"id": f"q{i}", "query": ["seattle"], "k": 1}
+                ))
+            stats = await client.roundtrip({"op": "stats"})
+            await client.close()
+            return responses, stats
+
+        responses, stats = run_gateway_scenario(gateway_dir, scenario)
+        rejected_lines = [
+            r for r in responses
+            if r.get("rejected") and not r.get("shed")
+        ]
+        served = [r for r in responses if "results" in r]
+        assert len(rejected_lines) == 4  # burst of 2, then refusals
+        for line in rejected_lines:
+            assert line["retry_after_seconds"] > 0.0
+        row = stats["tenants"]["alpha"]
+        assert row["rejected"] == len(rejected_lines)
+        assert row["requests"] == len(served)
+        assert row["shed"] == 0
+
+    def test_shed_counter_matches_shed_lines(self, gateway_dir):
+        async def scenario(server):
+            # Slow the tenant's scheduler so the bounded queue (depth
+            # 1 below) must evict under a pipelined burst.
+            tenant = server.registry.get("alpha")
+            scheduler = tenant.scheduler
+            original = scheduler.answer
+            scheduler.answer = (
+                lambda request: (time.sleep(0.05), original(request))[1]
+            )
+            client = await Client.connect(server.port)
+            await client.roundtrip({"op": "hello", "tenant": "alpha"})
+            burst = 8
+            for i in range(burst):
+                await client.send(
+                    {"id": f"s{i}", "query": ["seattle"], "k": 1}
+                )
+            responses = [await client.recv() for _ in range(burst)]
+            stats = await client.roundtrip({"op": "stats"})
+            await client.close()
+            return responses, stats
+
+        responses, stats = run_gateway_scenario(
+            gateway_dir,
+            scenario,
+            max_inflight=1,
+            tenants=[{
+                "name": "alpha",
+                "collection": "alpha.json",
+                "max_queue_depth": 1,
+            }],
+        )
+        shed_lines = [r for r in responses if r.get("shed")]
+        served = [r for r in responses if "results" in r]
+        assert len(shed_lines) + len(served) == len(responses)
+        assert shed_lines, "burst never overflowed the depth-1 queue"
+        row = stats["tenants"]["alpha"]
+        assert row["shed"] == len(shed_lines)
+        assert row["completed"] == len(served)
+
+    def test_shed_traces_survive_sampling_as_errors(
+        self, gateway_dir, tmp_path
+    ):
+        sink_path = str(tmp_path / "shed.jsonl")
+        # sample_rate=0: only the error rule can keep spans, which is
+        # exactly how shed queue spans must be preserved.
+        obs.configure(sink_path, sample_rate=0.0, slowest_n=0)
+        try:
+            async def scenario(server):
+                tenant = server.registry.get("alpha")
+                scheduler = tenant.scheduler
+                original = scheduler.answer
+                scheduler.answer = (
+                    lambda request: (time.sleep(0.05), original(request))[1]
+                )
+                client = await Client.connect(server.port)
+                await client.roundtrip({"op": "hello", "tenant": "alpha"})
+                burst = 8
+                for i in range(burst):
+                    await client.send(
+                        {"id": f"e{i}", "query": ["seattle"], "k": 1}
+                    )
+                responses = [await client.recv() for _ in range(burst)]
+                await client.close()
+                return responses
+
+            responses = run_gateway_scenario(
+                gateway_dir,
+                scenario,
+                max_inflight=1,
+                tenants=[{
+                    "name": "alpha",
+                    "collection": "alpha.json",
+                    "max_queue_depth": 1,
+                }],
+            )
+            shed_lines = [r for r in responses if r.get("shed")]
+            assert shed_lines, "burst never overflowed the depth-1 queue"
+        finally:
+            obs.disable()
+        shed_spans = [
+            s for s in read_spans(sink_path)
+            if s["name"] == "gateway.queue" and s.get("error")
+        ]
+        assert len(shed_spans) == len(shed_lines)
+        for span in shed_spans:
+            assert "AdmissionShed" in span["error"]

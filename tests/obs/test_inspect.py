@@ -1,0 +1,140 @@
+"""The trace inspector: reading the sink back, tree reconstruction,
+prefix lookup, and the top-spans aggregation."""
+
+import json
+
+import pytest
+
+from repro.obs.inspect import (
+    format_top,
+    format_trace,
+    read_spans,
+    show_trace,
+    tail_traces,
+    top_spans,
+)
+
+
+def span(trace_id, span_id, parent, name, ts, duration, **extra):
+    record = {
+        "trace_id": trace_id,
+        "span_id": span_id,
+        "parent_id": parent,
+        "name": name,
+        "ts": ts,
+        "duration_ms": duration,
+    }
+    record.update(extra)
+    return record
+
+
+TRACE_A = [
+    # Bottom-up arrival order, as the sink writes them.
+    span("aaaa1111", "s2", "s1", "scheduler.search", 10.1, 4.0),
+    span("aaaa1111", "s3", "s2", "phase.refinement", 10.2, 2.5),
+    span("aaaa1111", "s1", None, "gateway.request", 10.0, 6.0,
+         tags={"tenant": "alpha"}),
+]
+TRACE_B = [
+    span("bbbb2222", "t1", None, "gateway.request", 20.0, 1.0,
+         error="ValueError: boom"),
+]
+
+
+@pytest.fixture()
+def sink(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with open(path, "w", encoding="utf-8") as fh:
+        for record in TRACE_A + TRACE_B:
+            fh.write(json.dumps(record) + "\n")
+    return str(path)
+
+
+class TestReadSpans:
+    def test_reads_rotation_backup_first(self, sink):
+        with open(sink + ".1", "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(span("old00000", "o1", None, "x", 1, 1)))
+            fh.write("\n")
+        ids = [s["trace_id"] for s in read_spans(sink)]
+        assert ids[0] == "old00000"
+        assert len(ids) == 5
+
+    def test_skips_torn_and_foreign_lines(self, sink):
+        with open(sink, "a", encoding="utf-8") as fh:
+            fh.write('{"trace_id": "torn", "na\n')
+            fh.write('{"not_a_span": true}\n')
+            fh.write("\n")
+        assert len(read_spans(sink)) == 4
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert read_spans(str(tmp_path / "absent.jsonl")) == []
+
+
+class TestTrees:
+    def test_show_trace_reconstructs_parent_child_nesting(self, sink):
+        tree = show_trace(sink, "aaaa1111")
+        lines = tree.splitlines()
+        assert lines[0] == "trace aaaa1111 — 3 span(s)"
+        assert lines[1].strip().startswith("gateway.request")
+        assert "[tenant=alpha]" in lines[1]
+        # Each level indents two more spaces than its parent.
+        assert lines[2].startswith("    scheduler.search")
+        assert lines[3].startswith("      phase.refinement")
+
+    def test_prefix_match_when_unambiguous(self, sink):
+        assert "bbbb2222" in show_trace(sink, "bbbb")
+        assert show_trace(sink, "cccc") is None
+
+    def test_error_spans_are_flagged(self, sink):
+        tree = show_trace(sink, "bbbb2222")
+        assert "!! ValueError: boom" in tree
+
+    def test_orphans_render_as_roots(self, tmp_path):
+        path = tmp_path / "orphan.jsonl"
+        orphan = span("oooo", "c9", "missing-parent", "worker.search", 5, 1)
+        path.write_text(json.dumps(orphan) + "\n")
+        tree = show_trace(str(path), "oooo")
+        assert "worker.search" in tree
+
+    def test_tail_orders_by_earliest_timestamp(self, sink):
+        trees = list(tail_traces(sink, 2))
+        assert "aaaa1111" in trees[0]
+        assert "bbbb2222" in trees[1]
+        assert list(tail_traces(sink, 1)) == trees[1:]
+
+    def test_empty_trace_formats(self):
+        assert format_trace([]) == "(empty trace)"
+
+
+class TestTopSpans:
+    def test_by_name_aggregates_and_sorts_by_total(self, sink):
+        rows = top_spans(sink, by="name")
+        assert [r["name"] for r in rows] == [
+            "gateway.request", "scheduler.search", "phase.refinement",
+        ]
+        request = rows[0]
+        assert request["calls"] == 2
+        assert request["total_ms"] == pytest.approx(7.0)
+        assert request["max_ms"] == pytest.approx(6.0)
+        assert request["mean_ms"] == pytest.approx(3.5)
+        assert request["errors"] == 1
+
+    def test_by_phase_strips_the_prefix(self, sink):
+        rows = top_spans(sink, by="phase")
+        assert [r["name"] for r in rows] == ["refinement"]
+
+    def test_limit_truncates(self, sink):
+        assert len(top_spans(sink, limit=1)) == 1
+
+    def test_bad_by_rejected(self, sink):
+        with pytest.raises(ValueError, match="--by"):
+            top_spans(sink, by="tenant")
+
+    def test_format_top_table(self, sink):
+        text = format_top(top_spans(sink))
+        lines = text.splitlines()
+        assert lines[0].split() == [
+            "span", "calls", "total_ms", "mean_ms", "max_ms", "errors",
+        ]
+        assert len(lines) == 4
+        assert format_top([]) == "(no spans)"

@@ -1,0 +1,213 @@
+"""Spans and the tracer: nesting, explicit parents, error capture,
+retroactive records, and the process-global configure/disable switch."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    SpanContext,
+    Tracer,
+    TraceSink,
+    annotate,
+    configure,
+    current_context,
+    disable,
+    get_tracer,
+    trace_config,
+    traced_phase,
+)
+
+
+def read_records(path):
+    import os
+
+    if not os.path.exists(path):  # the sink opens lazily on first write
+        return []
+    with open(path, "r", encoding="utf-8") as fh:
+        return [json.loads(line) for line in fh if line.strip()]
+
+
+@pytest.fixture()
+def sink_path(tmp_path):
+    return str(tmp_path / "trace.jsonl")
+
+
+@pytest.fixture()
+def tracer(sink_path):
+    tracer = Tracer(TraceSink(sink_path))
+    yield tracer
+    tracer.close()
+
+
+class TestSpanTree:
+    def test_nested_spans_parent_through_the_contextvar(
+        self, tracer, sink_path
+    ):
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+                assert current_context() == inner.context
+            assert current_context() == outer.context
+        assert current_context() is None
+        records = {r["name"]: r for r in read_records(sink_path)}
+        assert records["inner"]["parent_id"] == records["outer"]["span_id"]
+        assert records["outer"]["parent_id"] is None
+
+    def test_explicit_parent_wins_over_the_contextvar(self, tracer):
+        with tracer.span("request") as root:
+            context = root.context
+        # Simulate an executor thread: no contextvar, explicit parent.
+        with tracer.span("job", parent=context) as job:
+            assert job.trace_id == root.trace_id
+            assert job.parent_id == root.span_id
+
+    def test_client_supplied_trace_id_roots_the_trace(self, tracer):
+        with tracer.span("request", trace_id="feedface" * 4) as root:
+            assert root.trace_id == "feedface" * 4
+            assert root.parent_id is None
+
+    def test_exceptions_are_recorded_and_reraised(self, tracer, sink_path):
+        with pytest.raises(ValueError, match="boom"):
+            with tracer.span("failing"):
+                raise ValueError("boom")
+        (record,) = read_records(sink_path)
+        assert record["error"] == "ValueError: boom"
+
+    def test_annotate_tags_land_on_the_record(self, tracer, sink_path):
+        with tracer.span("tagged") as span:
+            span.annotate(tenant="alpha", outcome="ok")
+        (record,) = read_records(sink_path)
+        assert record["tags"] == {"tenant": "alpha", "outcome": "ok"}
+
+    def test_record_backdates_a_retroactive_interval(
+        self, tracer, sink_path
+    ):
+        with tracer.span("request") as root:
+            context = root.context
+        tracer.record(
+            "queue", 0.25, parent=context, error="AdmissionShed: shed"
+        )
+        records = {r["name"]: r for r in read_records(sink_path)}
+        queue = records["queue"]
+        assert queue["parent_id"] == records["request"]["span_id"]
+        assert queue["duration_ms"] == pytest.approx(250.0)
+        assert queue["ts"] <= records["request"]["ts"] + 10
+        assert queue["error"] == "AdmissionShed: shed"
+
+    def test_durations_use_the_injected_clock(self, sink_path):
+        ticks = iter([10.0, 10.5])
+        tracer = Tracer(
+            TraceSink(sink_path), clock=lambda: next(ticks), wall=lambda: 0.0
+        )
+        with tracer.span("timed"):
+            pass
+        tracer.close()
+        (record,) = read_records(sink_path)
+        assert record["duration_ms"] == pytest.approx(500.0)
+
+
+class TestSpanContextWire:
+    def test_round_trips_over_the_wire(self):
+        context = SpanContext(trace_id="t" * 32, span_id="s" * 16)
+        assert SpanContext.from_wire(context.to_wire()) == context
+
+    def test_rejects_garbage(self):
+        assert SpanContext.from_wire(None) is None
+        assert SpanContext.from_wire({}) is None
+        assert SpanContext.from_wire({"trace_id": 7}) is None
+        joined = SpanContext.from_wire({"trace_id": "abc", "span_id": 5})
+        assert joined == SpanContext(trace_id="abc", span_id=None)
+
+
+class TestGlobalSwitch:
+    def test_disabled_by_default_and_free(self):
+        tracer = get_tracer()
+        assert not tracer.enabled
+        with tracer.span("anything") as span:
+            assert span.context is None
+            span.annotate(ignored=True)  # must not raise
+        tracer.record("anything", 1.0)
+        assert current_context() is None
+        assert trace_config() is None
+
+    def test_configure_enables_and_disable_restores(self, sink_path):
+        tracer = configure(sink_path, sample_rate=0.5, slow_threshold_ms=9)
+        try:
+            assert get_tracer() is tracer
+            assert tracer.enabled
+            config = trace_config()
+            assert config["sample_rate"] == 0.5
+            assert config["slow_threshold_ms"] == 9
+            with tracer.span("probe"):
+                pass
+        finally:
+            disable()
+        assert not get_tracer().enabled
+        assert trace_config() is None
+        assert len(read_records(sink_path)) == 1
+
+    def test_annotate_helper_reaches_the_active_span(self, sink_path):
+        configure(sink_path)
+        try:
+            with get_tracer().span("request"):
+                annotate(fastpath=True)
+        finally:
+            disable()
+        (record,) = read_records(sink_path)
+        assert record["tags"] == {"fastpath": True}
+
+
+class FakeTimer:
+    """PhaseTimer stand-in recording phase() entries."""
+
+    def __init__(self):
+        self.phases = []
+
+    def phase(self, name):
+        from contextlib import contextmanager
+
+        @contextmanager
+        def cm():
+            self.phases.append(name)
+            yield
+
+        return cm()
+
+
+class TestTracedPhase:
+    def test_times_the_phase_and_emits_a_span_inside_a_trace(
+        self, sink_path
+    ):
+        timer = FakeTimer()
+        configure(sink_path)
+        try:
+            tracer = get_tracer()
+            with tracer.span("request"):
+                with traced_phase(timer, "refinement"):
+                    pass
+        finally:
+            disable()
+        assert timer.phases == ["refinement"]
+        names = {r["name"] for r in read_records(sink_path)}
+        assert names == {"request", "phase.refinement"}
+
+    def test_no_span_outside_a_trace_but_timer_still_runs(
+        self, sink_path
+    ):
+        timer = FakeTimer()
+        configure(sink_path)
+        try:
+            with traced_phase(timer, "refinement"):
+                pass
+        finally:
+            disable()
+        assert timer.phases == ["refinement"]
+        assert read_records(sink_path) == []
+
+    def test_disabled_tracer_costs_only_the_timer(self):
+        timer = FakeTimer()
+        with traced_phase(timer, "verification"):
+            pass
+        assert timer.phases == ["verification"]

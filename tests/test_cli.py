@@ -220,3 +220,85 @@ class TestIndexCommands:
         capsys.readouterr()
         assert main(["stats", str(snap)]) == 0
         assert json.loads(capsys.readouterr().out)["num_sets"] == 3
+
+
+class TestTraceCommands:
+    @pytest.fixture()
+    def sink(self, tmp_path):
+        """A sink with one real two-span trace plus a slow singleton."""
+        from repro import obs
+
+        path = str(tmp_path / "trace.jsonl")
+        tracer = obs.configure(path)
+        try:
+            with tracer.span(
+                "gateway.request", trace_id="cafecafe" * 4
+            ):
+                with tracer.span("phase.refinement"):
+                    pass
+            tracer.record("phase.refinement", 0.5, trace_id="ffff" * 8)
+        finally:
+            obs.disable()
+        return path
+
+    def test_tail_prints_recent_trees(self, sink, capsys):
+        assert main(["trace", "tail", sink]) == 0
+        out = capsys.readouterr().out
+        assert "trace cafecafe" in out
+        assert "gateway.request" in out
+        assert "  phase.refinement" in out
+
+    def test_tail_of_empty_sink(self, tmp_path, capsys):
+        assert main(["trace", "tail", str(tmp_path / "none.jsonl")]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "(no traces)" in captured.err
+
+    def test_show_accepts_unambiguous_prefix(self, sink, capsys):
+        assert main(["trace", "show", sink, "cafe"]) == 0
+        assert "gateway.request" in capsys.readouterr().out
+
+    def test_show_unknown_id_is_a_parameter_error(self, sink, capsys):
+        assert main(["trace", "show", sink, "dead"]) == 2
+        assert "no trace matching" in capsys.readouterr().err
+
+    def test_top_by_phase_strips_prefix(self, sink, capsys):
+        assert main(["trace", "top", sink, "--by", "phase"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith("span")
+        assert "refinement" in out
+        assert "phase.refinement" not in out
+
+    def test_serve_trace_flags_configure_the_global_tracer(
+        self, collection_path, tmp_path, capsys
+    ):
+        import io
+        import sys as _sys
+
+        from repro import obs
+
+        sink = tmp_path / "serve.jsonl"
+        request = json.dumps(
+            {"id": "t1", "query": ["seattle"], "k": 1, "trace_id": "ab" * 16}
+        )
+        stdin = _sys.stdin
+        _sys.stdin = io.StringIO(request + "\n")
+        try:
+            assert main([
+                "serve", collection_path,
+                "--trace", str(sink), "--trace-sample", "1.0",
+            ]) == 0
+        finally:
+            _sys.stdin = stdin
+            obs.disable()  # serve enabled the process-global tracer
+        response = json.loads(capsys.readouterr().out.splitlines()[0])
+        assert response["results"]
+        from repro.obs.inspect import read_spans
+
+        spans = [
+            s for s in read_spans(str(sink))
+            if s["trace_id"] == "ab" * 16
+        ]
+        assert {"scheduler.search", "engine.search"} <= {
+            s["name"] for s in spans
+        }
