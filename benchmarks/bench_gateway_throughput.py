@@ -27,6 +27,12 @@ passes best-of-N, and the QPS delta is gated — tracing must cost < 5%
 throughput (a looser bound at smoke scale, where per-pass jitter on a
 tiny corpus exceeds the real overhead). The delta lands under a
 ``"tracing"`` key in the same ``BENCH_gateway.json``.
+
+The third test is the **EXPLAIN overhead guard**: the same ABBA
+machinery, but the "on" passes send every request with
+``"explain": true`` — report building, invariant validation, and the
+fatter wire payload included — gated at the same < 5% (20% smoke)
+under an ``"explain"`` key in ``BENCH_gateway.json``.
 """
 
 from __future__ import annotations
@@ -71,6 +77,13 @@ TRACE_GATE_PCT = 5.0
 SMOKE_TRACE_GATE_PCT = 20.0
 TRACE_PAIRS = 6
 SMOKE_TRACE_PAIRS = 4
+
+#: EXPLAIN overhead gate — same rationale and smoke-scale caveat as the
+#: tracing gate above.
+EXPLAIN_GATE_PCT = 5.0
+SMOKE_EXPLAIN_GATE_PCT = 20.0
+EXPLAIN_PAIRS = 6
+SMOKE_EXPLAIN_PAIRS = 4
 
 
 @pytest.fixture(scope="module")
@@ -477,5 +490,130 @@ def test_tracing_overhead_guard(corpus_dir, workload, smoke, report, tmp_path):
     )
     assert overhead_pct < gate_pct, (
         f"tracing costs {overhead_pct:.2f}% of gateway QPS "
+        f"({med_off:.1f} -> {med_on:.1f}); gate is {gate_pct:.0f}%"
+    )
+
+
+def test_explain_overhead_guard(corpus_dir, workload, smoke, report):
+    """EXPLAIN must be nearly free when requested on every search:
+    report building walks counters already collected, and invariant
+    validation is pure integer arithmetic — the only real cost is the
+    fatter response line on the wire.
+
+    Same noise control as the tracing guard: every pass drops the
+    result cache first so off/on pay identical cache behaviour, pairs
+    run in ABBA order, and the gate reads the median of per-pair
+    deltas.
+    """
+    pairs = SMOKE_EXPLAIN_PAIRS if smoke else EXPLAIN_PAIRS
+    gate_pct = SMOKE_EXPLAIN_GATE_PCT if smoke else EXPLAIN_GATE_PCT
+    clients = 2 if smoke else 4
+    per_client = 24 if smoke else 40
+
+    def pass_lines(client, *, explain):
+        start = client * per_client
+        lines = []
+        for i in range(per_client):
+            line = {
+                "id": f"c{client}-{i}",
+                "query": workload[(start + i) % len(workload)],
+                "k": K,
+            }
+            if explain:
+                line["explain"] = True
+            lines.append(line)
+        return lines
+
+    async def main():
+        registry = TenantRegistry.from_config(corpus_dir / "tenants.json")
+        server = GatewayServer(registry, port=0)
+        await server.start()
+        serve_task = asyncio.create_task(server.serve_until_shutdown())
+
+        async def timed_pass(*, explain):
+            await _client_loop(
+                server.port, "steady", [{"op": "invalidate"}]
+            )
+            started = time.perf_counter()
+            batches = await asyncio.gather(
+                *[
+                    _client_loop(
+                        server.port, "steady",
+                        pass_lines(c, explain=explain),
+                    )
+                    for c in range(clients)
+                ]
+            )
+            elapsed = time.perf_counter() - started
+            explained = 0
+            for batch in batches:
+                for response in batch:
+                    assert "results" in response
+                    if explain:
+                        # The guard must time real reports, not a
+                        # silently dropped flag.
+                        report_obj = response["explain"]
+                        assert report_obj["partitions_consistent"] is True
+                        explained += 1
+                    else:
+                        assert "explain" not in response
+            return clients * per_client / elapsed, explained
+
+        await timed_pass(explain=False)  # warmup
+        qps_off, qps_on = [], []
+        explained_total = 0
+        for pair in range(pairs):
+            if pair % 2 == 0:  # ABBA, as in the tracing guard
+                qps_off.append((await timed_pass(explain=False))[0])
+                qps, explained = await timed_pass(explain=True)
+            else:
+                qps, explained = await timed_pass(explain=True)
+                qps_off.append((await timed_pass(explain=False))[0])
+            qps_on.append(qps)
+            explained_total += explained
+
+        server.request_shutdown()
+        await serve_task
+        return qps_off, qps_on, explained_total
+
+    qps_off, qps_on, explained_total = asyncio.run(main())
+    assert explained_total == pairs * clients * per_client
+
+    def median(values):
+        ranked = sorted(values)
+        mid = len(ranked) // 2
+        if len(ranked) % 2:
+            return ranked[mid]
+        return (ranked[mid - 1] + ranked[mid]) / 2.0
+
+    deltas = [
+        (off - on) / off * 100.0 for off, on in zip(qps_off, qps_on)
+    ]
+    overhead_pct = median(deltas)
+    med_off, med_on = median(qps_off), median(qps_on)
+
+    explain_row = {
+        "qps_off": round(med_off, 1),
+        "qps_on": round(med_on, 1),
+        "overhead_pct": round(overhead_pct, 2),
+        "gate_pct": gate_pct,
+        "pairs": pairs,
+        "requests_per_pass": clients * per_client,
+        "smoke": bool(smoke),
+    }
+    payload = (
+        json.loads(ARTIFACT.read_text()) if ARTIFACT.exists() else {}
+    )
+    payload["explain"] = explain_row
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    report()
+    report(
+        f"explain overhead — median of {pairs} ABBA pairs: "
+        f"{med_off:.1f} qps off, {med_on:.1f} qps on "
+        f"({overhead_pct:+.2f}%, gate < {gate_pct:.0f}%)"
+    )
+    assert overhead_pct < gate_pct, (
+        f"explain costs {overhead_pct:.2f}% of gateway QPS "
         f"({med_off:.1f} -> {med_on:.1f}); gate is {gate_pct:.0f}%"
     )

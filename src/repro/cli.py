@@ -15,6 +15,9 @@ Commands cover the downstream workflow end to end:
   with live insert/delete/replace (optionally WAL-durable);
 * ``batch`` — answer a file of JSON-lines queries to a results file
   through the same serving stack (maximal batching and dedup);
+* ``explain`` — answer a query file and print each request's EXPLAIN
+  report: the pruning funnel as a table (merged and per partition),
+  per-phase seconds, verification cost estimates, cache attribution;
 * ``cluster serve|bench`` — the same JSON-lines protocol over the
   multi-process scatter-gather backend of :mod:`repro.cluster` (one
   worker process per partition of the set-id space), and its scaling
@@ -323,6 +326,48 @@ def cmd_batch(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     return 0 if errors == 0 else 1
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """``repro explain``: run queries and print each one's EXPLAIN
+    report — the pruning funnel (per partition and merged), per-phase
+    seconds, verification cost estimates, and cache attribution."""
+    from repro.obs.explain import render_explain
+    from repro.service.request import SearchRequest
+
+    with open(args.queries, encoding="utf-8") as handle:
+        lines = [
+            line.strip() for line in handle
+            if line.strip() and not line.strip().startswith("#")
+        ]
+    failures = 0
+    with _build_scheduler(args) as scheduler:
+        for number, line in enumerate(lines, start=1):
+            if number > 1:
+                print()
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise InvalidParameterError(
+                    f"bad request JSON on line {number}: {exc}"
+                ) from exc
+            if isinstance(obj, list):
+                obj = {"query": obj}
+            if not isinstance(obj, dict):
+                raise InvalidParameterError(
+                    f"line {number}: request must be a JSON object or "
+                    "token array"
+                )
+            obj["explain"] = True
+            response = scheduler.answer(SearchRequest.from_obj(obj))
+            if response.error is not None:
+                print(f"# {response.request_id}: {response.error}")
+                failures += 1
+                continue
+            for hit_line in response.result_lines():
+                print(hit_line)
+            print(render_explain(response.explain))
+    return 0 if failures == 0 else 1
 
 
 def cmd_cluster_serve(args: argparse.Namespace) -> int:
@@ -712,6 +757,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_trace_arguments(serve)
     serve.set_defaults(func=cmd_serve)
+
+    explain = commands.add_parser(
+        "explain",
+        help="run queries through the serving stack and print each "
+        "one's EXPLAIN report (pruning funnel, phases, cost estimates)",
+    )
+    _add_service_arguments(explain)
+    explain.add_argument(
+        "queries",
+        help="JSON-lines query file (same format as 'repro batch')",
+    )
+    explain.set_defaults(func=cmd_explain)
 
     batch = commands.add_parser(
         "batch", help="answer a JSON-lines query file via the service"

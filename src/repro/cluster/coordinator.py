@@ -70,6 +70,8 @@ from repro.errors import (
 from repro.index.base import TokenIndex
 from repro.index.token_stream import MaterializedTokenStream
 from repro.obs import current_context, get_tracer, trace_config
+from repro.obs.accounting import ResourceLedger
+from repro.obs.timing import Stopwatch
 from repro.service.backend import (
     materialize_stream,
     require_mutable,
@@ -289,6 +291,10 @@ class ClusterPool:
         self._history: list[dict[str, Any]] = []
         self._queries = 0
         self._mutations = 0
+        #: Coordinator-side resource meters. They live here — not in the
+        #: workers — so totals stay monotone across worker crash/restart
+        #: (a respawned worker's counters reset; this ledger never does).
+        self.resources = ResourceLedger()
 
         if snapshot_path is not None:
             from repro.store.snapshot import inspect_snapshot
@@ -520,6 +526,7 @@ class ClusterPool:
         if k < 1:
             raise InvalidParameterError("k must be >= 1")
         effective_alpha = self._effective_alpha(alpha)
+        watch = Stopwatch()
         with self._lock:
             self._ensure_open()
             if stream is not None and (
@@ -562,7 +569,9 @@ class ClusterPool:
             else:
                 partials = self._scatter_search(payload)
             self._queries += 1
-        return merge_results(partials, k)
+            merged = merge_results(partials, k)
+            self.resources.charge_search(watch.stop(), merged.stats)
+        return merged
 
     def _scatter_search(
         self, payload: dict[str, Any]
@@ -709,6 +718,38 @@ class ClusterPool:
                 )
         return statuses
 
+    def liveness(self) -> list[dict[str, Any]]:
+        """Per-worker liveness WITHOUT pinging or restarting anyone.
+
+        The readiness probe's view of the fleet: ``health_check`` is a
+        repair action (it restarts dead workers as a side effect), so a
+        ``/readyz`` that called it could never observe a down worker.
+        This only inspects process state — a killed worker reads
+        ``alive: False`` here until the next health check or search
+        revives it.
+        """
+        with self._lock:
+            self._ensure_open()
+            return [
+                {
+                    "worker_id": handle.worker_id,
+                    "alive": handle.alive(),
+                    "restarts": max(handle.restarts, 0),
+                }
+                for handle in self._handles
+            ]
+
+    def engine_description(self) -> dict[str, Any]:
+        """What executes a query, for EXPLAIN reports."""
+        return {
+            "backend": "cluster",
+            "engine": (
+                "columnar" if self._config is None else self._config.engine
+            ),
+            "workers": self._num_workers,
+            "shards_per_worker": self._shards,
+        }
+
     def cluster_metrics(self) -> ClusterMetrics:
         """Gather per-worker metrics snapshots into a rollup."""
         with self._lock:
@@ -742,6 +783,7 @@ class ClusterPool:
             list(version) if isinstance(version, tuple) else version
         )
         snapshot["num_sets"] = len(self._collection)
+        snapshot["resources"] = self.resources.snapshot()
         return snapshot
 
     # -- lifecycle ----------------------------------------------------------

@@ -140,6 +140,17 @@ def mutation_record(
     return record
 
 
+def ping_reply(version: int, uptime_seconds: float) -> dict[str, Any]:
+    """The ``OP_PING`` acknowledgement: the version-barrier value plus
+    the replica's uptime — a probe that sees uptime drop without a
+    coordinator-recorded restart is looking at a silently replaced
+    process."""
+    return {
+        "version": version,
+        "uptime_seconds": round(uptime_seconds, 6),
+    }
+
+
 def check_version(observed: int, expected: int, *, where: str) -> None:
     """The version barrier: refuse to act on divergent state.
 

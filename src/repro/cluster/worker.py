@@ -41,6 +41,7 @@ from repro.cluster.messages import (
     check_version,
     decode_stream,
     decode_trace,
+    ping_reply,
 )
 from repro.datasets.collection import SetCollection
 from repro.errors import ClusterError, ReproError
@@ -219,7 +220,9 @@ def _dispatch(state: WorkerState, op: str, payload: Any) -> Any:
         )
         return snapshot
     if op == OP_PING:
-        return {"version": state.effective_version}
+        return ping_reply(
+            state.effective_version, state.metrics.uptime_seconds
+        )
     raise ClusterError(f"unknown worker op: {op!r}")
 
 

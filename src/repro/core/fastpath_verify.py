@@ -136,6 +136,11 @@ class ColumnarVerifier:
         self._positions: dict[int, np.ndarray] = {}
         self._fallback: set[int] = set()
         self._weights: np.ndarray | None = None
+        # Cost attribution, filled by prepare(): cells of the batched
+        # weight block and the FLOP estimate of the matmul producing it
+        # (2 * dim multiply-adds per cell).
+        self.matmul_cells = 0
+        self.matmul_flops = 0
 
     # -- phase setup -------------------------------------------------------
 
@@ -248,6 +253,10 @@ class ColumnarVerifier:
                 self._fallback.add(set_id)
                 continue
             self._positions[set_id] = all_positions[lo:hi]
+        self.matmul_cells = int(weights.size)
+        self.matmul_flops = 2 * int(weights.size) * int(
+            union_matrix.shape[1]
+        )
         # Tracing hook (observation only): the one batched matmul this
         # phase runs, and how many candidates bypass it via fallback.
         annotate(
@@ -255,6 +264,11 @@ class ColumnarVerifier:
             verify_candidates=len(self._positions),
             verify_fallbacks=len(self._fallback),
         )
+
+    @property
+    def fallback_count(self) -> int:
+        """Candidates the drift guard routed to the reference path."""
+        return len(self._fallback)
 
     # -- per-candidate verification ---------------------------------------
 

@@ -251,6 +251,13 @@ def postprocess(
     stats.memory.measure("postproc_upper_bounds", ledger)
     if verifier is not None:
         stats.memory.record("verify_weight_block", verifier.nbytes())
+        # Resource attribution for per-tenant accounting and EXPLAIN:
+        # the batched matmul's size/FLOPs and the weight-block bytes
+        # every column gather scans.
+        stats.verify_matmul_cells += verifier.matmul_cells
+        stats.verify_matmul_flops += verifier.matmul_flops
+        stats.verify_bytes_scanned += verifier.nbytes()
+        stats.verify_fallbacks += verifier.fallback_count
     # Tracing hook (observation only): how verification resolved the
     # survivors — exact matchings run vs. sets retired without one.
     annotate(

@@ -44,6 +44,17 @@ class SearchStats:
     em_label_updates: int = 0            # total labeling improvements
     resolution_em: int = 0               # post-hoc exact scoring of results
 
+    # -- verification engine accounting --
+    # Cost attribution for the columnar verifier: cells of the shared
+    # batched weight block, the FLOP estimate of computing it, the bytes
+    # of the block actually scanned, and candidates routed through the
+    # reference fallback by the GEMM drift guard. All zero under the
+    # reference engine.
+    verify_matmul_cells: int = 0
+    verify_matmul_flops: int = 0
+    verify_bytes_scanned: int = 0
+    verify_fallbacks: int = 0
+
     timer: PhaseTimer = field(default_factory=PhaseTimer)
     memory: MemoryLedger = field(default_factory=MemoryLedger)
 
@@ -86,14 +97,82 @@ class SearchStats:
         self.em_full += other.em_full
         self.em_label_updates += other.em_label_updates
         self.resolution_em += other.resolution_em
+        self.verify_matmul_cells += other.verify_matmul_cells
+        self.verify_matmul_flops += other.verify_matmul_flops
+        self.verify_bytes_scanned += other.verify_bytes_scanned
+        self.verify_fallbacks += other.verify_fallbacks
         self.timer.merge(other.timer)
         self.memory.merge(other.memory)
 
-    def consistency_ok(self) -> bool:
-        """The resolution counters must partition the candidates."""
-        return self.candidates == (
+    #: Counter fields that must never go negative (everything except the
+    #: float stream similarity and the timer/memory sub-objects).
+    _COUNTER_FIELDS = (
+        "stream_tuples",
+        "candidates",
+        "pruned_first_sight",
+        "pruned_bucket",
+        "bucket_moves",
+        "observed_edges",
+        "discarded_edges",
+        "no_em_accepted",
+        "no_em_discarded",
+        "em_early_terminated",
+        "em_full",
+        "em_label_updates",
+        "resolution_em",
+        "verify_matmul_cells",
+        "verify_matmul_flops",
+        "verify_bytes_scanned",
+        "verify_fallbacks",
+    )
+
+    def validate(self) -> list[str]:
+        """Check the stats invariants; returns violation descriptions.
+
+        An empty list means the stats are coherent. The partition
+        invariant (the module docstring's identity) is the load-bearing
+        one: it catches merge bugs in cluster stat accumulation, where a
+        dropped or double-counted partial silently skews the funnel.
+        """
+        violations: list[str] = []
+        for name in self._COUNTER_FIELDS:
+            value = getattr(self, name)
+            if value < 0:
+                violations.append(f"negative counter {name}={value}")
+        resolved = (
             self.refinement_pruned
             + self.no_em
             + self.em_early_terminated
             + self.em_full
         )
+        if self.candidates != resolved:
+            violations.append(
+                f"funnel does not partition candidates: "
+                f"candidates={self.candidates} != refinement_pruned="
+                f"{self.refinement_pruned} + no_em={self.no_em} + "
+                f"em_early_terminated={self.em_early_terminated} + "
+                f"em_full={self.em_full} (= {resolved})"
+            )
+        return violations
+
+    def consistency_ok(self) -> bool:
+        """The resolution counters must partition the candidates."""
+        return not self.validate()
+
+    def funnel(self) -> dict:
+        """The pruning funnel as a JSON-ready dict (the EXPLAIN shape).
+
+        Every key is a plain int so cluster partials can be compared
+        bitwise against the merged stats: for each counter the merged
+        value must equal the sum over the per-partition funnels.
+        """
+        return {
+            "candidates": self.candidates,
+            "pruned_first_sight": self.pruned_first_sight,
+            "pruned_bucket": self.pruned_bucket,
+            "refinement_pruned": self.refinement_pruned,
+            "no_em_accepted": self.no_em_accepted,
+            "no_em_discarded": self.no_em_discarded,
+            "em_early_terminated": self.em_early_terminated,
+            "em_full": self.em_full,
+        }

@@ -42,6 +42,14 @@ class WalError(StoreError):
     record (a torn final record is tolerated and truncated instead)."""
 
 
+class StatsInvariantError(ReproError):
+    """Raised (under pytest) when a search's stats violate the funnel
+    partition invariant — ``candidates == refinement_pruned + no_em +
+    em_early_terminated + em_full`` — or carry negative counters. In
+    production the EXPLAIN path reports violations in the payload
+    instead of raising; a live server never dies over bookkeeping."""
+
+
 class ClusterError(ReproError):
     """Raised when the multi-process cluster cannot serve a request —
     a worker died and could not be restarted, a replica diverged from

@@ -34,19 +34,32 @@ _TOTAL_FIELDS = (
 def gateway_rollup(
     tenants: "Iterable[Tenant]", *, extra: dict | None = None
 ) -> dict:
-    """The ``{"op": "stats"}`` payload: per-tenant rows + fleet totals."""
+    """The ``{"op": "stats"}`` payload: per-tenant rows + fleet totals.
+
+    Each row carries the tenant's resource-accounting snapshot (its
+    scheduler metrics embed the ledger) and its SLO alert flag; the
+    totals section sums the ledgers fleet-wide so a capacity view needs
+    no client-side arithmetic.
+    """
     rows = [tenant.stats() for tenant in tenants]
     totals: dict = {name: 0 for name in _TOTAL_FIELDS}
+    resource_totals: dict = {}
     worst_p99 = 0.0
+    alerting = False
     for row in rows:
         for name in _TOTAL_FIELDS:
             totals[name] += row.get(name, 0)
+        for name, value in row.get("resources", {}).items():
+            resource_totals[name] = resource_totals.get(name, 0) + value
         worst_p99 = max(worst_p99, row.get("latency_p99", 0.0))
+        alerting = alerting or bool(row.get("slo_alerting"))
     totals["latency_p99_worst"] = worst_p99
     payload = {
         "backend": "gateway",
         "tenants": {row["tenant"]: row for row in rows},
         "totals": totals,
+        "resources": resource_totals,
+        "slo_alerting": alerting,
     }
     if extra:
         payload.update(extra)

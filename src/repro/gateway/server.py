@@ -18,6 +18,10 @@ protocol of ``repro serve``)::
     {"op": "prometheus"}
                       -> the bound tenant's Prometheus exposition text
     {"op": "stats"}   -> the gateway rollup (per-tenant + totals)
+    {"op": "slo"}     -> the bound tenant's burn-rate snapshot
+    {"op": "explain", "query": [...], ...}
+                      -> run the search (quota/admission like any
+                         search) and attach the EXPLAIN report
     {"op": "flush"|"invalidate"}
                       -> tenant-scoped scheduler controls
 
@@ -38,7 +42,11 @@ The HTTP/1.1 adapter shares the listener: a request whose first bytes
 look like an HTTP method is parsed as ``POST /`` (body = one JSON
 object or many JSON lines; tenant from ``X-Repro-Tenant`` or the
 ``/tenant/<name>`` path; token from ``Authorization: Bearer``) or
-``GET /stats`` or ``GET /metrics`` (Prometheus text exposition). An
+``GET /stats``, ``GET /metrics`` (Prometheus text exposition),
+``GET /healthz`` (liveness), ``GET /readyz`` (readiness — 503 while
+draining, while any tenant's admission queue is saturated, while a
+cluster worker is down, or while a WAL will not flush), or ``GET
+/slo`` (per-tenant burn-rate snapshots). An
 ``X-Trace-Id`` header maps onto the ``trace_id`` field of each body
 line. A single rejected request maps to ``429`` with a ``Retry-After``
 header; everything else answers ``200`` with one JSON response per
@@ -77,7 +85,7 @@ _COMPACT = {"separators": (",", ":")}
 _HTTP_METHODS = (b"POST ", b"GET ", b"PUT ", b"HEAD ")
 
 #: Ops the JSON-lines handler accepts (superset of ``serve_lines``).
-_TENANT_OPS = {"metrics", "prometheus", "flush", "invalidate"}
+_TENANT_OPS = {"metrics", "prometheus", "flush", "invalidate", "slo"}
 _MUTATION_OPS = {"insert", "delete", "replace"}
 
 
@@ -433,6 +441,12 @@ class GatewayServer:
             return self._handle_hello(conn, obj)
         if op == "stats":
             return json.dumps(self.stats(), **_COMPACT)
+        if op == "explain":
+            # A real search wearing an op hat: route it through the
+            # search path so quota, admission, and tracing all apply.
+            spec = {key: value for key, value in obj.items() if key != "op"}
+            spec["explain"] = True
+            return await self._handle_search(conn, spec)
         resolved = self._resolve_tenant(conn, obj)
         if isinstance(resolved, str):
             return resolved
@@ -510,6 +524,70 @@ class GatewayServer:
             },
         )
 
+    def slo(self) -> dict:
+        """Per-tenant SLO snapshots (``GET /slo`` and ``{"op": "slo"}``
+        without a bound tenant answer the whole fleet)."""
+        tenants = {
+            tenant.name: tenant.metrics.slo.snapshot()
+            for tenant in self.registry
+        }
+        return {
+            "tenants": tenants,
+            "alerting": any(t["alerting"] for t in tenants.values()),
+        }
+
+    def readiness(self) -> dict:
+        """Can this gateway usefully accept work right now?
+
+        Degrades *before* errors surface: a dead cluster worker or a
+        saturated admission queue flips ``ready`` even though the next
+        request might still be served (by restart-on-demand or shed
+        respectively) — that request would pay the repair latency or be
+        dropped, which is exactly what a load balancer should route
+        around. Checks: not draining, every tenant's admission queue
+        below its bound, every cluster worker alive (observed without
+        restarting — see ``ClusterPool.liveness``), and every WAL
+        flushable.
+        """
+        checks: dict[str, Any] = {
+            "accepting": not self._shutdown_requested.is_set(),
+        }
+        saturated = []
+        workers_down = []
+        wal_failed = []
+        for tenant in self.registry:
+            if tenant.metrics.queue_depth >= tenant.spec.max_queue_depth:
+                saturated.append(tenant.name)
+            liveness = getattr(tenant.scheduler.pool, "liveness", None)
+            if callable(liveness):
+                for status in liveness():
+                    if not status["alive"]:
+                        workers_down.append(
+                            f"{tenant.name}/worker-{status['worker_id']}"
+                        )
+            wal = tenant.stack.wal
+            if wal is not None:
+                try:
+                    wal.flush()
+                except OSError:
+                    wal_failed.append(tenant.name)
+        checks["queues_unsaturated"] = not saturated
+        if saturated:
+            checks["saturated_tenants"] = saturated
+        checks["cluster_workers_alive"] = not workers_down
+        if workers_down:
+            checks["workers_down"] = workers_down
+        checks["wal_flushable"] = not wal_failed
+        if wal_failed:
+            checks["wal_failed_tenants"] = wal_failed
+        ready = (
+            checks["accepting"]
+            and checks["queues_unsaturated"]
+            and checks["cluster_workers_alive"]
+            and checks["wal_flushable"]
+        )
+        return {"ready": ready, "checks": checks}
+
     def prometheus_text(self) -> str:
         """The Prometheus exposition (``GET /metrics``): every tenant's
         scheduler metrics, quota balances, and — for tenants served by
@@ -563,6 +641,33 @@ class GatewayServer:
                     200,
                     [self.prometheus_text().rstrip("\n")],
                     content_type=PromRegistry.CONTENT_TYPE,
+                )
+            elif path == "/healthz":
+                # Liveness: the event loop answered; nothing else to
+                # prove (readiness is the demanding probe).
+                await _http_reply(
+                    conn,
+                    200,
+                    [json.dumps(
+                        {
+                            "ok": True,
+                            "uptime_seconds": round(
+                                time.monotonic() - self._started, 6
+                            ),
+                        },
+                        **_COMPACT,
+                    )],
+                )
+            elif path == "/readyz":
+                readiness = self.readiness()
+                await _http_reply(
+                    conn,
+                    200 if readiness["ready"] else 503,
+                    [json.dumps(readiness, **_COMPACT)],
+                )
+            elif path == "/slo":
+                await _http_reply(
+                    conn, 200, [json.dumps(self.slo(), **_COMPACT)]
                 )
             else:
                 await _http_reply(
@@ -640,6 +745,7 @@ _HTTP_REASONS = {
     404: "Not Found",
     405: "Method Not Allowed",
     429: "Too Many Requests",
+    503: "Service Unavailable",
 }
 
 

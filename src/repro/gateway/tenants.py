@@ -27,8 +27,10 @@ The registry is built from a JSON config file::
           "mutations_per_second": 5, "mutation_burst": 5,
           "max_queue_depth": 64,           # admission queue bound
           "max_inflight": 4,               # optional per-tenant cap
-          "auth_token": "s3cret"           # optional bearer token
-        }
+          "auth_token": "s3cret",          # optional bearer token
+          "slo": {"availability": 0.999,   # optional objectives (a
+                  "latency_p99_ms": 250}   #  top-level "slo" block is
+        }                                  #  the fleet-wide default)
       ]
     }
 
@@ -44,8 +46,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable, Mapping
 
-from repro.errors import TenantConfigError
+from repro.errors import InvalidParameterError, TenantConfigError
 from repro.gateway.quota import TenantQuota
+from repro.obs.slo import SLOMonitor
 from repro.service.bootstrap import ServingStack, build_serving_stack
 from repro.service.cache import ResultCache
 from repro.service.metrics import ServiceMetrics
@@ -57,7 +60,7 @@ _SPEC_KEYS = {
     "name", "collection", "wal", "alpha", "jaccard", "dim", "engine",
     "iub_mode", "shards", "workers", "max_batch", "qps", "burst",
     "mutations_per_second", "mutation_burst", "max_queue_depth",
-    "max_inflight", "auth_token", "cluster_workers",
+    "max_inflight", "auth_token", "cluster_workers", "slo",
 }
 
 
@@ -86,8 +89,16 @@ class TenantSpec:
     #: Serve this tenant over a multi-process cluster backend with this
     #: many worker processes (None = in-process engine pool).
     cluster_workers: int | None = None
+    #: SLO objectives (``{"availability": ..., "latency_p99_ms": ...,
+    #: "latency_ratio": ...}``); None inherits the gateway-level "slo"
+    #: block, or the monitor's defaults when neither is given.
+    slo: Mapping | None = None
 
     def __post_init__(self) -> None:
+        if self.slo is not None and not isinstance(self.slo, Mapping):
+            raise TenantConfigError(
+                f"tenant {self.name!r}: \"slo\" must be an object"
+            )
         if not self.name or not isinstance(self.name, str):
             raise TenantConfigError("tenant needs a non-empty string name")
         if not self.collection:
@@ -160,6 +171,7 @@ class Tenant:
         latency quantiles) plus backend identity."""
         snapshot = dict(self.metrics.snapshot())
         snapshot["tenant"] = self.name
+        snapshot["slo_alerting"] = self.metrics.slo.alerting
         backend_stats = getattr(
             self.scheduler.pool, "stats_snapshot", None
         )
@@ -274,7 +286,7 @@ class TenantRegistry:
                 ) from exc
         if not isinstance(config, Mapping):
             raise TenantConfigError("tenant config must be a JSON object")
-        known = {"tenants", "cache_size", "max_inflight"}
+        known = {"tenants", "cache_size", "max_inflight", "slo"}
         unknown = set(config) - known
         if unknown:
             raise TenantConfigError(
@@ -287,6 +299,9 @@ class TenantRegistry:
                 'tenant config needs a non-empty "tenants" list'
             )
         specs = [TenantSpec.from_obj(obj) for obj in specs_obj]
+        slo_default = config.get("slo")
+        if slo_default is not None and not isinstance(slo_default, Mapping):
+            raise TenantConfigError('gateway "slo" must be an object')
         cache_size = config.get("cache_size", 1024)
         if not isinstance(cache_size, int) or isinstance(cache_size, bool):
             raise TenantConfigError("cache_size must be an integer")
@@ -303,6 +318,7 @@ class TenantRegistry:
             max_inflight=max_inflight,
             base_dir=base_dir,
             clock=clock,
+            slo_default=slo_default,
         )
 
     @classmethod
@@ -314,6 +330,7 @@ class TenantRegistry:
         max_inflight: int = 8,
         base_dir: str | Path | None = None,
         clock: Callable[[], float] = time.monotonic,
+        slo_default: Mapping | None = None,
     ) -> "TenantRegistry":
         """Wire every spec into a live tenant around one shared cache."""
         cache = ResultCache(capacity=cache_size) if cache_size else None
@@ -322,7 +339,7 @@ class TenantRegistry:
             for spec in specs:
                 tenants.append(
                     build_tenant(spec, cache=cache, base_dir=base_dir,
-                                 clock=clock)
+                                 clock=clock, slo_default=slo_default)
                 )
         except Exception:
             for tenant in tenants:
@@ -346,6 +363,7 @@ def build_tenant(
     cache: ResultCache | None = None,
     base_dir: str | Path | None = None,
     clock: Callable[[], float] = time.monotonic,
+    slo_default: Mapping | None = None,
 ) -> Tenant:
     """One tenant's full serving stack from its spec.
 
@@ -353,8 +371,18 @@ def build_tenant(
     :func:`~repro.service.bootstrap.build_serving_stack` — byte-for-byte
     the pipeline ``repro serve`` uses, so a tenant behind the gateway
     answers exactly what a dedicated server over the same collection
-    would. The tenant's name becomes its cache namespace.
+    would. The tenant's name becomes its cache namespace. The SLO
+    monitor shares the registry clock (the one the token buckets use),
+    so tests drive quota refills and burn-rate windows together.
     """
+    slo_spec = spec.slo if spec.slo is not None else slo_default
+    try:
+        monitor = SLOMonitor.from_spec(slo_spec, clock=clock)
+    except InvalidParameterError as exc:
+        raise TenantConfigError(
+            f"tenant {spec.name!r}: bad slo spec: {exc}"
+        ) from exc
+    metrics = ServiceMetrics(slo=monitor)
     stack = build_serving_stack(
         _resolve(spec.collection, base_dir),
         alpha=spec.alpha,
@@ -372,6 +400,7 @@ def build_tenant(
         ),
         cache_namespace=spec.name,
         cluster_workers=spec.cluster_workers,
+        metrics=metrics,
     )
     quota = TenantQuota(
         search_rate=spec.qps,

@@ -17,18 +17,30 @@
   and as a ``prometheus`` wire op on plain ``repro serve``.
 * **Inspector** (:mod:`repro.obs.inspect`) — ``repro trace
   tail|show|top`` reconstructs span trees from the sink.
+* **EXPLAIN** (:mod:`repro.obs.explain`) — per-request pruning-funnel
+  reports built from :class:`~repro.core.stats.SearchStats`, with
+  partition-sum invariant checking.
+* **Accounting** (:mod:`repro.obs.accounting`) — per-tenant resource
+  meters (CPU-seconds, matmul FLOPs, bytes scanned, WAL bytes) behind
+  the ``repro_tenant_*`` Prometheus series.
+* **SLOs** (:mod:`repro.obs.slo`) — declarative availability/latency
+  objectives with multi-window burn-rate alerting, behind the
+  gateway's ``/healthz``, ``/readyz``, and ``/slo`` endpoints.
 
 Tracing is observation-only by contract: search results are bitwise
 identical with tracing enabled or disabled (enforced by randomized
 equivalence tests).
 """
 
+from repro.obs.accounting import ResourceLedger
+from repro.obs.explain import build_explain, render_explain
 from repro.obs.histogram import (
     DEFAULT_LATENCY_BUCKETS,
     Reservoir,
     StreamingHistogram,
 )
 from repro.obs.prom import PromRegistry
+from repro.obs.slo import SLOMonitor
 from repro.obs.sink import TraceSink
 from repro.obs.span import (
     Span,
@@ -52,6 +64,8 @@ __all__ = [
     "MONOTONIC",
     "PromRegistry",
     "Reservoir",
+    "ResourceLedger",
+    "SLOMonitor",
     "Span",
     "SpanContext",
     "Stopwatch",
@@ -59,6 +73,7 @@ __all__ = [
     "TraceSink",
     "Tracer",
     "annotate",
+    "build_explain",
     "configure",
     "configure_from",
     "current_context",
@@ -66,6 +81,7 @@ __all__ = [
     "get_tracer",
     "new_span_id",
     "new_trace_id",
+    "render_explain",
     "timed",
     "trace_config",
     "traced_phase",

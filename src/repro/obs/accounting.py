@@ -1,0 +1,106 @@
+"""Per-tenant resource accounting.
+
+A :class:`ResourceLedger` accumulates the *cost* of serving — not how
+fast requests were (that is :class:`~repro.service.metrics.ServiceMetrics`'
+job) but how much hardware they consumed: CPU-seconds from the engine's
+phase timers, matmul-FLOP and bytes-scanned estimates from the columnar
+verifier's block sizes, candidates touched, cache hit/miss attribution,
+and WAL bytes written for durable mutations.
+
+One ledger lives inside each scheduler's ``ServiceMetrics`` (one per
+tenant under the gateway) and another inside the cluster coordinator,
+so cost-per-tenant is visible from the ``stats`` wire op and scrapeable
+as the ``repro_tenant_*`` Prometheus series
+(:mod:`repro.obs.adapters`). Counters only ever increase; the Prometheus
+projection additionally clamps with ``set_at_least`` so a restarted
+source can never drag an exposed series backwards.
+
+The ledger itself is lock-free by design: every mutating call happens
+under the owner's lock (``ServiceMetrics._lock``, the coordinator's
+scatter lock), mirroring how ``PhaseTimer`` is used.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.stats import SearchStats
+
+#: Counter names in snapshot/exposition order. Kept in one place so the
+#: Prometheus adapter, the ``stats`` op, and tests agree on the set.
+RESOURCE_FIELDS = (
+    "searches",
+    "cpu_seconds",
+    "wall_seconds",
+    "candidates",
+    "stream_tuples",
+    "em_matchings",
+    "matmul_flops",
+    "bytes_scanned",
+    "cache_hits",
+    "cache_misses",
+    "wal_bytes",
+)
+
+
+class ResourceLedger:
+    """Monotone resource meters for one tenant (or one coordinator)."""
+
+    __slots__ = RESOURCE_FIELDS
+
+    def __init__(self) -> None:
+        self.searches = 0
+        self.cpu_seconds = 0.0
+        self.wall_seconds = 0.0
+        self.candidates = 0
+        self.stream_tuples = 0
+        self.em_matchings = 0
+        self.matmul_flops = 0
+        self.bytes_scanned = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.wal_bytes = 0
+
+    # -- charging ----------------------------------------------------------
+
+    def charge_search(
+        self, seconds: float, stats: "SearchStats | None"
+    ) -> None:
+        """One computed (non-cached) search: wall seconds plus the
+        engine's own cost attribution. The phase-timer total is the
+        CPU-seconds estimate — engine phases are CPU-bound, and summing
+        them over partitions counts every worker's core time (a cluster
+        scatter burns ``workers x wall`` CPU-seconds, which is exactly
+        what the merged timer reports)."""
+        self.searches += 1
+        self.cache_misses += 1
+        self.wall_seconds += seconds
+        if stats is not None:
+            self.cpu_seconds += stats.timer.total
+            self.candidates += stats.candidates
+            self.stream_tuples += stats.stream_tuples
+            self.em_matchings += stats.em_early_terminated + stats.em_full
+            self.matmul_flops += stats.verify_matmul_flops
+            self.bytes_scanned += stats.verify_bytes_scanned
+
+    def charge_cache_hit(self) -> None:
+        self.cache_hits += 1
+
+    def charge_wal(self, nbytes: int) -> None:
+        """Bytes durably appended to the write-ahead log."""
+        self.wal_bytes += nbytes
+
+    # -- reading -----------------------------------------------------------
+
+    def merge(self, other: "ResourceLedger") -> None:
+        for name in RESOURCE_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def snapshot(self) -> dict:
+        """JSON-ready meters (floats rounded for wire stability)."""
+        out: dict = {}
+        for name in RESOURCE_FIELDS:
+            value = getattr(self, name)
+            out[name] = round(value, 6) if isinstance(value, float) else value
+        return out

@@ -25,6 +25,22 @@ from typing import Any, Iterable, Mapping
 
 from repro.obs.prom import PromRegistry
 
+#: Help text per :data:`repro.obs.accounting.RESOURCE_FIELDS` entry;
+#: each becomes a ``repro_tenant_<field>_total{tenant=...}`` counter.
+_RESOURCE_HELP = {
+    "searches": "Full searches charged to the tenant",
+    "cpu_seconds": "Engine CPU-seconds attributed to the tenant",
+    "wall_seconds": "Wall-clock seconds spent serving the tenant",
+    "candidates": "Candidate sets examined for the tenant",
+    "stream_tuples": "Token-stream tuples drained for the tenant",
+    "em_matchings": "Exact-matching resolutions run for the tenant",
+    "matmul_flops": "Estimated verification matmul FLOPs",
+    "bytes_scanned": "Estimated verification bytes scanned",
+    "cache_hits": "Result-cache hits charged to the tenant",
+    "cache_misses": "Cache-missing searches charged to the tenant",
+    "wal_bytes": "Write-ahead-log bytes durably written",
+}
+
 _COUNTERS = (
     ("requests", "repro_requests_total", "Requests accepted"),
     ("completed", "repro_completed_total", "Requests completed"),
@@ -73,6 +89,34 @@ def service_to_registry(
         "Candidate sets examined by refinement",
         ("tenant",),
     ).labels(tenant).set_at_least(float(engine.candidates))
+
+    resources = getattr(metrics, "resources", None)
+    if resources is not None:
+        for field_name, value in resources.snapshot().items():
+            registry.counter(
+                f"repro_tenant_{field_name}_total",
+                _RESOURCE_HELP.get(
+                    field_name, f"Tenant resource meter: {field_name}"
+                ),
+                ("tenant",),
+            ).labels(tenant).set_at_least(float(value))
+
+    slo = getattr(metrics, "slo", None)
+    if slo is not None:
+        snap = slo.snapshot()
+        registry.gauge(
+            "repro_slo_alerting",
+            "1 while any burn-rate alert fires for the tenant",
+            ("tenant",),
+        ).labels(tenant).set(1.0 if snap["alerting"] else 0.0)
+        burn = registry.gauge(
+            "repro_slo_burn_rate",
+            "Error-budget burn rate per objective and window",
+            ("tenant", "objective", "window"),
+        )
+        for objective_name, objective in snap["objectives"].items():
+            for window, rate in objective["burn_rates"].items():
+                burn.labels(tenant, objective_name, window).set(rate)
 
     hists = metrics.histogram_snapshot()
     _load_histogram(

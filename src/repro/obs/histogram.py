@@ -164,5 +164,15 @@ class Reservoir:
     def samples(self) -> list[float]:
         return list(self._samples)
 
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile over the retained samples (``q`` in
+        [0, 1]); 0.0 when empty. Exact while fewer than ``size`` values
+        have been observed, an unbiased estimate after."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+        return ordered[rank]
+
     def __len__(self) -> int:
         return len(self._samples)

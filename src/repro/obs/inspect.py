@@ -13,7 +13,14 @@ import json
 import os
 from typing import Any, Iterable, Iterator
 
+from repro.obs.histogram import Reservoir
+
 Span = dict[str, Any]
+
+#: Duration samples retained per aggregation row in ``top_spans`` —
+#: exact percentiles up to this many calls per span name, an unbiased
+#: reservoir estimate beyond.
+TOP_SAMPLE_WINDOW = 4096
 
 
 def read_spans(path: str) -> list[Span]:
@@ -139,19 +146,25 @@ def top_spans(
             row = rows[name] = {
                 "name": name, "calls": 0, "total_ms": 0.0,
                 "max_ms": 0.0, "errors": 0,
+                "_durations": Reservoir(TOP_SAMPLE_WINDOW),
             }
         row["calls"] += 1
         row["total_ms"] += duration
         row["max_ms"] = max(row["max_ms"], duration)
+        row["_durations"].observe(duration)
         if span.get("error"):
             row["errors"] += 1
     ordered = sorted(
         rows.values(), key=lambda r: r["total_ms"], reverse=True
     )[:limit]
     for row in ordered:
+        durations = row.pop("_durations")
         row["total_ms"] = round(row["total_ms"], 3)
         row["max_ms"] = round(row["max_ms"], 3)
         row["mean_ms"] = round(row["total_ms"] / row["calls"], 3)
+        row["p50_ms"] = round(durations.percentile(0.50), 3)
+        row["p95_ms"] = round(durations.percentile(0.95), 3)
+        row["p99_ms"] = round(durations.percentile(0.99), 3)
     return ordered
 
 
@@ -161,13 +174,15 @@ def format_top(rows: list[dict[str, Any]]) -> str:
         return "(no spans)"
     header = (
         f"{'span':<28}{'calls':>7}{'total_ms':>12}"
-        f"{'mean_ms':>10}{'max_ms':>10}{'errors':>8}"
+        f"{'p50_ms':>10}{'p95_ms':>10}{'p99_ms':>10}"
+        f"{'max_ms':>10}{'errors':>8}"
     )
     lines = [header]
     for row in rows:
         lines.append(
             f"{row['name']:<28}{row['calls']:>7}{row['total_ms']:>12.3f}"
-            f"{row['mean_ms']:>10.3f}{row['max_ms']:>10.3f}"
+            f"{row['p50_ms']:>10.3f}{row['p95_ms']:>10.3f}"
+            f"{row['p99_ms']:>10.3f}{row['max_ms']:>10.3f}"
             f"{row['errors']:>8}"
         )
     return "\n".join(lines)

@@ -1,0 +1,234 @@
+"""Declarative SLOs with multi-window burn-rate alerting.
+
+An :class:`SLOMonitor` evaluates two objectives over sliding windows:
+
+* **availability** — the fraction of accepted requests that complete
+  without a server-side failure (engine errors and load-shedding count
+  against the budget; quota rejections do not — refusing work a client
+  over-sent is the service protecting itself, not failing);
+* **latency** — the fraction of completed requests at or under a target
+  (the classic "p99 <= T" objective phrased as a ratio SLI: with a 0.99
+  target ratio, meeting it *is* p99 <= T).
+
+Each objective burns an error budget of ``1 - target``. The **burn
+rate** over a window is ``observed_bad_ratio / budget``: 1.0 means the
+budget is being spent exactly as provisioned; 14.4 means a 30-day
+budget would be gone in 50 hours. Alerting follows the standard
+multi-window scheme — a *fast* alert (page) requires both the 5-minute
+and 1-hour windows to burn hot, a *slow* alert (ticket) requires both
+the 6-hour and 1-hour windows to burn warm — so a brief blip cannot
+page and a slow leak cannot hide.
+
+The clock is injectable (the same ``time.monotonic`` convention as the
+gateway's token buckets), so tests drive hours of window history in
+microseconds. All recording goes through one lock; reads take the same
+lock and prune expired buckets, so an idle monitor recovers by being
+looked at.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Mapping
+
+from repro.errors import InvalidParameterError
+
+#: (name, seconds) of the three sliding windows, fast to slow.
+DEFAULT_WINDOWS = (("5m", 300.0), ("1h", 3600.0), ("6h", 21600.0))
+
+#: Burn-rate thresholds of the two alerts (Google SRE workbook values
+#: for a 30-day budget): fast = 2% of budget in 1h, slow = 5% in 6h.
+FAST_BURN_THRESHOLD = 14.4
+SLOW_BURN_THRESHOLD = 6.0
+
+#: Buckets per window — resolution of the sliding edge (a 5m window
+#: forgets events in 10s steps).
+_BUCKETS_PER_WINDOW = 30
+
+
+class _Window:
+    """A bucketed sliding (good, bad) counter pair."""
+
+    __slots__ = ("seconds", "_width", "_buckets")
+
+    def __init__(self, seconds: float) -> None:
+        self.seconds = seconds
+        self._width = seconds / _BUCKETS_PER_WINDOW
+        # bucket index -> [good, bad]; pruned lazily on read/write.
+        self._buckets: dict[int, list[float]] = {}
+
+    def _prune(self, now: float) -> None:
+        horizon = int(now / self._width) - _BUCKETS_PER_WINDOW
+        for index in [i for i in self._buckets if i <= horizon]:
+            del self._buckets[index]
+
+    def add(self, now: float, good: int, bad: int) -> None:
+        self._prune(now)
+        bucket = self._buckets.setdefault(int(now / self._width), [0.0, 0.0])
+        bucket[0] += good
+        bucket[1] += bad
+
+    def totals(self, now: float) -> tuple[float, float]:
+        self._prune(now)
+        good = sum(b[0] for b in self._buckets.values())
+        bad = sum(b[1] for b in self._buckets.values())
+        return good, bad
+
+
+class _Objective:
+    """One objective's target, windows, and burn-rate math."""
+
+    def __init__(self, name: str, target: float) -> None:
+        if not (0.0 < target < 1.0):
+            raise InvalidParameterError(
+                f"SLO target for {name!r} must be in (0, 1), got {target}"
+            )
+        self.name = name
+        self.target = target
+        self.budget = 1.0 - target
+        self.windows = {
+            label: _Window(seconds) for label, seconds in DEFAULT_WINDOWS
+        }
+
+    def record(self, now: float, *, good: bool) -> None:
+        for window in self.windows.values():
+            window.add(now, int(good), int(not good))
+
+    def burn_rates(self, now: float) -> dict[str, float]:
+        rates: dict[str, float] = {}
+        for label, window in self.windows.items():
+            good, bad = window.totals(now)
+            total = good + bad
+            ratio = bad / total if total else 0.0
+            rates[label] = ratio / self.budget
+        return rates
+
+    def snapshot(self, now: float, fast: float, slow: float) -> dict:
+        rates = self.burn_rates(now)
+        counts = {
+            label: dict(zip(("good", "bad"), window.totals(now)))
+            for label, window in self.windows.items()
+        }
+        alerts = {
+            "fast": rates["5m"] >= fast and rates["1h"] >= fast,
+            "slow": rates["6h"] >= slow and rates["1h"] >= slow,
+        }
+        return {
+            "target": self.target,
+            "burn_rates": {k: round(v, 4) for k, v in rates.items()},
+            "windows": counts,
+            "alerts": alerts,
+            "alerting": any(alerts.values()),
+        }
+
+
+class SLOMonitor:
+    """Availability and latency objectives for one serving stack.
+
+    Parameters
+    ----------
+    availability_target:
+        Fraction of accepted requests that must not fail server-side.
+    latency_target_seconds:
+        The latency threshold; None disables the latency objective.
+    latency_target_ratio:
+        Fraction of completed requests that must meet the threshold
+        (0.99 = "p99 at or under the target").
+    clock:
+        Injectable monotonic clock; windows slide on it.
+    """
+
+    def __init__(
+        self,
+        *,
+        availability_target: float = 0.999,
+        latency_target_seconds: float | None = None,
+        latency_target_ratio: float = 0.99,
+        clock: Callable[[], float] = time.monotonic,
+        fast_burn_threshold: float = FAST_BURN_THRESHOLD,
+        slow_burn_threshold: float = SLOW_BURN_THRESHOLD,
+    ) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.fast_burn_threshold = fast_burn_threshold
+        self.slow_burn_threshold = slow_burn_threshold
+        self.availability = _Objective("availability", availability_target)
+        self.latency_target_seconds = latency_target_seconds
+        self.latency: _Objective | None = None
+        if latency_target_seconds is not None:
+            if latency_target_seconds <= 0:
+                raise InvalidParameterError(
+                    "latency_p99 target must be positive"
+                )
+            self.latency = _Objective("latency", latency_target_ratio)
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: Mapping[str, Any] | None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "SLOMonitor":
+        """Build from a config dict: ``{"availability": 0.999,
+        "latency_p99_ms": 250, "latency_ratio": 0.99}`` — all keys
+        optional, unknown keys rejected loudly (same contract as the
+        tenant spec parser that carries this dict)."""
+        spec = dict(spec or {})
+        kwargs: dict[str, Any] = {"clock": clock}
+        if "availability" in spec:
+            kwargs["availability_target"] = float(spec.pop("availability"))
+        if "latency_p99_ms" in spec:
+            kwargs["latency_target_seconds"] = (
+                float(spec.pop("latency_p99_ms")) / 1000.0
+            )
+        if "latency_ratio" in spec:
+            kwargs["latency_target_ratio"] = float(spec.pop("latency_ratio"))
+        if spec:
+            raise InvalidParameterError(
+                f"unknown slo keys: {sorted(spec)} (known: availability, "
+                f"latency_p99_ms, latency_ratio)"
+            )
+        return cls(**kwargs)
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, seconds: float | None = None, *, error: bool = False) -> None:
+        """One request outcome: ``error=True`` burns availability;
+        otherwise ``seconds`` (when a latency objective is configured)
+        scores the latency objective too."""
+        now = self._clock()
+        with self._lock:
+            self.availability.record(now, good=not error)
+            if self.latency is not None and not error and seconds is not None:
+                self.latency.record(
+                    now, good=seconds <= self.latency_target_seconds
+                )
+
+    # -- reading -----------------------------------------------------------
+
+    @property
+    def alerting(self) -> bool:
+        return self.snapshot()["alerting"]
+
+    def snapshot(self) -> dict:
+        """JSON-ready burn rates, window counts, and alert state."""
+        now = self._clock()
+        with self._lock:
+            objectives = {
+                "availability": self.availability.snapshot(
+                    now, self.fast_burn_threshold, self.slow_burn_threshold
+                )
+            }
+            if self.latency is not None:
+                latency = self.latency.snapshot(
+                    now, self.fast_burn_threshold, self.slow_burn_threshold
+                )
+                latency["target_seconds"] = self.latency_target_seconds
+                objectives["latency"] = latency
+        return {
+            "objectives": objectives,
+            "fast_burn_threshold": self.fast_burn_threshold,
+            "slow_burn_threshold": self.slow_burn_threshold,
+            "alerting": any(o["alerting"] for o in objectives.values()),
+        }

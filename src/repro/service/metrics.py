@@ -17,7 +17,9 @@ from contextlib import contextmanager
 from typing import Iterator, Mapping
 
 from repro.core.stats import SearchStats
+from repro.obs.accounting import ResourceLedger
 from repro.obs.histogram import Reservoir, StreamingHistogram
+from repro.obs.slo import SLOMonitor
 from repro.utils.timer import PhaseTimer
 
 #: Latency samples kept for quantile estimation — the reservoir size.
@@ -36,10 +38,23 @@ def percentile(samples: list[float], q: float) -> float:
 
 
 class ServiceMetrics:
-    """Thread-safe counters and timers for one scheduler instance."""
+    """Thread-safe counters and timers for one scheduler instance.
 
-    def __init__(self, *, clock=time.perf_counter) -> None:
+    ``slo`` is the stack's :class:`~repro.obs.slo.SLOMonitor` — pass a
+    configured one (the gateway builds it from the tenant spec with the
+    registry's injectable clock) or let a default-objective monitor be
+    created. Every recorded completion, error, and shed feeds it, so
+    burn rates stay wire-accurate by construction. ``resources`` is the
+    tenant's :class:`~repro.obs.accounting.ResourceLedger`, charged on
+    the same calls.
+    """
+
+    def __init__(
+        self, *, clock=time.perf_counter, slo: SLOMonitor | None = None
+    ) -> None:
         self._clock = clock
+        self.resources = ResourceLedger()
+        self.slo = slo if slo is not None else SLOMonitor(clock=clock)
         self._lock = threading.Lock()
         self._started = clock()
         self.requests = 0
@@ -77,6 +92,8 @@ class ServiceMetrics:
             self.completed += 1
             self._latencies.observe(0.0)
             self._latency_hist.observe(0.0)
+            self.resources.charge_cache_hit()
+        self.slo.record(0.0)
 
     def record_deduplicated(self) -> None:
         """A request that attached to an identical in-flight computation.
@@ -99,10 +116,13 @@ class ServiceMetrics:
             self._latency_hist.observe(seconds)
             if stats is not None:
                 self.engine_stats.merge(stats)
+            self.resources.charge_search(seconds, stats)
+        self.slo.record(seconds)
 
     def record_error(self) -> None:
         with self._lock:
             self.errors += 1
+        self.slo.record(error=True)
 
     def record_rejected(self) -> None:
         """A request refused before any engine work (quota exhausted or
@@ -118,6 +138,12 @@ class ServiceMetrics:
         oldest-first)."""
         with self._lock:
             self.shed += 1
+        self.slo.record(error=True)
+
+    def record_wal_bytes(self, nbytes: int) -> None:
+        """Bytes durably appended to this stack's write-ahead log."""
+        with self._lock:
+            self.resources.charge_wal(nbytes)
 
     def set_queue_depth(self, depth: int) -> None:
         """Gauge: requests currently waiting in the admission queue
@@ -213,6 +239,7 @@ class ServiceMetrics:
                 "latency_p99": round(percentile(samples, 0.99), 6),
                 "stream_tuples": self.engine_stats.stream_tuples,
                 "candidates": self.engine_stats.candidates,
+                "resources": self.resources.snapshot(),
             }
             # Per-phase aggregates: total seconds, call count, and mean
             # seconds per call, so operators can see *where* latency

@@ -347,6 +347,14 @@ class EnginePool:
         """The configured refinement engine (drains follow it)."""
         return None if self._config is None else self._config.engine
 
+    def engine_description(self) -> dict[str, Any]:
+        """What executes a query, for EXPLAIN reports."""
+        return {
+            "backend": "engine-pool",
+            "engine": self._engine_kind() or "columnar",
+            "shards": self.num_shards,
+        }
+
     def drain(
         self, query: Iterable[str], *, alpha: float | None = None
     ) -> MaterializedTokenStream:

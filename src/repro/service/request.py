@@ -44,6 +44,12 @@ class SearchRequest:
     ``trace`` carries the request's tracing context (the gateway's root
     span, or a client-supplied ``trace_id`` on the wire) down into the
     scheduler; it never participates in equality, hashing, or results.
+
+    ``explain`` asks for the EXPLAIN payload on the response (the
+    pruning funnel, per-partition, with phase timings and cost
+    attribution). Excluded from equality like ``trace``: an explained
+    request still caches, dedups, and batches with its plain twin — the
+    report is built from the stats the computation produced either way.
     """
 
     query: frozenset[str]
@@ -51,6 +57,7 @@ class SearchRequest:
     alpha: float | None = None
     request_id: str = field(default_factory=_auto_request_id)
     trace: Any = field(default=None, compare=False, repr=False)
+    explain: bool = field(default=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.query:
@@ -87,6 +94,10 @@ class SearchRequest:
             kwargs["alpha"] = float(obj["alpha"])
         if obj.get("id") is not None:
             kwargs["request_id"] = str(obj["id"])
+        if obj.get("explain") is not None:
+            if not isinstance(obj["explain"], bool):
+                raise InvalidParameterError('"explain" must be a boolean')
+            kwargs["explain"] = obj["explain"]
         trace_id = obj.get("trace_id")
         if isinstance(trace_id, str) and trace_id:
             kwargs["trace"] = SpanContext(trace_id=trace_id)
@@ -131,6 +142,9 @@ class SearchResponse:
     timed_out: bool = False
     seconds: float = 0.0
     error: str | None = None
+    #: The EXPLAIN payload (:func:`repro.obs.explain.build_explain`)
+    #: when the request asked for one; absent from the wire otherwise.
+    explain: Any = None
 
     @classmethod
     def failure(cls, request_id: str, error: str) -> "SearchResponse":
@@ -149,6 +163,8 @@ class SearchResponse:
             obj["deduplicated"] = True
         if self.timed_out:
             obj["timed_out"] = True
+        if self.explain is not None:
+            obj["explain"] = self.explain
         return obj
 
     def to_json(self) -> str:

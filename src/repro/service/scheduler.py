@@ -28,8 +28,9 @@ from concurrent.futures import Future, InvalidStateError, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from repro.core.stats import SearchStats
 from repro.errors import InvalidParameterError, ReproError
-from repro.obs import Stopwatch, get_tracer
+from repro.obs import Stopwatch, build_explain, get_tracer
 from repro.service.backend import SearchBackend
 from repro.service.cache import CacheKey, ResultCache, make_key
 from repro.service.metrics import ServiceMetrics
@@ -47,11 +48,19 @@ SEARCH = "search"
 
 @dataclass(frozen=True)
 class _Payload:
-    """What one computed search stores in futures and the cache."""
+    """What one computed search stores in futures and the cache.
+
+    ``stats``/``partition_stats`` are carried so EXPLAIN can be built
+    for any ticket sharing the payload — a cache hit or a dedup rider
+    explains the computation that produced its answer (references only;
+    a payload costs no more when nobody asks).
+    """
 
     hits: tuple[Hit, ...]
     timed_out: bool
     seconds: float
+    stats: SearchStats | None = None
+    partition_stats: tuple[SearchStats, ...] = ()
 
 
 class Ticket:
@@ -64,11 +73,15 @@ class Ticket:
         *,
         cached: bool = False,
         deduplicated: bool = False,
+        alpha: float | None = None,
+        engine: dict | None = None,
     ) -> None:
         self._request = request
         self._future = future
         self._cached = cached
         self._deduplicated = deduplicated
+        self._alpha = alpha
+        self._engine = engine
 
     @property
     def request(self) -> SearchRequest:
@@ -79,11 +92,34 @@ class Ticket:
 
     def result(self, timeout: float | None = None) -> SearchResponse:
         """Block for the response. Engine-level :class:`ReproError`\\ s
-        become error responses; unexpected exceptions propagate."""
+        become error responses; unexpected exceptions propagate.
+
+        A funnel-invariant violation surfaced by the EXPLAIN build
+        (:class:`~repro.errors.StatsInvariantError`, raised only under
+        pytest) is deliberately NOT converted into an error response:
+        it means the engine's own accounting is wrong, and a test run
+        must fail loudly rather than serve the report.
+        """
         try:
             payload = self._future.result(timeout)
         except ReproError as exc:
             return SearchResponse.failure(self._request.request_id, str(exc))
+        explain = None
+        if self._request.explain:
+            trace = self._request.trace
+            explain = build_explain(
+                stats=payload.stats,
+                partition_stats=payload.partition_stats,
+                request_id=self._request.request_id,
+                trace_id=getattr(trace, "trace_id", None),
+                k=self._request.k,
+                alpha=self._alpha,
+                seconds=0.0 if self._cached else payload.seconds,
+                cached=self._cached,
+                deduplicated=self._deduplicated,
+                timed_out=payload.timed_out,
+                engine=self._engine,
+            )
         return SearchResponse(
             request_id=self._request.request_id,
             hits=payload.hits,
@@ -92,6 +128,7 @@ class Ticket:
             deduplicated=self._deduplicated,
             timed_out=payload.timed_out,
             seconds=0.0 if self._cached else payload.seconds,
+            explain=explain,
         )
 
 
@@ -198,6 +235,7 @@ class QueryScheduler:
         self.metrics.record_accepted()
         ready: list[tuple[SearchRequest, CacheKey, Future]] | None = None
         bucket = (request.k, alpha)
+        engine = self.engine_info() if request.explain else None
         with self._lock:
             if self._cache is not None:
                 payload = self._cache.get(key)
@@ -205,11 +243,17 @@ class QueryScheduler:
                     self.metrics.record_cache_hit()
                     future: Future = Future()
                     future.set_result(payload)
-                    return Ticket(request, future, cached=True)
+                    return Ticket(
+                        request, future, cached=True,
+                        alpha=alpha, engine=engine,
+                    )
             future = self._inflight.get(key)
             if future is not None:
                 self.metrics.record_deduplicated()
-                return Ticket(request, future, deduplicated=True)
+                return Ticket(
+                    request, future, deduplicated=True,
+                    alpha=alpha, engine=engine,
+                )
             future = Future()
             self._inflight[key] = future
             queue = self._pending.setdefault(bucket, [])
@@ -218,7 +262,7 @@ class QueryScheduler:
                 ready = self._pending.pop(bucket)
         if ready is not None:
             self._dispatch(bucket, ready)
-        return Ticket(request, future)
+        return Ticket(request, future, alpha=alpha, engine=engine)
 
     def flush(self) -> None:
         """Dispatch every pending bucket regardless of occupancy.
@@ -260,6 +304,14 @@ class QueryScheduler:
         tickets = [self.submit(request) for request in requests]
         self.flush()
         return [ticket.result() for ticket in tickets]
+
+    def engine_info(self) -> dict:
+        """Identify the backend for EXPLAIN reports (best-effort: any
+        backend without :meth:`engine_description` reports its class)."""
+        describe = getattr(self._pool, "engine_description", None)
+        if describe is not None:
+            return describe()
+        return {"backend": type(self._pool).__name__}
 
     def _cache_version(self):
         """The version component of this scheduler's cache keys — the
@@ -317,9 +369,10 @@ class QueryScheduler:
         members = frozenset(tokens)
         set_id = self._pool.insert(members, name=name)
         if self._wal is not None:
-            self._wal.append(
+            record = self._wal.append(
                 "insert", self._pool.collection.name_of(set_id), members
             )
+            self._meter_wal(record)
         return set_id
 
     def delete_set(self, ref: int | str) -> int:
@@ -328,7 +381,7 @@ class QueryScheduler:
         name = ref if isinstance(ref, str) else collection.name_of(ref)
         set_id = self._pool.delete(ref)
         if self._wal is not None:
-            self._wal.append("delete", name)
+            self._meter_wal(self._wal.append("delete", name))
         return set_id
 
     def replace_set(self, ref: int | str, tokens: Iterable[str]) -> int:
@@ -338,8 +391,13 @@ class QueryScheduler:
         members = frozenset(tokens)
         set_id = self._pool.replace(ref, members)
         if self._wal is not None:
-            self._wal.append("replace", name, members)
+            self._meter_wal(self._wal.append("replace", name, members))
         return set_id
+
+    def _meter_wal(self, record) -> None:
+        """Charge one appended record's wire size (line + newline) to
+        the tenant ledger."""
+        self.metrics.record_wal_bytes(len(record.to_line()) + 1)
 
     # -- execution ---------------------------------------------------------
 
@@ -417,6 +475,8 @@ class QueryScheduler:
                 hits=hits_from_result(result),
                 timed_out=result.timed_out,
                 seconds=seconds,
+                stats=result.stats,
+                partition_stats=tuple(result.partition_stats),
             )
             if self._cache is not None and not result.timed_out:
                 self._cache.put(key, payload)

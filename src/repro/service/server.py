@@ -12,6 +12,11 @@ search request (see :mod:`repro.service.request`) or a control object::
                               (live latency quantiles incl. p99,
                               per-phase timing aggregates, and — for a
                               cluster backend — the per-worker rollup)
+    {"op": "slo"}          -> the SLO monitor's burn-rate snapshot
+    {"op": "explain", "query": [...], ...}
+                           -> run the search and return its response
+                              with the EXPLAIN report attached (same
+                              as a request line with "explain": true)
     {"op": "invalidate"}   -> drops the result cache
     {"op": "flush"}        -> dispatches pending micro-batches now
     {"op": "insert", "name": ..., "tokens": [...]}
@@ -163,6 +168,17 @@ def _control_line(scheduler: QueryScheduler, obj: dict) -> str:
             if callable(backend_stats):
                 payload["backend"] = backend_stats()
             return json.dumps(payload, **compact)
+        if op == "slo":
+            return json.dumps(
+                {"slo": scheduler.metrics.slo.snapshot()}, **compact
+            )
+        if op == "explain":
+            spec = {
+                key: value for key, value in obj.items() if key != "op"
+            }
+            spec["explain"] = True
+            request = SearchRequest.from_obj(spec)
+            return scheduler.answer(request).to_json()
         if op == "invalidate":
             dropped = scheduler.invalidate_cache()
             return json.dumps({"invalidated": dropped}, **compact)

@@ -35,6 +35,49 @@ class TestDerivedCounters:
         assert not stats.consistency_ok()
 
 
+class TestValidate:
+    def test_consistent_stats_have_no_violations(self):
+        assert filled_stats().validate() == []
+
+    def test_funnel_leak_is_described(self):
+        stats = filled_stats()
+        stats.em_full -= 1
+        (violation,) = stats.validate()
+        assert "does not partition" in violation
+        assert "candidates=100" in violation
+
+    def test_negative_counter_is_named(self):
+        stats = filled_stats()
+        stats.verify_fallbacks = -1
+        violations = stats.validate()
+        assert any(
+            "negative counter verify_fallbacks=-1" in v for v in violations
+        )
+
+    def test_every_counter_field_is_checked(self):
+        for name in SearchStats._COUNTER_FIELDS:
+            stats = SearchStats()
+            setattr(stats, name, -1)
+            assert any(name in v for v in stats.validate()), name
+
+
+class TestFunnel:
+    def test_funnel_is_plain_ints(self):
+        funnel = filled_stats().funnel()
+        assert funnel["candidates"] == 100
+        assert funnel["refinement_pruned"] == 50
+        assert all(type(v) is int for v in funnel.values())
+
+    def test_merged_funnel_equals_partition_sums(self):
+        parts = [filled_stats(), filled_stats(), filled_stats()]
+        merged = SearchStats()
+        for part in parts:
+            merged.merge(part)
+        merged_funnel = merged.funnel()
+        for key, value in merged_funnel.items():
+            assert value == sum(p.funnel()[key] for p in parts), key
+
+
 class TestMerge:
     def test_counters_accumulate(self):
         a, b = filled_stats(), filled_stats()

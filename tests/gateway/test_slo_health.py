@@ -1,0 +1,328 @@
+"""Gateway health/SLO probes and EXPLAIN over a cluster-backed tenant.
+
+The acceptance-critical paths of the observability tentpole: an
+``explain: true`` request through the gateway against a 2-worker
+cluster must return a merged funnel whose counters exactly partition
+``candidates`` (bitwise equal to the sum of the per-partition stats);
+``/healthz``, ``/readyz``, and ``/slo`` must answer; a killed cluster
+worker must flip readiness *before* errors surface and the
+availability burn-rate alert must fire while restarts are forced to
+fail — then everything recovers after restart-and-rebootstrap (the
+crash harness of ``tests/cluster/test_observability.py``).
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import ClusterError
+from repro.gateway import GatewayServer, TenantRegistry
+from repro.obs.explain import FUNNEL_ROWS
+from repro.obs.prom import parse_exposition
+
+from tests.gateway.test_server import Client
+from tests.gateway.test_server import TestHttpAdapter as _HttpAdapter
+
+WORKERS = 2
+
+CORPUS = {
+    "west": ["seattle", "portland", "oakland", "rain"],
+    "east": ["boston", "newyork", "snow"],
+    "mix": ["seattle", "boston", "chicago"],
+    "south": ["austin", "houston", "dallas"],
+    "coast": ["miami", "tampa", "rain"],
+    "lakes": ["chicago", "detroit", "cleveland"],
+    "plains": ["omaha", "wichita", "dallas"],
+    "peaks": ["denver", "boulder", "rain"],
+    "desert": ["phoenix", "tucson", "vegas"],
+    "capital": ["washington", "boston", "austin"],
+}
+
+
+@pytest.fixture()
+def cluster_dir(tmp_path):
+    (tmp_path / "corpus.json").write_text(json.dumps(CORPUS))
+    (tmp_path / "tenants.json").write_text(
+        json.dumps(
+            {
+                "cache_size": 64,
+                "max_inflight": 4,
+                # Fleet-wide default objectives (inherited by the
+                # tenant): tight availability so a couple of failures
+                # burn hot; a latency target far above a tiny-corpus
+                # search so it never fires spuriously.
+                "slo": {"availability": 0.999, "latency_p99_ms": 5000},
+                "tenants": [
+                    {
+                        "name": "clustered",
+                        "collection": "corpus.json",
+                        "cluster_workers": WORKERS,
+                    }
+                ],
+            }
+        )
+    )
+    return tmp_path
+
+
+def run_cluster_gateway(cluster_dir, scenario, *, clock=None):
+    """Like ``run_gateway_scenario`` but with an injectable registry
+    clock, so SLO windows can be slid under test control."""
+
+    async def main():
+        kwargs = {} if clock is None else {"clock": clock}
+        registry = TenantRegistry.from_config(
+            cluster_dir / "tenants.json", **kwargs
+        )
+        server = GatewayServer(registry, port=0)
+        await server.start()
+        serve_task = asyncio.create_task(server.serve_until_shutdown())
+        try:
+            return await scenario(server)
+        finally:
+            server.request_shutdown()
+            await serve_task
+
+    return asyncio.run(main())
+
+
+class FakeClock:
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestExplainOverCluster:
+    def test_merged_funnel_exactly_partitions_candidates(
+        self, cluster_dir
+    ):
+        async def scenario(server):
+            client = await Client.connect(server.port)
+            await client.roundtrip({"op": "hello", "tenant": "clustered"})
+            via_op = await client.roundtrip(
+                {"op": "explain", "id": "e1",
+                 "query": CORPUS["west"], "k": 3}
+            )
+            via_flag = await client.roundtrip(
+                {"id": "e2", "query": CORPUS["mix"], "k": 3,
+                 "explain": True}
+            )
+            plain = await client.roundtrip(
+                {"id": "p1", "query": CORPUS["east"], "k": 3}
+            )
+            await client.close()
+            return via_op, via_flag, plain
+
+        via_op, via_flag, plain = run_cluster_gateway(cluster_dir, scenario)
+        assert "explain" not in plain
+        for response in (via_op, via_flag):
+            assert response["results"]
+            report = response["explain"]
+            assert report["violations"] == []
+            assert report["partitions_consistent"] is True
+            # One partition per cluster worker; the merged funnel must
+            # be bitwise the per-partition sums.
+            assert len(report["partitions"]) == WORKERS
+            funnel = report["funnel"]
+            for key in FUNNEL_ROWS:
+                assert funnel[key] == sum(
+                    p[key] for p in report["partitions"]
+                ), key
+            assert funnel["candidates"] == (
+                funnel["refinement_pruned"]
+                + funnel["no_em_accepted"]
+                + funnel["no_em_discarded"]
+                + funnel["em_early_terminated"]
+                + funnel["em_full"]
+            )
+            assert report["engine"]["backend"] == "cluster"
+            assert report["engine"]["workers"] == WORKERS
+        assert via_op["id"] == "e1"
+        assert via_flag["id"] == "e2"
+
+    def test_cache_hit_explains_the_seed_computation(self, cluster_dir):
+        async def scenario(server):
+            client = await Client.connect(server.port)
+            await client.roundtrip({"op": "hello", "tenant": "clustered"})
+            first = await client.roundtrip(
+                {"id": "w1", "query": CORPUS["west"], "k": 3}
+            )
+            hit = await client.roundtrip(
+                {"op": "explain", "id": "w2",
+                 "query": CORPUS["west"], "k": 3}
+            )
+            await client.close()
+            return first, hit
+
+        first, hit = run_cluster_gateway(cluster_dir, scenario)
+        assert hit["cached"] is True
+        assert hit["results"] == first["results"]
+        assert hit["explain"]["cache"]["hit"] is True
+        assert hit["explain"]["funnel"]["candidates"] > 0
+
+
+class TestHealthEndpoints:
+    def test_healthz_readyz_slo_answer(self, cluster_dir):
+        async def scenario(server):
+            http = _HttpAdapter.http_exchange
+            healthz = await http(
+                server.port, b"GET /healthz HTTP/1.1\r\n\r\n"
+            )
+            readyz = await http(
+                server.port, b"GET /readyz HTTP/1.1\r\n\r\n"
+            )
+            slo = await http(server.port, b"GET /slo HTTP/1.1\r\n\r\n")
+            client = await Client.connect(server.port)
+            await client.roundtrip({"op": "hello", "tenant": "clustered"})
+            slo_op = await client.roundtrip({"op": "slo"})
+            await client.close()
+            return healthz, readyz, slo, slo_op
+
+        healthz, readyz, slo, slo_op = run_cluster_gateway(
+            cluster_dir, scenario
+        )
+        assert healthz[0] == 200
+        health = json.loads(healthz[2])
+        assert health["ok"] is True and health["uptime_seconds"] >= 0
+        assert readyz[0] == 200
+        ready = json.loads(readyz[2])
+        assert ready["ready"] is True
+        assert ready["checks"] == {
+            "accepting": True,
+            "queues_unsaturated": True,
+            "cluster_workers_alive": True,
+            "wal_flushable": True,
+        }
+        assert slo[0] == 200
+        fleet = json.loads(slo[2])
+        assert fleet["alerting"] is False
+        availability = fleet["tenants"]["clustered"]["objectives"][
+            "availability"
+        ]
+        assert availability["target"] == 0.999
+        # The tenant-scoped op returns the same snapshot shape.
+        objectives = slo_op["slo"]["objectives"]
+        assert set(objectives) == {"availability", "latency"}
+        assert objectives["latency"]["target_seconds"] == 5.0
+
+
+class TestWorkerLossFlipsReadiness:
+    def test_readyz_burn_alert_and_recovery(self, cluster_dir):
+        clock = FakeClock()
+
+        async def scenario(server):
+            http = _HttpAdapter.http_exchange
+            client = await Client.connect(server.port)
+            await client.roundtrip({"op": "hello", "tenant": "clustered"})
+            ok = await client.roundtrip(
+                {"id": "ok1", "query": CORPUS["west"], "k": 3}
+            )
+            assert "results" in ok
+            scrape_before = (
+                await http(server.port, b"GET /metrics HTTP/1.1\r\n\r\n")
+            )[2]
+
+            # -- the crash harness: SIGKILL one worker mid-load --------
+            pool = server.registry.get("clustered").scheduler.pool
+            victim = pool._handles[1]
+            victim.process.kill()
+            victim.process.join()
+
+            # Readiness flips BEFORE any request fails: liveness
+            # observes the dead process without restarting it.
+            down = await http(server.port, b"GET /readyz HTTP/1.1\r\n\r\n")
+
+            # Force restart-and-retry to fail so the outage is visible
+            # to clients, not silently repaired on first touch.
+            original_spawn = victim.spawn
+
+            def refuse_spawn():
+                raise ClusterError("spawn disabled by test")
+
+            victim.spawn = refuse_spawn
+            failures = []
+            for index in range(3):
+                failures.append(
+                    await client.roundtrip(
+                        {"id": f"fail{index}",
+                         "query": CORPUS["east"], "k": 3}
+                    )
+                )
+            alerting = await http(
+                server.port, b"GET /slo HTTP/1.1\r\n\r\n"
+            )
+            stats_during = await client.roundtrip({"op": "stats"})
+
+            # -- recovery: allow the respawn, repair, serve again ------
+            victim.spawn = original_spawn
+            statuses = pool.health_check()
+            recovered = await http(
+                server.port, b"GET /readyz HTTP/1.1\r\n\r\n"
+            )
+            served = await client.roundtrip(
+                {"id": "ok2", "query": CORPUS["desert"], "k": 3}
+            )
+            scrape_after = (
+                await http(server.port, b"GET /metrics HTTP/1.1\r\n\r\n")
+            )[2]
+
+            # The burn-rate alert clears once the windows slide past
+            # the incident (the monitor recovers by being read).
+            clock.advance(7.0 * 3600.0)
+            cleared = await http(server.port, b"GET /slo HTTP/1.1\r\n\r\n")
+            await client.close()
+            return (
+                down, failures, alerting, stats_during, statuses,
+                recovered, served, scrape_before, scrape_after, cleared,
+            )
+
+        (
+            down, failures, alerting, stats_during, statuses,
+            recovered, served, scrape_before, scrape_after, cleared,
+        ) = run_cluster_gateway(cluster_dir, scenario, clock=clock)
+
+        # Worker loss: not ready, and the dead worker is named.
+        assert down[0] == 503
+        checks = json.loads(down[2])["checks"]
+        assert checks["cluster_workers_alive"] is False
+        assert checks["workers_down"] == ["clustered/worker-1"]
+
+        # The outage surfaced as structured errors, and the
+        # availability burn-rate alert fired (multi-window: a 0.999
+        # target makes three failures burn far past both thresholds).
+        assert all("error" in response for response in failures)
+        fleet = json.loads(alerting[2])
+        availability = fleet["tenants"]["clustered"]["objectives"][
+            "availability"
+        ]
+        assert availability["alerts"]["fast"] is True
+        assert fleet["alerting"] is True
+        assert stats_during["tenants"]["clustered"]["slo_alerting"] is True
+
+        # Restart-and-rebootstrap repaired the fleet: readiness and
+        # serving recover, and the alert clears once the windows slide.
+        assert statuses[1]["restarted"] is True
+        assert recovered[0] == 200
+        assert json.loads(recovered[2])["ready"] is True
+        assert "results" in served
+        assert json.loads(cleared[2])["alerting"] is False
+
+        # The repro_tenant_* series stay scrapeable and monotone across
+        # the crash/restart (the ledger lives gateway-side, and the
+        # exposition clamps with set_at_least).
+        before = parse_exposition(scrape_before)
+        after = parse_exposition(scrape_after)
+        tenant_series = [
+            name for name in before if name.startswith("repro_tenant_")
+        ]
+        assert tenant_series, "no repro_tenant_* series scraped"
+        for name in tenant_series:
+            assert after[name] >= before[name], name
+        searches = 'repro_tenant_searches_total{tenant="clustered"}'
+        assert after[searches] > before[searches]

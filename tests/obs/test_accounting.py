@@ -1,0 +1,80 @@
+"""The per-tenant resource ledger: charging, merging, snapshots."""
+
+import json
+
+from repro.core.stats import SearchStats
+from repro.obs.accounting import RESOURCE_FIELDS, ResourceLedger
+
+
+def stats_with_cost() -> SearchStats:
+    stats = SearchStats()
+    stats.candidates = 30
+    stats.pruned_first_sight = 10
+    stats.no_em_accepted = 5
+    stats.em_early_terminated = 7
+    stats.em_full = 8
+    stats.stream_tuples = 100
+    stats.verify_matmul_flops = 6400
+    stats.verify_bytes_scanned = 512
+    with stats.timer.phase("refinement"):
+        pass
+    return stats
+
+
+class TestCharging:
+    def test_charge_search_attributes_engine_cost(self):
+        ledger = ResourceLedger()
+        stats = stats_with_cost()
+        ledger.charge_search(0.25, stats)
+        assert ledger.searches == 1
+        assert ledger.cache_misses == 1
+        assert ledger.wall_seconds == 0.25
+        assert ledger.cpu_seconds == stats.timer.total
+        assert ledger.candidates == 30
+        assert ledger.stream_tuples == 100
+        # EM matchings = runs actually started (early-terminated + full).
+        assert ledger.em_matchings == 15
+        assert ledger.matmul_flops == 6400
+        assert ledger.bytes_scanned == 512
+
+    def test_charge_search_without_stats_still_counts(self):
+        ledger = ResourceLedger()
+        ledger.charge_search(0.1, None)
+        assert ledger.searches == 1
+        assert ledger.wall_seconds == 0.1
+        assert ledger.candidates == 0
+
+    def test_cache_and_wal_meters(self):
+        ledger = ResourceLedger()
+        ledger.charge_cache_hit()
+        ledger.charge_cache_hit()
+        ledger.charge_wal(64)
+        ledger.charge_wal(36)
+        assert ledger.cache_hits == 2
+        assert ledger.wal_bytes == 100
+        assert ledger.searches == 0  # hits are not computed searches
+
+
+class TestMergeAndSnapshot:
+    def test_merge_sums_every_field(self):
+        a, b = ResourceLedger(), ResourceLedger()
+        a.charge_search(0.1, stats_with_cost())
+        b.charge_search(0.2, stats_with_cost())
+        b.charge_cache_hit()
+        b.charge_wal(7)
+        a.merge(b)
+        assert a.searches == 2
+        assert a.wall_seconds > 0.29
+        assert a.candidates == 60
+        assert a.cache_hits == 1
+        assert a.wal_bytes == 7
+
+    def test_snapshot_covers_exactly_the_declared_fields(self):
+        ledger = ResourceLedger()
+        ledger.charge_search(1.0 / 3.0, stats_with_cost())
+        snap = ledger.snapshot()
+        assert tuple(snap) == RESOURCE_FIELDS
+        # Floats are rounded for wire stability; ints stay ints.
+        assert snap["wall_seconds"] == round(1.0 / 3.0, 6)
+        assert isinstance(snap["candidates"], int)
+        json.dumps(snap)

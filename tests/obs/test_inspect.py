@@ -117,6 +117,12 @@ class TestTopSpans:
         assert request["total_ms"] == pytest.approx(7.0)
         assert request["max_ms"] == pytest.approx(6.0)
         assert request["mean_ms"] == pytest.approx(3.5)
+        # Nearest-rank percentiles over the per-row duration reservoir:
+        # with samples [1.0, 6.0] the median rank lands on 6.0, and the
+        # tail percentiles collapse onto the max.
+        assert request["p50_ms"] == pytest.approx(6.0)
+        assert request["p95_ms"] == pytest.approx(6.0)
+        assert request["p99_ms"] == pytest.approx(request["max_ms"])
         assert request["errors"] == 1
 
     def test_by_phase_strips_the_prefix(self, sink):
@@ -134,7 +140,8 @@ class TestTopSpans:
         text = format_top(top_spans(sink))
         lines = text.splitlines()
         assert lines[0].split() == [
-            "span", "calls", "total_ms", "mean_ms", "max_ms", "errors",
+            "span", "calls", "total_ms", "p50_ms", "p95_ms", "p99_ms",
+            "max_ms", "errors",
         ]
         assert len(lines) == 4
         assert format_top([]) == "(no spans)"

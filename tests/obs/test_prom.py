@@ -132,6 +132,76 @@ class TestHistogram:
         assert child.bucket_counts == [3.0]
 
 
+class TestTenantLabelEscaping:
+    """Hostile tenant names must survive render -> parse intact: a
+    quote, backslash, or newline in a label value may never break a
+    series line or collide two tenants onto one key."""
+
+    NASTY_TENANTS = (
+        'quote"y',
+        "back\\slash",
+        "new\nline",
+        'all"of\\the\nabove',
+        "\\n",  # literal backslash-n: must NOT collide with a newline
+        "\n",
+    )
+
+    def test_hostile_tenant_values_round_trip(self):
+        from repro.obs.prom import _escape_label
+
+        registry = PromRegistry()
+        family = registry.counter(
+            "repro_tenant_cpu_seconds_total", "CPU seconds", ("tenant",)
+        )
+        for index, tenant in enumerate(self.NASTY_TENANTS):
+            family.labels(tenant).set_at_least(float(index + 1))
+        text = registry.render()
+        values = parse_exposition(text)
+        for index, tenant in enumerate(self.NASTY_TENANTS):
+            key = (
+                "repro_tenant_cpu_seconds_total"
+                f'{{tenant="{_escape_label(tenant)}"}}'
+            )
+            assert values[key] == index + 1, tenant
+        # One line per child: no raw newline leaked out of a label.
+        body = [
+            line for line in text.splitlines() if not line.startswith("#")
+        ]
+        assert len(body) == len(self.NASTY_TENANTS)
+
+    def test_escaped_values_stay_distinct(self):
+        from repro.obs.prom import _escape_label
+
+        # The two names whose *escaped* forms are closest: "\n" (the
+        # newline) renders as \n, while "\\n" renders as \\n.
+        assert _escape_label("\n") != _escape_label("\\n")
+        registry = PromRegistry()
+        family = registry.counter("c_total", "help", ("tenant",))
+        family.labels("\n").inc(1)
+        family.labels("\\n").inc(2)
+        values = parse_exposition(registry.render())
+        assert values['c_total{tenant="\\n"}'] == 1
+        assert values['c_total{tenant="\\\\n"}'] == 2
+
+    def test_adapter_series_with_hostile_tenant(self):
+        from repro.obs.adapters import service_to_registry
+        from repro.service.metrics import ServiceMetrics
+
+        metrics = ServiceMetrics()
+        metrics.record_accepted()
+        metrics.record_completed(0.01, None)
+        registry = PromRegistry()
+        service_to_registry(registry, metrics, tenant='evil"\\\ntenant')
+        # Round-trips through the real adapter path, resource series
+        # included.
+        values = parse_exposition(registry.render())
+        key = (
+            "repro_tenant_searches_total"
+            '{tenant="evil\\"\\\\\\ntenant"}'
+        )
+        assert values[key] == 1
+
+
 class TestParseExposition:
     def test_round_trips_every_kind(self):
         registry = PromRegistry()

@@ -1,0 +1,194 @@
+"""SLO monitor: burn-rate math, multi-window alerting, sliding-window
+expiry, and config-spec parsing — all driven by a fake monotonic clock,
+so hours of window history run in microseconds."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.obs.slo import (
+    FAST_BURN_THRESHOLD,
+    SLOW_BURN_THRESHOLD,
+    SLOMonitor,
+)
+
+
+class FakeClock:
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+class TestBurnRates:
+    def test_all_good_burns_nothing(self, clock):
+        monitor = SLOMonitor(clock=clock)
+        for _ in range(50):
+            monitor.record(0.01)
+        snap = monitor.snapshot()
+        availability = snap["objectives"]["availability"]
+        assert availability["burn_rates"] == {"5m": 0.0, "1h": 0.0, "6h": 0.0}
+        assert not snap["alerting"]
+
+    def test_empty_windows_burn_nothing(self, clock):
+        # No traffic at all: ratio is defined as 0, not NaN.
+        snap = SLOMonitor(clock=clock).snapshot()
+        assert snap["objectives"]["availability"]["burn_rates"]["5m"] == 0.0
+        assert not snap["alerting"]
+
+    def test_burn_rate_is_bad_ratio_over_budget(self, clock):
+        # target 0.9 -> budget 0.1; 1 bad in 10 -> ratio 0.1 -> burn 1.0:
+        # spending the error budget exactly as provisioned.
+        monitor = SLOMonitor(availability_target=0.9, clock=clock)
+        monitor.record(error=True)
+        for _ in range(9):
+            monitor.record(0.01)
+        rates = monitor.snapshot()["objectives"]["availability"]["burn_rates"]
+        assert rates["5m"] == pytest.approx(1.0)
+        assert rates["1h"] == pytest.approx(1.0)
+
+    def test_brief_blip_cannot_page(self, clock):
+        monitor = SLOMonitor(availability_target=0.9, clock=clock)
+        monitor.record(error=True)
+        for _ in range(99):
+            monitor.record(0.01)
+        snap = monitor.snapshot()
+        availability = snap["objectives"]["availability"]
+        assert availability["burn_rates"]["5m"] == pytest.approx(0.1)
+        assert availability["alerts"] == {"fast": False, "slow": False}
+        assert not snap["alerting"]
+
+
+class TestMultiWindowAlerting:
+    def test_total_outage_fires_the_fast_alert(self, clock):
+        monitor = SLOMonitor(clock=clock)  # budget 0.001
+        for _ in range(20):
+            monitor.record(error=True)
+        snap = monitor.snapshot()
+        availability = snap["objectives"]["availability"]
+        # bad ratio 1.0 / budget 0.001 = burn 1000 in every window.
+        assert availability["burn_rates"]["5m"] >= FAST_BURN_THRESHOLD
+        assert availability["alerts"]["fast"] is True
+        assert snap["alerting"] is True
+
+    def test_fast_alert_clears_when_the_5m_window_slides(self, clock):
+        monitor = SLOMonitor(clock=clock)
+        for _ in range(20):
+            monitor.record(error=True)
+        assert monitor.snapshot()["objectives"]["availability"]["alerts"][
+            "fast"
+        ]
+        # Ten minutes later the 5m window has forgotten the outage; the
+        # 1h window still burns hot, but fast needs BOTH.
+        clock.advance(600.0)
+        availability = monitor.snapshot()["objectives"]["availability"]
+        assert availability["burn_rates"]["5m"] == 0.0
+        assert availability["burn_rates"]["1h"] >= FAST_BURN_THRESHOLD
+        assert availability["alerts"]["fast"] is False
+
+    def test_slow_alert_needs_the_1h_window_too(self, clock):
+        monitor = SLOMonitor(clock=clock)
+        for _ in range(20):
+            monitor.record(error=True)
+        availability = monitor.snapshot()["objectives"]["availability"]
+        assert availability["alerts"]["slow"] is True
+        # Two hours on: the 6h window still remembers, the 1h window is
+        # clean — a resolved incident stops ticketing.
+        clock.advance(7200.0)
+        availability = monitor.snapshot()["objectives"]["availability"]
+        assert availability["burn_rates"]["6h"] >= SLOW_BURN_THRESHOLD
+        assert availability["burn_rates"]["1h"] == 0.0
+        assert availability["alerts"]["slow"] is False
+
+    def test_idle_monitor_recovers_by_being_read(self, clock):
+        monitor = SLOMonitor(clock=clock)
+        for _ in range(20):
+            monitor.record(error=True)
+        assert monitor.alerting
+        clock.advance(7.0 * 3600.0)  # past even the 6h window
+        assert not monitor.alerting
+
+
+class TestLatencyObjective:
+    def make(self, clock):
+        return SLOMonitor.from_spec(
+            {"availability": 0.999, "latency_p99_ms": 100,
+             "latency_ratio": 0.9},
+            clock=clock,
+        )
+
+    def test_threshold_scores_good_and_bad(self, clock):
+        monitor = self.make(clock)
+        for _ in range(5):
+            monitor.record(0.01)   # under 100ms: good
+        for _ in range(5):
+            monitor.record(0.5)    # over: bad
+        latency = monitor.snapshot()["objectives"]["latency"]
+        assert latency["target_seconds"] == pytest.approx(0.1)
+        assert latency["windows"]["5m"] == {"good": 5, "bad": 5}
+        # ratio 0.5 / budget 0.1 = burn 5: under fast, at slow only if
+        # >= 6 — not alerting yet.
+        assert latency["burn_rates"]["5m"] == pytest.approx(5.0)
+
+    def test_all_slow_trips_the_slow_alert(self, clock):
+        monitor = self.make(clock)
+        for _ in range(10):
+            monitor.record(0.5)
+        latency = monitor.snapshot()["objectives"]["latency"]
+        assert latency["burn_rates"]["1h"] == pytest.approx(10.0)
+        assert latency["alerts"]["slow"] is True
+        assert latency["alerts"]["fast"] is False  # 10 < 14.4
+
+    def test_errors_do_not_score_latency(self, clock):
+        monitor = self.make(clock)
+        monitor.record(error=True)
+        latency = monitor.snapshot()["objectives"]["latency"]
+        assert latency["windows"]["5m"] == {"good": 0, "bad": 0}
+
+    def test_no_latency_objective_without_a_target(self, clock):
+        monitor = SLOMonitor(clock=clock)
+        monitor.record(42.0)  # slow, but nobody asked
+        assert "latency" not in monitor.snapshot()["objectives"]
+
+
+class TestSpecParsing:
+    def test_none_spec_gives_defaults(self, clock):
+        monitor = SLOMonitor.from_spec(None, clock=clock)
+        assert monitor.availability.target == 0.999
+        assert monitor.latency is None
+
+    def test_unknown_keys_are_loud(self, clock):
+        with pytest.raises(InvalidParameterError, match="unknown slo keys"):
+            SLOMonitor.from_spec({"availabilty": 0.99}, clock=clock)
+
+    def test_target_must_be_a_true_fraction(self, clock):
+        with pytest.raises(InvalidParameterError, match=r"in \(0, 1\)"):
+            SLOMonitor.from_spec({"availability": 1.0}, clock=clock)
+        with pytest.raises(InvalidParameterError, match="positive"):
+            SLOMonitor.from_spec({"latency_p99_ms": -5}, clock=clock)
+
+    def test_snapshot_shape_is_wire_ready(self, clock):
+        import json
+
+        snap = SLOMonitor.from_spec(
+            {"latency_p99_ms": 250}, clock=clock
+        ).snapshot()
+        assert set(snap) == {
+            "objectives",
+            "fast_burn_threshold",
+            "slow_burn_threshold",
+            "alerting",
+        }
+        assert set(snap["objectives"]) == {"availability", "latency"}
+        for objective in snap["objectives"].values():
+            assert set(objective["burn_rates"]) == {"5m", "1h", "6h"}
+            assert set(objective["alerts"]) == {"fast", "slow"}
+        json.dumps(snap)  # must serialize as-is

@@ -1,0 +1,165 @@
+"""The scheduler's EXPLAIN path: per-request reports through caching,
+dedup, and sharded pools, plus WAL byte metering into the ledger."""
+
+import json
+
+import pytest
+
+from repro.embedding import VectorStore
+from repro.index import ExactCosineIndex
+from repro.obs.explain import FUNNEL_ROWS
+from repro.service import (
+    EnginePool,
+    QueryScheduler,
+    ResultCache,
+    SearchRequest,
+)
+from repro.store import MutableSetCollection, WriteAheadLog
+
+
+@pytest.fixture()
+def sharded_pool(tiny_opendata):
+    return EnginePool(
+        tiny_opendata.collection,
+        tiny_opendata.index,
+        tiny_opendata.sim,
+        alpha=0.8,
+        shards=2,
+    )
+
+
+def explained(scheduler, query, *, k=5, **kwargs):
+    return scheduler.answer(
+        SearchRequest(query=query, k=k, explain=True, **kwargs)
+    )
+
+
+class TestExplainReports:
+    def test_funnel_partitions_candidates_exactly(
+        self, tiny_opendata, sharded_pool
+    ):
+        with QueryScheduler(sharded_pool) as scheduler:
+            response = explained(
+                scheduler, tiny_opendata.collection[0], k=10
+            )
+        report = response.explain
+        assert report is not None
+        funnel = report["funnel"]
+        assert funnel["candidates"] > 0
+        assert funnel["candidates"] == (
+            funnel["refinement_pruned"]
+            + funnel["no_em_accepted"]
+            + funnel["no_em_discarded"]
+            + funnel["em_early_terminated"]
+            + funnel["em_full"]
+        )
+        assert report["violations"] == []
+        # One partition per engine shard, summing bitwise to the merge.
+        assert len(report["partitions"]) == 2
+        assert report["partitions_consistent"] is True
+        for key in FUNNEL_ROWS:
+            assert funnel[key] == sum(
+                p[key] for p in report["partitions"]
+            ), key
+        assert report["engine"]["backend"] == "engine-pool"
+        assert report["engine"]["shards"] == 2
+        assert report["phases"]  # refinement/postprocessing timings
+        assert report["k"] == 10
+        assert report["alpha"] == 0.8  # the pool default was resolved
+
+    def test_plain_requests_carry_no_report(
+        self, tiny_opendata, sharded_pool
+    ):
+        with QueryScheduler(sharded_pool) as scheduler:
+            response = scheduler.answer(
+                SearchRequest(query=tiny_opendata.collection[0], k=5)
+            )
+        assert response.explain is None
+        assert "explain" not in response.to_obj()
+
+    def test_explained_and_plain_twins_share_cache_and_results(
+        self, tiny_opendata, sharded_pool
+    ):
+        query = tiny_opendata.collection[3]
+        with QueryScheduler(
+            sharded_pool, cache=ResultCache(16)
+        ) as scheduler:
+            plain = scheduler.answer(SearchRequest(query=query, k=5))
+            hit = explained(scheduler, query, k=5)
+        # The explained request is a cache HIT of its plain twin —
+        # explain never forks the key — and its report describes the
+        # computation that seeded the entry.
+        assert hit.cached
+        assert scheduler.metrics.cache_hits == 1
+        assert hit.hits == plain.hits
+        assert hit.explain["cache"]["hit"] is True
+        assert hit.explain["funnel"]["candidates"] > 0
+        assert hit.explain["seconds"] == 0.0
+
+    def test_deduplicated_rider_explains_the_shared_computation(
+        self, tiny_opendata, sharded_pool
+    ):
+        query = tiny_opendata.collection[5]
+        with QueryScheduler(sharded_pool, max_batch=64) as scheduler:
+            first = scheduler.submit(
+                SearchRequest(query=query, k=5, request_id="a")
+            )
+            rider = scheduler.submit(
+                SearchRequest(
+                    query=query, k=5, request_id="b", explain=True
+                )
+            )
+            scheduler.flush()
+            lead, dup = first.result(), rider.result()
+        assert dup.deduplicated
+        assert dup.explain["cache"]["deduplicated"] is True
+        assert dup.explain["request_id"] == "b"
+        # One computation backed both tickets: the rider explains it.
+        assert dup.explain["funnel"]["candidates"] > 0
+        assert dup.explain["violations"] == []
+        assert dup.hits == lead.hits
+
+    def test_report_serializes_on_the_wire(
+        self, tiny_opendata, sharded_pool
+    ):
+        with QueryScheduler(sharded_pool) as scheduler:
+            response = explained(scheduler, tiny_opendata.collection[1])
+        obj = json.loads(response.to_json())
+        assert obj["explain"]["funnel"]["candidates"] >= 0
+        assert obj["explain"]["partitions_consistent"] is True
+
+
+class TestResourceAccounting:
+    def test_searches_charge_the_ledger(self, tiny_opendata, sharded_pool):
+        with QueryScheduler(
+            sharded_pool, cache=ResultCache(16)
+        ) as scheduler:
+            query = tiny_opendata.collection[0]
+            scheduler.answer(SearchRequest(query=query, k=5))
+            scheduler.answer(SearchRequest(query=query, k=5))  # hit
+            resources = scheduler.metrics.snapshot()["resources"]
+        assert resources["searches"] == 1
+        assert resources["cache_hits"] == 1
+        assert resources["cache_misses"] == 1
+        assert resources["candidates"] > 0
+        assert resources["cpu_seconds"] > 0.0
+
+    def test_wal_bytes_metered_per_record(self, tiny_opendata, tmp_path):
+        overlay = MutableSetCollection(tiny_opendata.collection)
+        provider = tiny_opendata.dataset.provider
+        store = VectorStore(provider, tiny_opendata.collection.vocabulary)
+        pool = EnginePool(
+            overlay, ExactCosineIndex(store, provider),
+            tiny_opendata.sim, alpha=0.8,
+        )
+        wal_path = tmp_path / "ops.wal"
+        with QueryScheduler(
+            pool, wal=WriteAheadLog(wal_path)
+        ) as scheduler:
+            scheduler.insert_set(["seattle", "rain"], name="pnw")
+            scheduler.delete_set("pnw")
+            metered = scheduler.metrics.snapshot()["resources"]["wal_bytes"]
+        # The meter must equal the bytes actually on disk (ASCII JSON
+        # lines, newline included).
+        assert metered == wal_path.stat().st_size
+        assert metered > 0
