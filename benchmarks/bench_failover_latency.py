@@ -1,0 +1,200 @@
+"""Failover latency: killing the primary with vs without a replica.
+
+The replication claim is not "reads survive a crash" (revival already
+guaranteed that) but "reads survive a crash *fast*": with a live
+sibling the coordinator detects the dead primary, promotes, and
+re-asks — no process spawn, no bootstrap replay — while the
+``replicas=1`` baseline must synchronously revive the whole worker
+before it can answer. This bench measures both, on the same corpus and
+workload, by SIGKILLing the current primary of partition 0 immediately
+before selected ops and timing every query.
+
+Reported per mode: steady-state p50/p99 (the undisturbed ops — the
+replication tax on healthy reads) and the kill-op latencies
+(mean/max — the failover or revival cost itself). Every answer is
+verified bitwise against a single-process baseline while timing, so
+neither mode can buy speed with a wrong result.
+
+Acceptance gate (full run): the mean kill-op latency with a replica is
+below the restart baseline's — promotion must beat a process spawn.
+The run writes ``BENCH_failover.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.cluster import ClusterPool
+from repro.cluster.bench import zipf_queries
+from repro.cluster.worker import substrate_from_descriptor
+from repro.datasets import TINY_PROFILES, generate_dataset
+from repro.service import EnginePool
+from repro.store import MutableSetCollection
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_failover.json"
+
+DATASET_SEED = 11
+WORKLOAD_SEED = 13
+WORKERS = 2
+K = 10
+ALPHA = 0.8
+REQUEST_TIMEOUT = 30.0
+
+SUBSTRATE = {
+    "kind": "hashing-cosine",
+    "dim": 32,
+    "n_min": 3,
+    "n_max": 5,
+    "salt": "hashing-embedding",
+    "batch_size": 100,
+}
+
+FULL = {"requests": 40, "distinct": 12, "kill_every": 10}
+SMOKE = {"requests": 12, "distinct": 6, "kill_every": 6}
+
+
+def percentile(samples, q):
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def run_mode(collection, queries, expected, *, replicas, kill_ops):
+    """One timed workload pass; the current primary of partition 0 is
+    SIGKILLed right before each op in ``kill_ops``."""
+    index, sim = substrate_from_descriptor(
+        SUBSTRATE, collection.vocabulary
+    )
+    steady, killed = [], []
+    with ClusterPool(
+        MutableSetCollection(collection),
+        index,
+        sim,
+        alpha=ALPHA,
+        workers=WORKERS,
+        replicas=replicas,
+        substrate=SUBSTRATE,
+        request_timeout=REQUEST_TIMEOUT,
+    ) as cluster:
+        cluster.search(queries[0], K)  # warm every worker once
+        for op, query in enumerate(queries):
+            if op in kill_ops:
+                victim = cluster.primary_handle(0)
+                victim.process.kill()
+                victim.process.join()
+            started = time.perf_counter()
+            result = cluster.search(query, K)
+            seconds = time.perf_counter() - started
+            want = expected[op]
+            assert result.ids() == want.ids(), f"op {op} diverged"
+            assert result.scores() == want.scores(), f"op {op} diverged"
+            assert result.degraded is False, f"op {op} degraded"
+            (killed if op in kill_ops else steady).append(seconds)
+        rollup = cluster.cluster_metrics().rollup()
+        restarts = cluster.total_restarts
+    return {
+        "replicas": replicas,
+        "requests": len(queries),
+        "kills": len(kill_ops),
+        "steady_p50_seconds": round(percentile(steady, 0.50), 6),
+        "steady_p99_seconds": round(percentile(steady, 0.99), 6),
+        "kill_mean_seconds": round(sum(killed) / len(killed), 6),
+        "kill_max_seconds": round(max(killed), 6),
+        "failovers": rollup["failovers"],
+        "worker_crashes": rollup["worker_crashes"],
+        "restarts": restarts,
+    }
+
+
+def test_failover_beats_synchronous_restart(smoke, report, benchmark):
+    params = SMOKE if smoke else FULL
+    collection = generate_dataset(
+        TINY_PROFILES["opendata"], seed=DATASET_SEED
+    ).collection
+    queries = zipf_queries(
+        collection,
+        distinct=params["distinct"],
+        requests=params["requests"],
+        seed=WORKLOAD_SEED,
+    )
+    kill_ops = set(
+        range(params["kill_every"] // 2, len(queries), params["kill_every"])
+    )
+
+    index, sim = substrate_from_descriptor(
+        SUBSTRATE, collection.vocabulary
+    )
+    baseline = EnginePool(
+        MutableSetCollection(collection), index, sim,
+        alpha=ALPHA, shards=WORKERS,
+    )
+    try:
+        expected = [baseline.search(query, K) for query in queries]
+    finally:
+        baseline.shutdown()
+
+    replicated = run_mode(
+        collection, queries, expected, replicas=2, kill_ops=kill_ops
+    )
+    restart = run_mode(
+        collection, queries, expected, replicas=1, kill_ops=kill_ops
+    )
+
+    report()
+    report("# failover latency: primary SIGKILLed before selected ops")
+    for row in (replicated, restart):
+        mode = "failover (replicas=2)" if row["replicas"] == 2 else \
+            "restart  (replicas=1)"
+        report(
+            f"# {mode}: steady p99 {row['steady_p99_seconds'] * 1e3:.1f}ms"
+            f", kill-op mean {row['kill_mean_seconds'] * 1e3:.1f}ms"
+            f" max {row['kill_max_seconds'] * 1e3:.1f}ms"
+            f" ({row['failovers']} failovers, {row['restarts']} restarts)"
+        )
+
+    assert replicated["failovers"] >= 1, (
+        "the replicated run never exercised a failover"
+    )
+    assert restart["restarts"] >= len(kill_ops), (
+        "the restart baseline never paid a synchronous revival"
+    )
+    if not smoke:
+        assert (
+            replicated["kill_mean_seconds"] < restart["kill_mean_seconds"]
+        ), (
+            f"promotion ({replicated['kill_mean_seconds']}s mean) must "
+            f"beat a synchronous worker spawn "
+            f"({restart['kill_mean_seconds']}s mean)"
+        )
+
+    payload = {
+        "workload": {
+            "profile": "tiny-opendata",
+            "requests": params["requests"],
+            "distinct_queries": params["distinct"],
+            "k": K,
+            "kill_ops": sorted(kill_ops),
+            "smoke": smoke,
+        },
+        "modes": {"failover": replicated, "restart_baseline": restart},
+    }
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+    report(f"# wrote {ARTIFACT.name}")
+
+    # Timed artifact: one healthy scatter-gather through the replicated
+    # fleet (the steady-state cost replication adds to every read).
+    with ClusterPool(
+        MutableSetCollection(collection),
+        index,
+        sim,
+        alpha=ALPHA,
+        workers=WORKERS,
+        replicas=2,
+        substrate=SUBSTRATE,
+    ) as cluster:
+        cluster.search(queries[0], K)  # warm
+        benchmark(cluster.search, queries[0], K)

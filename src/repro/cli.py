@@ -87,7 +87,7 @@ from repro.store.snapshot import (
     inspect_snapshot,
     save_snapshot,
 )
-from repro.store.wal import WriteAheadLog, compact
+from repro.store.wal import WriteAheadLog, compact, pending_records
 
 #: Exit code per user-error family, most specific first. Unexpected
 #: exceptions still traceback — those are bugs, not usage errors.
@@ -388,13 +388,21 @@ def cmd_cluster_serve(args: argparse.Namespace) -> int:
         wal = WriteAheadLog(args.wal)
         # Prior mutations replay through the cluster's bootstrap path,
         # so worker replicas and the coordinator derive identical state.
-        bootstrap_records = wal.records()
+        # Records the snapshot already folded (compaction handshake) are
+        # excluded so a crash between snapshot replace and WAL reset
+        # cannot double-apply them.
+        manifest = (
+            inspect_snapshot(snapshot_path)
+            if snapshot_path is not None else None
+        )
+        bootstrap_records = pending_records(wal, manifest)
     cluster = ClusterPool(
         collection,
         index,
         sim,
         alpha=args.alpha,
         workers=args.workers,
+        replicas=args.replicas,
         shards=args.shards,
         config=FilterConfig.koios(iub_mode=args.iub_mode, engine=args.engine),
         snapshot_path=snapshot_path,
@@ -464,6 +472,55 @@ def cmd_cluster_bench(args: argparse.Namespace) -> int:
         print(line, file=sys.stderr)
     print(json.dumps(results, separators=(",", ":")))
     return 0
+
+
+def cmd_cluster_chaos(args: argparse.Namespace) -> int:
+    """``repro cluster chaos``: replay a randomized workload under a
+    deterministic fault plan; non-degraded answers must match the
+    single-process baseline bitwise. Exit 0 only when nothing hung,
+    nothing failed, and nothing mismatched."""
+    from repro.cluster.faults import (
+        FaultPlan,
+        format_chaos_report,
+        run_chaos,
+    )
+
+    collection = _load_collection(args.collection)
+    descriptor = _substrate_descriptor(args)
+    if args.smoke:
+        # The CI shape: short workload, 2 kills + 1 slow worker, tight
+        # deadline — enough to exercise failover, background restart,
+        # and the timeout path in under a minute.
+        ops, kills, drops, slows = 40, 2, 0, 1
+    else:
+        ops, kills, drops, slows = args.ops, args.kills, args.drops, args.slows
+    plan = FaultPlan.from_seed(
+        args.fault_seed,
+        ops=ops,
+        partitions=args.workers,
+        replicas=args.replicas,
+        kills=kills,
+        drops=drops,
+        slows=slows,
+        bootstrap_failures=args.bootstrap_failures,
+        slow_duration=args.slow_duration,
+    )
+    report = run_chaos(
+        collection,
+        descriptor,
+        plan=plan,
+        workers=args.workers,
+        replicas=args.replicas,
+        ops=ops,
+        k=args.k,
+        seed=args.seed,
+        request_timeout=args.request_timeout,
+        start_method=args.start_method,
+    )
+    for line in format_chaos_report(report):
+        print(line, file=sys.stderr)
+    print(json.dumps(report, separators=(",", ":")))
+    return 0 if report["ok"] else 1
 
 
 def cmd_gateway_serve(args: argparse.Namespace) -> int:
@@ -801,6 +858,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (one partition of the set-id space each)",
     )
     cluster_serve.add_argument(
+        "--replicas", type=int, default=1,
+        help="processes per partition slot; >1 enables failover reads "
+        "(a dead primary fails over to a live replica instead of "
+        "blocking on a restart)",
+    )
+    cluster_serve.add_argument(
         "--shards", type=int, default=1,
         help="engines per worker partition",
     )
@@ -864,6 +927,69 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["spawn", "fork", "forkserver"],
     )
     cluster_bench.set_defaults(func=cmd_cluster_bench)
+    cluster_chaos = cluster_commands.add_parser(
+        "chaos",
+        help="deterministic fault-injection run: kills/drops/slow "
+        "workers against a replicated cluster, gated on bitwise "
+        "equivalence and zero hung requests",
+    )
+    cluster_chaos.add_argument(
+        "collection", help="JSON, long-CSV, or snapshot collection"
+    )
+    _add_substrate_arguments(cluster_chaos)
+    cluster_chaos.add_argument(
+        "--workers", type=int, default=2,
+        help="partitions (worker slots)",
+    )
+    cluster_chaos.add_argument(
+        "--replicas", type=int, default=2,
+        help="processes per partition slot",
+    )
+    cluster_chaos.add_argument(
+        "--ops", type=int, default=110,
+        help="workload length (queries + mutations)",
+    )
+    cluster_chaos.add_argument(
+        "--kills", type=int, default=3,
+        help="SIGKILLed workers over the run",
+    )
+    cluster_chaos.add_argument(
+        "--drops", type=int, default=1,
+        help="coordinator-side pipe drops over the run",
+    )
+    cluster_chaos.add_argument(
+        "--slows", type=int, default=1,
+        help="delayed worker replies over the run",
+    )
+    cluster_chaos.add_argument(
+        "--bootstrap-failures", type=int, default=0,
+        help="injected bootstrap failures (holds a slot down)",
+    )
+    cluster_chaos.add_argument(
+        "--slow-duration", type=float, default=1.0,
+        help="seconds a slow reply is delayed",
+    )
+    cluster_chaos.add_argument(
+        "--fault-seed", type=int, default=7,
+        help="seed of the fault schedule (same seed, same timeline)",
+    )
+    cluster_chaos.add_argument(
+        "--seed", type=int, default=31, help="workload seed"
+    )
+    cluster_chaos.add_argument("-k", type=int, default=10)
+    cluster_chaos.add_argument(
+        "--request-timeout", type=float, default=30.0,
+        help="per-op deadline before failover/degradation",
+    )
+    cluster_chaos.add_argument(
+        "--smoke", action="store_true",
+        help="short CI shape: 40 ops, 2 kills + 1 slow worker",
+    )
+    cluster_chaos.add_argument(
+        "--start-method", default="spawn",
+        choices=["spawn", "fork", "forkserver"],
+    )
+    cluster_chaos.set_defaults(func=cmd_cluster_chaos)
 
     gateway = commands.add_parser(
         "gateway",

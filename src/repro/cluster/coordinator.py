@@ -32,17 +32,38 @@ therefore never observe a half-applied mutation across partitions.
 
 Failure handling
 ----------------
-A worker that dies (crash, kill, hung pipe) is detected on the next
-interaction, restarted, and re-bootstrapped from the base state (shared
-snapshot, or in-memory shipped) plus the full mutation history — the
-deterministic replay reconstructs byte-identical state, so a restart is
-invisible in results.
+Every partition may be served by R replicas (``replicas=R``), all fed
+through the same WAL-shipping/version-barrier path, so any live replica
+answers its partition bitwise-identically. A scatter read goes to each
+partition's *primary*; a primary that fails (timeout, torn pipe, crash)
+is discarded, the read **fails over** to the next live replica — which
+is promoted to primary — and the dead process is respawned by a
+background restarter instead of blocking the query. Failure causes are
+distinguished (:class:`~repro.errors.WorkerTimeoutError` /
+:class:`~repro.errors.WorkerCrashError` /
+:class:`~repro.errors.WorkerProtocolError`) because the policies
+differ: timeouts and crashes fail over, protocol errors propagate (a
+deterministic replica would answer the same).
+
+When a partition has no live replica left, the coordinator retries a
+synchronous restart under a bounded, seeded-backoff
+:class:`~repro.cluster.replication.RetryPolicy` capped by the per-op
+deadline; if the partition still cannot answer, the query returns a
+**degraded** partial result (``degraded=True`` with ``coverage =
+(partitions answered, partitions total)``) instead of an error — the
+honest partial answer a front end can label, rather than a stall.
+Re-bootstrap is exact either way: base state (shared snapshot, or
+in-memory shipped) plus the full mutation history replays to
+byte-identical state, so recovery is invisible in results.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import queue
 import threading
+import time
+from dataclasses import replace as dataclass_replace
 from typing import Any, Hashable, Iterable, Sequence
 
 from repro.cluster.messages import (
@@ -58,6 +79,7 @@ from repro.cluster.messages import (
     mutation_record,
 )
 from repro.cluster.metrics import ClusterMetrics
+from repro.cluster.replication import PartitionGroup, RetryPolicy
 from repro.cluster.worker import worker_main
 from repro.core.config import FilterConfig
 from repro.core.koios import SearchResult
@@ -66,6 +88,9 @@ from repro.errors import (
     ClusterError,
     EmptyQueryError,
     InvalidParameterError,
+    WorkerCrashError,
+    WorkerProtocolError,
+    WorkerTimeoutError,
 )
 from repro.index.base import TokenIndex
 from repro.index.token_stream import MaterializedTokenStream
@@ -82,37 +107,67 @@ from repro.sim.base import SimilarityFunction
 
 
 class _WorkerHandle:
-    """One worker process + its pipe, with crash bookkeeping."""
+    """One worker process + its pipe, with crash bookkeeping.
+
+    ``worker_id`` is the *partition* this replica serves (it pins the
+    deterministic id-space slice); ``replica`` distinguishes the R
+    processes of one partition. ``restarting`` marks a handle the
+    background restarter owns — scatter and broadcast skip it, and the
+    restart catch-up brings it back into rotation.
+    """
 
     def __init__(self, worker_id: int, ctx, spec_factory, *,
-                 bootstrap_timeout: float) -> None:
+                 bootstrap_timeout: float, replica: int = 0) -> None:
         self.worker_id = worker_id
+        self.replica = replica
         self._ctx = ctx
         self._spec_factory = spec_factory
         self._bootstrap_timeout = bootstrap_timeout
         self.process = None
         self.conn = None
         self.restarts = -1  # first spawn brings this to 0
+        self.restarting = False
+
+    @property
+    def label(self) -> str:
+        """Log/metrics identity: ``"0"`` for a partition's first
+        replica (the pre-replication shape), ``"0.1"`` beyond it."""
+        if self.replica == 0:
+            return str(self.worker_id)
+        return f"{self.worker_id}.{self.replica}"
 
     # -- lifecycle ---------------------------------------------------------
 
-    def spawn(self) -> dict[str, Any]:
-        """Start (or restart) the process; returns its hello payload."""
+    def spawn(
+        self,
+        spec: WorkerSpec | None = None,
+        *,
+        timeout: float | None = None,
+    ) -> dict[str, Any]:
+        """Start (or restart) the process; returns its hello payload.
+
+        ``spec`` lets a caller pre-build the bootstrap spec under its
+        own lock (the background restarter does); ``timeout`` caps the
+        bootstrap wait below the default when a per-op deadline is
+        tighter.
+        """
         self.discard()
-        spec = self._spec_factory(self.worker_id)
+        if spec is None:
+            spec = self._spec_factory(self.worker_id, self.replica)
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         process = self._ctx.Process(
             target=worker_main,
             args=(spec, child_conn),
             daemon=True,
-            name=f"repro-cluster-worker-{self.worker_id}",
+            name=f"repro-cluster-worker-{self.label}",
         )
         process.start()
         child_conn.close()
         self.process = process
         self.conn = parent_conn
         self.restarts += 1
-        return self.receive(self._bootstrap_timeout, what="bootstrap")
+        wait = self._bootstrap_timeout if timeout is None else timeout
+        return self.receive(wait, what="bootstrap")
 
     def alive(self) -> bool:
         return (
@@ -125,8 +180,12 @@ class _WorkerHandle:
         """Drop a dead (or dying) process and its pipe.
 
         Workers ignore SIGINT/SIGTERM (the coordinator owns shutdown),
-        so ``terminate`` alone cannot be relied on — escalate to
-        SIGKILL for a worker that will not exit.
+        so ``terminate`` would just stall here — go straight to
+        SIGKILL. By the time a handle is discarded its answers can
+        never be consumed again (the pipe is closed first), so there is
+        nothing graceful left to lose, and a timed-out-but-alive worker
+        must die *fast*: this runs inside the failover path, where
+        every joined second comes out of the op's remaining deadline.
         """
         if self.conn is not None:
             try:
@@ -135,9 +194,6 @@ class _WorkerHandle:
                 pass
             self.conn = None
         if self.process is not None:
-            if self.process.is_alive():
-                self.process.terminate()
-                self.process.join(timeout=2)
             if self.process.is_alive():
                 self.process.kill()
             self.process.join(timeout=5)
@@ -166,27 +222,45 @@ class _WorkerHandle:
             return False
 
     def receive(self, timeout: float, *, what: str) -> Any:
-        """Blocking receive with timeout; raises ClusterError on any
-        transport failure or worker-reported error."""
+        """Blocking receive with timeout, classifying the failure cause.
+
+        * no reply in time → :class:`~repro.errors.WorkerTimeoutError`
+          (the process may still answer later — the caller must discard
+          this connection before reusing the worker, or the late reply
+          desynchronizes every later request/reply pair);
+        * pipe EOF / OS failure → :class:`~repro.errors.WorkerCrashError`
+          (the process died or the pipe was torn — safe to fail over);
+        * error status or malformed frame →
+          :class:`~repro.errors.WorkerProtocolError` (the worker
+          *answered*, wrongly — a deterministic replica would answer
+          the same, so failover would only mask the bug).
+        """
         if self.conn is None:
-            raise ClusterError(
-                f"worker {self.worker_id} has no live connection"
+            raise WorkerCrashError(
+                f"worker {self.label} has no live connection ({what})"
             )
         try:
             if not self.conn.poll(timeout):
-                raise ClusterError(
-                    f"worker {self.worker_id} timed out after {timeout}s "
+                raise WorkerTimeoutError(
+                    f"worker {self.label} timed out after {timeout}s "
                     f"({what})"
                 )
-            status, payload = self.conn.recv()
+            message = self.conn.recv()
         except (EOFError, OSError) as exc:
-            raise ClusterError(
-                f"worker {self.worker_id} connection failed ({what}): "
+            raise WorkerCrashError(
+                f"worker {self.label} connection failed ({what}): "
                 f"{exc or type(exc).__name__}"
             ) from exc
+        try:
+            status, payload = message
+        except (TypeError, ValueError) as exc:
+            raise WorkerProtocolError(
+                f"worker {self.label} sent a malformed frame ({what}): "
+                f"{message!r}"
+            ) from exc
         if status != STATUS_OK:
-            raise ClusterError(
-                f"worker {self.worker_id} error ({what}): {payload}"
+            raise WorkerProtocolError(
+                f"worker {self.label} error ({what}): {payload}"
             )
         return payload
 
@@ -208,8 +282,23 @@ class ClusterPool:
     workers:
         Worker process count; the set-id space is split into exactly
         this many partitions (same layout as ``EnginePool(shards=workers)``).
+    replicas:
+        Processes per partition slot (default 1 — the pre-replication
+        shape). All replicas of a partition bootstrap and replicate
+        identically, so scatter reads fail over between them with
+        bitwise-identical answers; mutations broadcast to every
+        replica under the version barrier.
     shards:
         Engines *per worker* (each worker subdivides its partition).
+    retry_policy:
+        The :class:`~repro.cluster.replication.RetryPolicy` governing
+        restart retries when a partition has no live replica left
+        (bounded attempts, seeded-jitter backoff, capped by the per-op
+        deadline). Defaults to ``RetryPolicy()``.
+    fault_injector:
+        A :class:`~repro.cluster.faults.FaultInjector` for the chaos
+        harness; None in production. The coordinator drives it at the
+        top of every op and while building payloads/specs.
     worker_configs:
         One :class:`FilterConfig` per worker, overriding ``config``
         worker by worker — engine A/B rollouts and the differential
@@ -244,6 +333,7 @@ class ClusterPool:
         *,
         alpha: float = 0.8,
         workers: int = 2,
+        replicas: int = 1,
         shards: int = 1,
         shard_seed: int = 0,
         config: FilterConfig | None = None,
@@ -254,9 +344,13 @@ class ClusterPool:
         start_method: str = "spawn",
         request_timeout: float = 120.0,
         bootstrap_timeout: float = 120.0,
+        retry_policy: RetryPolicy | None = None,
+        fault_injector=None,
     ) -> None:
         if workers < 1:
             raise InvalidParameterError("workers must be >= 1")
+        if replicas < 1:
+            raise InvalidParameterError("replicas must be >= 1")
         if worker_configs is not None and len(worker_configs) != workers:
             raise InvalidParameterError(
                 "worker_configs must name one FilterConfig per worker"
@@ -286,11 +380,18 @@ class ClusterPool:
         )
         self._substrate = substrate
         self._request_timeout = request_timeout
+        self._replicas = replicas
+        self._retry = retry_policy or RetryPolicy()
+        self._fault_injector = fault_injector
         self._lock = threading.RLock()
         self._closed = False
         self._history: list[dict[str, Any]] = []
         self._queries = 0
         self._mutations = 0
+        self._failovers = 0
+        self._degraded_queries = 0
+        self._worker_timeouts = 0
+        self._worker_crashes = 0
         #: Coordinator-side resource meters. They live here — not in the
         #: workers — so totals stay monotone across worker crash/restart
         #: (a respawned worker's counters reset; this ledger never does).
@@ -326,52 +427,90 @@ class ClusterPool:
             )
 
         ctx = multiprocessing.get_context(start_method)
-        self._handles = [
-            _WorkerHandle(
-                worker_id,
-                ctx,
-                self._make_spec,
-                bootstrap_timeout=bootstrap_timeout,
+        self._partitions = [
+            PartitionGroup(
+                partition_id,
+                [
+                    _WorkerHandle(
+                        partition_id,
+                        ctx,
+                        self._make_spec,
+                        bootstrap_timeout=bootstrap_timeout,
+                        replica=replica,
+                    )
+                    for replica in range(replicas)
+                ],
             )
-            for worker_id in range(workers)
+            for partition_id in range(workers)
         ]
+        #: Flat partition-major handle list (replica 0 of partition 0
+        #: first). With ``replicas=1`` this is exactly the
+        #: pre-replication list, which the test-suite's crash
+        #: injection indexes into directly.
+        self._handles = [
+            handle
+            for group in self._partitions
+            for handle in group.handles
+        ]
+        #: Dead replicas awaiting the background restarter; ``None``
+        #: is the shutdown sentinel.
+        self._restart_queue: "queue.SimpleQueue[_WorkerHandle | None]" = (
+            queue.SimpleQueue()
+        )
+        self._restart_thread = threading.Thread(
+            target=self._restart_loop,
+            name="repro-cluster-restarter",
+            daemon=True,
+        )
         try:
             for record in bootstrap_records or ():
                 self._apply_bootstrap_record(record)
             for handle in self._handles:
                 hello = handle.spawn()
                 self._check_version(hello["version"], "bootstrap")
+            self._restart_thread.start()
         except BaseException:
             self.close()
             raise
 
     # -- spec / replication internals --------------------------------------
 
-    def _make_spec(self, worker_id: int) -> WorkerSpec:
+    def _make_spec(self, worker_id: int, replica: int = 0) -> WorkerSpec:
         # Per-worker configs (engine A/B rollouts, the differential
         # harness's mixed-engine fleet) override the fleet default; the
         # engines guarantee bitwise-identical results either way.
-        config = self._config
-        if self._worker_configs is not None:
-            config = self._worker_configs[worker_id]
-        return WorkerSpec(
-            worker_id=worker_id,
-            num_workers=self._num_workers,
-            shards=self._shards,
-            shard_seed=self._shard_seed,
-            alpha=self._alpha,
-            config=config,
-            snapshot_path=self._snapshot_path,
-            sets=self._base_sets,
-            names=self._base_names,
-            substrate=self._substrate,
-            base_version=0,
-            history=tuple(self._history),
-            # Captured at spawn/restart time, so a worker started after
-            # tracing was enabled adopts it (and one restarted after
-            # disable() comes up untraced).
-            trace=trace_config(),
-        )
+        # Taken under the lock: the background restarter builds specs
+        # concurrently with mutations, and a torn history snapshot
+        # would replay a half-applied record.
+        with self._lock:
+            config = self._config
+            if self._worker_configs is not None:
+                config = self._worker_configs[worker_id]
+            faults = None
+            if self._fault_injector is not None:
+                faults = self._fault_injector.spawn_faults(
+                    worker_id, replica
+                )
+            return WorkerSpec(
+                worker_id=worker_id,
+                num_workers=self._num_workers,
+                shards=self._shards,
+                shard_seed=self._shard_seed,
+                alpha=self._alpha,
+                config=config,
+                snapshot_path=self._snapshot_path,
+                sets=self._base_sets,
+                names=self._base_names,
+                substrate=self._substrate,
+                base_version=0,
+                history=tuple(self._history),
+                # Captured at spawn/restart time, so a worker started
+                # after tracing was enabled adopts it (and one
+                # restarted after disable() comes up untraced).
+                trace=trace_config(),
+                replica=replica,
+                faults=faults,
+            )
 
     def _apply_local(
         self, op: str, ref: int | str | None, tokens: Any
@@ -444,6 +583,105 @@ class ClusterPool:
         """Restart one worker and verify its re-bootstrapped version."""
         hello = handle.spawn()
         self._check_version(hello["version"], f"restart after {why}")
+
+    def _schedule_restart(
+        self, group: PartitionGroup, handle: _WorkerHandle
+    ) -> bool:
+        """Discard a failed replica and decide how it comes back.
+
+        Returns True when the respawn was handed to the background
+        restarter (another live replica covers the partition, so no
+        query needs to wait for the bootstrap); False when this was the
+        partition's last replica and the caller must recover inline.
+        """
+        handle.discard()
+        if any(
+            other is not handle and other.alive() and not other.restarting
+            for other in group.handles
+        ):
+            handle.restarting = True
+            self._restart_queue.put(handle)
+            return True
+        return False
+
+    def _restart_loop(self) -> None:
+        """The background restarter: respawn dead replicas without
+        blocking queries (their partition is covered by a live sibling
+        while the bootstrap runs)."""
+        while True:
+            handle = self._restart_queue.get()
+            if handle is None:
+                return
+            try:
+                self._background_restart(handle)
+            except Exception:  # noqa: BLE001 — leave the replica down
+                # (e.g. a persistent bootstrap failure): the next op
+                # that finds its partition uncovered retries inline,
+                # and liveness keeps reporting it dead meanwhile.
+                handle.discard()
+            finally:
+                handle.restarting = False
+
+    def _background_restart(self, handle: _WorkerHandle) -> None:
+        """Respawn one replica: spec under the lock, the (slow) spawn
+        outside it, then a locked catch-up of whatever mutations were
+        broadcast while the bootstrap ran."""
+        with self._lock:
+            if self._closed:
+                return
+            spec = self._make_spec(handle.worker_id, handle.replica)
+            spec_version = self._live_version()
+        hello = handle.spawn(spec)
+        if hello["version"] != spec_version:
+            raise ClusterError(
+                f"worker {handle.label} re-bootstrapped to version "
+                f"{hello['version']}, expected {spec_version}"
+            )
+        with self._lock:
+            if self._closed:
+                handle.discard()
+                return
+            # The handle was out of rotation (restarting=True), so
+            # broadcasts skipped it; feed the history delta under the
+            # lock — no new mutation can interleave with the catch-up.
+            version = spec_version
+            for record in self._history[len(spec.history):]:
+                version += 1
+                if not handle.send(
+                    OP_MUTATE, {"record": record, "version": version}
+                ):
+                    raise WorkerCrashError(
+                        f"worker {handle.label} died during restart "
+                        "catch-up"
+                    )
+                ack = handle.receive(
+                    self._request_timeout, what="restart catch-up"
+                )
+                if ack["version"] != version:
+                    raise ClusterError(
+                        f"worker {handle.label} caught up to version "
+                        f"{ack['version']}, expected {version}"
+                    )
+
+    def replica_handle(
+        self, partition: int, replica: int
+    ) -> _WorkerHandle | None:
+        """The handle serving one replica slot (the fault injector's
+        target accessor); None for out-of-range slots."""
+        if not 0 <= partition < len(self._partitions):
+            return None
+        group = self._partitions[partition]
+        if not 0 <= replica < len(group.handles):
+            return None
+        return group.handles[replica]
+
+    def primary_handle(self, partition: int) -> _WorkerHandle | None:
+        """The partition's *current* primary — it moves on failover, so
+        benches and chaos drivers that target "the primary" must ask
+        each time rather than assume replica 0; None when out of range."""
+        if not 0 <= partition < len(self._partitions):
+            return None
+        return self._partitions[partition].primary
 
     def _ensure_open(self) -> None:
         if self._closed:
@@ -529,6 +767,8 @@ class ClusterPool:
         watch = Stopwatch()
         with self._lock:
             self._ensure_open()
+            if self._fault_injector is not None:
+                self._fault_injector.begin_op(self)
             if stream is not None and (
                 stream.version is not None
                 and stream.version != self.version
@@ -565,51 +805,183 @@ class ClusterPool:
                     tags={"workers": self._num_workers},
                 ) as scatter:
                     payload["trace"] = encode_trace(scatter.context)
-                    partials = self._scatter_search(payload)
+                    partials, covered, total = self._scatter_search(payload)
             else:
-                partials = self._scatter_search(payload)
+                partials, covered, total = self._scatter_search(payload)
             self._queries += 1
             merged = merge_results(partials, k)
+            if covered < total:
+                # Every replica of >= 1 partition is down and could not
+                # be revived within the deadline: answer with what the
+                # live partitions returned, honestly labelled, instead
+                # of erroring or stalling.
+                self._degraded_queries += 1
+                merged = dataclass_replace(
+                    merged, degraded=True, coverage=(covered, total)
+                )
             self.resources.charge_search(watch.stop(), merged.stats)
         return merged
 
+    def _send_search(
+        self, handle: _WorkerHandle, payload: dict[str, Any]
+    ) -> bool:
+        """Send one search to one replica, merging any armed payload
+        faults (injected slowness) for that replica slot."""
+        message = payload
+        if self._fault_injector is not None:
+            extra = self._fault_injector.payload_faults(
+                handle.worker_id, handle.replica
+            )
+            if extra:
+                message = {**payload, **extra}
+        return handle.send(OP_SEARCH, message)
+
     def _scatter_search(
         self, payload: dict[str, Any]
-    ) -> list[SearchResult]:
-        """Fan one search out; restart-and-retry any failed worker.
+    ) -> tuple[list[SearchResult], int, int]:
+        """Fan one search out across partitions, failing over to live
+        replicas; returns ``(partials, partitions answered, total)``.
 
         All sends happen before any receive — that is the fan-out that
-        buys multi-core parallelism. A worker that fails at either step
-        is restarted (deterministic re-bootstrap) and asked exactly
-        once more; a second failure is a hard error rather than a
-        silently partial answer.
+        buys multi-core parallelism. Each partition's read goes to its
+        primary; a primary that fails at either step fails over through
+        the remaining live replicas (the answering replica is promoted,
+        the dead one handed to the background restarter). Only when no
+        replica is left does the coordinator block on a synchronous
+        restart, bounded by the retry policy and the per-op deadline;
+        a partition that still cannot answer is simply absent from the
+        partials (the caller degrades the merged result).
+
+        The per-op deadline is *two* receive-timeout windows: a hung
+        primary legitimately burns one full ``request_timeout`` before
+        it is declared dead, and the failover read (or revival) then
+        needs a window of its own — a single-window deadline would turn
+        every primary timeout into a degraded answer.
         """
-        sent: list[bool] = [
-            handle.send(OP_SEARCH, payload) for handle in self._handles
-        ]
+        deadline = time.monotonic() + 2.0 * self._request_timeout
+        targets: dict[int, _WorkerHandle | None] = {}
+        for group in self._partitions:
+            target = None
+            for handle in group.live_replicas():
+                if self._send_search(handle, payload):
+                    target = handle
+                    break
+                # The send itself failed: the pipe is torn, which is a
+                # crash as far as classification goes.
+                self._worker_crashes += 1
+                if not self._schedule_restart(group, handle):
+                    break  # last replica; the gather stage revives it
+            targets[group.partition_id] = target
         results: dict[int, SearchResult] = {}
-        failed: list[_WorkerHandle] = []
-        for handle, ok in zip(self._handles, sent):
-            if not ok:
-                failed.append(handle)
-                continue
-            try:
-                results[handle.worker_id] = handle.receive(
-                    self._request_timeout, what="search"
-                )
-            except ClusterError:
-                failed.append(handle)
-        for handle in failed:
-            self._restart(handle, why="search failure")
-            if not handle.send(OP_SEARCH, payload):
-                raise ClusterError(
-                    f"worker {handle.worker_id} failed immediately after "
-                    "restart"
-                )
-            results[handle.worker_id] = handle.receive(
-                self._request_timeout, what="search retry"
+        for group in self._partitions:
+            partial = self._gather_partition(
+                group, targets[group.partition_id], payload, deadline
             )
-        return [results[handle.worker_id] for handle in self._handles]
+            if partial is not None:
+                results[group.partition_id] = partial
+        partials = [results[pid] for pid in sorted(results)]
+        return partials, len(results), len(self._partitions)
+
+    def _gather_partition(
+        self,
+        group: PartitionGroup,
+        handle: _WorkerHandle | None,
+        payload: dict[str, Any],
+        deadline: float,
+    ) -> SearchResult | None:
+        """Collect one partition's partial, failing over across its
+        replicas; None means the partition could not answer (degraded).
+
+        Timeouts and crashes fail over (any live replica answers
+        bitwise-identically); :class:`~repro.errors.WorkerProtocolError`
+        propagates — the worker *answered*, and a deterministic replica
+        would answer the same, so failover would only mask the bug.
+        """
+        current = handle
+        while True:
+            if current is not None:
+                try:
+                    remaining = max(deadline - time.monotonic(), 0.0)
+                    result = current.receive(
+                        min(self._request_timeout, remaining),
+                        what="search",
+                    )
+                except WorkerTimeoutError:
+                    self._worker_timeouts += 1
+                    self._schedule_restart(group, current)
+                except WorkerCrashError:
+                    self._worker_crashes += 1
+                    self._schedule_restart(group, current)
+                else:
+                    if group.promote(current):
+                        self._failovers += 1
+                    return result
+            # Fail over: first live sibling that accepts the send.
+            current = None
+            for candidate in group.live_replicas():
+                if self._send_search(candidate, payload):
+                    current = candidate
+                    break
+                self._worker_crashes += 1
+                self._schedule_restart(group, candidate)
+            if current is not None:
+                continue
+            return self._revive_and_ask(group, payload, deadline)
+
+    def _revive_and_ask(
+        self,
+        group: PartitionGroup,
+        payload: dict[str, Any],
+        deadline: float,
+    ) -> SearchResult | None:
+        """Last resort for a partition with no live replica: bounded
+        synchronous restart attempts under the retry policy, each
+        capped by what remains of the per-op deadline."""
+        candidates = [h for h in group.handles if not h.restarting]
+        if not candidates:
+            # Every replica is mid-restart on the background thread;
+            # this partition sits the query out rather than stalling.
+            return None
+        target = candidates[0]
+        budget = max(deadline - time.monotonic(), 0.0)
+        pauses = [0.0, *self._retry.capped_delays(budget)]
+        for pause in pauses:
+            if pause > 0.0:
+                time.sleep(pause)
+            remaining = deadline - time.monotonic()
+            if remaining <= 0.0:
+                break
+            try:
+                hello = target.spawn(timeout=remaining)
+                self._check_version(
+                    hello["version"], "restart after search failure"
+                )
+                if not self._send_search(target, payload):
+                    raise WorkerCrashError(
+                        f"worker {target.label} failed immediately "
+                        "after restart"
+                    )
+                remaining = max(deadline - time.monotonic(), 0.0)
+                result = target.receive(
+                    min(self._request_timeout, remaining),
+                    what="search retry",
+                )
+            except WorkerTimeoutError:
+                self._worker_timeouts += 1
+                target.discard()
+            except WorkerCrashError:
+                self._worker_crashes += 1
+                target.discard()
+            except ClusterError:
+                # Bootstrap refusal / version divergence / protocol
+                # error during revival: count the attempt, retry under
+                # the policy, and degrade when the budget runs out.
+                target.discard()
+            else:
+                if group.promote(target):
+                    self._failovers += 1
+                return result
+        return None
 
     # -- mutation ----------------------------------------------------------
 
@@ -622,6 +994,8 @@ class ClusterPool:
         """Insert locally, then replicate under the version barrier."""
         with self._lock:
             self._ensure_open()
+            if self._fault_injector is not None:
+                self._fault_injector.begin_op(self)
             set_id, record = self._apply_local("insert", name, tokens)
             self._replicate(record)
         return set_id
@@ -630,6 +1004,8 @@ class ClusterPool:
         """Delete locally, then replicate under the version barrier."""
         with self._lock:
             self._ensure_open()
+            if self._fault_injector is not None:
+                self._fault_injector.begin_op(self)
             set_id, record = self._apply_local("delete", ref, None)
             self._replicate(record)
         return set_id
@@ -638,6 +1014,8 @@ class ClusterPool:
         """Replace locally, then replicate under the version barrier."""
         with self._lock:
             self._ensure_open()
+            if self._fault_injector is not None:
+                self._fault_injector.begin_op(self)
             set_id, record = self._apply_local("replace", ref, tokens)
             self._replicate(record)
         return set_id
@@ -654,14 +1032,20 @@ class ClusterPool:
         self._mutations += 1
         expected = self._live_version()
         payload = {"record": record, "version": expected}
-        sent = [
-            handle.send(OP_MUTATE, payload) for handle in self._handles
-        ]
-        failed: list[_WorkerHandle] = []
-        for handle, ok in zip(self._handles, sent):
-            if not ok:
-                failed.append(handle)
-                continue
+        pending: list[tuple[PartitionGroup, _WorkerHandle]] = []
+        failed: list[tuple[PartitionGroup, _WorkerHandle]] = []
+        for group in self._partitions:
+            for handle in group.handles:
+                if handle.restarting:
+                    # Out of rotation: the background restarter's
+                    # catch-up replays this record from the history.
+                    continue
+                if handle.send(OP_MUTATE, payload):
+                    pending.append((group, handle))
+                else:
+                    self._worker_crashes += 1
+                    failed.append((group, handle))
+        for group, handle in pending:
             try:
                 ack = handle.receive(self._request_timeout, what="mutate")
                 # A divergent ack inside the try: the worker joins the
@@ -669,9 +1053,17 @@ class ClusterPool:
                 # remaining workers' acks have been drained — one bad
                 # replica must never poison the other pipes.
                 self._check_version(ack["version"], "mutate ack")
+            except WorkerTimeoutError:
+                self._worker_timeouts += 1
+                failed.append((group, handle))
+            except WorkerCrashError:
+                self._worker_crashes += 1
+                failed.append((group, handle))
             except ClusterError:
-                failed.append(handle)
-        for handle in failed:
+                # Protocol error or divergence: for mutations, restart
+                # IS the repair (re-bootstrap re-derives the state).
+                failed.append((group, handle))
+        for group, handle in failed:
             # Restart replays the full history (including this record);
             # the version-checked hello doubles as the ACK. A restart
             # that itself fails must NOT fail the mutation: it is
@@ -679,8 +1071,13 @@ class ClusterPool:
             # replicas (and about to be WAL-logged by the scheduler) —
             # raising here would acknowledge an error for a mutation
             # the cluster visibly serves, and strand it outside the
-            # durable log. Leave the worker down; the next operation
-            # that touches it retries the spawn.
+            # durable log. When a live sibling replica covers the
+            # partition the respawn happens in the background; only a
+            # partition's last replica is revived inline. Leave a
+            # worker down if even that fails; the next operation that
+            # touches it retries the spawn.
+            if self._schedule_restart(group, handle):
+                continue
             try:
                 self._restart(handle, why="mutation broadcast failure")
             except ClusterError:
@@ -695,11 +1092,26 @@ class ClusterPool:
         with self._lock:
             self._ensure_open()
             for handle in self._handles:
+                if handle.restarting:
+                    # The background restarter owns this replica; do
+                    # not race it with a second spawn.
+                    statuses.append(
+                        {
+                            "worker_id": handle.worker_id,
+                            "replica": handle.replica,
+                            "worker": handle.label,
+                            "alive": False,
+                            "restarting": True,
+                            "restarted": False,
+                            "restarts": max(handle.restarts, 0),
+                        }
+                    )
+                    continue
                 restarted = False
                 try:
                     if not handle.send(OP_PING, None):
                         raise ClusterError(
-                            f"worker {handle.worker_id} is not running"
+                            f"worker {handle.label} is not running"
                         )
                     pong = handle.receive(
                         self._request_timeout, what="ping"
@@ -711,6 +1123,8 @@ class ClusterPool:
                 statuses.append(
                     {
                         "worker_id": handle.worker_id,
+                        "replica": handle.replica,
+                        "worker": handle.label,
                         "alive": handle.alive(),
                         "restarted": restarted,
                         "restarts": max(handle.restarts, 0),
@@ -733,7 +1147,10 @@ class ClusterPool:
             return [
                 {
                     "worker_id": handle.worker_id,
-                    "alive": handle.alive(),
+                    "replica": handle.replica,
+                    "worker": handle.label,
+                    "alive": handle.alive() and not handle.restarting,
+                    "restarting": handle.restarting,
                     "restarts": max(handle.restarts, 0),
                 }
                 for handle in self._handles
@@ -754,12 +1171,14 @@ class ClusterPool:
         """Gather per-worker metrics snapshots into a rollup."""
         with self._lock:
             self._ensure_open()
-            snapshots: dict[int, dict[str, Any]] = {}
+            snapshots: dict[str, dict[str, Any]] = {}
             for handle in self._handles:
+                if handle.restarting:
+                    continue  # mid-restart: nothing to report yet
                 if not handle.send(OP_METRICS, None):
                     continue  # a dead worker has no metrics to report
                 try:
-                    snapshots[handle.worker_id] = handle.receive(
+                    snapshots[handle.label] = handle.receive(
                         self._request_timeout, what="metrics"
                     )
                 except ClusterError:
@@ -773,6 +1192,10 @@ class ClusterPool:
                 queries=self._queries,
                 mutations=self._mutations,
                 restarts=self.total_restarts,
+                failovers=self._failovers,
+                degraded=self._degraded_queries,
+                worker_timeouts=self._worker_timeouts,
+                worker_crashes=self._worker_crashes,
             )
 
     def stats_snapshot(self) -> dict[str, Any]:
@@ -789,11 +1212,19 @@ class ClusterPool:
     # -- lifecycle ----------------------------------------------------------
 
     def close(self) -> None:
-        """Stop every worker; idempotent."""
+        """Stop the restarter, then every worker; idempotent."""
         with self._lock:
             if self._closed:
                 return
             self._closed = True
+        # Outside the lock: the restarter may be blocked *on* the lock
+        # (catch-up), and must observe _closed and drain its queue. A
+        # restart thread that never started (bootstrap failure) is not
+        # joinable and gets skipped.
+        self._restart_queue.put(None)
+        if self._restart_thread.is_alive():
+            self._restart_thread.join(timeout=10.0)
+        with self._lock:
             for handle in self._handles:
                 handle.stop()
 

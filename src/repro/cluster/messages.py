@@ -85,6 +85,15 @@ class WorkerSpec:
     #: (:func:`repro.obs.trace_config`), so a spawned worker appends
     #: spans to the same sink; None leaves worker tracing disabled.
     trace: dict[str, Any] | None = None
+    #: Which replica of the partition this process is (0-based).
+    #: Replicas of one partition serve the identical slice — the field
+    #: only labels logs, traces, and metrics.
+    replica: int = 0
+    #: Injected faults for this spawn (the chaos harness's
+    #: :class:`~repro.cluster.faults.FaultInjector` arms these);
+    #: ``{"bootstrap_fail": True}`` makes bootstrap die with an
+    #: injected error. None in production.
+    faults: dict[str, Any] | None = None
 
 
 def encode_stream(

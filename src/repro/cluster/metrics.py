@@ -42,29 +42,46 @@ class ClusterMetrics:
     Parameters
     ----------
     worker_snapshots:
-        ``worker_id -> ServiceMetrics.snapshot()`` dict (as returned by
-        the worker ``metrics`` wire op; may carry extra worker keys).
+        ``worker label -> ServiceMetrics.snapshot()`` dict (as returned
+        by the worker ``metrics`` wire op; may carry extra worker
+        keys). Labels are partition ids (``"0"``) or
+        partition-dot-replica (``"0.1"``) strings; plain ints are
+        accepted for the pre-replication shape.
     queries / mutations / restarts:
         Coordinator-side fleet counters: scatter-gathers served,
         mutations broadcast, and worker processes restarted after a
         crash.
+    failovers / degraded / worker_timeouts / worker_crashes:
+        Replication-era fleet counters: reads failed over to a sibling
+        replica, queries answered with partial coverage, and worker
+        failures by classified cause.
     """
 
     def __init__(
         self,
-        worker_snapshots: Mapping[int, Mapping[str, Any]],
+        worker_snapshots: Mapping[Any, Mapping[str, Any]],
         *,
         queries: int = 0,
         mutations: int = 0,
         restarts: int = 0,
+        failovers: int = 0,
+        degraded: int = 0,
+        worker_timeouts: int = 0,
+        worker_crashes: int = 0,
     ) -> None:
         self.per_worker = {
             worker_id: dict(snapshot)
-            for worker_id, snapshot in sorted(worker_snapshots.items())
+            for worker_id, snapshot in sorted(
+                worker_snapshots.items(), key=lambda item: str(item[0])
+            )
         }
         self.queries = queries
         self.mutations = mutations
         self.restarts = restarts
+        self.failovers = failovers
+        self.degraded = degraded
+        self.worker_timeouts = worker_timeouts
+        self.worker_crashes = worker_crashes
 
     @property
     def num_workers(self) -> int:
@@ -78,6 +95,10 @@ class ClusterMetrics:
             "queries": self.queries,
             "mutations": self.mutations,
             "restarts": self.restarts,
+            "failovers": self.failovers,
+            "degraded": self.degraded,
+            "worker_timeouts": self.worker_timeouts,
+            "worker_crashes": self.worker_crashes,
         }
         for key in _SUMMED:
             combined[key] = sum(

@@ -1,0 +1,137 @@
+"""Replication policy for the cluster: retry/backoff and replica sets.
+
+Two small, deterministic building blocks the coordinator composes:
+
+:class:`RetryPolicy`
+    Bounded exponential backoff with *seeded* jitter. Every delay the
+    policy will ever produce is a pure function of its parameters and
+    seed — two policies built alike sleep alike, which is what lets the
+    chaos harness replay a fault schedule and get the same failover
+    timeline twice. Delays are capped both by ``max_delay`` and by the
+    caller's remaining per-op deadline, so a retry budget can never
+    push a request past the deadline the service promised.
+
+:class:`PartitionGroup`
+    The R replicas serving one partition slot, with a primary cursor.
+    All replicas run the identical deterministic bootstrap (base state
+    + full mutation history), so *any* live replica answers a partition
+    read bitwise-identically; the group's job is only to remember which
+    replica to ask first and to rotate that choice when the primary
+    dies (primary re-election is just "promote the replica that
+    answered").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+from repro.errors import InvalidParameterError
+from repro.utils.rng import make_rng
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard
+    from repro.cluster.coordinator import _WorkerHandle
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with deterministic exponential backoff.
+
+    ``delays()`` yields ``max_attempts - 1`` sleep durations (the first
+    attempt is free): attempt *i* backs off
+    ``base_delay * multiplier**i``, capped at ``max_delay``, then
+    jittered by a factor drawn uniformly from
+    ``[1 - jitter, 1 + jitter]`` using a generator seeded with
+    ``seed`` — the full sequence is reproducible, never shared global
+    randomness.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise InvalidParameterError("max_attempts must be >= 1")
+        if self.base_delay < 0.0 or self.max_delay < 0.0:
+            raise InvalidParameterError("backoff delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise InvalidParameterError("multiplier must be >= 1")
+        if not (0.0 <= self.jitter <= 1.0):
+            raise InvalidParameterError("jitter must be in [0, 1]")
+
+    def delays(self) -> Iterator[float]:
+        """The deterministic backoff schedule (one delay per retry)."""
+        rng = make_rng(self.seed)
+        for attempt in range(self.max_attempts - 1):
+            delay = min(
+                self.max_delay, self.base_delay * self.multiplier**attempt
+            )
+            factor = 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
+            yield max(0.0, delay * factor)
+
+    def capped_delays(self, remaining: float) -> Iterator[float]:
+        """``delays()`` clipped to a per-op deadline: stops yielding
+        once the budget is spent, and never yields a sleep longer than
+        what is left of ``remaining`` seconds."""
+        budget = remaining
+        for delay in self.delays():
+            if budget <= 0.0:
+                return
+            clipped = min(delay, budget)
+            budget -= clipped
+            yield clipped
+
+
+class PartitionGroup:
+    """The replica set serving one partition of the id space.
+
+    ``handles`` all carry the same ``partition_id`` (their
+    :class:`~repro.cluster.messages.WorkerSpec` pins the identical
+    deterministic slice); ``primary_index`` is the read cursor.
+    """
+
+    def __init__(
+        self, partition_id: int, handles: "list[_WorkerHandle]"
+    ) -> None:
+        if not handles:
+            raise InvalidParameterError(
+                "a partition group needs at least one replica"
+            )
+        self.partition_id = partition_id
+        self.handles = list(handles)
+        self.primary_index = 0
+
+    @property
+    def primary(self) -> "_WorkerHandle":
+        return self.handles[self.primary_index]
+
+    def promote(self, handle: "_WorkerHandle") -> bool:
+        """Make ``handle`` the primary (the replica that just answered
+        a failed-over read wins the election). Returns True when the
+        cursor actually moved."""
+        index = self.handles.index(handle)
+        moved = index != self.primary_index
+        self.primary_index = index
+        return moved
+
+    def read_order(self) -> "list[_WorkerHandle]":
+        """Replicas in failover order: the primary first, then the
+        rest by replica slot — deterministic, so a replayed fault
+        schedule fails over to the same replica every run."""
+        return (
+            self.handles[self.primary_index:]
+            + self.handles[: self.primary_index]
+        )
+
+    def live_replicas(self) -> "list[_WorkerHandle]":
+        """Replicas currently usable for a read, in failover order
+        (excludes dead handles and those mid-restart)."""
+        return [
+            handle
+            for handle in self.read_order()
+            if handle.alive() and not handle.restarting
+        ]

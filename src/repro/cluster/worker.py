@@ -26,6 +26,7 @@ that is what keeps the design exact and simple:
 from __future__ import annotations
 
 import signal
+import time
 from dataclasses import dataclass
 from typing import Any
 
@@ -114,6 +115,14 @@ class WorkerState:
 
 def bootstrap(spec: WorkerSpec) -> WorkerState:
     """Build a serving replica from a spec (spawn- and restart-path)."""
+    if spec.faults is not None and spec.faults.get("bootstrap_fail"):
+        # Armed by the chaos harness: die exactly the way a corrupt
+        # snapshot or missing substrate would, through the same
+        # report-then-exit path in worker_main.
+        raise ClusterError(
+            f"injected bootstrap failure (worker {spec.worker_id}"
+            f".{spec.replica})"
+        )
     if spec.snapshot_path is not None:
         from repro.store.snapshot import load_snapshot
 
@@ -154,6 +163,12 @@ def bootstrap(spec: WorkerSpec) -> WorkerState:
 
 
 def _handle_search(state: WorkerState, payload: dict[str, Any]) -> Any:
+    fault_sleep = payload.get("fault_sleep")
+    if fault_sleep:
+        # Injected slowness (chaos harness): stall *before* touching
+        # state, so a coordinator that times out and fails over never
+        # races a half-finished search.
+        time.sleep(float(fault_sleep))
     check_version(
         state.effective_version,
         payload["version"],

@@ -75,6 +75,13 @@ class SearchResult:
     ``timed_out`` is True the search exceeded its time budget and
     ``entries`` holds whatever had been verified by then — the way the
     paper reports timed-out queries separately rather than crashing.
+
+    ``degraded`` marks a *partial-coverage* answer: a distributed
+    backend could not reach any replica of one or more partitions, so
+    ``entries`` is exact over the partitions that answered but may miss
+    sets from the silent ones. ``coverage`` is then
+    ``(partitions answered, partitions total)``; both stay at their
+    defaults on every fully-covered search.
     """
 
     entries: list[ResultEntry]
@@ -82,6 +89,8 @@ class SearchResult:
     k: int
     timed_out: bool = False
     partition_stats: list[SearchStats] = field(default_factory=list)
+    degraded: bool = False
+    coverage: tuple[int, int] | None = None
 
     def ids(self) -> list[int]:
         return [entry.set_id for entry in self.entries]

@@ -56,6 +56,27 @@ class ClusterError(ReproError):
     the coordinator's version barrier, or a worker response timed out."""
 
 
+class WorkerTimeoutError(ClusterError):
+    """A worker produced no reply within its deadline. The process may
+    still be alive with the reply in flight, so the coordinator must
+    drop the connection before reusing the worker — a late reply would
+    desynchronize the request/reply pipe for every later op."""
+
+
+class WorkerCrashError(ClusterError):
+    """A worker's pipe reported EOF or an OS-level transport failure:
+    the process died (crash, kill, OOM) or its connection was torn.
+    Safe to fail over: the worker never saw — or never finished — the
+    request, and a replica serves the identical partition."""
+
+
+class WorkerProtocolError(ClusterError):
+    """A worker answered, but with an error status or a malformed
+    frame — bootstrap failure, version-barrier violation, or an
+    engine-side exception. NOT safe to blindly fail over: a replica
+    replaying the same deterministic state would answer the same."""
+
+
 class GatewayError(ReproError):
     """Raised when the network gateway cannot start or serve — a broken
     tenant configuration, an unknown tenant on the wire, or a listener

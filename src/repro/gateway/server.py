@@ -562,8 +562,11 @@ class GatewayServer:
             if callable(liveness):
                 for status in liveness():
                     if not status["alive"]:
+                        worker = status.get(
+                            "worker", status["worker_id"]
+                        )
                         workers_down.append(
-                            f"{tenant.name}/worker-{status['worker_id']}"
+                            f"{tenant.name}/worker-{worker}"
                         )
             wal = tenant.stack.wal
             if wal is not None:
@@ -723,15 +726,33 @@ class GatewayServer:
                 responses.append(await self._handle_search(conn, obj))
         status = 200
         retry_after: float | None = None
-        if len(responses) == 1:
+        warning: str | None = None
+        degraded_ids: list[str] = []
+        for response in responses:
             try:
-                decoded = json.loads(responses[0])
+                decoded = json.loads(response)
             except json.JSONDecodeError:
-                decoded = {}
-            if isinstance(decoded, dict) and decoded.get("rejected"):
+                continue
+            if not isinstance(decoded, dict):
+                continue
+            if len(responses) == 1 and decoded.get("rejected"):
                 status = 429
                 retry_after = decoded.get("retry_after_seconds")
-        await _http_reply(conn, status, responses, retry_after=retry_after)
+            if decoded.get("degraded"):
+                degraded_ids.append(str(decoded.get("id")))
+        if degraded_ids:
+            # RFC 7234-style Warning: the answer is valid but partial
+            # (>= 1 partition had no live replica). Status stays 200 —
+            # the body says which requests, the header lets a proxy or
+            # client flag the response without parsing it.
+            warning = (
+                '214 repro-gateway "degraded: partial partition '
+                f'coverage ({", ".join(degraded_ids)})"'
+            )
+        await _http_reply(
+            conn, status, responses,
+            retry_after=retry_after, warning=warning,
+        )
 
 
 async def _immediate(text: str) -> str:
@@ -755,6 +776,7 @@ async def _http_reply(
     lines: list[str],
     *,
     retry_after: float | None = None,
+    warning: str | None = None,
     content_type: str = "application/json",
 ) -> None:
     body = ("\n".join(lines) + "\n").encode("utf-8")
@@ -767,6 +789,8 @@ async def _http_reply(
     )
     if retry_after is not None:
         head += f"Retry-After: {max(1, round(retry_after))}\r\n"
+    if warning is not None:
+        head += f"Warning: {warning}\r\n"
     conn.writer.write(head.encode("latin-1") + b"\r\n" + body)
     await conn.writer.drain()
 

@@ -50,6 +50,8 @@ _COUNTERS = (
     ("cache_hits", "repro_cache_hits_total", "Result-cache hits"),
     ("deduplicated", "repro_deduplicated_total",
      "Requests coalesced onto in-flight twins"),
+    ("degraded", "repro_degraded_total",
+     "Requests answered with partial partition coverage"),
     ("batches", "repro_batches_total", "Engine micro-batches executed"),
     ("batched_requests", "repro_batched_requests_total",
      "Requests carried by micro-batches"),
@@ -219,6 +221,14 @@ def cluster_to_registry(
          "Mutations replicated fleet-wide"),
         ("restarts", "repro_cluster_restarts_total",
          "Worker processes restarted after a crash"),
+        ("failovers", "repro_cluster_failovers_total",
+         "Partition reads failed over to a sibling replica"),
+        ("degraded", "repro_cluster_degraded_total",
+         "Queries answered with partial partition coverage"),
+        ("worker_timeouts", "repro_cluster_worker_timeouts_total",
+         "Worker replies that missed their deadline"),
+        ("worker_crashes", "repro_cluster_worker_crashes_total",
+         "Worker pipe failures classified as crashes"),
     ):
         registry.counter(name, help_text, ("tenant",)).labels(
             tenant

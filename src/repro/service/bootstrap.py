@@ -166,6 +166,7 @@ def build_serving_stack(
     cache_namespace: Hashable | None = None,
     metrics: ServiceMetrics | None = None,
     cluster_workers: int | None = None,
+    cluster_replicas: int = 1,
 ) -> ServingStack:
     """Load a collection and wire the full serving stack around it.
 
@@ -180,12 +181,23 @@ def build_serving_stack(
     worker processes (``shards`` then means engines per worker); WAL
     records replay through the cluster's bootstrap path so worker
     replicas and the coordinator derive identical state.
+    ``cluster_replicas`` spawns that many processes per partition slot
+    (failover reads; ignored for in-process serving).
     """
-    from repro.store.wal import WriteAheadLog
+    from repro.store.wal import WriteAheadLog, pending_records, replay_pending
 
     collection, index, sim, descriptor, snapshot_path = load_serving_stack(
         collection_path, alpha=alpha, jaccard=jaccard, dim=dim
     )
+    # Snapshot inputs may carry the WAL-compaction handshake: records
+    # already folded into the snapshot must not be replayed a second
+    # time if a crash landed between the snapshot replace and the WAL
+    # reset (see repro.store.wal.pending_records).
+    snapshot_manifest = None
+    if snapshot_path is not None and wal_path is not None:
+        from repro.store.snapshot import inspect_snapshot
+
+        snapshot_manifest = inspect_snapshot(snapshot_path)
     config = FilterConfig.koios(iub_mode=iub_mode, engine=engine)
     wal = None
     replayed = 0
@@ -204,7 +216,9 @@ def build_serving_stack(
             # NOT replay_into: the cluster needs the version-0 base and
             # applies prior mutations itself, so restarted workers can
             # reconstruct byte-identical state from base + history.
-            bootstrap_records = tuple(wal.records())
+            bootstrap_records = tuple(
+                pending_records(wal, snapshot_manifest)
+            )
             replayed = len(bootstrap_records)
         pool = ClusterPool(
             collection,
@@ -212,6 +226,7 @@ def build_serving_stack(
             sim,
             alpha=alpha,
             workers=cluster_workers,
+            replicas=cluster_replicas,
             shards=shards,
             config=config,
             snapshot_path=snapshot_path,
@@ -227,7 +242,7 @@ def build_serving_stack(
 
                 collection = MutableSetCollection(collection)
             wal = WriteAheadLog(wal_path)
-            replayed = wal.replay_into(collection)
+            replayed = replay_pending(wal, snapshot_manifest, collection)
             if replayed:
                 extend = getattr(index, "extend", None)
                 if extend is not None:

@@ -66,6 +66,7 @@ class ServiceMetrics:
         self.queue_depth_peak = 0
         self.cache_hits = 0
         self.deduplicated = 0
+        self.degraded = 0
         self.batches = 0
         self.batched_requests = 0
         self.timer = PhaseTimer()
@@ -108,16 +109,25 @@ class ServiceMetrics:
             self.batched_requests += size
 
     def record_completed(
-        self, seconds: float, stats: SearchStats | None = None
+        self,
+        seconds: float,
+        stats: SearchStats | None = None,
+        *,
+        degraded: bool = False,
     ) -> None:
         with self._lock:
             self.completed += 1
+            if degraded:
+                self.degraded += 1
             self._latencies.observe(seconds)
             self._latency_hist.observe(seconds)
             if stats is not None:
                 self.engine_stats.merge(stats)
             self.resources.charge_search(seconds, stats)
-        self.slo.record(seconds)
+        # A degraded answer burns error budget: the service responded,
+        # but with partial coverage — an SLO that only counted hard
+        # errors would sleep through a partition outage.
+        self.slo.record(seconds, error=degraded)
 
     def record_error(self) -> None:
         with self._lock:
@@ -232,6 +242,7 @@ class ServiceMetrics:
                     else 0.0
                 ),
                 "deduplicated": self.deduplicated,
+                "degraded": self.degraded,
                 "batches": self.batches,
                 "mean_batch_occupancy": round(self.mean_batch_occupancy, 3),
                 "latency_p50": round(percentile(samples, 0.50), 6),

@@ -507,9 +507,21 @@ def merge_results(shard_results: list[SearchResult], k: int) -> SearchResult:
     stats = SearchStats()
     partition_stats: list[SearchStats] = []
     timed_out = False
+    degraded = False
+    coverage: tuple[int, int] | None = None
     candidates: list[ResultEntry] = []
     for result in shard_results:
         timed_out = timed_out or result.timed_out
+        if result.degraded:
+            degraded = True
+        if result.coverage is not None:
+            # Partial coverage combines by summing: partials merged
+            # here partition disjoint slices of one id space.
+            answered, total = result.coverage
+            if coverage is None:
+                coverage = (answered, total)
+            else:
+                coverage = (coverage[0] + answered, coverage[1] + total)
         stats.merge(result.stats)
         partition_stats.extend(result.partition_stats)
         candidates.extend(result.entries)
@@ -527,4 +539,6 @@ def merge_results(shard_results: list[SearchResult], k: int) -> SearchResult:
         k=k,
         timed_out=timed_out,
         partition_stats=partition_stats,
+        degraded=degraded,
+        coverage=coverage,
     )

@@ -145,6 +145,11 @@ class SearchResponse:
     #: The EXPLAIN payload (:func:`repro.obs.explain.build_explain`)
     #: when the request asked for one; absent from the wire otherwise.
     explain: Any = None
+    #: Partial-coverage answer: a distributed backend lost every
+    #: replica of >= 1 partition. ``coverage`` is then
+    #: ``[answered, total]`` partitions; both absent when healthy.
+    degraded: bool = False
+    coverage: tuple[int, int] | None = None
 
     @classmethod
     def failure(cls, request_id: str, error: str) -> "SearchResponse":
@@ -163,6 +168,10 @@ class SearchResponse:
             obj["deduplicated"] = True
         if self.timed_out:
             obj["timed_out"] = True
+        if self.degraded:
+            obj["degraded"] = True
+            if self.coverage is not None:
+                obj["coverage"] = list(self.coverage)
         if self.explain is not None:
             obj["explain"] = self.explain
         return obj

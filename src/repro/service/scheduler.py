@@ -61,6 +61,8 @@ class _Payload:
     seconds: float
     stats: SearchStats | None = None
     partition_stats: tuple[SearchStats, ...] = ()
+    degraded: bool = False
+    coverage: tuple[int, int] | None = None
 
 
 class Ticket:
@@ -129,6 +131,8 @@ class Ticket:
             timed_out=payload.timed_out,
             seconds=0.0 if self._cached else payload.seconds,
             explain=explain,
+            degraded=payload.degraded,
+            coverage=payload.coverage,
         )
 
 
@@ -477,10 +481,21 @@ class QueryScheduler:
                 seconds=seconds,
                 stats=result.stats,
                 partition_stats=tuple(result.partition_stats),
+                degraded=getattr(result, "degraded", False),
+                coverage=getattr(result, "coverage", None),
             )
-            if self._cache is not None and not result.timed_out:
+            # Degraded answers (like timed-out ones) are honest but
+            # partial — never cache them, or a transient outage would
+            # keep answering after the fleet recovered.
+            if (
+                self._cache is not None
+                and not result.timed_out
+                and not payload.degraded
+            ):
                 self._cache.put(key, payload)
-            self.metrics.record_completed(seconds, result.stats)
+            self.metrics.record_completed(
+                seconds, result.stats, degraded=payload.degraded
+            )
             with self._lock:
                 self._inflight.pop(key, None)
             try:

@@ -35,6 +35,8 @@ from repro.store.wal import (
     WriteAheadLog,
     apply_record,
     compact,
+    pending_records,
+    replay_pending,
 )
 
 __all__ = [
@@ -50,6 +52,8 @@ __all__ = [
     "compact",
     "inspect_snapshot",
     "load_snapshot",
+    "pending_records",
+    "replay_pending",
     "restore_substrate",
     "save_snapshot",
     "substrate_fingerprint",

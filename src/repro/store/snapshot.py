@@ -67,9 +67,15 @@ class SnapshotManifest:
     total_memberships: int
     total_postings: int
     substrate: dict[str, Any] | None
+    #: WAL-compaction handshake (see :mod:`repro.store.wal`): the log
+    #: generation this snapshot folded records from, and how many of
+    #: that generation's leading records it contains. None for
+    #: snapshots written outside a compaction.
+    wal_generation: int | None = None
+    wal_applied: int = 0
 
     def to_obj(self) -> dict[str, Any]:
-        return {
+        obj = {
             "format_version": self.format_version,
             "checksum": self.checksum,
             "fingerprint": self.fingerprint,
@@ -79,10 +85,15 @@ class SnapshotManifest:
             "total_postings": self.total_postings,
             "substrate": self.substrate,
         }
+        if self.wal_generation is not None:
+            obj["wal_generation"] = self.wal_generation
+            obj["wal_applied"] = self.wal_applied
+        return obj
 
     @classmethod
     def from_obj(cls, obj: dict[str, Any]) -> "SnapshotManifest":
         try:
+            wal_generation = obj.get("wal_generation")
             return cls(
                 format_version=int(obj["format_version"]),
                 checksum=str(obj["checksum"]),
@@ -92,6 +103,10 @@ class SnapshotManifest:
                 total_memberships=int(obj["total_memberships"]),
                 total_postings=int(obj["total_postings"]),
                 substrate=obj.get("substrate"),
+                wal_generation=(
+                    None if wal_generation is None else int(wal_generation)
+                ),
+                wal_applied=int(obj.get("wal_applied", 0)),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise SnapshotError(f"malformed snapshot manifest: {exc}") from exc
@@ -132,12 +147,16 @@ def save_snapshot(
     *,
     store=None,
     substrate: dict[str, Any] | None = None,
+    wal_generation: int | None = None,
+    wal_applied: int = 0,
 ) -> SnapshotManifest:
     """Serialize ``collection`` (+ optional vector ``store``) to ``path``.
 
     Set ids are densified to 0..len-1 in current id order, so snapshotting
     a mutated :class:`~repro.store.mutable.MutableSetCollection` folds its
     tombstones away — this is exactly what WAL compaction relies on.
+    ``wal_generation``/``wal_applied`` stamp the compaction handshake
+    into the manifest (see :func:`repro.store.wal.pending_records`).
     Returns the written manifest.
     """
     tokens = sorted(collection.vocabulary)
@@ -184,6 +203,8 @@ def save_snapshot(
         total_memberships=len(member_ids),
         total_postings=int(posting_lengths.sum()) if len(tokens) else 0,
         substrate=substrate,
+        wal_generation=wal_generation,
+        wal_applied=wal_applied,
     )
 
     path = Path(path)
@@ -202,7 +223,24 @@ def save_snapshot(
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp, path)
+    # The rename is only durable once the *directory* entry is — a
+    # power loss after replace but before the dirent reaches disk
+    # could resurrect the old snapshot beside an already-reset WAL.
+    _fsync_directory(path.parent)
     return manifest
+
+
+def _fsync_directory(directory: Path) -> None:
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 def _encode_vectors(store, tokens: list[str]) -> bytes:

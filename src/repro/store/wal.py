@@ -17,6 +17,21 @@ overlay, vacuum tombstones, write the densified state with
 :func:`~repro.store.snapshot.save_snapshot` (atomic rename), then reset
 the log. Ids are renumbered by compaction; the wire protocol and the WAL
 therefore address sets by *name*, which survives it.
+
+Compaction is **crash-atomic**: the snapshot write is fsync'd, renamed
+into place, and the containing directory fsync'd, so a crash leaves
+either the old or the new snapshot — never a torn one. The window
+*between* the snapshot rename and the log reset is covered by a
+**generation handshake**: the new snapshot's manifest records the log's
+``generation`` and how many of its records were folded in
+(``wal_applied``), and :meth:`WriteAheadLog.reset` bumps the generation
+(as a durable header line, written atomically). Recovery — and a
+re-run of :func:`compact` itself — replays only
+:func:`pending_records`: when the log's generation matches the
+manifest's, the first ``wal_applied`` records are already inside the
+snapshot and are skipped; any other generation replays in full. A crash
+at *any* point therefore recovers to the same collection state, applied
+exactly once.
 """
 
 from __future__ import annotations
@@ -87,6 +102,31 @@ def _crc(body: dict[str, Any]) -> str:
     return format(zlib.crc32(canonical.encode("utf-8")), "08x")
 
 
+def _generation_header_line(generation: int) -> str:
+    body: dict[str, Any] = {"gen": generation}
+    body["crc"] = _crc({"gen": generation})
+    return json.dumps(body, sort_keys=True, separators=(",", ":"))
+
+
+def _parse_generation_header(raw_line: bytes) -> int | None:
+    """The generation a header line declares; None when the line is an
+    ordinary record (or not a header at all — the caller then parses it
+    as a record and surfaces the proper error)."""
+    try:
+        obj = json.loads(raw_line.decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    if not isinstance(obj, dict) or "gen" not in obj or "op" in obj:
+        return None
+    crc = obj.pop("crc", None)
+    if crc != _crc(obj):
+        raise WalError("WAL generation header failed its CRC check")
+    try:
+        return int(obj["gen"])
+    except (TypeError, ValueError) as exc:
+        raise WalError("malformed WAL generation header") from exc
+
+
 class WriteAheadLog:
     """An append-only log of insert/delete/replace operations.
 
@@ -111,6 +151,10 @@ class WriteAheadLog:
         self._fsync = fsync
         self._next_seq = 1
         self._handle = None
+        #: Bumped by every :meth:`reset`; persisted as a header line so
+        #: a snapshot manifest can name exactly which log epoch its
+        #: ``wal_applied`` count refers to. 0 for a headerless log.
+        self.generation = 0
         if self.path.exists():
             records, truncate_at = self._parse()
             if truncate_at is not None:
@@ -135,6 +179,7 @@ class WriteAheadLog:
         offset = 0
         nonblank = [i for i, b in enumerate(raw_lines) if b.strip()]
         last_nonblank = nonblank[-1] if nonblank else -1
+        first_nonblank = nonblank[0] if nonblank else -1
         for position, raw_line in enumerate(raw_lines):
             # +1 for the newline removed by split (absent on the final
             # fragment).
@@ -144,6 +189,12 @@ class WriteAheadLog:
             if not raw_line.strip():
                 offset += line_bytes
                 continue
+            if position == first_nonblank:
+                generation = _parse_generation_header(raw_line)
+                if generation is not None:
+                    self.generation = generation
+                    offset += line_bytes
+                    continue
             try:
                 record = WalRecord.from_line(
                     raw_line.decode("utf-8")
@@ -228,9 +279,23 @@ class WriteAheadLog:
         self.close()
 
     def reset(self) -> None:
-        """Truncate the log (its contents are folded into a snapshot)."""
+        """Truncate the log (its contents are folded into a snapshot),
+        bumping the durable generation.
+
+        Atomic (tmp file + ``os.replace`` + directory fsync): a crash
+        mid-reset leaves either the full old log — whose generation
+        still matches the new snapshot's manifest, so recovery skips
+        its folded records — or the fresh next-generation header.
+        """
         self.close()
-        self.path.write_text("", encoding="utf-8")
+        self.generation += 1
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(_generation_header_line(self.generation) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+        _fsync_directory(self.path.parent)
         self._next_seq = 1
 
     def replay_into(self, collection) -> int:
@@ -240,6 +305,51 @@ class WriteAheadLog:
             apply_record(record, collection)
             count += 1
         return count
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Make a rename in ``directory`` durable (no-op where directories
+    cannot be opened, e.g. some network filesystems)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def pending_records(wal: WriteAheadLog, manifest) -> list[WalRecord]:
+    """The records of ``wal`` not yet folded into the snapshot described
+    by ``manifest`` (None = no snapshot: everything is pending).
+
+    When the manifest's ``wal_generation`` matches the log's current
+    generation, its first ``wal_applied`` records are already inside the
+    snapshot — the compact that wrote it crashed before resetting the
+    log — and replaying them again would double-apply. Any other
+    generation (or a manifest that predates the handshake) replays in
+    full.
+    """
+    records = wal.records()
+    generation = getattr(manifest, "wal_generation", None)
+    if generation is None or generation != wal.generation:
+        return records
+    applied = int(getattr(manifest, "wal_applied", 0) or 0)
+    return records[applied:]
+
+
+def replay_pending(wal: WriteAheadLog, manifest, collection) -> int:
+    """Apply :func:`pending_records` to a mutable collection; returns
+    the count (the crash-safe form of :meth:`WriteAheadLog.replay_into`
+    for snapshot-backed serving)."""
+    count = 0
+    for record in pending_records(wal, manifest):
+        apply_record(record, collection)
+        count += 1
+    return count
 
 
 def apply_record(record: WalRecord, collection) -> int:
@@ -265,17 +375,23 @@ def compact(
 ):
     """Fold ``wal`` into the snapshot at ``snapshot_path``.
 
-    Loads the snapshot, replays the log onto a mutable overlay, vacuums
+    Loads the snapshot, replays the log's *pending* records onto a
+    mutable overlay (skipping any leading records a crashed earlier
+    compact already folded in — see :func:`pending_records`), vacuums
     tombstoned postings, extends the vector substrate with any new
     vocabulary, and writes the densified state back (atomically, to
-    ``output`` or in place). The log is reset only after the new
-    snapshot is durable. Returns the new manifest.
+    ``output`` or in place) with the generation handshake in its
+    manifest. The log is reset only after the new snapshot is durable.
+    Returns the new manifest.
     """
     from repro.store.snapshot import load_snapshot, save_snapshot
 
     loaded = load_snapshot(snapshot_path, verify=verify)
     overlay = loaded.mutable()
-    applied = wal.replay_into(overlay)
+    records = pending_records(wal, loaded.manifest)
+    for record in records:
+        apply_record(record, overlay)
+    applied = len(records)
     overlay.vacuum()
     store = getattr(loaded.token_index, "store", None)
     if store is not None and hasattr(store, "extend"):
@@ -285,6 +401,10 @@ def compact(
         overlay,
         store=store,
         substrate=loaded.manifest.substrate,
+        # The handshake: *total* records now inside the snapshot — the
+        # skipped prefix of a crashed earlier compact plus this fold.
+        wal_generation=wal.generation,
+        wal_applied=len(wal.records()),
     )
     wal.reset()
     return manifest, applied

@@ -1,0 +1,192 @@
+"""Unit tests for the replication building blocks: seeded retry
+backoff, partition replica groups, and deterministic fault plans."""
+
+import pytest
+
+from repro.cluster.faults import (
+    BOOTSTRAP,
+    DROP,
+    KILL,
+    SLOW,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+)
+from repro.cluster.replication import PartitionGroup, RetryPolicy
+from repro.errors import InvalidParameterError
+
+
+class FakeHandle:
+    """The duck-typed surface PartitionGroup needs from a worker."""
+
+    def __init__(self, name, *, live=True):
+        self.name = name
+        self.live = live
+        self.restarting = False
+
+    def alive(self):
+        return self.live
+
+    def __repr__(self):
+        return f"FakeHandle({self.name})"
+
+
+class TestRetryPolicy:
+    def test_same_policy_sleeps_alike(self):
+        a = list(RetryPolicy(max_attempts=5, seed=7).delays())
+        b = list(RetryPolicy(max_attempts=5, seed=7).delays())
+        assert a == b
+        assert len(a) == 4
+
+    def test_seed_changes_the_jitter(self):
+        a = list(RetryPolicy(max_attempts=5, seed=1).delays())
+        b = list(RetryPolicy(max_attempts=5, seed=2).delays())
+        assert a != b
+
+    def test_zero_jitter_is_pure_exponential(self):
+        policy = RetryPolicy(
+            max_attempts=4, base_delay=0.1, multiplier=2.0, jitter=0.0
+        )
+        assert list(policy.delays()) == pytest.approx([0.1, 0.2, 0.4])
+
+    def test_delays_respect_max_delay_cap(self):
+        policy = RetryPolicy(
+            max_attempts=8, base_delay=1.0, max_delay=2.0,
+            multiplier=10.0, jitter=0.0,
+        )
+        assert max(policy.delays()) <= 2.0
+
+    def test_jitter_stays_within_the_band(self):
+        policy = RetryPolicy(
+            max_attempts=20, base_delay=0.1, max_delay=0.1, jitter=0.5
+        )
+        for delay in policy.delays():
+            assert 0.05 <= delay <= 0.15
+
+    def test_capped_delays_never_exceed_the_budget(self):
+        policy = RetryPolicy(
+            max_attempts=10, base_delay=1.0, max_delay=8.0, jitter=0.0
+        )
+        clipped = list(policy.capped_delays(2.5))
+        assert sum(clipped) <= 2.5 + 1e-9
+        # The budget truncates the schedule: 1.0 + 1.5 (clipped from 2.0).
+        assert clipped == pytest.approx([1.0, 1.5])
+
+    def test_capped_delays_with_zero_budget_yields_nothing(self):
+        assert list(RetryPolicy().capped_delays(0.0)) == []
+
+    def test_parameter_validation(self):
+        with pytest.raises(InvalidParameterError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(InvalidParameterError):
+            RetryPolicy(base_delay=-1.0)
+        with pytest.raises(InvalidParameterError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(InvalidParameterError):
+            RetryPolicy(jitter=1.5)
+
+
+class TestPartitionGroup:
+    def test_promote_moves_the_cursor_and_reports_movement(self):
+        handles = [FakeHandle("a"), FakeHandle("b"), FakeHandle("c")]
+        group = PartitionGroup(0, handles)
+        assert group.primary is handles[0]
+        assert group.promote(handles[2]) is True
+        assert group.primary is handles[2]
+        # Re-promoting the current primary is not an election.
+        assert group.promote(handles[2]) is False
+
+    def test_read_order_rotates_from_the_primary(self):
+        handles = [FakeHandle("a"), FakeHandle("b"), FakeHandle("c")]
+        group = PartitionGroup(0, handles)
+        group.promote(handles[1])
+        assert [h.name for h in group.read_order()] == ["b", "c", "a"]
+
+    def test_live_replicas_skips_dead_and_restarting(self):
+        handles = [FakeHandle("a"), FakeHandle("b"), FakeHandle("c")]
+        handles[0].live = False
+        handles[1].restarting = True
+        group = PartitionGroup(0, handles)
+        assert [h.name for h in group.live_replicas()] == ["c"]
+
+    def test_empty_group_is_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            PartitionGroup(0, [])
+
+
+class TestFaultPlan:
+    def test_same_seed_same_plan(self):
+        kwargs = dict(
+            ops=110, partitions=3, replicas=2,
+            kills=3, drops=1, slows=1, bootstrap_failures=1,
+        )
+        assert FaultPlan.from_seed(7, **kwargs) == FaultPlan.from_seed(
+            7, **kwargs
+        )
+        assert FaultPlan.from_seed(7, **kwargs) != FaultPlan.from_seed(
+            8, **kwargs
+        )
+
+    def test_events_land_on_distinct_mid_workload_ops(self):
+        plan = FaultPlan.from_seed(
+            3, ops=100, partitions=2, replicas=2, kills=5, drops=3, slows=2
+        )
+        slots = [event.at_op for event in plan.events]
+        assert len(set(slots)) == len(slots)
+        assert slots == sorted(slots)
+        assert all(10 <= s < 90 for s in slots)
+        assert plan.counts() == {
+            KILL: 5, DROP: 3, SLOW: 2, BOOTSTRAP: 0,
+        }
+        for event in plan.events:
+            assert 0 <= event.partition < 2
+            assert 0 <= event.replica < 2
+
+    def test_too_many_faults_for_the_workload_is_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            FaultPlan.from_seed(0, ops=10, partitions=1, kills=50)
+
+    def test_unknown_kind_is_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            FaultEvent(at_op=1, kind="meteor", partition=0, replica=0)
+
+
+class TestFaultInjector:
+    def test_slow_and_bootstrap_arm_then_drain_exactly_once(self):
+        plan = FaultPlan(
+            events=(
+                FaultEvent(at_op=0, kind=SLOW, partition=1, replica=0,
+                           duration=0.25),
+                FaultEvent(at_op=1, kind=BOOTSTRAP, partition=0,
+                           replica=1, count=2),
+            )
+        )
+        injector = FaultInjector(plan)
+        # SLOW/BOOTSTRAP firings never touch the pool, so None is fine.
+        injector.begin_op(None)
+        assert injector.payload_faults(1, 0) == {"fault_sleep": 0.25}
+        assert injector.payload_faults(1, 0) is None  # drained
+        assert injector.payload_faults(0, 0) is None  # wrong replica
+        injector.begin_op(None)
+        assert injector.spawn_faults(0, 1) == {"bootstrap_fail": True}
+        assert injector.spawn_faults(0, 1) == {"bootstrap_fail": True}
+        assert injector.spawn_faults(0, 1) is None  # count exhausted
+        summary = injector.summary()
+        assert summary["fired"] == {
+            KILL: 0, DROP: 0, SLOW: 1, BOOTSTRAP: 1,
+        }
+        assert summary["unfired"] == 0
+
+    def test_late_scheduled_events_fire_when_their_op_arrives(self):
+        plan = FaultPlan(
+            events=(
+                FaultEvent(at_op=2, kind=SLOW, partition=0, replica=0,
+                           duration=0.5),
+            )
+        )
+        injector = FaultInjector(plan)
+        injector.begin_op(None)  # op 0
+        injector.begin_op(None)  # op 1
+        assert injector.payload_faults(0, 0) is None
+        injector.begin_op(None)  # op 2: due now
+        assert injector.payload_faults(0, 0) == {"fault_sleep": 0.5}

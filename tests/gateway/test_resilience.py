@@ -1,0 +1,149 @@
+"""Gateway resilience over live sockets.
+
+Two regressions the replication work must hold:
+
+* a cluster worker SIGKILLed *mid-request* — while it holds the
+  in-flight search — produces a structured answer on the same
+  connection (the coordinator revives the partition inside the op's
+  deadline), never a hang or a dropped connection;
+* a degraded answer crosses both transports honestly: the JSON line
+  carries ``degraded``/``coverage`` and the HTTP adapter adds the
+  RFC 7234-style ``Warning`` header naming the affected request ids.
+"""
+
+import asyncio
+import dataclasses
+import json
+
+from repro.cluster.faults import SLOW, FaultEvent, FaultInjector, FaultPlan
+
+from tests.gateway.test_server import Client
+from tests.gateway.test_server import TestHttpAdapter as _HttpAdapter
+from tests.gateway.test_slo_health import (
+    CORPUS,
+    cluster_dir,  # noqa: F401 — pytest fixture, resolved by name
+    run_cluster_gateway,
+)
+
+
+class TestWorkerDeathMidRequest:
+    def test_sigkill_while_request_in_flight_answers_structured(
+        self, cluster_dir
+    ):
+        """Park the in-flight search inside the primary with an
+        injected sleep, SIGKILL that worker while it holds the request,
+        and require a structured result line on the same socket."""
+
+        async def scenario(server):
+            client = await Client.connect(server.port)
+            await client.roundtrip({"op": "hello", "tenant": "clustered"})
+            warm = await client.roundtrip(
+                {"id": "warm", "query": CORPUS["west"], "k": 3}
+            )
+            pool = server.registry.get("clustered").scheduler.pool
+            # Arm the next op: partition 0's primary sleeps 8s on this
+            # search, guaranteeing the kill lands mid-request.
+            pool._fault_injector = FaultInjector(
+                FaultPlan(
+                    events=(
+                        FaultEvent(
+                            at_op=0, kind=SLOW, partition=0, replica=0,
+                            duration=8.0,
+                        ),
+                    )
+                )
+            )
+            victim_process = pool.replica_handle(0, 0).process
+            await client.send(
+                {"id": "mid", "query": CORPUS["east"], "k": 3}
+            )
+            await asyncio.sleep(1.0)  # request is now inside the worker
+            assert victim_process.is_alive()
+            victim_process.kill()
+            response = await client.recv()
+            follow = await client.roundtrip(
+                {"id": "after", "query": CORPUS["mix"], "k": 3}
+            )
+            restarts = pool.total_restarts
+            await client.close()
+            return warm, response, follow, restarts
+
+        warm, response, follow, restarts = run_cluster_gateway(
+            cluster_dir, scenario
+        )
+        assert warm["results"]
+        # The mid-request kill was repaired inside the op: a structured
+        # result line, full coverage, same connection.
+        assert response["id"] == "mid"
+        assert response["results"]
+        assert "error" not in response
+        assert "degraded" not in response
+        assert restarts >= 1
+        # The connection survived and keeps serving.
+        assert follow["id"] == "after"
+        assert follow["results"]
+
+
+class TestDegradedCrossesTheWire:
+    def test_degraded_line_and_http_warning_header(self, cluster_dir):
+        """A degraded scheduler answer reaches the JSON-lines client
+        as ``degraded``/``coverage`` fields and the HTTP client as a
+        200 with a ``Warning: 214`` header naming the request id."""
+
+        async def scenario(server):
+            tenant = server.registry.get("clustered")
+            scheduler = tenant.scheduler
+            original = scheduler.answer
+
+            def degraded_answer(request):
+                return dataclasses.replace(
+                    original(request), degraded=True, coverage=(1, 2)
+                )
+
+            scheduler.answer = degraded_answer
+            try:
+                client = await Client.connect(server.port)
+                await client.roundtrip(
+                    {"op": "hello", "tenant": "clustered"}
+                )
+                line = await client.roundtrip(
+                    {"id": "d1", "query": CORPUS["west"], "k": 3}
+                )
+                await client.close()
+                body = json.dumps(
+                    {"id": "d2", "query": CORPUS["east"], "k": 3}
+                ).encode()
+                post = await _HttpAdapter.http_exchange(
+                    server.port,
+                    b"POST /tenant/clustered HTTP/1.1\r\n"
+                    b"Content-Length: %d\r\n\r\n%s" % (len(body), body),
+                )
+            finally:
+                scheduler.answer = original
+            healthy = await _HttpAdapter.http_exchange(
+                server.port,
+                b"POST /tenant/clustered HTTP/1.1\r\n"
+                b"Content-Length: %d\r\n\r\n%s" % (len(body), body),
+            )
+            return line, post, healthy
+
+        line, post, healthy = run_cluster_gateway(cluster_dir, scenario)
+        assert line["degraded"] is True
+        assert line["coverage"] == [1, 2]
+        assert line["results"]
+
+        status, headers, body = post
+        assert status == 200  # valid-but-partial, not an error
+        assert headers["warning"].startswith("214 repro-gateway")
+        assert "d2" in headers["warning"]
+        decoded = json.loads(body)
+        assert decoded["degraded"] is True
+        assert decoded["coverage"] == [1, 2]
+
+        # Healthy answers carry neither the fields nor the header.
+        h_status, h_headers, h_body = healthy
+        assert h_status == 200
+        assert "warning" not in h_headers
+        h_decoded = json.loads(h_body)
+        assert "degraded" not in h_decoded
+        assert "coverage" not in h_decoded

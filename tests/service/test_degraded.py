@@ -1,0 +1,134 @@
+"""Degraded answers through the scheduler layer.
+
+A distributed backend that lost every replica of a partition returns a
+partial result with ``degraded=True`` and ``coverage``. The scheduler
+must pass both through to the response, count the answer, burn SLO
+availability (a partial answer is an error-budget event), and — like a
+timed-out result — never cache it, or a transient outage would keep
+answering after the fleet recovered.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.service import (
+    EnginePool,
+    QueryScheduler,
+    ResultCache,
+    SearchRequest,
+)
+
+
+class DegradingPool:
+    """Wraps an EnginePool, stamping every search result as a partial
+    answer — the shape ClusterPool returns when a partition is down."""
+
+    def __init__(self, inner, *, coverage=(1, 2)):
+        self._inner = inner
+        self._coverage = coverage
+        self.degrade = True
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def search(self, *args, **kwargs):
+        result = self._inner.search(*args, **kwargs)
+        if not self.degrade:
+            return result
+        return dataclasses.replace(
+            result, degraded=True, coverage=self._coverage
+        )
+
+
+@pytest.fixture()
+def degrading_pool(tiny_opendata):
+    inner = EnginePool(
+        tiny_opendata.collection,
+        tiny_opendata.index,
+        tiny_opendata.sim,
+        alpha=0.8,
+        shards=1,
+    )
+    return DegradingPool(inner)
+
+
+def request_for(collection, set_id: int, *, k: int = 5, **kwargs):
+    return SearchRequest(query=collection[set_id], k=k, **kwargs)
+
+
+class TestDegradedPropagation:
+    def test_response_carries_degraded_and_coverage(
+        self, tiny_opendata, degrading_pool
+    ):
+        with QueryScheduler(degrading_pool) as scheduler:
+            response = scheduler.answer(
+                request_for(tiny_opendata.collection, 0)
+            )
+        assert response.degraded is True
+        assert response.coverage == (1, 2)
+        assert response.error is None
+        assert response.hits  # partial, not empty
+        obj = response.to_obj()
+        assert obj["degraded"] is True
+        assert obj["coverage"] == [1, 2]
+
+    def test_healthy_response_omits_the_fields(
+        self, tiny_opendata, degrading_pool
+    ):
+        degrading_pool.degrade = False
+        with QueryScheduler(degrading_pool) as scheduler:
+            response = scheduler.answer(
+                request_for(tiny_opendata.collection, 0)
+            )
+        assert response.degraded is False
+        assert response.coverage is None
+        obj = response.to_obj()
+        assert "degraded" not in obj
+        assert "coverage" not in obj
+
+    def test_degraded_answers_are_never_cached(
+        self, tiny_opendata, degrading_pool
+    ):
+        """A repeat of the same query while degraded recomputes; after
+        recovery the full answer is computed fresh — the partial one
+        must not have poisoned the cache."""
+        collection = tiny_opendata.collection
+        with QueryScheduler(
+            degrading_pool, cache=ResultCache(16)
+        ) as scheduler:
+            first = scheduler.answer(request_for(collection, 3))
+            second = scheduler.answer(request_for(collection, 3))
+            assert first.degraded and second.degraded
+            assert not second.cached
+            assert scheduler.metrics.cache_hits == 0
+
+            degrading_pool.degrade = False
+            recovered = scheduler.answer(request_for(collection, 3))
+            assert recovered.degraded is False
+            assert not recovered.cached
+            # The healthy answer *is* cacheable.
+            again = scheduler.answer(request_for(collection, 3))
+            assert again.cached
+            assert again.degraded is False
+        assert scheduler.metrics.cache_hits == 1
+
+    def test_degraded_counts_and_burns_availability(
+        self, tiny_opendata, degrading_pool
+    ):
+        with QueryScheduler(degrading_pool) as scheduler:
+            scheduler.answer(request_for(tiny_opendata.collection, 0))
+            degrading_pool.degrade = False
+            scheduler.answer(request_for(tiny_opendata.collection, 1))
+
+            metrics = scheduler.metrics
+            assert metrics.degraded == 1
+            assert metrics.snapshot()["degraded"] == 1
+            # One bad + one good availability event: the degraded
+            # answer burned error budget without being an error.
+            windows = metrics.slo.snapshot()["objectives"][
+                "availability"
+            ]["windows"]
+            assert windows["5m"]["bad"] == 1
+            assert windows["5m"]["good"] >= 1
+            assert metrics.errors == 0

@@ -191,7 +191,11 @@ class TestIndexCommands:
             ["index", "compact", str(snap), "--wal", str(wal)]
         ) == 0
         assert "folded 1 WAL records" in capsys.readouterr().out
-        assert wal.read_text() == ""
+        # Logically empty: the reset log keeps only its (bumped)
+        # generation header, the crash-recovery handshake.
+        reopened = WriteAheadLog(wal)
+        assert reopened.records() == []
+        assert reopened.generation == 1
         main(["index", "inspect", str(snap)])
         assert json.loads(capsys.readouterr().out)["num_sets"] == 4
 
