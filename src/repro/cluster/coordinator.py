@@ -309,6 +309,13 @@ class ClusterPool:
         of receiving the collection through the spawn pickle — the fast
         path for large corpora. Falls back to in-memory shipping when
         None.
+    verify_snapshot:
+        Stream-verify the snapshot's checksum once, coordinator-side,
+        before spawning (default True). Workers always bootstrap with
+        ``verify=False`` — one hash pass total instead of R×P, and
+        restarts/revivals inherit the skip through the shared spec
+        factory. Pass False when the caller has already verified the
+        same file (``build_serving_stack`` does).
     substrate:
         Substrate descriptor for worker-side index reconstruction
         (required for in-memory shipping; optional when the snapshot
@@ -339,6 +346,7 @@ class ClusterPool:
         config: FilterConfig | None = None,
         worker_configs: Sequence[FilterConfig] | None = None,
         snapshot_path: str | None = None,
+        verify_snapshot: bool = True,
         substrate: dict[str, Any] | None = None,
         bootstrap_records: Iterable[Any] | None = None,
         start_method: str = "spawn",
@@ -398,9 +406,20 @@ class ClusterPool:
         self.resources = ResourceLedger()
 
         if snapshot_path is not None:
-            from repro.store.snapshot import inspect_snapshot
+            from repro.store.snapshot import (
+                inspect_snapshot,
+                verify_snapshot_checksum,
+            )
 
-            manifest = inspect_snapshot(snapshot_path)
+            # One checksum pass here covers the whole fleet: every
+            # worker spec ships verify_snapshot=False (including the
+            # ones the background restarter and inline revival rebuild
+            # through this same factory), so R×P bootstraps map the
+            # file without re-hashing it.
+            if verify_snapshot:
+                manifest = verify_snapshot_checksum(snapshot_path)
+            else:
+                manifest = inspect_snapshot(snapshot_path)
             if manifest.substrate is None and substrate is None:
                 raise InvalidParameterError(
                     "snapshot carries no substrate descriptor; pass "
@@ -510,6 +529,7 @@ class ClusterPool:
                 trace=trace_config(),
                 replica=replica,
                 faults=faults,
+                verify_snapshot=False,
             )
 
     def _apply_local(

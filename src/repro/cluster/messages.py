@@ -94,6 +94,13 @@ class WorkerSpec:
     #: ``{"bootstrap_fail": True}`` makes bootstrap die with an
     #: injected error. None in production.
     faults: dict[str, Any] | None = None
+    #: Whether bootstrap re-hashes the snapshot against its manifest
+    #: checksum. The coordinator verifies the file ONCE
+    #: (:func:`repro.store.snapshot.verify_snapshot_checksum`) before
+    #: spawning, so specs ship False — R×P workers (and every revival /
+    #: re-bootstrap, which reuses the same spec factory) then map the
+    #: already-verified file instead of N processes re-reading it.
+    verify_snapshot: bool = False
 
 
 def encode_stream(

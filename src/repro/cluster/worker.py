@@ -126,7 +126,12 @@ def bootstrap(spec: WorkerSpec) -> WorkerState:
     if spec.snapshot_path is not None:
         from repro.store.snapshot import load_snapshot
 
-        loaded = load_snapshot(spec.snapshot_path)
+        # The coordinator already stream-verified the file once; specs
+        # ship verify_snapshot=False so R×P replicas (and every restart)
+        # just map the shared page-cache copy instead of re-hashing.
+        loaded = load_snapshot(
+            spec.snapshot_path, verify=spec.verify_snapshot
+        )
         overlay = loaded.mutable()
         token_index, sim = loaded.token_index, loaded.sim
         if token_index is None:

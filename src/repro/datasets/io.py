@@ -147,9 +147,13 @@ def load_collection_auto(path: str | Path) -> SetCollection:
     ``.json`` -> :func:`load_collection_json`, ``.csv`` ->
     :func:`load_collection_csv`, ``.snap``/``.snapshot`` -> the binary
     snapshot loader (collection only; use :func:`repro.store.load_snapshot`
-    when you also want the persisted postings and substrate). Anything
-    else raises a friendly :class:`InvalidParameterError` — the one
-    loader every CLI command shares.
+    when you also want the persisted postings and substrate). Snapshot
+    collections come back memmap-backed
+    (:class:`~repro.store.snapshot.SnapshotSetCollection`): per-set
+    frozensets materialize lazily over read-only array views of the
+    file, so even a huge corpus is cheap to open here. Anything else
+    raises a friendly :class:`InvalidParameterError` — the one loader
+    every CLI command shares.
     """
     suffix = Path(path).suffix.lower()
     if suffix == ".json":

@@ -134,6 +134,34 @@ def csr_from_lengths(
     )
 
 
+def csr_restrict(
+    csr: CSRPostings, keep_ids: Iterable[int], num_slots: int
+) -> CSRPostings:
+    """``csr`` restricted to the set ids in ``keep_ids``.
+
+    One vectorized boolean-mask pass over the flat ``sets`` array —
+    per-token order (ascending ids) is preserved, so the result is
+    bitwise-identical to filtering each posting list in Python. This is
+    what partition/shard engines use to carve their slice out of a
+    snapshot's full CSR arrays without an O(total postings) Python scan.
+    """
+    mask = np.zeros(num_slots, dtype=bool)
+    keep_arr = np.fromiter(
+        (int(i) for i in keep_ids), dtype=np.int64
+    ) if not isinstance(keep_ids, np.ndarray) else keep_ids
+    mask[keep_arr] = True
+    keep = mask[csr.sets]
+    # prefix[i] = how many of the first i entries survive; indexing it by
+    # the old offsets yields the new offsets, correct even for runs of
+    # empty posting lists (np.add.reduceat is not).
+    prefix = np.zeros(len(keep) + 1, dtype=np.int64)
+    np.cumsum(keep, out=prefix[1:])
+    return CSRPostings(
+        offsets=prefix[csr.offsets],
+        sets=np.ascontiguousarray(csr.sets[keep], dtype=np.int64),
+    )
+
+
 def csr_from_index(index, table: TokenTable) -> CSRPostings:
     """CSR view of any inverted index exposing ``sets_containing``.
 

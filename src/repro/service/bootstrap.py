@@ -230,6 +230,11 @@ def build_serving_stack(
             shards=shards,
             config=config,
             snapshot_path=snapshot_path,
+            # load_serving_stack already hashed this very file while
+            # loading the coordinator replica (load_snapshot defaults
+            # to verify=True); a second coordinator-side pass would be
+            # pure duplicate I/O.
+            verify_snapshot=False,
             substrate=descriptor,
             bootstrap_records=bootstrap_records,
         )

@@ -19,10 +19,23 @@ from repro.sim.base import SimilarityFunction
 
 
 class CosineSimilarity(SimilarityFunction):
-    """Cosine of (unit-normalized) embedding vectors."""
+    """Cosine of (unit-normalized) embedding vectors.
 
-    def __init__(self, provider: EmbeddingProvider) -> None:
+    ``store`` optionally backs the similarity with an existing
+    :class:`~repro.embedding.provider.VectorStore`: vocabulary tokens
+    then read their unit row straight out of the store's matrix — a
+    zero-copy view, possibly of a memory-mapped snapshot section —
+    instead of re-deriving the embedding through the provider and
+    caching a private heap copy per process. Store rows are built as
+    ``normalize(provider.vector(token))``, the exact expression used
+    here, so the backed and unbacked paths are bitwise identical;
+    tokens outside the store (e.g. uncovered query tokens) fall back to
+    the provider as before.
+    """
+
+    def __init__(self, provider: EmbeddingProvider, *, store=None) -> None:
         self._provider = provider
+        self._store = store
         # None records out-of-vocabulary tokens so the provider is only
         # consulted once per token.
         self._unit_cache: dict[str, np.ndarray | None] = {}
@@ -39,6 +52,11 @@ class CosineSimilarity(SimilarityFunction):
         """Unit vector for ``token`` or None if out-of-vocabulary."""
         if token in self._unit_cache:
             return self._unit_cache[token]
+        store = self._store
+        if store is not None and token in store:
+            vec = store.vector(token)
+            self._unit_cache[token] = vec
+            return vec
         if not self._provider.covers(token):
             self._unit_cache[token] = None
             return None

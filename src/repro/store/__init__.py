@@ -24,11 +24,13 @@ from repro.store.snapshot import (
     SNAPSHOT_SUFFIXES,
     LoadedSnapshot,
     SnapshotManifest,
+    SnapshotSetCollection,
     inspect_snapshot,
     load_snapshot,
     restore_substrate,
     save_snapshot,
     substrate_fingerprint,
+    verify_snapshot_checksum,
 )
 from repro.store.wal import (
     WalRecord,
@@ -46,6 +48,7 @@ __all__ = [
     "MutableSetCollection",
     "SNAPSHOT_SUFFIXES",
     "SnapshotManifest",
+    "SnapshotSetCollection",
     "WalRecord",
     "WriteAheadLog",
     "apply_record",
@@ -57,4 +60,5 @@ __all__ = [
     "restore_substrate",
     "save_snapshot",
     "substrate_fingerprint",
+    "verify_snapshot_checksum",
 ]

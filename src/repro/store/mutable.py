@@ -20,6 +20,15 @@ rebuilding the derived structures:
 * **``version`` increases monotonically** with every mutation — the
   engine pool hot-swaps on it and the result cache keys on it.
 
+Overlays adopted from a memmap-backed snapshot
+(:meth:`MutableSetCollection.from_snapshot`) are *copy-on-write*: the
+base postings stay CSR array slices over the snapshot file and per-set
+``frozenset``s materialize only when read, so a worker that never
+mutates keeps sharing the snapshot's single page-cache copy. A posting
+list is copied onto the heap the first time a mutation touches its
+token; :meth:`vacuum` (WAL compaction) materializes everything and drops
+the array backing.
+
 The equivalence contract (proven by ``tests/store/test_equivalence.py``):
 searching through the incremental structures returns bitwise-identical
 results to an engine rebuilt from scratch on the final collection state.
@@ -30,14 +39,58 @@ from __future__ import annotations
 import threading
 from typing import Iterable, Iterator, Mapping, Sequence
 
+import numpy as np
+
 from repro.datasets.collection import CollectionStats, SetCollection
 from repro.errors import InvalidParameterError
+from repro.index.interning import CSRPostings, csr_from_index, csr_restrict
 from repro.index.inverted import PostingStats
 
 #: Rough bytes per posting entry (pointer + small-int object share),
 #: used for the O(1) memory estimate delta indexes report instead of a
 #: full object-graph walk.
 _POSTING_ENTRY_BYTES = 32
+
+#: Placeholder for a not-yet-materialized set slot in a lazy overlay.
+#: Distinct from ``None``, which marks a tombstone.
+_LAZY = object()
+
+
+class _CowNames:
+    """Copy-on-write name table for snapshot-adopted overlays.
+
+    The base is a lazy snapshot string view (names decode from the map
+    on access); inserts land in a heap tail. Names are never overwritten
+    in place — deletion tombstones ``_sets`` and drops the name-map
+    entry, leaving the table untouched — so base + tail is the complete
+    picture.
+    """
+
+    __slots__ = ("_base", "_tail")
+
+    def __init__(self, base: Sequence[str]) -> None:
+        self._base = base
+        self._tail: list[str | None] = []
+
+    def __len__(self) -> int:
+        return len(self._base) + len(self._tail)
+
+    def __getitem__(self, index: int) -> str | None:
+        base = self._base
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(index)
+        if index < len(base):
+            return base[index]
+        return self._tail[index - len(base)]
+
+    def append(self, name: str | None) -> None:
+        self._tail.append(name)
+
+    def __iter__(self) -> Iterator[str | None]:
+        yield from self._base
+        yield from self._tail
 
 
 class MutableSetCollection(SetCollection):
@@ -49,9 +102,9 @@ class MutableSetCollection(SetCollection):
         Initial contents (copied; the base collection is not touched).
     postings:
         Prebuilt ``token -> ascending live set ids`` map aligned with
-        ``base`` (the snapshot loader passes the deserialized postings
-        here so cold start skips the indexing pass). Built from ``base``
-        when omitted.
+        ``base``. Built from ``base`` when omitted. (The snapshot loader
+        no longer goes through this eager path — it adopts CSR arrays
+        via :meth:`from_snapshot` instead.)
     """
 
     def __init__(
@@ -62,7 +115,10 @@ class MutableSetCollection(SetCollection):
     ) -> None:
         self._sets: list[frozenset[str] | None] = []
         self._names: list[str | None] = []
-        self._name_to_id: dict[str, int] = {}
+        #: ``None`` means "not built yet" (lazy adoption); use
+        #: :meth:`_names_map` for every access.
+        self._name_to_id: dict[str, int] | None = {}
+        #: Heap posting lists: deltas + copy-on-write materializations.
         self._postings: dict[str, list[int]] = {}
         self._token_refs: dict[str, int] = {}
         self._vocabulary: set[str] = set()
@@ -71,6 +127,15 @@ class MutableSetCollection(SetCollection):
         self._dead_posting_entries = 0
         self._version = 0
         self._mutation_lock = threading.Lock()
+        # CSR backing of a snapshot-adopted overlay (None when eager).
+        self._base: SetCollection | None = None
+        self._csr_tokens: list[str] | None = None
+        self._csr_offsets: np.ndarray | None = None
+        self._csr_members: np.ndarray | None = None
+        self._csr_token_id: dict[str, int] | None = None
+        self._csr_bytes = 0
+        self._csr64: tuple[object, CSRPostings] | None = None
+        self._csr_table_match: tuple[object, bool] | None = None
         if base is not None:
             self._adopt(base, postings)
 
@@ -82,6 +147,7 @@ class MutableSetCollection(SetCollection):
         self._sets = [base[set_id] for set_id in base.ids()]
         self._names = [base.name_of(set_id) for set_id in base.ids()]
         self._num_live = len(self._sets)
+        assert self._name_to_id is not None
         for set_id, name in enumerate(self._names):
             if name in self._name_to_id:
                 raise InvalidParameterError(
@@ -102,19 +168,72 @@ class MutableSetCollection(SetCollection):
             self._posting_entries += len(ids)
         self._vocabulary = set(self._token_refs)
 
+    @classmethod
+    def from_snapshot(cls, loaded) -> "MutableSetCollection":
+        """Adopt a :class:`~repro.store.snapshot.LoadedSnapshot` lazily.
+
+        No Python posting lists, frozensets, or name map are built here:
+        base postings are served as slices of the (possibly memmapped)
+        CSR arrays, sets materialize on read, and lists are copied onto
+        the heap only when a mutation touches their token. Cold start is
+        O(tokens), not O(postings).
+        """
+        overlay = cls()
+        base = loaded.collection
+        overlay._base = base
+        overlay._sets = [_LAZY] * len(base)
+        overlay._names = _CowNames(loaded.names)
+        overlay._name_to_id = None
+        overlay._num_live = len(base)
+        tokens = loaded.tokens
+        lengths = loaded.posting_lengths
+        overlay._csr_tokens = tokens
+        overlay._csr_offsets = loaded.posting_offsets
+        overlay._csr_members = loaded.posting_members
+        overlay._csr_bytes = int(
+            loaded.posting_members.nbytes + loaded.posting_offsets.nbytes
+        )
+        overlay._token_refs = {
+            token: count
+            for token, count in zip(tokens, lengths.tolist())
+            if count
+        }
+        overlay._vocabulary = set(overlay._token_refs)
+        # The snapshot token section IS the sorted vocabulary: pre-seed
+        # the per-version token-table cache (see
+        # :func:`~repro.index.interning.token_table_for`) so engine
+        # builds skip re-sorting 100k+ strings at bootstrap.
+        from repro.index.interning import TokenTable
+
+        overlay._token_table_cache = (0, TokenTable(tokens))
+        return overlay
+
     # -- container protocol (live view) ------------------------------------
 
     def __len__(self) -> int:
         return self._num_live
 
-    def __getitem__(self, set_id: int) -> frozenset[str]:
+    def _set_at(self, set_id: int):
+        """The slot's frozenset, materialized from the base if lazy;
+        ``None`` for tombstones."""
         members = self._sets[set_id]
+        if members is _LAZY:
+            members = self._base[set_id]  # type: ignore[index]
+            self._sets[set_id] = members
+        return members
+
+    def __getitem__(self, set_id: int) -> frozenset[str]:
+        members = self._set_at(set_id)
         if members is None:
             raise InvalidParameterError(f"set {set_id} has been deleted")
         return members
 
     def __iter__(self) -> Iterator[frozenset[str]]:
-        return (s for s in self._sets if s is not None)
+        for set_id, members in enumerate(self._sets):
+            if members is _LAZY:
+                members = self._set_at(set_id)
+            if members is not None:
+                yield members
 
     def ids(self) -> list[int]:  # type: ignore[override]
         """Ascending ids of live sets (tombstoned slots skipped)."""
@@ -130,14 +249,33 @@ class MutableSetCollection(SetCollection):
 
     def id_of(self, name: str) -> int:
         try:
-            return self._name_to_id[name]
+            return self._names_map()[name]
         except KeyError:
             raise InvalidParameterError(
                 f"no live set named {name!r}"
             ) from None
 
+    def cardinality(self, set_id: int) -> int:
+        members = self._sets[set_id]
+        if members is _LAZY:
+            return self._base.cardinality(set_id)  # type: ignore[union-attr]
+        if members is None:
+            raise InvalidParameterError(f"set {set_id} has been deleted")
+        return len(members)
+
+    def subset(self, set_ids: Sequence[int]) -> SetCollection:
+        return SetCollection(
+            [self[i] for i in set_ids],
+            names=[self.name_of(i) for i in set_ids],
+        )
+
     def stats(self) -> CollectionStats:
-        sizes = [len(s) for s in self._sets if s is not None]
+        sizes = []
+        for set_id, members in enumerate(self._sets):
+            if members is _LAZY:
+                sizes.append(self._base.cardinality(set_id))  # type: ignore[union-attr]
+            elif members is not None:
+                sizes.append(len(members))
         return CollectionStats(
             num_sets=len(sizes),
             max_size=max(sizes) if sizes else 0,
@@ -157,8 +295,27 @@ class MutableSetCollection(SetCollection):
         """Total id slots ever allocated (live + tombstoned)."""
         return len(self._sets)
 
+    def _names_map(self) -> dict[str, int]:
+        """``name -> live set id``, built on first use for lazy overlays
+        (duplicate names are rejected here, at first keyed access,
+        instead of at adoption)."""
+        mapping = self._name_to_id
+        if mapping is None:
+            mapping = {}
+            for set_id, name in enumerate(self._names):
+                if name is None or self._sets[set_id] is None:
+                    continue
+                if name in mapping:
+                    raise InvalidParameterError(
+                        f"duplicate set name: {name!r} (mutation is keyed "
+                        "by name, so names must be unique)"
+                    )
+                mapping[name] = set_id
+            self._name_to_id = mapping
+        return mapping
+
     def contains_name(self, name: str) -> bool:
-        return name in self._name_to_id
+        return name in self._names_map()
 
     def insert(
         self, tokens: Iterable[str], *, name: str | None = None
@@ -173,16 +330,17 @@ class MutableSetCollection(SetCollection):
             set_id = len(self._sets)
             if name is None:
                 name = f"set_{set_id}"
-            if name in self._name_to_id:
+            names = self._names_map()
+            if name in names:
                 raise InvalidParameterError(
                     f"a live set named {name!r} already exists "
                     "(delete or replace it instead)"
                 )
             self._sets.append(members)
             self._names.append(name)
-            self._name_to_id[name] = set_id
+            names[name] = set_id
             for token in members:
-                self._postings.setdefault(token, []).append(set_id)
+                self._posting_for_write(token).append(set_id)
                 self._token_refs[token] = self._token_refs.get(token, 0) + 1
                 self._vocabulary.add(token)
             self._posting_entries += len(members)
@@ -194,12 +352,12 @@ class MutableSetCollection(SetCollection):
         """Tombstone a live set by id or name; returns the id."""
         with self._mutation_lock:
             set_id = self._resolve(ref)
-            members = self._sets[set_id]
+            members = self._set_at(set_id)
             assert members is not None  # _resolve checked liveness
             self._sets[set_id] = None
             name = self._names[set_id]
             if name is not None:
-                self._name_to_id.pop(name, None)
+                self._names_map().pop(name, None)
             for token in members:
                 remaining = self._token_refs[token] - 1
                 if remaining:
@@ -237,7 +395,7 @@ class MutableSetCollection(SetCollection):
     def _resolve(self, ref: int | str) -> int:
         if isinstance(ref, str):
             try:
-                return self._name_to_id[ref]
+                return self._names_map()[ref]
             except KeyError:
                 raise InvalidParameterError(
                     f"no live set named {ref!r}"
@@ -249,6 +407,62 @@ class MutableSetCollection(SetCollection):
             )
         return set_id
 
+    # -- posting access (heap deltas over optional CSR backing) ------------
+
+    def _base_posting(self, token: str) -> np.ndarray | None:
+        """The base CSR slice for ``token`` (zero-copy; ``None`` when
+        there is no CSR backing or the token is not in it)."""
+        if self._csr_tokens is None:
+            return None
+        ids = self._csr_token_id
+        if ids is None:
+            ids = {t: i for i, t in enumerate(self._csr_tokens)}
+            self._csr_token_id = ids
+        token_id = ids.get(token, -1)
+        if token_id < 0:
+            return None
+        start = self._csr_offsets[token_id]  # type: ignore[index]
+        end = self._csr_offsets[token_id + 1]  # type: ignore[index]
+        if end <= start:
+            return None
+        return self._csr_members[start:end]  # type: ignore[index]
+
+    def _posting_for_write(self, token: str) -> list[int]:
+        """The heap posting list of ``token``, copying the base CSR
+        slice on first write (copy-on-write materialization)."""
+        posting = self._postings.get(token)
+        if posting is None:
+            base = self._base_posting(token)
+            posting = [] if base is None else base.tolist()
+            self._postings[token] = posting
+            if posting:
+                # These entries move from array- to heap-accounting.
+                self._posting_entries += len(posting)
+        return posting
+
+    def posting_of(self, token: str):
+        """Current posting list of ``token`` including tombstoned ids:
+        a heap ``list`` (delta/materialized) or a read-only array slice
+        of the CSR backing; ``None`` when the token has no postings.
+        Readers must filter tombstones themselves (see
+        :class:`DeltaInvertedIndex`)."""
+        posting = self._postings.get(token)
+        if posting is not None:
+            return posting
+        return self._base_posting(token)
+
+    def posting_tokens(self) -> Iterator[str]:
+        """Every token with any posting entries (dead ones included)."""
+        yield from self._postings
+        if self._csr_tokens is not None:
+            overridden = self._postings
+            offsets = self._csr_offsets
+            for token_id, token in enumerate(self._csr_tokens):
+                if token not in overridden and (
+                    offsets[token_id + 1] > offsets[token_id]  # type: ignore[index]
+                ):
+                    yield token
+
     # -- derived structures -------------------------------------------------
 
     def alive(self, set_id: int) -> bool:
@@ -258,9 +472,11 @@ class MutableSetCollection(SetCollection):
 
     def live_postings(self, token: str) -> list[int]:
         """Current posting list of ``token``: ascending live ids only."""
-        posting = self._postings.get(token)
-        if not posting:
+        posting = self.posting_of(token)
+        if posting is None or len(posting) == 0:
             return []
+        if not isinstance(posting, list):
+            posting = posting.tolist()
         return [i for i in posting if self._sets[i] is not None]
 
     def delta_index(
@@ -270,11 +486,69 @@ class MutableSetCollection(SetCollection):
         restricted to ``set_ids`` (one per engine shard)."""
         return DeltaInvertedIndex(self, set_ids)
 
+    def _table_matches(self, table) -> bool:
+        """Whether ``table`` is aligned with the CSR backing's token
+        section (one O(vocab) comparison, cached per table object)."""
+        cached = self._csr_table_match
+        if cached is not None and cached[0] is table:
+            return cached[1]
+        ok = table.tokens == self._csr_tokens
+        self._csr_table_match = (table, ok)
+        return ok
+
+    def csr_raw(self, table) -> CSRPostings | None:
+        """The base CSR arrays verbatim (``sets`` in on-disk ``u4``) —
+        only available while the overlay is an *unmutated* CSR-backed
+        snapshot adoption (version 0), where the base arrays are the
+        live postings verbatim. Shard views mask-restrict this without
+        ever converting the full array. ``None`` otherwise."""
+        if self._csr_tokens is None or self._version != 0:
+            return None
+        if not self._table_matches(table):
+            return None
+        return CSRPostings(
+            offsets=self._csr_offsets, sets=self._csr_members
+        )
+
+    def csr_live(self, table) -> CSRPostings | None:
+        """Like :meth:`csr_raw` but with ``sets`` converted to the
+        engine's int64 dtype; the one conversion is cached so every
+        full-view engine of a pool shares it."""
+        cached = self._csr64
+        if cached is not None and cached[0] is table:
+            return cached[1]
+        raw = self.csr_raw(table)
+        if raw is None:
+            return None
+        csr = CSRPostings(
+            offsets=raw.offsets,
+            sets=np.ascontiguousarray(raw.sets, dtype=np.int64),
+        )
+        self._csr64 = (table, csr)
+        return csr
+
     def vacuum(self) -> int:
         """Rewrite posting lists without tombstoned ids; returns the
         number of dead entries dropped. Run by WAL compaction — routine
-        serving never needs it, readers filter tombstones on the fly."""
+        serving never needs it, readers filter tombstones on the fly.
+        On a CSR-backed overlay this materializes every base posting
+        list and drops the array backing (compaction rewrites the world
+        anyway)."""
         with self._mutation_lock:
+            if self._csr_tokens is not None:
+                for token in self._csr_tokens:
+                    if token not in self._postings:
+                        base = self._base_posting(token)
+                        if base is not None:
+                            posting = base.tolist()
+                            self._postings[token] = posting
+                            self._posting_entries += len(posting)
+                self._csr_tokens = None
+                self._csr_offsets = None
+                self._csr_members = None
+                self._csr_token_id = None
+                self._csr_bytes = 0
+                self._csr64 = None
             dropped = 0
             for token in list(self._postings):
                 posting = self._postings[token]
@@ -294,14 +568,17 @@ class MutableSetCollection(SetCollection):
         compaction persists."""
         live = self.ids()
         return SetCollection(
-            [self._sets[i] for i in live],
+            [self._set_at(i) for i in live],
             names=[self._names[i] for i in live],
         )
 
     def posting_bytes(self) -> int:
-        """O(1) estimate of the posting-list footprint."""
+        """O(1) estimate of the posting-list footprint: exact array
+        bytes for the CSR backing plus the rough per-entry object cost
+        of heap lists."""
         return (
-            self._posting_entries * _POSTING_ENTRY_BYTES
+            self._csr_bytes
+            + self._posting_entries * _POSTING_ENTRY_BYTES
             + len(self._postings) * _POSTING_ENTRY_BYTES
         )
 
@@ -326,9 +603,11 @@ class DeltaInvertedIndex:
         self._members = None if set_ids is None else frozenset(set_ids)
 
     def sets_containing(self, token: str) -> list[int]:
-        posting = self._overlay._postings.get(token)
-        if not posting:
+        posting = self._overlay.posting_of(token)
+        if posting is None or len(posting) == 0:
             return []
+        if not isinstance(posting, list):
+            posting = posting.tolist()
         sets = self._overlay._sets
         members = self._members
         if members is None:
@@ -340,14 +619,36 @@ class DeltaInvertedIndex:
 
     def __len__(self) -> int:
         return sum(
-            1 for token in self._overlay._postings
+            1 for token in self._overlay.posting_tokens()
             if self.sets_containing(token)
         )
+
+    def columnar(self, table) -> CSRPostings:
+        """The CSR posting view aligned to ``table``.
+
+        While the overlay is an unmutated CSR-backed snapshot adoption,
+        this is pure array work: the shared int64 conversion of the
+        snapshot arrays, mask-filtered to the shard's members
+        (:func:`~repro.index.interning.csr_restrict`) — no Python pass
+        over posting lists. After the first mutation it falls back to
+        the generic per-token build, same as any delta view.
+        """
+        if self._members is None:
+            base = self._overlay.csr_live(table)
+            if base is None:
+                return csr_from_index(self, table)
+            return base
+        raw = self._overlay.csr_raw(table)
+        if raw is None:
+            return csr_from_index(self, table)
+        # Restrict the on-disk u4 arrays directly: only the shard's
+        # surviving entries are ever converted to int64 heap memory.
+        return csr_restrict(raw, self._members, self._overlay.num_slots)
 
     def stats(self) -> PostingStats:
         lengths = [
             length
-            for token in self._overlay._postings
+            for token in self._overlay.posting_tokens()
             if (length := len(self.sets_containing(token)))
         ]
         if not lengths:

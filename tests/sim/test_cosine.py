@@ -84,3 +84,43 @@ class TestWithHashingProvider:
         first = sim.score("alpha", "beta")
         second = sim.score("alpha", "beta")
         assert first == second
+
+
+class TestStoreBacked:
+    """A VectorStore-backed sim is bitwise identical to the provider path."""
+
+    @pytest.fixture(scope="class")
+    def pair(self):
+        from repro.embedding.provider import VectorStore
+
+        provider = HashingEmbeddingProvider(dim=32)
+        vocab = ["alpha", "beta", "gamma", "delta", "epsilon"]
+        store = VectorStore(provider, vocab)
+        return CosineSimilarity(provider), CosineSimilarity(
+            provider, store=store
+        ), vocab
+
+    def test_scores_bitwise_identical(self, pair):
+        plain, backed, vocab = pair
+        for a in vocab:
+            for b in vocab + ["offvocab"]:
+                assert backed.score(a, b) == plain.score(a, b)
+
+    def test_unit_rows_bitwise_identical(self, pair):
+        plain, backed, vocab = pair
+        tokens = vocab + ["offvocab"]
+        assert backed.unit_rows(tokens).tobytes() == (
+            plain.unit_rows(tokens).tobytes()
+        )
+
+    def test_store_row_is_a_view_not_a_copy(self, pair):
+        _, backed, vocab = pair
+        vec = backed._unit_vector(vocab[0])
+        assert vec.base is not None
+
+    def test_oov_falls_back_to_provider(self, pair):
+        _, backed, _ = pair
+        # "offvocab" is covered by the hashing provider but absent from
+        # the store's vocabulary — it must still resolve via the
+        # provider, not come back as None.
+        assert backed._unit_vector("offvocab") is not None
